@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks of the per-object filter machinery:
+//! the operations whose costs drive Fig 7 (Monte-Carlo) and Fig 11a's CPU
+//! breakdown (PCR computation + Simplex CFB fitting).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use uncertain_geom::{Point, Rect};
+use uncertain_pdf::{MonteCarlo, ObjectPdf};
+use utree::{filter_object, fit_cfb_pair, CfbView, PcrSet, UCatalog};
+
+fn disk() -> ObjectPdf<2> {
+    ObjectPdf::UniformBall {
+        center: Point::new([5_000.0, 5_000.0]),
+        radius: 250.0,
+    }
+}
+
+fn congau() -> ObjectPdf<2> {
+    ObjectPdf::ConGauBall {
+        center: Point::new([5_000.0, 5_000.0]),
+        radius: 250.0,
+        sigma: 125.0,
+    }
+}
+
+fn bench_pcr_compute(c: &mut Criterion) {
+    let cat = UCatalog::paper_utree_default();
+    let mut g = c.benchmark_group("pcr_compute_m15");
+    g.bench_function("uniform_disk", |b| {
+        let pdf = disk();
+        b.iter(|| black_box(PcrSet::compute(&pdf, &cat)))
+    });
+    g.bench_function("con_gau", |b| {
+        let pdf = congau();
+        b.iter(|| black_box(PcrSet::compute(&pdf, &cat)))
+    });
+    g.bench_function("uniform_sphere_3d", |b| {
+        let pdf: ObjectPdf<3> = ObjectPdf::UniformBall {
+            center: Point::new([5_000.0, 5_000.0, 5_000.0]),
+            radius: 125.0,
+        };
+        b.iter(|| black_box(PcrSet::compute(&pdf, &cat)))
+    });
+    g.finish();
+}
+
+fn bench_cfb_fit(c: &mut Criterion) {
+    // Fig 11a's "simplex" slice: 3 LPs per dimension per object.
+    let mut g = c.benchmark_group("cfb_fit_simplex");
+    for m in [5usize, 9, 15] {
+        let cat = UCatalog::uniform(m);
+        let pcrs = PcrSet::compute(&disk(), &cat);
+        g.bench_with_input(BenchmarkId::new("m", m), &m, |b, _| {
+            b.iter(|| black_box(fit_cfb_pair(&pcrs, &cat)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_filter_object(c: &mut Criterion) {
+    // The O(d·m) decision the tree makes per inspected leaf entry — must
+    // be orders of magnitude below one Monte-Carlo integration.
+    let cat = UCatalog::paper_utree_default();
+    let pdf = disk();
+    let pcrs = PcrSet::compute(&pdf, &cat);
+    let pair = fit_cfb_pair(&pcrs, &cat);
+    let mbr = pdf.mbr();
+    let rq = Rect::new([4_900.0, 4_800.0], [5_400.0, 5_300.0]);
+    let mut g = c.benchmark_group("filter_object");
+    g.bench_function("cfb_view", |b| {
+        let view = CfbView {
+            pair: &pair,
+            catalog: &cat,
+        };
+        b.iter(|| black_box(filter_object(&view, &mbr, &cat, &rq, 0.6)))
+    });
+    g.bench_function("exact_pcrs", |b| {
+        b.iter(|| black_box(filter_object(&pcrs, &mbr, &cat, &rq, 0.6)))
+    });
+    g.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    // Fig 7's per-computation time at representative n1 values.
+    let pdf = disk();
+    let rq = Rect::new([4_900.0, 4_800.0], [5_400.0, 5_300.0]);
+    let mut g = c.benchmark_group("monte_carlo_papp");
+    g.sample_size(10);
+    for n1 in [10_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::new("n1", n1), &n1, |b, &n1| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mc = MonteCarlo::new(n1);
+            b.iter(|| black_box(mc.estimate(&pdf, &rq, &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pcr_compute,
+    bench_cfb_fit,
+    bench_filter_object,
+    bench_monte_carlo
+);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Figure 11: update overhead of the U-tree.
+//!
+//! (a) average insertion cost during index construction, broken into I/O
+//! and CPU — the CPU part "essentially corresponds to the combined cost of
+//! (i) the simplex algorithm (for computing CFBs) and (ii) calculating the
+//! necessary PCRs"; (b) amortized deletion cost after removing all
+//! objects (the paper omits deletion CPU as negligible).
+
+use bench::{print_table, timed, HarnessConfig};
+use utree::{UCatalog, UTree};
+
+struct UpdateCost {
+    insert_io_ms: f64,
+    insert_cpu_ms: f64,
+    pcr_ms: f64,
+    lp_ms: f64,
+    delete_io_ms: f64,
+    delete_wall_ms: f64,
+}
+
+fn measure<const D: usize>(
+    objs: &[uncertain_pdf::UncertainObject<D>],
+    io_ms: f64,
+) -> UpdateCost {
+    let mut tree = UTree::<D>::new(UCatalog::paper_utree_default());
+    let mut io = 0u64;
+    let mut pcr_nanos = 0u128;
+    let mut lp_nanos = 0u128;
+    for o in objs {
+        let s = tree.insert(o);
+        io += s.io_reads + s.io_writes;
+        pcr_nanos += s.pcr_nanos;
+        lp_nanos += s.lp_nanos;
+    }
+    let n = objs.len() as f64;
+    let insert_io_ms = io as f64 * io_ms / n;
+    let pcr_ms = pcr_nanos as f64 / 1e6 / n;
+    let lp_ms = lp_nanos as f64 / 1e6 / n;
+
+    tree.reset_io();
+    let (_, del_secs) = timed(|| {
+        for o in objs {
+            assert!(tree.delete(o), "object {} must be deletable", o.id);
+        }
+    });
+    let del_io = tree.tree_stats(); // tree is empty; stats for sanity only
+    let _ = del_io;
+    let delete_io =
+        tree_io_after_reset(&tree);
+    UpdateCost {
+        insert_io_ms,
+        insert_cpu_ms: pcr_ms + lp_ms,
+        pcr_ms,
+        lp_ms,
+        delete_io_ms: delete_io as f64 * io_ms / n,
+        delete_wall_ms: del_secs * 1e3 / n,
+    }
+}
+
+fn tree_io_after_reset<const D: usize>(tree: &UTree<D>) -> u64 {
+    // reset_io() was called right before the deletion loop, so the index
+    // counters now hold exactly the deletion I/O.
+    tree_stats_io(tree)
+}
+
+fn tree_stats_io<const D: usize>(tree: &UTree<D>) -> u64 {
+    // The UTree exposes reset_io; read the counters through a probe query
+    // of zero cost? Simpler: the counters are reachable via tree internals
+    // — expose through a tiny helper on UTree.
+    tree.io_counters()
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let n_lb = cfg.sized(datagen::LB_SIZE);
+    let n_ca = cfg.sized(datagen::CA_SIZE);
+    let n_air = cfg.sized(datagen::AIRCRAFT_SIZE);
+    println!("scale {} (LB {n_lb}, CA {n_ca}, Aircraft {n_air}), io = {} ms/page", cfg.scale, cfg.io_ms);
+
+    let lb = measure(&datagen::lb_dataset(n_lb, 1), cfg.io_ms);
+    let ca = measure(&datagen::ca_dataset(n_ca, 1), cfg.io_ms);
+    let air = measure(&datagen::aircraft_dataset(n_air, 1), cfg.io_ms);
+
+    let row = |name: &str, c: &UpdateCost| {
+        vec![
+            name.to_string(),
+            format!("{:.2}", c.insert_io_ms),
+            format!("{:.2}", c.insert_cpu_ms),
+            format!("{:.2}", c.pcr_ms),
+            format!("{:.2}", c.lp_ms),
+            format!("{:.2}", c.insert_io_ms + c.insert_cpu_ms),
+        ]
+    };
+    print_table(
+        "Figure 11a — insertion cost (ms/object)",
+        &["dataset", "I/O", "CPU", "(pcr)", "(simplex)", "total"],
+        &[row("LB", &lb), row("CA", &ca), row("Aircraft", &air)],
+    );
+
+    let drow = |name: &str, c: &UpdateCost| {
+        vec![
+            name.to_string(),
+            format!("{:.2}", c.delete_io_ms),
+            format!("{:.2}", c.delete_wall_ms),
+        ]
+    };
+    print_table(
+        "Figure 11b — deletion cost (ms/object; wall = search + heap CPU)",
+        &["dataset", "I/O", "wall CPU"],
+        &[drow("LB", &lb), drow("CA", &ca), drow("Aircraft", &air)],
+    );
+
+    println!(
+        "\npaper shape: insertions cost ~0.03–0.07 s on 2005 hardware with I/O \
+         dominating; deletions several times more expensive than insertions \
+         (tree condensation + reinsertion); CPU (simplex + PCR) is a small, \
+         non-negligible slice of insertion."
+    );
+}

@@ -1,0 +1,114 @@
+//! Figure 8: tuning the U-PCR catalog size m.
+//!
+//! Paper setup: U-PCR trees with m = 3…12 on LB, CA and Aircraft; 80
+//! workloads with q_s = 500 and p_q = 0.11…0.90; the chart shows average
+//! query time as a function of m. U-PCR improves with m (more
+//! pruning/validating power) until fanout loss dominates; the paper finds
+//! the optimum at m = 9 (LB, CA) and m = 10 (Aircraft).
+//!
+//! Here every workload's p_q grid is preserved; the workload count per
+//! grid point scales with `UTREE_QUERIES`.
+
+use bench::{print_table, run_workload, HarnessConfig};
+use datagen::workload;
+use uncertain_geom::Point;
+use utree::{UCatalog, UPcrTree};
+
+fn avg_cost_2d(
+    objs: &[uncertain_pdf::UncertainObject<2>],
+    m: usize,
+    cfg: &HarnessConfig,
+) -> f64 {
+    let mut tree = UPcrTree::<2>::new(UCatalog::uniform(m));
+    for o in objs {
+        tree.insert(o);
+    }
+    let centers: Vec<Point<2>> = objs.iter().map(|o| o.mbr().center()).collect();
+    let mut total = 0.0;
+    let mut n = 0;
+    for k in 0..80 {
+        let pq = 0.11 + 0.01 * k as f64;
+        let w = workload(&centers, 500.0, pq, (cfg.queries / 10).max(2), 800 + k);
+        let cost = run_workload(&tree, &w, cfg.refine_mode());
+        total += cost.total_secs(cfg.io_ms);
+        n += 1;
+    }
+    total / n as f64
+}
+
+fn avg_cost_3d(
+    objs: &[uncertain_pdf::UncertainObject<3>],
+    m: usize,
+    cfg: &HarnessConfig,
+) -> f64 {
+    let mut tree = UPcrTree::<3>::new(UCatalog::uniform(m));
+    for o in objs {
+        tree.insert(o);
+    }
+    let centers: Vec<Point<3>> = objs.iter().map(|o| o.mbr().center()).collect();
+    let mut total = 0.0;
+    let mut n = 0;
+    for k in 0..80 {
+        let pq = 0.11 + 0.01 * k as f64;
+        let w = workload(&centers, 500.0, pq, (cfg.queries / 10).max(2), 800 + k);
+        let cost = run_workload(&tree, &w, cfg.refine_mode());
+        total += cost.total_secs(cfg.io_ms);
+        n += 1;
+    }
+    total / n as f64
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    println!(
+        "datasets: LB {} / CA {} / Aircraft {} (scale {}), {} queries per p_q point, \
+         n1 = {}, {} ms/page",
+        cfg.sized(datagen::LB_SIZE),
+        cfg.sized(datagen::CA_SIZE),
+        cfg.sized(datagen::AIRCRAFT_SIZE),
+        cfg.scale,
+        (cfg.queries / 10).max(2),
+        cfg.n1,
+        cfg.io_ms
+    );
+
+    let lb = datagen::lb_dataset(cfg.sized(datagen::LB_SIZE), 1);
+    let ca = datagen::ca_dataset(cfg.sized(datagen::CA_SIZE), 1);
+    let air = datagen::aircraft_dataset(cfg.sized(datagen::AIRCRAFT_SIZE), 1);
+
+    let ms = [3usize, 4, 6, 8, 9, 10, 12];
+    let mut rows = Vec::new();
+    let mut best = (0usize, f64::INFINITY, 0usize, f64::INFINITY, 0usize, f64::INFINITY);
+    for &m in &ms {
+        let c_lb = avg_cost_2d(&lb, m, &cfg);
+        let c_ca = avg_cost_2d(&ca, m, &cfg);
+        let c_air = avg_cost_3d(&air, m, &cfg);
+        if c_lb < best.1 {
+            best.0 = m;
+            best.1 = c_lb;
+        }
+        if c_ca < best.3 {
+            best.2 = m;
+            best.3 = c_ca;
+        }
+        if c_air < best.5 {
+            best.4 = m;
+            best.5 = c_air;
+        }
+        rows.push(vec![
+            m.to_string(),
+            format!("{:.3}", c_lb),
+            format!("{:.3}", c_ca),
+            format!("{:.3}", c_air),
+        ]);
+    }
+    print_table(
+        "Figure 8 — U-PCR query cost (sec) vs catalog size m (qs=500)",
+        &["m", "LB", "CA", "Aircraft"],
+        &rows,
+    );
+    println!(
+        "\nbest m: LB={} CA={} Aircraft={}  (paper: 9, 9, 10)",
+        best.0, best.2, best.4
+    );
+}

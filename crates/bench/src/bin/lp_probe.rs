@@ -1,0 +1,35 @@
+//! LP micro-probe (calibration, not a paper figure).
+use bench::timed;
+use utree::{fit_cfb_pair, PcrSet, UCatalog};
+use uncertain_pdf::ObjectPdf;
+use uncertain_geom::Point;
+
+fn main() {
+    let cat = UCatalog::paper_utree_default();
+    let pdf: ObjectPdf<2> = ObjectPdf::UniformBall {
+        center: Point::new([5000.0, 5000.0]),
+        radius: 250.0,
+    };
+    let (pcrs, t) = timed(|| PcrSet::compute(&pdf, &cat));
+    println!("PCR compute: {:.1} µs", t * 1e6);
+    let (_, t) = timed(|| {
+        for _ in 0..100 {
+            std::hint::black_box(fit_cfb_pair(&pcrs, &cat));
+        }
+    });
+    println!("fit_cfb_pair: {:.1} µs/call", t / 100.0 * 1e6);
+    // isolate one outer LP
+    let m = cat.len() as f64;
+    let p_sum = cat.sum();
+    let faces: Vec<f64> = pcrs.rects().iter().map(|r| r.min[0]).collect();
+    let (_, t) = timed(|| {
+        for _ in 0..100 {
+            let mut lp = simplex_lp::LinearProgram::maximize(vec![m, -p_sum]);
+            for (p, c) in cat.values().iter().zip(&faces) {
+                lp.less_eq(vec![1.0, -p], *c);
+            }
+            std::hint::black_box(lp.solve().unwrap());
+        }
+    });
+    println!("outer LP: {:.1} µs/call", t / 100.0 * 1e6);
+}

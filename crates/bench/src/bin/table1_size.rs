@@ -1,0 +1,104 @@
+//! Table 1: space consumption of U-PCR vs the U-tree.
+//!
+//! Paper numbers (bytes): LB 11.9M vs 5.0M, CA 14.0M vs 5.9M, Aircraft
+//! 40.1M vs 14.2M — the U-tree is 2.4–2.8x smaller because each entry
+//! stores two CFBs (8d values) instead of m PCRs (2d·m values), and "the
+//! size of a U-tree is not affected by its catalog size".
+//!
+//! Catalogs follow Sec 6.2: U-PCR m = 9 (2D) / 10 (3D); U-tree m = 15.
+//! At `--full` scale the absolute numbers are directly comparable to the
+//! paper's; at smaller scales the table also reports the full-scale
+//! extrapolation (sizes are linear in N).
+
+use bench::{fmt_mb, print_table, timed, HarnessConfig};
+use utree::{UCatalog, UPcrTree, UTree};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let n_lb = cfg.sized(datagen::LB_SIZE);
+    let n_ca = cfg.sized(datagen::CA_SIZE);
+    let n_air = cfg.sized(datagen::AIRCRAFT_SIZE);
+    println!("building at scale {} (LB {n_lb}, CA {n_ca}, Aircraft {n_air})…", cfg.scale);
+
+    let lb = datagen::lb_dataset(n_lb, 1);
+    let ca = datagen::ca_dataset(n_ca, 1);
+    let air = datagen::aircraft_dataset(n_air, 1);
+
+    let ((lb_pcr, lb_u), t2) = timed(|| {
+        let mut upcr = UPcrTree::<2>::new(UCatalog::uniform(9));
+        let mut utree = UTree::<2>::new(UCatalog::paper_utree_default());
+        for o in &lb {
+            upcr.insert(o);
+            utree.insert(o);
+        }
+        (upcr.index_size_bytes(), utree.index_size_bytes())
+    });
+    println!("LB built in {t2:.1}s");
+
+    let ((ca_pcr, ca_u), t3) = timed(|| {
+        let mut upcr = UPcrTree::<2>::new(UCatalog::uniform(9));
+        let mut utree = UTree::<2>::new(UCatalog::paper_utree_default());
+        for o in &ca {
+            upcr.insert(o);
+            utree.insert(o);
+        }
+        (upcr.index_size_bytes(), utree.index_size_bytes())
+    });
+    println!("CA built in {t3:.1}s");
+
+    let ((air_pcr, air_u), t4) = timed(|| {
+        let mut upcr = UPcrTree::<3>::new(UCatalog::uniform(10));
+        let mut utree = UTree::<3>::new(UCatalog::paper_utree_default());
+        for o in &air {
+            upcr.insert(o);
+            utree.insert(o);
+        }
+        (upcr.index_size_bytes(), utree.index_size_bytes())
+    });
+    println!("Aircraft built in {t4:.1}s");
+
+    let rows = vec![
+        vec![
+            "U-PCR".into(),
+            fmt_mb(lb_pcr),
+            fmt_mb(ca_pcr),
+            fmt_mb(air_pcr),
+        ],
+        vec!["U-tree".into(), fmt_mb(lb_u), fmt_mb(ca_u), fmt_mb(air_u)],
+        vec![
+            "ratio".into(),
+            format!("{:.2}x", lb_pcr as f64 / lb_u as f64),
+            format!("{:.2}x", ca_pcr as f64 / ca_u as f64),
+            format!("{:.2}x", air_pcr as f64 / air_u as f64),
+        ],
+    ];
+    print_table(
+        "Table 1 — index size (measured)",
+        &["", "LB", "CA", "Aircraft"],
+        &rows,
+    );
+
+    if cfg.scale < 1.0 {
+        let s = 1.0 / cfg.scale;
+        let rows = vec![
+            vec![
+                "U-PCR".into(),
+                fmt_mb((lb_pcr as f64 * s) as u64),
+                fmt_mb((ca_pcr as f64 * s) as u64),
+                fmt_mb((air_pcr as f64 * s) as u64),
+            ],
+            vec![
+                "U-tree".into(),
+                fmt_mb((lb_u as f64 * s) as u64),
+                fmt_mb((ca_u as f64 * s) as u64),
+                fmt_mb((air_u as f64 * s) as u64),
+            ],
+        ];
+        print_table(
+            "Table 1 — extrapolated to paper scale (linear in N)",
+            &["", "LB", "CA", "Aircraft"],
+            &rows,
+        );
+    }
+    println!("\npaper:   U-PCR 11.9M / 14.0M / 40.1M ; U-tree 5.0M / 5.9M / 14.2M (ratios 2.4/2.4/2.8)");
+}

@@ -1,0 +1,170 @@
+//! The U-catalog: the pre-determined probability values at which PCRs are
+//! materialised (paper Sec 4.2).
+
+/// A sorted set of probability values `p₁ < p₂ < … < p_m`, all in
+/// `[0, 0.5]`, shared by every object in a database.
+///
+/// The paper's tuning (Sec 6.2) uses evenly spaced catalogs
+/// `{0, 0.5/(m−1), …, 0.5}` with m = 9/10 for U-PCR and m = 15 for the
+/// U-tree. `p₁ = 0` makes `pcr(p₁)` coincide with the MBR of the
+/// uncertainty region, which anchors the linear `e.MBR(p)` interpolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UCatalog {
+    values: Vec<f64>,
+}
+
+impl UCatalog {
+    /// Builds a catalog from explicit values (must be strictly ascending,
+    /// within `[0, 0.5]`, at least two of them).
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(values.len() >= 2, "a catalog needs at least two values");
+        assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "catalog values must be strictly ascending"
+        );
+        assert!(
+            values.iter().all(|&p| (0.0..=0.5).contains(&p)),
+            "catalog values must lie in [0, 0.5]"
+        );
+        Self { values }
+    }
+
+    /// The paper's evenly spaced catalog `{0, 0.5/(m−1), …, 0.5}`.
+    pub fn uniform(m: usize) -> Self {
+        assert!(m >= 2);
+        Self::new(
+            (0..m)
+                .map(|j| 0.5 * j as f64 / (m - 1) as f64)
+                .collect(),
+        )
+    }
+
+    /// The U-tree default from Sec 6.2: m = 15, values `0, 1/28, …, 14/28`.
+    pub fn paper_utree_default() -> Self {
+        Self::new((0..15).map(|j| j as f64 / 28.0).collect())
+    }
+
+    /// Number of values m.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Catalogs are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The values, ascending.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// `p_j` by index (0-based).
+    pub fn value(&self, j: usize) -> f64 {
+        self.values[j]
+    }
+
+    /// Smallest value `p₁`.
+    pub fn first(&self) -> f64 {
+        self.values[0]
+    }
+
+    /// Largest value `p_m`.
+    pub fn last(&self) -> f64 {
+        *self.values.last().unwrap()
+    }
+
+    /// Index of the median value `p_{⌈m/2⌉}` used by the split algorithm
+    /// (Sec 5.3).
+    pub fn median_index(&self) -> usize {
+        self.values.len() / 2
+    }
+
+    /// Sum of all values (the constant `P` of the CFB objective,
+    /// Formula 11).
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Index of the largest catalog value `<= p`, if any.
+    pub fn largest_leq(&self, p: f64) -> Option<usize> {
+        match self.values.partition_point(|&v| v <= p) {
+            0 => None,
+            k => Some(k - 1),
+        }
+    }
+
+    /// Index of the smallest catalog value `>= p`, if any.
+    pub fn smallest_geq(&self, p: f64) -> Option<usize> {
+        let k = self.values.partition_point(|&v| v < p);
+        (k < self.values.len()).then_some(k)
+    }
+
+    /// Interpolation fraction of `p_j` between `p₁` and `p_m` — the
+    /// parameter of the U-tree's linear `e.MBR(p)` (Eq. 15).
+    pub fn fraction(&self, j: usize) -> f64 {
+        (self.values[j] - self.first()) / (self.last() - self.first())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_catalog_spacing() {
+        let c = UCatalog::uniform(6);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.first(), 0.0);
+        assert_eq!(c.last(), 0.5);
+        assert!((c.value(1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_default_matches_sec_62() {
+        let c = UCatalog::paper_utree_default();
+        assert_eq!(c.len(), 15);
+        assert_eq!(c.first(), 0.0);
+        assert!((c.last() - 0.5).abs() < 1e-12);
+        assert!((c.value(1) - 1.0 / 28.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn largest_leq_and_smallest_geq() {
+        let c = UCatalog::new(vec![0.0, 0.1, 0.25, 0.4]);
+        assert_eq!(c.largest_leq(0.3), Some(2));
+        assert_eq!(c.largest_leq(0.25), Some(2));
+        assert_eq!(c.largest_leq(0.05), Some(0));
+        assert_eq!(c.largest_leq(-0.01), None);
+        assert_eq!(c.smallest_geq(0.2), Some(2));
+        assert_eq!(c.smallest_geq(0.25), Some(2));
+        assert_eq!(c.smallest_geq(0.41), None);
+        assert_eq!(c.smallest_geq(0.0), Some(0));
+    }
+
+    #[test]
+    fn fraction_endpoints() {
+        let c = UCatalog::uniform(5);
+        assert_eq!(c.fraction(0), 0.0);
+        assert_eq!(c.fraction(4), 1.0);
+        assert!((c.fraction(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_index() {
+        assert_eq!(UCatalog::uniform(5).median_index(), 2);
+        assert_eq!(UCatalog::uniform(6).median_index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_rejected() {
+        UCatalog::new(vec![0.2, 0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 0.5]")]
+    fn out_of_range_rejected() {
+        UCatalog::new(vec![0.0, 0.6]);
+    }
+}

@@ -1,0 +1,387 @@
+//! Conservative functional boxes (paper Sec 4.3–4.4).
+//!
+//! A CFB captures all m PCRs of an object with a *linear function of p*:
+//! `cfb(p) = α − β·p` (Eqs. 4–5), so an entry stores 8d floats instead of
+//! 2d·m. `cfb_out(p_j)` must contain `pcr(p_j)` and `cfb_in(p_j)` must be
+//! contained in it, for every catalog value — the conservativeness that
+//! keeps Observation 3 sound.
+//!
+//! Fitting minimises (maximises, for the inner box) the summed margin
+//! `Σ_j MARGIN(cfb(p_j))` (Formula 7), which decomposes per dimension into
+//! tiny linear programs solved with the Simplex method, exactly as the
+//! paper prescribes.
+
+use crate::catalog::UCatalog;
+use crate::filter::PcrAccess;
+use crate::pcr::PcrSet;
+use page_store::{f32_round_down, f32_round_up};
+use simplex_lp::LinearProgram;
+use uncertain_geom::Rect;
+
+/// A linear box function `cfb(p) = α − β·p`.
+///
+/// `alpha` is the rectangle at `p = 0`; `beta_lo[i]`/`beta_hi[i]` are the
+/// per-face shrink rates (the paper's `β^{i−}`/`β^{i+}`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cfb<const D: usize> {
+    /// Box at `p = 0` (the `α` vector of Eq. 4).
+    pub alpha: Rect<D>,
+    /// Lower-face slopes `β^{i−}`.
+    pub beta_lo: [f64; D],
+    /// Upper-face slopes `β^{i+}`.
+    pub beta_hi: [f64; D],
+}
+
+impl<const D: usize> Cfb<D> {
+    /// Lower face on dimension `i` at probability `p`.
+    #[inline]
+    pub fn face_lo(&self, i: usize, p: f64) -> f64 {
+        self.alpha.min[i] - self.beta_lo[i] * p
+    }
+
+    /// Upper face on dimension `i` at probability `p`.
+    #[inline]
+    pub fn face_hi(&self, i: usize, p: f64) -> f64 {
+        self.alpha.max[i] - self.beta_hi[i] * p
+    }
+
+    /// The box at probability `p`. Numerically inverted faces (possible for
+    /// inner boxes near `p = 0.5`) collapse to their midpoint.
+    pub fn eval(&self, p: f64) -> Rect<D> {
+        let mut min = [0.0; D];
+        let mut max = [0.0; D];
+        for i in 0..D {
+            min[i] = self.face_lo(i, p);
+            max[i] = self.face_hi(i, p);
+            if min[i] > max[i] {
+                let mid = 0.5 * (min[i] + max[i]);
+                min[i] = mid;
+                max[i] = mid;
+            }
+        }
+        Rect { min, max }
+    }
+
+    /// Rounds every parameter so the evaluated box can only *grow* under
+    /// the on-page f32 narrowing (for outer boxes: lower faces down, upper
+    /// faces up — note `face = α − β·p` with `p >= 0`, so a lower face
+    /// moves down when `α⁻` shrinks or `β⁻` grows).
+    pub fn round_outward(&self) -> Self {
+        let mut out = *self;
+        for i in 0..D {
+            out.alpha.min[i] = f32_round_down(self.alpha.min[i]);
+            out.alpha.max[i] = f32_round_up(self.alpha.max[i]);
+            out.beta_lo[i] = f32_round_up(self.beta_lo[i]);
+            out.beta_hi[i] = f32_round_down(self.beta_hi[i]);
+        }
+        out
+    }
+
+    /// Rounds so the evaluated box can only *shrink* (for inner boxes).
+    pub fn round_inward(&self) -> Self {
+        let mut out = *self;
+        for i in 0..D {
+            out.alpha.min[i] = f32_round_up(self.alpha.min[i]);
+            out.alpha.max[i] = f32_round_down(self.alpha.max[i]);
+            out.beta_lo[i] = f32_round_down(self.beta_lo[i]);
+            out.beta_hi[i] = f32_round_up(self.beta_hi[i]);
+        }
+        out
+    }
+}
+
+/// The (outer, inner) CFB pair of one object — what a U-tree leaf entry
+/// stores, and the Observation-3 view of the object's PCRs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CfbPair<const D: usize> {
+    /// `cfb_out(p_j) ⊇ pcr(p_j)`.
+    pub outer: Cfb<D>,
+    /// `cfb_in(p_j) ⊆ pcr(p_j)`.
+    pub inner: Cfb<D>,
+}
+
+/// Evaluating at catalog values yields the Observation-3 approximations.
+pub struct CfbView<'a, const D: usize> {
+    /// The pair under evaluation.
+    pub pair: &'a CfbPair<D>,
+    /// The catalog supplying `p_j`.
+    pub catalog: &'a UCatalog,
+}
+
+impl<const D: usize> PcrAccess<D> for CfbView<'_, D> {
+    fn outer(&self, j: usize) -> Rect<D> {
+        self.pair.outer.eval(self.catalog.value(j))
+    }
+
+    fn inner(&self, j: usize) -> Rect<D> {
+        self.pair.inner.eval(self.catalog.value(j))
+    }
+}
+
+/// Fits the optimal (summed-margin) outer and inner CFBs to an object's
+/// PCRs via per-dimension Simplex LPs (paper Sec 4.4), then nudges the
+/// results to be exactly feasible under floating point and conservatively
+/// f32-rounded for on-page storage.
+pub fn fit_cfb_pair<const D: usize>(pcrs: &PcrSet<D>, catalog: &UCatalog) -> CfbPair<D> {
+    let m = catalog.len() as f64;
+    let p_sum = catalog.sum();
+    let ps = catalog.values();
+
+    let mut outer = Cfb {
+        alpha: Rect::new([0.0; D], [0.0; D]),
+        beta_lo: [0.0; D],
+        beta_hi: [0.0; D],
+    };
+    let mut inner = outer;
+
+    for i in 0..D {
+        let faces_lo: Vec<f64> = pcrs.rects().iter().map(|r| r.min[i]).collect();
+        let faces_hi: Vec<f64> = pcrs.rects().iter().map(|r| r.max[i]).collect();
+
+        // ---- outer, lower face: maximize m·α − P·β
+        //      s.t. α − β·p_j <= pcr_j (stay below every PCR lower face)
+        let (a, b) = {
+            let mut lp = LinearProgram::maximize(vec![m, -p_sum]);
+            for (p, c) in ps.iter().zip(&faces_lo) {
+                lp.less_eq(vec![1.0, -p], *c);
+            }
+            match lp.solve() {
+                Ok(s) => (s.x[0], s.x[1]),
+                // Safe fallback: a constant box at the widest PCR.
+                Err(_) => (faces_lo.iter().cloned().fold(f64::INFINITY, f64::min), 0.0),
+            }
+        };
+        outer.alpha.min[i] = a;
+        outer.beta_lo[i] = b;
+
+        // ---- outer, upper face: minimize m·α − P·β
+        //      s.t. α − β·p_j >= pcr_j
+        let (a, b) = {
+            let mut lp = LinearProgram::maximize(vec![-m, p_sum]);
+            for (p, c) in ps.iter().zip(&faces_hi) {
+                lp.greater_eq(vec![1.0, -p], *c);
+            }
+            match lp.solve() {
+                Ok(s) => (s.x[0], s.x[1]),
+                Err(_) => (
+                    faces_hi.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                    0.0,
+                ),
+            }
+        };
+        outer.alpha.max[i] = a;
+        outer.beta_hi[i] = b;
+
+        // ---- inner: maximize Σ_j margins = m·(α⁺−α⁻) − P·(β⁺−β⁻)
+        //      s.t. α⁻−β⁻p_j >= pcr_j⁻, α⁺−β⁺p_j <= pcr_j⁺,
+        //           α⁻−β⁻p_j <= α⁺−β⁺p_j       (Eq. 14)
+        // Variables: [α⁻, β⁻, α⁺, β⁺].
+        let sol = {
+            let mut lp = LinearProgram::maximize(vec![-m, p_sum, m, -p_sum]);
+            for ((p, lo), hi) in ps.iter().zip(&faces_lo).zip(&faces_hi) {
+                lp.greater_eq(vec![1.0, -p, 0.0, 0.0], *lo);
+                lp.less_eq(vec![0.0, 0.0, 1.0, -p], *hi);
+                lp.less_eq(vec![1.0, -p, -1.0, *p], 0.0);
+            }
+            lp.solve()
+        };
+        match sol {
+            Ok(s) => {
+                inner.alpha.min[i] = s.x[0];
+                inner.beta_lo[i] = s.x[1];
+                inner.alpha.max[i] = s.x[2];
+                inner.beta_hi[i] = s.x[3];
+            }
+            Err(_) => {
+                // Fallback: the degenerate point at the smallest PCR's
+                // center — inside every (nested) PCR.
+                let last = pcrs.rect(pcrs.len() - 1);
+                let mid = 0.5 * (last.min[i] + last.max[i]);
+                inner.alpha.min[i] = mid;
+                inner.beta_lo[i] = 0.0;
+                inner.alpha.max[i] = mid;
+                inner.beta_hi[i] = 0.0;
+            }
+        }
+    }
+
+    // Exact feasibility repair: shift intercepts by the worst violation so
+    // the conservative inclusions hold with zero tolerance.
+    for i in 0..D {
+        let mut out_lo_shift = 0.0f64; // need face_lo <= pcr_lo
+        let mut out_hi_shift = 0.0f64;
+        let mut in_lo_shift = 0.0f64; // need face_lo >= pcr_lo
+        let mut in_hi_shift = 0.0f64;
+        for (j, &p) in ps.iter().enumerate() {
+            let r = pcrs.rect(j);
+            out_lo_shift = out_lo_shift.max(outer.face_lo(i, p) - r.min[i]);
+            out_hi_shift = out_hi_shift.max(r.max[i] - outer.face_hi(i, p));
+            in_lo_shift = in_lo_shift.max(r.min[i] - inner.face_lo(i, p));
+            in_hi_shift = in_hi_shift.max(inner.face_hi(i, p) - r.max[i]);
+        }
+        outer.alpha.min[i] -= out_lo_shift;
+        outer.alpha.max[i] += out_hi_shift;
+        inner.alpha.min[i] += in_lo_shift;
+        inner.alpha.max[i] -= in_hi_shift;
+    }
+
+    CfbPair {
+        outer: outer.round_outward(),
+        inner: inner.round_inward(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncertain_geom::Point;
+    use uncertain_pdf::ObjectPdf;
+
+    fn fit(pdf: &ObjectPdf<2>, cat: &UCatalog) -> (PcrSet<2>, CfbPair<2>) {
+        let pcrs = PcrSet::compute(pdf, cat);
+        let pair = fit_cfb_pair(&pcrs, cat);
+        (pcrs, pair)
+    }
+
+    fn disk() -> ObjectPdf<2> {
+        ObjectPdf::UniformBall {
+            center: Point::new([5000.0, 5000.0]),
+            radius: 250.0,
+        }
+    }
+
+    /// Containment up to the numeric tolerance of PCR quantiles: at
+    /// p = 0.5 the PCR degenerates to a point whose coordinates carry the
+    /// bisection tolerance, so exact containment is not meaningful there.
+    fn contains_eps(outer: &Rect<2>, inner: &Rect<2>, eps: f64) -> bool {
+        rstar_base::rect_covers_eps(outer, inner, eps)
+    }
+
+    #[test]
+    fn outer_contains_every_pcr() {
+        let cat = UCatalog::uniform(8);
+        let (pcrs, pair) = fit(&disk(), &cat);
+        for (j, &p) in cat.values().iter().enumerate() {
+            let out = pair.outer.eval(p);
+            assert!(
+                out.contains_rect(pcrs.rect(j)),
+                "cfb_out({p}) = {out:?} must contain pcr = {:?}",
+                pcrs.rect(j)
+            );
+        }
+    }
+
+    #[test]
+    fn inner_contained_in_every_pcr() {
+        let cat = UCatalog::uniform(8);
+        let (pcrs, pair) = fit(&disk(), &cat);
+        for (j, &p) in cat.values().iter().enumerate() {
+            let inn = pair.inner.eval(p);
+            assert!(
+                contains_eps(pcrs.rect(j), &inn, 1e-6),
+                "pcr({p}) = {:?} must contain cfb_in = {inn:?}",
+                pcrs.rect(j)
+            );
+        }
+    }
+
+    #[test]
+    fn congau_cfbs_conservative_too() {
+        let pdf: ObjectPdf<2> = ObjectPdf::ConGauBall {
+            center: Point::new([1000.0, 2000.0]),
+            radius: 250.0,
+            sigma: 125.0,
+        };
+        let cat = UCatalog::paper_utree_default();
+        let (pcrs, pair) = fit(&pdf, &cat);
+        for (j, &p) in cat.values().iter().enumerate() {
+            assert!(pair.outer.eval(p).contains_rect(pcrs.rect(j)), "outer at {p}");
+            // Con-Gau marginals are tabulated (1024-cell grid), so the
+            // degenerate pcr(0.5) point carries ~1e-3 of quantile noise;
+            // 0.05 is still 4 orders below the radius-250 object scale.
+            assert!(
+                contains_eps(pcrs.rect(j), &pair.inner.eval(p), 0.05),
+                "inner at {p}: pcr={:?} cfb_in={:?}",
+                pcrs.rect(j),
+                pair.inner.eval(p)
+            );
+        }
+    }
+
+    #[test]
+    fn outer_is_tight_for_linear_pcrs() {
+        // A uniform box has *linear* PCR faces (quantiles are linear in p),
+        // so the optimal linear CFB matches them almost exactly.
+        let pdf = ObjectPdf::UniformBox {
+            rect: Rect::new([0.0, 0.0], [100.0, 100.0]),
+        };
+        let cat = UCatalog::uniform(6);
+        let (pcrs, pair) = fit(&pdf, &cat);
+        for (j, &p) in cat.values().iter().enumerate() {
+            let out = pair.outer.eval(p);
+            let r = pcrs.rect(j);
+            for i in 0..2 {
+                assert!(
+                    (out.min[i] - r.min[i]).abs() < 0.1,
+                    "lower face slack at p={p}"
+                );
+                assert!(
+                    (out.max[i] - r.max[i]).abs() < 0.1,
+                    "upper face slack at p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inner_has_positive_extent_away_from_half() {
+        let cat = UCatalog::uniform(8);
+        let (_, pair) = fit(&disk(), &cat);
+        let inn = pair.inner.eval(0.1);
+        assert!(inn.extent(0) > 1.0, "inner box degenerate: {inn:?}");
+        assert!(inn.extent(1) > 1.0);
+    }
+
+    #[test]
+    fn rounding_survives_f32_narrowing() {
+        let cat = UCatalog::uniform(8);
+        let (pcrs, pair) = fit(&disk(), &cat);
+        // Simulate the page codec narrow/widen cycle: values must be
+        // unchanged (they are already f32-representable) and inclusions
+        // must continue to hold exactly.
+        for i in 0..2 {
+            let a = pair.outer.alpha.min[i];
+            assert_eq!(a as f32 as f64, a);
+            let b = pair.inner.beta_hi[i];
+            assert_eq!(b as f32 as f64, b);
+        }
+        for (j, &p) in cat.values().iter().enumerate() {
+            assert!(pair.outer.eval(p).contains_rect(pcrs.rect(j)));
+        }
+    }
+
+    #[test]
+    fn view_implements_observation3_access() {
+        let cat = UCatalog::uniform(6);
+        let (pcrs, pair) = fit(&disk(), &cat);
+        let view = CfbView {
+            pair: &pair,
+            catalog: &cat,
+        };
+        for j in 0..cat.len() {
+            assert!(view.outer(j).contains_rect(pcrs.rect(j)));
+            assert!(contains_eps(pcrs.rect(j), &view.inner(j), 1e-6));
+        }
+    }
+
+    #[test]
+    fn storage_is_8d_values() {
+        // The space claim of Sec 4.3: a CFB pair is 8d floats
+        // (2d intercept + 2d slope per box).
+        let d = 2;
+        assert_eq!(
+            std::mem::size_of::<CfbPair<2>>(),
+            8 * d * std::mem::size_of::<f64>()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # utree — indexing multi-dimensional uncertain data with arbitrary pdfs
+//!
+//! A faithful implementation of Tao, Cheng, Xiao, Ngai, Kao, Prabhakar:
+//! *"Indexing Multi-Dimensional Uncertain Data with Arbitrary Probability
+//! Density Functions"*, VLDB 2005.
+//!
+//! The library answers **probabilistic range queries** — given a rectangle
+//! `r_q` and a threshold `p_q`, find every uncertain object whose
+//! appearance probability `∫_{ur ∩ r_q} pdf` is at least `p_q` — while
+//! computing as few of those expensive integrals as possible:
+//!
+//! 1. [`PcrSet`] pre-computes *probabilistically constrained regions*
+//!    at the catalog values ([`UCatalog`]);
+//! 2. [`cfb::fit_cfb_pair`] compresses them into two linear
+//!    *conservative functional boxes* by Simplex LP (8d floats per object);
+//! 3. [`UTree`] indexes the CFBs in an R*-tree derivative whose
+//!    intermediate entries prune whole subtrees (Observation 4), and whose
+//!    leaf entries prune/validate objects without integration
+//!    (Observation 3);
+//! 4. only the surviving candidates reach the Monte-Carlo refinement
+//!    ([`query::refine_candidates`]).
+//!
+//! [`UPcrTree`] (PCRs stored verbatim) and [`SeqScan`] (no index) are the
+//! paper's comparison points.
+
+pub mod catalog;
+pub mod cfb;
+pub mod entry;
+pub mod filter;
+pub mod key;
+pub mod object_codec;
+pub mod pcr;
+pub mod quadratic;
+pub mod query;
+pub mod seqscan;
+pub mod tree;
+pub mod upcr;
+
+pub use catalog::UCatalog;
+pub use cfb::{fit_cfb_pair, Cfb, CfbPair, CfbView};
+pub use filter::{filter_object, FilterOutcome, PcrAccess};
+pub use key::{PcrKey, PcrMetrics, UKey, UMetrics};
+pub use pcr::PcrSet;
+pub use quadratic::{fit_quad_cfb_pair, QuadCfb, QuadCfbPair, QuadCfbView};
+pub use query::{refine_candidates, ProbRangeQuery, QueryStats, RefineMode};
+pub use seqscan::SeqScan;
+pub use tree::{InsertStats, QueryOptions, UTree};
+pub use upcr::UPcrTree;

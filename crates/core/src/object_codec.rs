@@ -1,0 +1,200 @@
+//! Serialisation of object details for the heap file.
+//!
+//! The refinement step reads these records back to evaluate appearance
+//! probabilities, so full `f64` precision is kept (unlike index entries,
+//! which are f32 filters only).
+
+use page_store::{ByteReader, ByteWriter};
+use uncertain_geom::{Point, Rect};
+use uncertain_pdf::{HistogramPdf, ObjectPdf, UncertainObject};
+
+const TAG_UNIFORM_BALL: u8 = 0;
+const TAG_UNIFORM_BOX: u8 = 1;
+const TAG_CON_GAU: u8 = 2;
+const TAG_HISTOGRAM: u8 = 3;
+
+/// Encodes an object (id + pdf parameters) into heap-record bytes.
+pub fn encode_object<const D: usize>(obj: &UncertainObject<D>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(obj.id);
+    match &obj.pdf {
+        ObjectPdf::UniformBall { center, radius } => {
+            w.put_u8(TAG_UNIFORM_BALL);
+            for i in 0..D {
+                w.put_f64(center.coords[i]);
+            }
+            w.put_f64(*radius);
+        }
+        ObjectPdf::UniformBox { rect } => {
+            w.put_u8(TAG_UNIFORM_BOX);
+            put_rect_f64(&mut w, rect);
+        }
+        ObjectPdf::ConGauBall {
+            center,
+            radius,
+            sigma,
+        } => {
+            w.put_u8(TAG_CON_GAU);
+            for i in 0..D {
+                w.put_f64(center.coords[i]);
+            }
+            w.put_f64(*radius);
+            w.put_f64(*sigma);
+        }
+        ObjectPdf::Histogram(h) => {
+            w.put_u8(TAG_HISTOGRAM);
+            put_rect_f64(&mut w, h.rect());
+            for i in 0..D {
+                w.put_u32(h.bins()[i] as u32);
+            }
+            w.put_u32(h.mass().len() as u32);
+            for &m in h.mass() {
+                w.put_f64(m);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes heap-record bytes back into an object.
+pub fn decode_object<const D: usize>(bytes: &[u8]) -> UncertainObject<D> {
+    let mut r = ByteReader::new(bytes);
+    let id = r.get_u64();
+    let tag = r.get_u8();
+    let pdf = match tag {
+        TAG_UNIFORM_BALL => {
+            let center = get_point_f64(&mut r);
+            ObjectPdf::UniformBall {
+                center,
+                radius: r.get_f64(),
+            }
+        }
+        TAG_UNIFORM_BOX => ObjectPdf::UniformBox {
+            rect: get_rect_f64(&mut r),
+        },
+        TAG_CON_GAU => {
+            let center = get_point_f64(&mut r);
+            ObjectPdf::ConGauBall {
+                center,
+                radius: r.get_f64(),
+                sigma: r.get_f64(),
+            }
+        }
+        TAG_HISTOGRAM => {
+            let rect = get_rect_f64(&mut r);
+            let mut bins = [0usize; D];
+            for b in bins.iter_mut() {
+                *b = r.get_u32() as usize;
+            }
+            let n = r.get_u32() as usize;
+            let weights: Vec<f64> = (0..n).map(|_| r.get_f64()).collect();
+            ObjectPdf::Histogram(HistogramPdf::new(rect, bins, weights))
+        }
+        other => panic!("unknown pdf tag {other} in heap record"),
+    };
+    UncertainObject::new(id, pdf)
+}
+
+fn put_rect_f64<const D: usize>(w: &mut ByteWriter, r: &Rect<D>) {
+    for i in 0..D {
+        w.put_f64(r.min[i]);
+    }
+    for i in 0..D {
+        w.put_f64(r.max[i]);
+    }
+}
+
+fn get_rect_f64<const D: usize>(r: &mut ByteReader<'_>) -> Rect<D> {
+    let mut min = [0.0; D];
+    let mut max = [0.0; D];
+    for m in min.iter_mut() {
+        *m = r.get_f64();
+    }
+    for m in max.iter_mut() {
+        *m = r.get_f64();
+    }
+    Rect { min, max }
+}
+
+fn get_point_f64<const D: usize>(r: &mut ByteReader<'_>) -> Point<D> {
+    let mut coords = [0.0; D];
+    for c in coords.iter_mut() {
+        *c = r.get_f64();
+    }
+    Point::new(coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_uniform_ball() {
+        let o: UncertainObject<2> = UncertainObject::new(
+            9,
+            ObjectPdf::UniformBall {
+                center: Point::new([1.5, -2.25]),
+                radius: 7.125,
+            },
+        );
+        assert_eq!(decode_object::<2>(&encode_object(&o)), o);
+    }
+
+    #[test]
+    fn roundtrip_uniform_box_3d() {
+        let o: UncertainObject<3> = UncertainObject::new(
+            1,
+            ObjectPdf::UniformBox {
+                rect: Rect::new([0.0, 1.0, 2.0], [3.0, 4.0, 5.0]),
+            },
+        );
+        assert_eq!(decode_object::<3>(&encode_object(&o)), o);
+    }
+
+    #[test]
+    fn roundtrip_congau() {
+        let o: UncertainObject<2> = UncertainObject::new(
+            77,
+            ObjectPdf::ConGauBall {
+                center: Point::new([5000.0, 4000.0]),
+                radius: 250.0,
+                sigma: 125.0,
+            },
+        );
+        assert_eq!(decode_object::<2>(&encode_object(&o)), o);
+    }
+
+    #[test]
+    fn roundtrip_histogram() {
+        let h = HistogramPdf::new(
+            Rect::new([0.0, 0.0], [8.0, 8.0]),
+            [4, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        );
+        let o: UncertainObject<2> = UncertainObject::new(3, ObjectPdf::Histogram(h));
+        assert_eq!(decode_object::<2>(&encode_object(&o)), o);
+    }
+
+    #[test]
+    fn records_are_compact() {
+        // Ball records must be small — heap page packing (refinement I/O
+        // grouping) relies on many records per page.
+        let o: UncertainObject<2> = UncertainObject::new(
+            9,
+            ObjectPdf::UniformBall {
+                center: Point::new([1.0, 2.0]),
+                radius: 3.0,
+            },
+        );
+        let bytes = encode_object(&o);
+        assert_eq!(bytes.len(), 8 + 1 + 2 * 8 + 8); // id + tag + center + radius
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown pdf tag")]
+    fn bad_tag_panics() {
+        let mut bytes = vec![0u8; 9];
+        bytes[8] = 200;
+        decode_object::<2>(&bytes);
+    }
+}

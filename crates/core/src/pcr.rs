@@ -1,0 +1,237 @@
+//! Probabilistically constrained regions (paper Sec 4.1–4.2).
+//!
+//! `o.pcr(p)` is the rectangle whose face `i−` (`i+`) cuts off exactly
+//! probability `p` of `o`'s mass on the left (right) of axis `i`. PCRs are
+//! computed by inverting the per-dimension marginal CDFs ("solve x₁ from
+//! o.cdf(x₁) = p") and drive both the pruning and the validation rules.
+
+use crate::catalog::UCatalog;
+use crate::filter::PcrAccess;
+use uncertain_geom::Rect;
+use uncertain_pdf::ObjectPdf;
+
+/// The PCRs of one object at every catalog value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcrSet<const D: usize> {
+    rects: Vec<Rect<D>>,
+}
+
+impl<const D: usize> PcrSet<D> {
+    /// Computes `o.pcr(p_j)` for every catalog value.
+    ///
+    /// This is the one-time, per-object insertion cost the paper accepts
+    /// ("the overhead of each PCR computation is low", Sec 6.2).
+    pub fn compute(pdf: &ObjectPdf<D>, catalog: &UCatalog) -> Self {
+        let marginals = pdf.marginals();
+        let rects = catalog
+            .values()
+            .iter()
+            .map(|&p| {
+                let mut min = [0.0; D];
+                let mut max = [0.0; D];
+                for i in 0..D {
+                    min[i] = marginals[i].quantile(p);
+                    max[i] = marginals[i].quantile(1.0 - p);
+                    if min[i] > max[i] {
+                        // p = 0.5 can invert by a rounding hair; collapse.
+                        let mid = 0.5 * (min[i] + max[i]);
+                        min[i] = mid;
+                        max[i] = mid;
+                    }
+                }
+                Rect { min, max }
+            })
+            .collect();
+        Self { rects }
+    }
+
+    /// Builds a set from precomputed rectangles (decoding path).
+    pub fn from_rects(rects: Vec<Rect<D>>) -> Self {
+        assert!(!rects.is_empty());
+        Self { rects }
+    }
+
+    /// `pcr(p_j)` by catalog index.
+    pub fn rect(&self, j: usize) -> &Rect<D> {
+        &self.rects[j]
+    }
+
+    /// All PCRs, ascending in `p` (thus shrinking).
+    pub fn rects(&self) -> &[Rect<D>] {
+        &self.rects
+    }
+
+    /// Number of catalog values covered.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Exact PCRs act as both the outer and inner approximation of themselves
+/// (Observation 2 is Observation 3 with `cfb_out = cfb_in = pcr`).
+impl<const D: usize> PcrAccess<D> for PcrSet<D> {
+    fn outer(&self, j: usize) -> Rect<D> {
+        self.rects[j]
+    }
+
+    fn inner(&self, j: usize) -> Rect<D> {
+        self.rects[j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncertain_geom::Point;
+    use uncertain_pdf::appearance_reference;
+
+    fn catalog() -> UCatalog {
+        UCatalog::uniform(6) // {0, 0.1, 0.2, 0.3, 0.4, 0.5}
+    }
+
+    #[test]
+    fn pcr_at_zero_is_the_mbr() {
+        let pdf: ObjectPdf<2> = ObjectPdf::UniformBall {
+            center: Point::new([100.0, 200.0]),
+            radius: 50.0,
+        };
+        let pcrs = PcrSet::compute(&pdf, &catalog());
+        let mbr = pdf.mbr();
+        for i in 0..2 {
+            assert!((pcrs.rect(0).min[i] - mbr.min[i]).abs() < 1e-6);
+            assert!((pcrs.rect(0).max[i] - mbr.max[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pcrs_shrink_as_p_grows() {
+        let pdf: ObjectPdf<2> = ObjectPdf::ConGauBall {
+            center: Point::new([0.0, 0.0]),
+            radius: 250.0,
+            sigma: 125.0,
+        };
+        let pcrs = PcrSet::compute(&pdf, &catalog());
+        for j in 1..pcrs.len() {
+            assert!(
+                pcrs.rect(j - 1).contains_rect(pcrs.rect(j)),
+                "pcr({}) must contain pcr({})",
+                j - 1,
+                j
+            );
+        }
+    }
+
+    #[test]
+    fn pcr_at_half_degenerates_to_a_point() {
+        let pdf: ObjectPdf<2> = ObjectPdf::UniformBall {
+            center: Point::new([10.0, 20.0]),
+            radius: 5.0,
+        };
+        let pcrs = PcrSet::compute(&pdf, &catalog());
+        let last = pcrs.rect(pcrs.len() - 1);
+        for i in 0..2 {
+            assert!(
+                last.extent(i) < 1e-6,
+                "pcr(0.5) should be (nearly) a point, got extent {}",
+                last.extent(i)
+            );
+        }
+        assert!((last.min[0] - 10.0).abs() < 1e-6);
+        assert!((last.min[1] - 20.0).abs() < 1e-6);
+    }
+
+    /// The defining property: the mass on the outside of each pcr face
+    /// equals p_j (verified against quadrature ground truth).
+    #[test]
+    fn pcr_faces_cut_exactly_p_mass() {
+        let pdf: ObjectPdf<2> = ObjectPdf::UniformBall {
+            center: Point::new([0.0, 0.0]),
+            radius: 100.0,
+        };
+        let cat = catalog();
+        let pcrs = PcrSet::compute(&pdf, &cat);
+        let big = 1000.0;
+        for (j, &p) in cat.values().iter().enumerate() {
+            let r = pcrs.rect(j);
+            // mass strictly left of the lower x-face
+            let left = Rect::new([-big, -big], [r.min[0], big]);
+            let got = appearance_reference(&pdf, &left, 1e-9);
+            assert!(
+                (got - p).abs() < 1e-3,
+                "left mass at p={p}: got {got}"
+            );
+            // mass right of the upper y-face
+            let above = Rect::new([-big, r.max[1]], [big, big]);
+            let got = appearance_reference(&pdf, &above, 1e-9);
+            assert!(
+                (got - p).abs() < 1e-3,
+                "top mass at p={p}: got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn congau_pcrs_tighter_than_uniform() {
+        // Same support; the Gaussian concentrates mass, so its pcr(0.1)
+        // must be strictly inside the uniform's.
+        let c = Point::new([0.0, 0.0]);
+        let uni: ObjectPdf<2> = ObjectPdf::UniformBall {
+            center: c,
+            radius: 250.0,
+        };
+        let gau: ObjectPdf<2> = ObjectPdf::ConGauBall {
+            center: c,
+            radius: 250.0,
+            sigma: 125.0,
+        };
+        let cat = catalog();
+        let pu = PcrSet::compute(&uni, &cat);
+        let pg = PcrSet::compute(&gau, &cat);
+        let j = 1; // p = 0.1
+        assert!(pu.rect(j).contains_rect(pg.rect(j)));
+        assert!(pu.rect(j).area() > pg.rect(j).area() * 1.05);
+    }
+
+    #[test]
+    fn histogram_pcr_follows_skew() {
+        // Mass concentrated on the left half ⇒ pcr faces shift left.
+        let h = uncertain_pdf::HistogramPdf::from_fn(
+            Rect::new([0.0, 0.0], [10.0, 10.0]),
+            [32, 4],
+            |p| if p.coords[0] < 5.0 { 9.0 } else { 1.0 },
+        );
+        let pdf = ObjectPdf::Histogram(h);
+        let pcrs = PcrSet::compute(&pdf, &catalog());
+        let r = pcrs.rect(3); // p = 0.3
+        let center_x = 0.5 * (r.min[0] + r.max[0]);
+        assert!(
+            center_x < 5.0,
+            "pcr center should lean left, got {center_x}"
+        );
+    }
+
+    #[test]
+    fn three_dimensional_pcrs() {
+        let pdf: ObjectPdf<3> = ObjectPdf::UniformBall {
+            center: Point::new([0.0, 0.0, 0.0]),
+            radius: 125.0,
+        };
+        let pcrs = PcrSet::compute(&pdf, &catalog());
+        // symmetric in all dims
+        for j in 0..pcrs.len() {
+            let r = pcrs.rect(j);
+            for i in 0..3 {
+                assert!((r.min[i] + r.max[i]).abs() < 1e-6, "asymmetric dim {i}");
+            }
+        }
+        // nested
+        for j in 1..pcrs.len() {
+            assert!(pcrs.rect(j - 1).contains_rect(pcrs.rect(j)));
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Quadratic conservative functional boxes — the Sec 4.3 alternative.
+//!
+//! The paper: *"instead of using a linear form, one could represent
+//! `o.cfb_out(p)` using a quadratic function of p so that `cfb_out(p_j)`
+//! bounds `o.pcr(p_j)` more tightly. While this approach enhances the
+//! pruning effect of Observation 3, it also increases the storage space of
+//! CFBs, and adversely affects query efficiency."*
+//!
+//! This module implements that trade-off so it can be measured instead of
+//! asserted: faces are `α − β·p − γ·p²` (12d floats per pair instead of
+//! 8d), fitted by the same Simplex machinery with one extra column, and
+//! pluggable into the shared [`filter_object`] via [`QuadCfbView`].
+//!
+//! [`filter_object`]: crate::filter::filter_object
+
+use crate::catalog::UCatalog;
+use crate::filter::PcrAccess;
+use crate::pcr::PcrSet;
+use simplex_lp::LinearProgram;
+use uncertain_geom::Rect;
+
+/// A quadratic box function: face `i∓` at `p` is
+/// `alpha ∓-face − beta·p − gamma·p²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadCfb<const D: usize> {
+    /// Value at `p = 0`.
+    pub alpha: Rect<D>,
+    /// Linear coefficients (lower faces).
+    pub beta_lo: [f64; D],
+    /// Linear coefficients (upper faces).
+    pub beta_hi: [f64; D],
+    /// Quadratic coefficients (lower faces).
+    pub gamma_lo: [f64; D],
+    /// Quadratic coefficients (upper faces).
+    pub gamma_hi: [f64; D],
+}
+
+impl<const D: usize> QuadCfb<D> {
+    /// Lower face on dimension `i` at probability `p`.
+    #[inline]
+    pub fn face_lo(&self, i: usize, p: f64) -> f64 {
+        self.alpha.min[i] - self.beta_lo[i] * p - self.gamma_lo[i] * p * p
+    }
+
+    /// Upper face on dimension `i` at probability `p`.
+    #[inline]
+    pub fn face_hi(&self, i: usize, p: f64) -> f64 {
+        self.alpha.max[i] - self.beta_hi[i] * p - self.gamma_hi[i] * p * p
+    }
+
+    /// The box at probability `p` (inversions collapse to the midpoint).
+    pub fn eval(&self, p: f64) -> Rect<D> {
+        let mut min = [0.0; D];
+        let mut max = [0.0; D];
+        for i in 0..D {
+            min[i] = self.face_lo(i, p);
+            max[i] = self.face_hi(i, p);
+            if min[i] > max[i] {
+                let mid = 0.5 * (min[i] + max[i]);
+                min[i] = mid;
+                max[i] = mid;
+            }
+        }
+        Rect { min, max }
+    }
+}
+
+/// An (outer, inner) quadratic pair: 12d floats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadCfbPair<const D: usize> {
+    /// Contains every `pcr(p_j)`.
+    pub outer: QuadCfb<D>,
+    /// Contained in every `pcr(p_j)`.
+    pub inner: QuadCfb<D>,
+}
+
+/// Observation-3 access backed by quadratic CFBs.
+pub struct QuadCfbView<'a, const D: usize> {
+    /// The pair under evaluation.
+    pub pair: &'a QuadCfbPair<D>,
+    /// The catalog supplying `p_j`.
+    pub catalog: &'a UCatalog,
+}
+
+impl<const D: usize> PcrAccess<D> for QuadCfbView<'_, D> {
+    fn outer(&self, j: usize) -> Rect<D> {
+        self.pair.outer.eval(self.catalog.value(j))
+    }
+
+    fn inner(&self, j: usize) -> Rect<D> {
+        self.pair.inner.eval(self.catalog.value(j))
+    }
+}
+
+/// Fits the optimal quadratic pair by per-dimension LPs minimising
+/// (maximising) the summed margin — identical construction to Sec 4.4 with
+/// the extra `γ·p²` column (`Q = Σ p_j²` joins `P = Σ p_j` in the
+/// objective).
+pub fn fit_quad_cfb_pair<const D: usize>(pcrs: &PcrSet<D>, catalog: &UCatalog) -> QuadCfbPair<D> {
+    let m = catalog.len() as f64;
+    let p_sum = catalog.sum();
+    let q_sum: f64 = catalog.values().iter().map(|p| p * p).sum();
+    let ps = catalog.values();
+
+    let zero = QuadCfb {
+        alpha: Rect::new([0.0; D], [0.0; D]),
+        beta_lo: [0.0; D],
+        beta_hi: [0.0; D],
+        gamma_lo: [0.0; D],
+        gamma_hi: [0.0; D],
+    };
+    let mut outer = zero;
+    let mut inner = zero;
+
+    for i in 0..D {
+        let faces_lo: Vec<f64> = pcrs.rects().iter().map(|r| r.min[i]).collect();
+        let faces_hi: Vec<f64> = pcrs.rects().iter().map(|r| r.max[i]).collect();
+
+        // outer, lower: maximize m·α − P·β − Q·γ s.t. α − β·p − γ·p² <= pcr⁻.
+        let mut lp = LinearProgram::maximize(vec![m, -p_sum, -q_sum]);
+        for (p, c) in ps.iter().zip(&faces_lo) {
+            lp.less_eq(vec![1.0, -p, -p * p], *c);
+        }
+        if let Ok(s) = lp.solve() {
+            outer.alpha.min[i] = s.x[0];
+            outer.beta_lo[i] = s.x[1];
+            outer.gamma_lo[i] = s.x[2];
+        } else {
+            outer.alpha.min[i] = faces_lo.iter().cloned().fold(f64::INFINITY, f64::min);
+        }
+
+        // outer, upper: minimize m·α − P·β − Q·γ s.t. face >= pcr⁺.
+        let mut lp = LinearProgram::maximize(vec![-m, p_sum, q_sum]);
+        for (p, c) in ps.iter().zip(&faces_hi) {
+            lp.greater_eq(vec![1.0, -p, -p * p], *c);
+        }
+        if let Ok(s) = lp.solve() {
+            outer.alpha.max[i] = s.x[0];
+            outer.beta_hi[i] = s.x[1];
+            outer.gamma_hi[i] = s.x[2];
+        } else {
+            outer.alpha.max[i] = faces_hi.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        }
+
+        // inner: maximize summed margin with the Eq. 14-style coupling.
+        // Variables [α⁻, β⁻, γ⁻, α⁺, β⁺, γ⁺].
+        let mut lp = LinearProgram::maximize(vec![-m, p_sum, q_sum, m, -p_sum, -q_sum]);
+        for ((p, lo), hi) in ps.iter().zip(&faces_lo).zip(&faces_hi) {
+            let pp = p * p;
+            lp.greater_eq(vec![1.0, -p, -pp, 0.0, 0.0, 0.0], *lo);
+            lp.less_eq(vec![0.0, 0.0, 0.0, 1.0, -p, -pp], *hi);
+            lp.less_eq(vec![1.0, -p, -pp, -1.0, *p, pp], 0.0);
+        }
+        match lp.solve() {
+            Ok(s) => {
+                inner.alpha.min[i] = s.x[0];
+                inner.beta_lo[i] = s.x[1];
+                inner.gamma_lo[i] = s.x[2];
+                inner.alpha.max[i] = s.x[3];
+                inner.beta_hi[i] = s.x[4];
+                inner.gamma_hi[i] = s.x[5];
+            }
+            Err(_) => {
+                let last = pcrs.rect(pcrs.len() - 1);
+                let mid = 0.5 * (last.min[i] + last.max[i]);
+                inner.alpha.min[i] = mid;
+                inner.alpha.max[i] = mid;
+            }
+        }
+    }
+
+    // Exact feasibility repair (mirrors the linear fitter).
+    for i in 0..D {
+        let mut out_lo = 0.0f64;
+        let mut out_hi = 0.0f64;
+        let mut in_lo = 0.0f64;
+        let mut in_hi = 0.0f64;
+        for (j, &p) in ps.iter().enumerate() {
+            let r = pcrs.rect(j);
+            out_lo = out_lo.max(outer.face_lo(i, p) - r.min[i]);
+            out_hi = out_hi.max(r.max[i] - outer.face_hi(i, p));
+            in_lo = in_lo.max(r.min[i] - inner.face_lo(i, p));
+            in_hi = in_hi.max(inner.face_hi(i, p) - r.max[i]);
+        }
+        outer.alpha.min[i] -= out_lo;
+        outer.alpha.max[i] += out_hi;
+        inner.alpha.min[i] += in_lo;
+        inner.alpha.max[i] -= in_hi;
+    }
+
+    QuadCfbPair { outer, inner }
+}
+
+/// Summed margin of the outer approximation over the catalog — the
+/// objective both fitters minimise, for tightness comparisons.
+pub fn outer_margin_sum<const D: usize, A: PcrAccess<D>>(acc: &A, catalog: &UCatalog) -> f64 {
+    (0..catalog.len()).map(|j| acc.outer(j).margin()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfb::{fit_cfb_pair, CfbView};
+    use crate::filter::{filter_object, FilterOutcome};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use uncertain_geom::Point;
+    use uncertain_pdf::ObjectPdf;
+
+    fn disk() -> ObjectPdf<2> {
+        ObjectPdf::UniformBall {
+            center: Point::new([5_000.0, 5_000.0]),
+            radius: 250.0,
+        }
+    }
+
+    #[test]
+    fn quadratic_pair_brackets_pcrs() {
+        let cat = UCatalog::uniform(10);
+        let pcrs = PcrSet::compute(&disk(), &cat);
+        let pair = fit_quad_cfb_pair(&pcrs, &cat);
+        for (j, &p) in cat.values().iter().enumerate() {
+            let out = pair.outer.eval(p);
+            assert!(
+                out.contains_rect(pcrs.rect(j)),
+                "outer at p={p}: {out:?} vs {:?}",
+                pcrs.rect(j)
+            );
+            let inn = pair.inner.eval(p);
+            assert!(
+                rstar_base::rect_covers_eps(pcrs.rect(j), &inn, 0.05),
+                "inner at p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn quadratic_outer_is_at_least_as_tight_as_linear() {
+        // The fitters share the objective; the quadratic family contains
+        // the linear one (γ = 0), so its optimum cannot be worse.
+        let cat = UCatalog::uniform(10);
+        for pdf in [
+            disk(),
+            ObjectPdf::ConGauBall {
+                center: Point::new([3_000.0, 4_000.0]),
+                radius: 250.0,
+                sigma: 125.0,
+            },
+        ] {
+            let pcrs = PcrSet::compute(&pdf, &cat);
+            let lin = fit_cfb_pair(&pcrs, &cat);
+            let quad = fit_quad_cfb_pair(&pcrs, &cat);
+            let lin_margin = outer_margin_sum(
+                &CfbView {
+                    pair: &lin,
+                    catalog: &cat,
+                },
+                &cat,
+            );
+            let quad_margin = outer_margin_sum(
+                &QuadCfbView {
+                    pair: &quad,
+                    catalog: &cat,
+                },
+                &cat,
+            );
+            assert!(
+                quad_margin <= lin_margin * 1.001,
+                "quad {quad_margin} vs linear {lin_margin} for {pdf:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quadratic_strictly_tighter_for_curved_pcr_faces() {
+        // A disk's marginal quantile is curved in p, so the quadratic fit
+        // must strictly beat the linear one on summed margin.
+        let cat = UCatalog::uniform(12);
+        let pcrs = PcrSet::compute(&disk(), &cat);
+        let lin = fit_cfb_pair(&pcrs, &cat);
+        let quad = fit_quad_cfb_pair(&pcrs, &cat);
+        let lm = outer_margin_sum(
+            &CfbView {
+                pair: &lin,
+                catalog: &cat,
+            },
+            &cat,
+        );
+        let qm = outer_margin_sum(
+            &QuadCfbView {
+                pair: &quad,
+                catalog: &cat,
+            },
+            &cat,
+        );
+        assert!(qm < lm * 0.995, "expected >0.5% tightening, got {qm} vs {lm}");
+    }
+
+    #[test]
+    fn quadratic_filter_is_sound_and_no_weaker() {
+        let cat = UCatalog::uniform(8);
+        let pdf = disk();
+        let pcrs = PcrSet::compute(&pdf, &cat);
+        let lin = fit_cfb_pair(&pcrs, &cat);
+        let quad = fit_quad_cfb_pair(&pcrs, &cat);
+        let mbr = pdf.mbr();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut lin_decided = 0;
+        let mut quad_decided = 0;
+        for _ in 0..400 {
+            let cx = rng.gen_range(4_000.0..6_000.0);
+            let cy = rng.gen_range(4_000.0..6_000.0);
+            let side = rng.gen_range(100.0..1_200.0);
+            let rq = Rect::cube(&Point::new([cx, cy]), side);
+            let pq = rng.gen_range(0.05..0.95);
+            let truth = uncertain_pdf::appearance_reference(&pdf, &rq, 1e-7);
+            let lv = filter_object(
+                &CfbView {
+                    pair: &lin,
+                    catalog: &cat,
+                },
+                &mbr,
+                &cat,
+                &rq,
+                pq,
+            );
+            let qv = filter_object(
+                &QuadCfbView {
+                    pair: &quad,
+                    catalog: &cat,
+                },
+                &mbr,
+                &cat,
+                &rq,
+                pq,
+            );
+            for (name, v) in [("linear", lv), ("quad", qv)] {
+                match v {
+                    FilterOutcome::Pruned => {
+                        assert!(truth < pq + 2e-3, "{name} pruned P={truth} pq={pq}")
+                    }
+                    FilterOutcome::Validated => {
+                        assert!(truth > pq - 2e-3, "{name} validated P={truth} pq={pq}")
+                    }
+                    FilterOutcome::Candidate => {}
+                }
+            }
+            lin_decided += (lv != FilterOutcome::Candidate) as u32;
+            quad_decided += (qv != FilterOutcome::Candidate) as u32;
+        }
+        assert!(
+            quad_decided as f64 >= lin_decided as f64 * 0.98,
+            "quadratic decided {quad_decided}, linear {lin_decided}"
+        );
+    }
+
+    #[test]
+    fn storage_trade_off_is_12d_vs_8d() {
+        // The Sec 4.3 cost: 12d floats per pair instead of 8d.
+        assert_eq!(
+            std::mem::size_of::<QuadCfbPair<2>>(),
+            12 * 2 * std::mem::size_of::<f64>()
+        );
+        assert_eq!(
+            std::mem::size_of::<crate::cfb::CfbPair<2>>(),
+            8 * 2 * std::mem::size_of::<f64>()
+        );
+    }
+}

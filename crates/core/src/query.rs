@@ -1,0 +1,260 @@
+//! Prob-range queries, execution statistics and the shared refinement step.
+
+use crate::object_codec::decode_object;
+use page_store::{ObjectHeap, PageId, RecordAddr};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use uncertain_geom::Rect;
+use uncertain_pdf::{appearance_reference, MonteCarlo};
+
+/// A probabilistic range query `q = (r_q, p_q)` (paper Sec 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbRangeQuery<const D: usize> {
+    /// The search region `r_q`.
+    pub region: Rect<D>,
+    /// The probability threshold `p_q ∈ [0, 1]`.
+    pub threshold: f64,
+}
+
+impl<const D: usize> ProbRangeQuery<D> {
+    /// Creates a query; `threshold` must be in `[0, 1]`.
+    pub fn new(region: Rect<D>, threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold));
+        Self { region, threshold }
+    }
+}
+
+/// How candidate appearance probabilities are evaluated in the refinement
+/// step.
+#[derive(Debug, Clone, Copy)]
+pub enum RefineMode {
+    /// The paper's Monte-Carlo estimator (Eq. 3) with n₁ samples and a
+    /// deterministic seed.
+    MonteCarlo {
+        /// Sample count (the paper settles on 10⁶; Sec 6.1).
+        n1: usize,
+        /// Seed for reproducible runs.
+        seed: u64,
+    },
+    /// Deterministic quadrature (exact for uniform/histogram objects) —
+    /// used by correctness tests and fast benchmark runs.
+    Reference {
+        /// Quadrature tolerance.
+        tol: f64,
+    },
+}
+
+impl Default for RefineMode {
+    fn default() -> Self {
+        RefineMode::MonteCarlo {
+            n1: 1_000_000,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Cost counters for one query (the paper's evaluation metrics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Index node pages read (Fig 9/10 "number of node accesses").
+    pub node_reads: u64,
+    /// Heap pages read during refinement (grouped: one I/O per page).
+    pub heap_reads: u64,
+    /// Appearance probabilities computed (Fig 9/10 "# of prob.
+    /// computations").
+    pub prob_computations: u64,
+    /// Leaf entries pruned by the filter rules.
+    pub pruned: u64,
+    /// Results certified without probability computation.
+    pub validated: u64,
+    /// Entries that required refinement.
+    pub candidates: u64,
+    /// Final result count.
+    pub results: u64,
+    /// Wall-clock nanoseconds in the filter step.
+    pub filter_nanos: u128,
+    /// Wall-clock nanoseconds in the refinement step.
+    pub refine_nanos: u128,
+}
+
+impl QueryStats {
+    /// Total page accesses (index + heap).
+    pub fn total_io(&self) -> u64 {
+        self.node_reads + self.heap_reads
+    }
+
+    /// Fraction of qualifying objects reported without probability
+    /// computation (the percentages annotated in Fig 9/10).
+    pub fn directly_reported_fraction(&self) -> f64 {
+        if self.results == 0 {
+            return 0.0;
+        }
+        self.validated as f64 / self.results as f64
+    }
+
+    /// Accumulates another query's stats (workload averaging).
+    pub fn add(&mut self, other: &QueryStats) {
+        self.node_reads += other.node_reads;
+        self.heap_reads += other.heap_reads;
+        self.prob_computations += other.prob_computations;
+        self.pruned += other.pruned;
+        self.validated += other.validated;
+        self.candidates += other.candidates;
+        self.results += other.results;
+        self.filter_nanos += other.filter_nanos;
+        self.refine_nanos += other.refine_nanos;
+    }
+}
+
+/// The refinement step of Sec 5.2: candidates are grouped by heap page;
+/// each page is loaded once; every candidate's appearance probability is
+/// evaluated and compared with `p_q`.
+///
+/// Returns the qualifying ids and updates `stats`.
+pub fn refine_candidates<const D: usize>(
+    heap: &ObjectHeap,
+    candidates: &[(RecordAddr, u64)],
+    rq: &Rect<D>,
+    pq: f64,
+    mode: RefineMode,
+    stats: &mut QueryStats,
+) -> Vec<u64> {
+    let mut by_page: BTreeMap<PageId, Vec<(u16, u64)>> = BTreeMap::new();
+    for (addr, id) in candidates {
+        by_page.entry(addr.page).or_default().push((addr.slot, *id));
+    }
+    let mut results = Vec::new();
+    let mut rng = match mode {
+        RefineMode::MonteCarlo { seed, .. } => SmallRng::seed_from_u64(seed),
+        RefineMode::Reference { .. } => SmallRng::seed_from_u64(0),
+    };
+    for (page, slots) in by_page {
+        let records = heap.page_records(page);
+        stats.heap_reads += 1;
+        for (slot, id) in slots {
+            let Some((_, bytes)) = records.iter().find(|(s, _)| *s == slot) else {
+                debug_assert!(false, "candidate addr {page}/{slot} missing from heap");
+                continue;
+            };
+            let obj = decode_object::<D>(bytes);
+            debug_assert_eq!(obj.id, id, "heap record id mismatch");
+            let p_app = match mode {
+                RefineMode::MonteCarlo { n1, .. } => {
+                    MonteCarlo::new(n1).estimate(&obj.pdf, rq, &mut rng)
+                }
+                RefineMode::Reference { tol } => appearance_reference(&obj.pdf, rq, tol),
+            };
+            stats.prob_computations += 1;
+            if p_app >= pq {
+                results.push(id);
+            }
+        }
+    }
+    stats.results += results.len() as u64;
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object_codec::encode_object;
+    use uncertain_geom::Point;
+    use uncertain_pdf::{ObjectPdf, UncertainObject};
+
+    #[test]
+    fn refinement_groups_by_page_and_filters_by_threshold() {
+        let mut heap = ObjectHeap::new();
+        // Two objects: one mostly inside the query, one mostly outside.
+        let inside: UncertainObject<2> = UncertainObject::new(
+            1,
+            ObjectPdf::UniformBox {
+                rect: Rect::new([0.0, 0.0], [10.0, 10.0]),
+            },
+        );
+        let outside: UncertainObject<2> = UncertainObject::new(
+            2,
+            ObjectPdf::UniformBox {
+                rect: Rect::new([90.0, 90.0], [110.0, 110.0]),
+            },
+        );
+        let a1 = heap.insert(&encode_object(&inside));
+        let a2 = heap.insert(&encode_object(&outside));
+        assert_eq!(a1.page, a2.page, "small records share a page");
+
+        let rq = Rect::new([-1.0, -1.0], [9.0, 11.0]); // 90% of obj 1, 0% of 2
+        let mut stats = QueryStats::default();
+        let got = refine_candidates(
+            &heap,
+            &[(a1, 1), (a2, 2)],
+            &rq,
+            0.5,
+            RefineMode::Reference { tol: 1e-9 },
+            &mut stats,
+        );
+        assert_eq!(got, vec![1]);
+        assert_eq!(stats.heap_reads, 1, "grouping must cost a single I/O");
+        assert_eq!(stats.prob_computations, 2);
+        assert_eq!(stats.results, 1);
+    }
+
+    #[test]
+    fn monte_carlo_mode_agrees_with_reference() {
+        let mut heap = ObjectHeap::new();
+        let obj: UncertainObject<2> = UncertainObject::new(
+            5,
+            ObjectPdf::UniformBall {
+                center: Point::new([50.0, 50.0]),
+                radius: 10.0,
+            },
+        );
+        let a = heap.insert(&encode_object(&obj));
+        let rq = Rect::new([40.0, 40.0], [50.0, 60.0]); // left half: P = 0.5
+        for (pq, expect_hit) in [(0.45, true), (0.55, false)] {
+            let mut stats = QueryStats::default();
+            let got = refine_candidates(
+                &heap,
+                &[(a, 5)],
+                &rq,
+                pq,
+                RefineMode::MonteCarlo {
+                    n1: 60_000,
+                    seed: 7,
+                },
+                &mut stats,
+            );
+            assert_eq!(got.len() == 1, expect_hit, "pq={pq}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = QueryStats {
+            node_reads: 5,
+            heap_reads: 1,
+            prob_computations: 2,
+            ..Default::default()
+        };
+        let b = QueryStats {
+            node_reads: 3,
+            validated: 4,
+            results: 4,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.node_reads, 8);
+        assert_eq!(a.validated, 4);
+        assert_eq!(a.total_io(), 9);
+    }
+
+    #[test]
+    fn directly_reported_fraction() {
+        let s = QueryStats {
+            validated: 9,
+            results: 10,
+            ..Default::default()
+        };
+        assert!((s.directly_reported_fraction() - 0.9).abs() < 1e-12);
+        assert_eq!(QueryStats::default().directly_reported_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,552 @@
+//! The U-tree (paper Sec 5): a fully dynamic, disk-based index for
+//! multi-dimensional uncertain data with arbitrary pdfs.
+
+use crate::catalog::UCatalog;
+use crate::cfb::{fit_cfb_pair, CfbView};
+use crate::entry::{UCodec, ULeafEntry};
+use crate::filter::{filter_object, FilterOutcome};
+use crate::key::{UKey, UMetrics};
+use crate::object_codec::encode_object;
+use crate::pcr::PcrSet;
+use crate::query::{refine_candidates, ProbRangeQuery, QueryStats, RefineMode};
+use page_store::{f32_round_down, f32_round_up, ObjectHeap, RecordAddr};
+use rstar_base::{LeafRecord, RStarTreeBase, TreeConfig, TreeStats};
+use std::sync::Arc;
+use std::time::Instant;
+use uncertain_geom::Rect;
+use uncertain_pdf::{ObjectPdf, UncertainObject};
+
+/// Ablation switches for [`UTree::query_with_options`].
+///
+/// Disabling a component never changes the *result set* (everything not
+/// decided by a filter goes through exact refinement) — only the cost.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOptions {
+    /// Apply Observation 4 at intermediate entries (off = plain R-tree
+    /// `e.MBR(p₁)` intersection pruning).
+    pub observation4: bool,
+    /// Apply the Observation-3 leaf rules at all (off = MBR intersection
+    /// only; every intersecting object becomes a refinement candidate).
+    pub leaf_filter: bool,
+    /// Allow the validation rules to report results without refinement
+    /// (off = validated objects are demoted to candidates).
+    pub validation: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            observation4: true,
+            leaf_filter: true,
+            validation: true,
+        }
+    }
+}
+
+/// Cost breakdown of one insertion (Fig 11a's CPU components).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InsertStats {
+    /// Nanoseconds computing the PCRs (marginal CDF inversion).
+    pub pcr_nanos: u128,
+    /// Nanoseconds in the Simplex CFB fitting.
+    pub lp_nanos: u128,
+    /// Index page reads caused by the insertion.
+    pub io_reads: u64,
+    /// Index page writes caused by the insertion.
+    pub io_writes: u64,
+}
+
+/// The U-tree: an R*-tree derivative over conservative functional boxes,
+/// plus the object-detail heap file its leaf entries point into.
+///
+/// ```
+/// use utree::{ProbRangeQuery, RefineMode, UCatalog, UTree};
+/// use uncertain_geom::{Point, Rect};
+/// use uncertain_pdf::{ObjectPdf, UncertainObject};
+///
+/// let mut tree = UTree::<2>::new(UCatalog::uniform(6));
+/// tree.insert(&UncertainObject::new(
+///     1,
+///     ObjectPdf::UniformBall { center: Point::new([50.0, 50.0]), radius: 10.0 },
+/// ));
+/// let q = ProbRangeQuery::new(Rect::new([30.0, 30.0], [70.0, 70.0]), 0.9);
+/// let (ids, stats) = tree.query(&q, RefineMode::Reference { tol: 1e-8 });
+/// assert_eq!(ids, vec![1]);
+/// assert_eq!(stats.results, 1);
+/// ```
+pub struct UTree<const D: usize> {
+    tree: RStarTreeBase<D, UMetrics<D>, ULeafEntry<D>, UCodec<D>>,
+    heap: ObjectHeap,
+    catalog: Arc<UCatalog>,
+}
+
+impl<const D: usize> UTree<D> {
+    /// An empty U-tree over the given catalog.
+    pub fn new(catalog: UCatalog) -> Self {
+        Self::with_config(catalog, TreeConfig::default())
+    }
+
+    /// An empty U-tree with explicit R* tuning.
+    pub fn with_config(catalog: UCatalog, cfg: TreeConfig) -> Self {
+        let catalog = Arc::new(catalog);
+        let metrics = UMetrics::new(catalog.clone());
+        let codec = UCodec::new(catalog.clone());
+        Self {
+            tree: RStarTreeBase::new(metrics, codec, cfg),
+            heap: ObjectHeap::new(),
+            catalog,
+        }
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &UCatalog {
+        &self.catalog
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True when no objects are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Index size in bytes (node pages only — Table 1's metric).
+    pub fn index_size_bytes(&self) -> u64 {
+        self.tree.size_bytes()
+    }
+
+    /// Heap (object detail) size in bytes.
+    pub fn heap_size_bytes(&self) -> u64 {
+        self.heap.size_bytes()
+    }
+
+    /// Structure statistics of the index.
+    pub fn tree_stats(&self) -> TreeStats {
+        self.tree.stats()
+    }
+
+    /// R-tree invariant check (tests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.tree.check_invariants()
+    }
+
+    /// Prepares the filter payload for an object: PCRs → CFB pair →
+    /// conservatively rounded entry pieces.
+    fn build_filter_payload(
+        &self,
+        pdf: &ObjectPdf<D>,
+    ) -> (crate::cfb::CfbPair<D>, Rect<D>, u128, u128) {
+        let t0 = Instant::now();
+        let pcrs = PcrSet::compute(pdf, &self.catalog);
+        let pcr_nanos = t0.elapsed().as_nanos();
+        let t1 = Instant::now();
+        let cfbs = fit_cfb_pair(&pcrs, &self.catalog);
+        let lp_nanos = t1.elapsed().as_nanos();
+        let raw = pdf.mbr();
+        let mut mbr = raw;
+        for i in 0..D {
+            mbr.min[i] = f32_round_down(raw.min[i]);
+            mbr.max[i] = f32_round_up(raw.max[i]);
+        }
+        (cfbs, mbr, pcr_nanos, lp_nanos)
+    }
+
+    /// Inserts an object: computes its PCRs and CFBs, stores the pdf record
+    /// in the heap, and inserts the leaf entry (R* insertion with summed
+    /// metrics). Object ids must be unique.
+    pub fn insert(&mut self, obj: &UncertainObject<D>) -> InsertStats {
+        let (cfbs, mbr, pcr_nanos, lp_nanos) = self.build_filter_payload(&obj.pdf);
+        let addr = self.heap.insert(&encode_object(obj));
+        let entry = ULeafEntry::new(cfbs, mbr, addr, obj.id, &self.catalog);
+        let reads0 = self.tree.io_stats().reads();
+        let writes0 = self.tree.io_stats().writes();
+        self.tree.insert(entry);
+        InsertStats {
+            pcr_nanos,
+            lp_nanos,
+            io_reads: self.tree.io_stats().reads() - reads0,
+            io_writes: self.tree.io_stats().writes() - writes0,
+        }
+    }
+
+    /// Deletes an object (the caller supplies the same object that was
+    /// inserted; its filter payload is recomputed deterministically to
+    /// locate the entry). Returns `true` when found.
+    pub fn delete(&mut self, obj: &UncertainObject<D>) -> bool {
+        let (cfbs, _, _, _) = self.build_filter_payload(&obj.pdf);
+        let probe = UKey {
+            lo: cfbs.outer.eval(self.catalog.first()),
+            hi: cfbs.outer.eval(self.catalog.last()),
+        };
+        match self.tree.delete(&probe, obj.id) {
+            Some(entry) => {
+                self.heap.remove(entry.addr);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Executes a prob-range query.
+    ///
+    /// Filter step: subtrees are pruned with Observation 4
+    /// (`r_q ∩ e.MBR(p_j) = ∅` for the largest catalog value `p_j <= p_q`);
+    /// leaf entries are pruned/validated with Observation 3. Refinement:
+    /// the remaining candidates' appearance probabilities are evaluated,
+    /// one heap I/O per page (Sec 5.2).
+    pub fn query(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
+        self.query_with_options(q, mode, QueryOptions::default())
+    }
+
+    /// [`Self::query`] with ablation switches (see [`QueryOptions`]) —
+    /// used to quantify how much each filter component contributes.
+    pub fn query_with_options(
+        &self,
+        q: &ProbRangeQuery<D>,
+        mode: RefineMode,
+        opts: QueryOptions,
+    ) -> (Vec<u64>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let rq = &q.region;
+        let pq = q.threshold;
+        // Observation 4 index: p_j = largest catalog value <= p_q
+        // (p₁ = 0 guarantees existence; clamp defensively otherwise).
+        let j = if opts.observation4 {
+            self.catalog
+                .largest_leq(pq + crate::filter::PROB_EPS)
+                .unwrap_or(0)
+        } else {
+            0 // e.MBR(p₁=0) covers every object's MBR: plain R-tree pruning
+        };
+        let frac = self.catalog.fraction(j);
+
+        let reads0 = self.tree.io_stats().reads();
+        let t0 = Instant::now();
+        let mut results = Vec::new();
+        let mut candidates: Vec<(RecordAddr, u64)> = Vec::new();
+        self.tree.visit(
+            |key, _| rq.intersects(&key.interp(frac)),
+            |rec| {
+                let view = CfbView {
+                    pair: &rec.cfbs,
+                    catalog: &self.catalog,
+                };
+                let outcome = if opts.leaf_filter {
+                    filter_object(&view, &rec.mbr, &self.catalog, rq, pq)
+                } else if rec.mbr.intersects(rq) {
+                    FilterOutcome::Candidate
+                } else {
+                    FilterOutcome::Pruned
+                };
+                let outcome = match outcome {
+                    FilterOutcome::Validated if !opts.validation => FilterOutcome::Candidate,
+                    other => other,
+                };
+                match outcome {
+                    FilterOutcome::Pruned => stats.pruned += 1,
+                    FilterOutcome::Validated => {
+                        stats.validated += 1;
+                        results.push(rec.id);
+                    }
+                    FilterOutcome::Candidate => candidates.push((rec.addr, rec.id)),
+                }
+            },
+        );
+        stats.filter_nanos = t0.elapsed().as_nanos();
+        stats.node_reads = self.tree.io_stats().reads() - reads0;
+        stats.candidates = candidates.len() as u64;
+        stats.results = results.len() as u64;
+
+        let t1 = Instant::now();
+        let refined = refine_candidates(&self.heap, &candidates, rq, pq, mode, &mut stats);
+        stats.refine_nanos = t1.elapsed().as_nanos();
+        results.extend(refined);
+        (results, stats)
+    }
+
+    /// Visits every leaf entry (diagnostics / baselines).
+    pub fn for_each_entry<F: FnMut(&ULeafEntry<D>)>(&self, f: F) {
+        self.tree.for_each_record(f);
+    }
+
+    /// Total index-file page accesses (reads + writes) since the last
+    /// [`Self::reset_io`] — the harness's update-cost metric.
+    pub fn io_counters(&self) -> u64 {
+        self.tree.io_stats().total()
+    }
+
+    /// Resets the index I/O counters (harness use).
+    pub fn reset_io(&self) {
+        self.tree.io_stats().reset();
+        self.heap.file().stats().reset();
+    }
+
+    /// Direct read access to the heap (shared by baselines in benches).
+    pub fn heap(&self) -> &ObjectHeap {
+        &self.heap
+    }
+}
+
+// `LeafRecord` is implemented in entry.rs; re-assert the link here so the
+// compiler surfaces any drift in one obvious place.
+const _: () = {
+    fn _assert_leaf_record<const D: usize>() {
+        fn takes<L: LeafRecord<UKey<2>>>() {}
+        let _ = takes::<ULeafEntry<2>>;
+    }
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use uncertain_geom::Point;
+
+    fn ball(id: u64, x: f64, y: f64, r: f64) -> UncertainObject<2> {
+        UncertainObject::new(
+            id,
+            ObjectPdf::UniformBall {
+                center: Point::new([x, y]),
+                radius: r,
+            },
+        )
+    }
+
+    fn build_random(n: usize, seed: u64) -> (UTree<2>, Vec<UncertainObject<2>>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut tree = UTree::new(UCatalog::uniform(8));
+        let mut objs = Vec::new();
+        for id in 0..n as u64 {
+            let o = ball(
+                id,
+                rng.gen_range(300.0..9700.0),
+                rng.gen_range(300.0..9700.0),
+                rng.gen_range(50.0..250.0),
+            );
+            tree.insert(&o);
+            objs.push(o);
+        }
+        (tree, objs)
+    }
+
+    #[test]
+    fn empty_tree_query() {
+        let tree = UTree::<2>::new(UCatalog::uniform(4));
+        let q = ProbRangeQuery::new(Rect::new([0.0, 0.0], [100.0, 100.0]), 0.5);
+        let (ids, stats) = tree.query(&q, RefineMode::Reference { tol: 1e-8 });
+        assert!(ids.is_empty());
+        assert_eq!(stats.results, 0);
+    }
+
+    #[test]
+    fn single_object_hit_and_miss() {
+        let mut tree = UTree::<2>::new(UCatalog::uniform(6));
+        tree.insert(&ball(7, 500.0, 500.0, 100.0));
+        // Fully containing query at high threshold: hit, and validated
+        // without probability computation.
+        let q = ProbRangeQuery::new(Rect::new([300.0, 300.0], [700.0, 700.0]), 0.95);
+        let (ids, stats) = tree.query(&q, RefineMode::Reference { tol: 1e-8 });
+        assert_eq!(ids, vec![7]);
+        assert_eq!(stats.validated, 1);
+        assert_eq!(stats.prob_computations, 0);
+        // Disjoint query: pruned without probability computation.
+        let q2 = ProbRangeQuery::new(Rect::new([5000.0, 5000.0], [6000.0, 6000.0]), 0.1);
+        let (ids2, stats2) = tree.query(&q2, RefineMode::Reference { tol: 1e-8 });
+        assert!(ids2.is_empty());
+        assert_eq!(stats2.prob_computations, 0);
+    }
+
+    #[test]
+    fn query_matches_brute_force_ground_truth() {
+        let (tree, objs) = build_random(400, 11);
+        tree.check_invariants().unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for qi in 0..30 {
+            let cx = rng.gen_range(500.0..9500.0);
+            let cy = rng.gen_range(500.0..9500.0);
+            let side = rng.gen_range(200.0..1500.0);
+            let pq = rng.gen_range(0.05..0.95);
+            let rq = Rect::cube(&Point::new([cx, cy]), side);
+            let q = ProbRangeQuery::new(rq, pq);
+            let (mut got, _) = tree.query(&q, RefineMode::Reference { tol: 1e-9 });
+            got.sort_unstable();
+            // Brute force with the same reference evaluator; skip objects
+            // whose true probability is within ε of the threshold (filter
+            // boundaries are open to either interpretation there).
+            let mut expect = Vec::new();
+            let mut near_boundary = Vec::new();
+            for o in &objs {
+                let p = uncertain_pdf::appearance_reference(&o.pdf, &rq, 1e-9);
+                if (p - pq).abs() < 1e-4 {
+                    near_boundary.push(o.id);
+                } else if p >= pq {
+                    expect.push(o.id);
+                }
+            }
+            let got_filtered: Vec<u64> = got
+                .iter()
+                .copied()
+                .filter(|id| !near_boundary.contains(id))
+                .collect();
+            assert_eq!(
+                got_filtered, expect,
+                "query {qi} mismatch (rq={rq:?}, pq={pq})"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_avoids_most_probability_computations() {
+        let (tree, _) = build_random(1500, 23);
+        let q = ProbRangeQuery::new(Rect::new([3000.0, 3000.0], [5000.0, 5000.0]), 0.6);
+        let (ids, stats) = tree.query(&q, RefineMode::Reference { tol: 1e-8 });
+        assert!(!ids.is_empty());
+        // The entire point of the paper: most decided objects never reach
+        // the integrator.
+        let decided = stats.pruned + stats.validated;
+        assert!(
+            decided > stats.prob_computations,
+            "filter decided {decided}, refined {} — filtering is broken",
+            stats.prob_computations
+        );
+    }
+
+    #[test]
+    fn delete_then_query() {
+        let (mut tree, objs) = build_random(300, 31);
+        for o in objs.iter().take(150) {
+            assert!(tree.delete(o), "object {} must be deletable", o.id);
+        }
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.len(), 150);
+        // Deleted objects never appear in results.
+        let q = ProbRangeQuery::new(Rect::new([0.0, 0.0], [10_000.0, 10_000.0]), 0.01);
+        let (ids, _) = tree.query(&q, RefineMode::Reference { tol: 1e-8 });
+        for o in objs.iter().take(150) {
+            assert!(!ids.contains(&o.id), "deleted {} still reported", o.id);
+        }
+        for o in objs.iter().skip(150) {
+            assert!(ids.contains(&o.id), "surviving {} lost", o.id);
+        }
+    }
+
+    #[test]
+    fn delete_missing_returns_false() {
+        let (mut tree, objs) = build_random(50, 41);
+        let ghost = ball(9999, 5000.0, 5000.0, 100.0);
+        assert!(!tree.delete(&ghost));
+        assert!(tree.delete(&objs[0]));
+        assert!(!tree.delete(&objs[0]), "double delete must fail");
+    }
+
+    #[test]
+    fn mixed_pdf_types_coexist() {
+        let mut tree = UTree::<2>::new(UCatalog::uniform(8));
+        tree.insert(&ball(1, 1000.0, 1000.0, 200.0));
+        tree.insert(&UncertainObject::new(
+            2,
+            ObjectPdf::ConGauBall {
+                center: Point::new([1100.0, 1000.0]),
+                radius: 200.0,
+                sigma: 100.0,
+            },
+        ));
+        tree.insert(&UncertainObject::new(
+            3,
+            ObjectPdf::UniformBox {
+                rect: Rect::new([900.0, 900.0], [1300.0, 1300.0]),
+            },
+        ));
+        let h = uncertain_pdf::HistogramPdf::from_fn(
+            Rect::new([800.0, 800.0], [1200.0, 1200.0]),
+            [8, 8],
+            |p| 1.0 + (p.coords[0] - 800.0) / 400.0,
+        );
+        tree.insert(&UncertainObject::new(4, ObjectPdf::Histogram(h)));
+        // A query around the cluster with a generous region takes all four.
+        let q = ProbRangeQuery::new(Rect::new([600.0, 600.0], [1500.0, 1500.0]), 0.9);
+        let (mut ids, _) = tree.query(&q, RefineMode::Reference { tol: 1e-8 });
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ablated_queries_return_identical_results() {
+        let (tree, _) = build_random(500, 77);
+        let q = ProbRangeQuery::new(Rect::new([2500.0, 2500.0], [5000.0, 5500.0]), 0.55);
+        let mode = RefineMode::Reference { tol: 1e-8 };
+        let (mut full, s_full) = tree.query(&q, mode);
+        full.sort_unstable();
+        for opts in [
+            QueryOptions { observation4: false, ..QueryOptions::default() },
+            QueryOptions { validation: false, ..QueryOptions::default() },
+            QueryOptions { leaf_filter: false, validation: false, observation4: false },
+        ] {
+            let (mut got, s) = tree.query_with_options(&q, mode, opts);
+            got.sort_unstable();
+            assert_eq!(got, full, "ablation {opts:?} changed the answers");
+            if !opts.validation {
+                assert_eq!(s.validated, 0);
+                assert!(s.prob_computations >= s_full.prob_computations);
+            }
+        }
+    }
+
+    #[test]
+    fn insert_stats_report_cpu_breakdown() {
+        let mut tree = UTree::<2>::new(UCatalog::paper_utree_default());
+        let stats = tree.insert(&ball(1, 5000.0, 5000.0, 250.0));
+        assert!(stats.lp_nanos > 0, "Simplex time must be measured");
+        assert!(stats.pcr_nanos > 0, "PCR time must be measured");
+        assert!(stats.io_writes > 0, "insertion must write pages");
+    }
+
+    #[test]
+    fn three_dimensional_utree() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut tree = UTree::<3>::new(UCatalog::uniform(6));
+        let mut objs = Vec::new();
+        for id in 0..200u64 {
+            let o: UncertainObject<3> = UncertainObject::new(
+                id,
+                ObjectPdf::UniformBall {
+                    center: Point::new([
+                        rng.gen_range(500.0..9500.0),
+                        rng.gen_range(500.0..9500.0),
+                        rng.gen_range(500.0..9500.0),
+                    ]),
+                    radius: 125.0,
+                },
+            );
+            tree.insert(&o);
+            objs.push(o);
+        }
+        tree.check_invariants().unwrap();
+        let rq = Rect::new([2000.0, 2000.0, 2000.0], [6000.0, 6000.0, 6000.0]);
+        let q = ProbRangeQuery::new(rq, 0.5);
+        let (mut got, _) = tree.query(&q, RefineMode::Reference { tol: 1e-7 });
+        got.sort_unstable();
+        let mut expect: Vec<u64> = objs
+            .iter()
+            .filter(|o| {
+                let p = uncertain_pdf::appearance_reference(&o.pdf, &rq, 1e-7);
+                (p - 0.5).abs() >= 1e-4 && p >= 0.5
+            })
+            .map(|o| o.id)
+            .collect();
+        expect.sort_unstable();
+        let got_clean: Vec<u64> = got
+            .into_iter()
+            .filter(|id| {
+                let o = &objs[*id as usize];
+                let p = uncertain_pdf::appearance_reference(&o.pdf, &rq, 1e-7);
+                (p - 0.5).abs() >= 1e-4
+            })
+            .collect();
+        assert_eq!(got_clean, expect);
+    }
+}

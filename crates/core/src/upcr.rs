@@ -1,0 +1,352 @@
+//! U-PCR: the comparison structure of Sec 6 — identical machinery to the
+//! U-tree but with all m PCRs stored verbatim in every (leaf and
+//! intermediate) entry instead of CFBs.
+//!
+//! Filtering is *stronger* per entry (exact PCRs, Observation 2) but the
+//! fat entries shrink fanout, so the structure reads more pages — the
+//! trade-off the paper's experiments quantify.
+
+use crate::catalog::UCatalog;
+use crate::entry::{UPcrCodec, UPcrLeafEntry};
+use crate::filter::{filter_object, FilterOutcome};
+use crate::key::{PcrKey, PcrMetrics};
+use crate::object_codec::encode_object;
+use crate::pcr::PcrSet;
+use crate::query::{refine_candidates, ProbRangeQuery, QueryStats, RefineMode};
+use crate::tree::InsertStats;
+use page_store::{ObjectHeap, RecordAddr};
+use rstar_base::{LeafRecord, RStarTreeBase, TreeConfig, TreeStats};
+use std::sync::Arc;
+use std::time::Instant;
+use uncertain_geom::Rect;
+use uncertain_pdf::{ObjectPdf, UncertainObject};
+
+/// The U-PCR index.
+pub struct UPcrTree<const D: usize> {
+    tree: RStarTreeBase<D, PcrMetrics<D>, UPcrLeafEntry<D>, UPcrCodec<D>>,
+    heap: ObjectHeap,
+    catalog: Arc<UCatalog>,
+}
+
+impl<const D: usize> UPcrTree<D> {
+    /// An empty U-PCR over the given catalog (the paper tunes m = 9 for 2D
+    /// and m = 10 for 3D; Sec 6.2).
+    pub fn new(catalog: UCatalog) -> Self {
+        Self::with_config(catalog, TreeConfig::default())
+    }
+
+    /// With explicit R* tuning.
+    pub fn with_config(catalog: UCatalog, cfg: TreeConfig) -> Self {
+        let catalog = Arc::new(catalog);
+        let metrics = PcrMetrics::new(catalog.clone());
+        let codec = UPcrCodec::new(catalog.clone());
+        Self {
+            tree: RStarTreeBase::new(metrics, codec, cfg),
+            heap: ObjectHeap::new(),
+            catalog,
+        }
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &UCatalog {
+        &self.catalog
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True when no objects are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Index size in bytes (Table 1's metric).
+    pub fn index_size_bytes(&self) -> u64 {
+        self.tree.size_bytes()
+    }
+
+    /// Structure statistics.
+    pub fn tree_stats(&self) -> TreeStats {
+        self.tree.stats()
+    }
+
+    /// R-tree invariant check (tests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.tree.check_invariants()
+    }
+
+    /// PCRs rounded to their on-page f32 values so that probe keys built at
+    /// delete time match stored entries byte-for-byte.
+    fn storable_pcrs(&self, pdf: &ObjectPdf<D>) -> (PcrSet<D>, u128) {
+        let t0 = Instant::now();
+        let pcrs = PcrSet::compute(pdf, &self.catalog);
+        let nanos = t0.elapsed().as_nanos();
+        let rounded = PcrSet::from_rects(
+            pcrs.rects()
+                .iter()
+                .map(|r| {
+                    let mut min = [0.0; D];
+                    let mut max = [0.0; D];
+                    for i in 0..D {
+                        min[i] = r.min[i] as f32 as f64;
+                        max[i] = r.max[i] as f32 as f64;
+                        if min[i] > max[i] {
+                            std::mem::swap(&mut min[i], &mut max[i]);
+                        }
+                    }
+                    Rect { min, max }
+                })
+                .collect(),
+        );
+        (rounded, nanos)
+    }
+
+    fn storable_mbr(&self, pdf: &ObjectPdf<D>) -> Rect<D> {
+        let raw = pdf.mbr();
+        let mut mbr = raw;
+        for i in 0..D {
+            mbr.min[i] = page_store::f32_round_down(raw.min[i]);
+            mbr.max[i] = page_store::f32_round_up(raw.max[i]);
+        }
+        mbr
+    }
+
+    /// Inserts an object.
+    pub fn insert(&mut self, obj: &UncertainObject<D>) -> InsertStats {
+        let (pcrs, pcr_nanos) = self.storable_pcrs(&obj.pdf);
+        let mbr = self.storable_mbr(&obj.pdf);
+        let addr = self.heap.insert(&encode_object(obj));
+        let entry = UPcrLeafEntry {
+            pcrs,
+            mbr,
+            addr,
+            id: obj.id,
+        };
+        let reads0 = self.tree.io_stats().reads();
+        let writes0 = self.tree.io_stats().writes();
+        self.tree.insert(entry);
+        InsertStats {
+            pcr_nanos,
+            lp_nanos: 0, // U-PCR skips the CFB fitting entirely
+            io_reads: self.tree.io_stats().reads() - reads0,
+            io_writes: self.tree.io_stats().writes() - writes0,
+        }
+    }
+
+    /// Deletes an object (payload recomputed deterministically).
+    pub fn delete(&mut self, obj: &UncertainObject<D>) -> bool {
+        let (pcrs, _) = self.storable_pcrs(&obj.pdf);
+        let probe = PcrKey {
+            rects: pcrs.rects().to_vec(),
+        };
+        match self.tree.delete(&probe, obj.id) {
+            Some(entry) => {
+                self.heap.remove(entry.addr);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Executes a prob-range query.
+    ///
+    /// Intermediate pruning tests `r_q` against the stored rectangle at the
+    /// largest catalog value `p_j <= p_q` (the exact-PCR analogue of
+    /// Observation 4); leaf entries use Observation 2 directly.
+    pub fn query(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let rq = &q.region;
+        let pq = q.threshold;
+        let j = self
+            .catalog
+            .largest_leq(pq + crate::filter::PROB_EPS)
+            .unwrap_or(0);
+
+        let reads0 = self.tree.io_stats().reads();
+        let t0 = Instant::now();
+        let mut results = Vec::new();
+        let mut candidates: Vec<(RecordAddr, u64)> = Vec::new();
+        self.tree.visit(
+            |key, _| rq.intersects(&key.rects[j]),
+            |rec| match filter_object(&rec.pcrs, &rec.mbr, &self.catalog, rq, pq) {
+                FilterOutcome::Pruned => stats.pruned += 1,
+                FilterOutcome::Validated => {
+                    stats.validated += 1;
+                    results.push(rec.id);
+                }
+                FilterOutcome::Candidate => candidates.push((rec.addr, rec.id)),
+            },
+        );
+        stats.filter_nanos = t0.elapsed().as_nanos();
+        stats.node_reads = self.tree.io_stats().reads() - reads0;
+        stats.candidates = candidates.len() as u64;
+        stats.results = results.len() as u64;
+
+        let t1 = Instant::now();
+        let refined = refine_candidates(&self.heap, &candidates, rq, pq, mode, &mut stats);
+        stats.refine_nanos = t1.elapsed().as_nanos();
+        results.extend(refined);
+        (results, stats)
+    }
+
+    /// Visits every leaf entry.
+    pub fn for_each_entry<F: FnMut(&UPcrLeafEntry<D>)>(&self, mut f: F) {
+        self.tree.for_each_record(|r| f(r));
+    }
+
+    /// Total index-file page accesses (reads + writes) since the last
+    /// [`Self::reset_io`].
+    pub fn io_counters(&self) -> u64 {
+        self.tree.io_stats().total()
+    }
+
+    /// Resets the I/O counters (harness use).
+    pub fn reset_io(&self) {
+        self.tree.io_stats().reset();
+        self.heap.file().stats().reset();
+    }
+}
+
+// Keep the trait wiring visible here too.
+const _: () = {
+    fn _assert_leaf_record() {
+        fn takes<L: LeafRecord<PcrKey<2>>>() {}
+        let _ = takes::<UPcrLeafEntry<2>>;
+    }
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use uncertain_geom::Point;
+
+    fn build_random(n: usize, seed: u64) -> (UPcrTree<2>, Vec<UncertainObject<2>>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut tree = UPcrTree::new(UCatalog::uniform(9));
+        let mut objs = Vec::new();
+        for id in 0..n as u64 {
+            let o = UncertainObject::new(
+                id,
+                ObjectPdf::UniformBall {
+                    center: Point::new([
+                        rng.gen_range(300.0..9700.0),
+                        rng.gen_range(300.0..9700.0),
+                    ]),
+                    radius: rng.gen_range(50.0..250.0),
+                },
+            );
+            tree.insert(&o);
+            objs.push(o);
+        }
+        (tree, objs)
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let (tree, objs) = build_random(350, 13);
+        tree.check_invariants().unwrap();
+        let mut rng = SmallRng::seed_from_u64(29);
+        for _ in 0..20 {
+            let rq = Rect::cube(
+                &Point::new([
+                    rng.gen_range(500.0..9500.0),
+                    rng.gen_range(500.0..9500.0),
+                ]),
+                rng.gen_range(300.0..1500.0),
+            );
+            let pq = rng.gen_range(0.05..0.95);
+            let (mut got, _) = tree.query(
+                &ProbRangeQuery::new(rq, pq),
+                RefineMode::Reference { tol: 1e-9 },
+            );
+            got.sort_unstable();
+            let mut expect = Vec::new();
+            let mut boundary = Vec::new();
+            for o in &objs {
+                let p = uncertain_pdf::appearance_reference(&o.pdf, &rq, 1e-9);
+                if (p - pq).abs() < 1e-4 {
+                    boundary.push(o.id);
+                } else if p >= pq {
+                    expect.push(o.id);
+                }
+            }
+            let got_clean: Vec<u64> = got
+                .into_iter()
+                .filter(|id| !boundary.contains(id))
+                .collect();
+            assert_eq!(got_clean, expect, "rq={rq:?} pq={pq}");
+        }
+    }
+
+    #[test]
+    fn upcr_agrees_with_utree() {
+        // Same data, same queries, identical result sets: the two
+        // structures differ in cost, never in answers.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut upcr = UPcrTree::new(UCatalog::uniform(9));
+        let mut utree = crate::UTree::new(UCatalog::uniform(15));
+        for id in 0..250u64 {
+            let o = UncertainObject::new(
+                id,
+                ObjectPdf::ConGauBall {
+                    center: Point::new([
+                        rng.gen_range(500.0..9500.0),
+                        rng.gen_range(500.0..9500.0),
+                    ]),
+                    radius: 250.0,
+                    sigma: 125.0,
+                },
+            );
+            upcr.insert(&o);
+            utree.insert(&o);
+        }
+        for _ in 0..15 {
+            let rq = Rect::cube(
+                &Point::new([
+                    rng.gen_range(1000.0..9000.0),
+                    rng.gen_range(1000.0..9000.0),
+                ]),
+                rng.gen_range(400.0..2000.0),
+            );
+            let pq = rng.gen_range(0.1..0.9);
+            let q = ProbRangeQuery::new(rq, pq);
+            let (mut a, _) = upcr.query(&q, RefineMode::Reference { tol: 1e-9 });
+            let (mut b, _) = utree.query(&q, RefineMode::Reference { tol: 1e-9 });
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "structures disagree at rq={rq:?} pq={pq}");
+        }
+    }
+
+    #[test]
+    fn delete_works() {
+        let (mut tree, objs) = build_random(200, 17);
+        for o in objs.iter().step_by(2) {
+            assert!(tree.delete(o));
+        }
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.len(), 100);
+        let q = ProbRangeQuery::new(Rect::new([0.0, 0.0], [10_000.0, 10_000.0]), 0.01);
+        let (ids, _) = tree.query(&q, RefineMode::Reference { tol: 1e-8 });
+        assert_eq!(ids.len(), 100);
+        assert!(ids.iter().all(|id| id % 2 == 1));
+    }
+
+    #[test]
+    fn fatter_entries_mean_fewer_per_page_than_utree() {
+        let upcr = UPcrTree::<2>::new(UCatalog::uniform(9));
+        let utree = crate::UTree::<2>::new(UCatalog::uniform(15));
+        let _ = (upcr, utree);
+        let pcodec = crate::entry::UPcrCodec::<2>::new(Arc::new(UCatalog::uniform(9)));
+        use rstar_base::NodeCodec;
+        let ucodec = crate::entry::UCodec::<2>::new(Arc::new(UCatalog::uniform(15)));
+        assert!(
+            NodeCodec::leaf_capacity(&ucodec) > NodeCodec::leaf_capacity(&pcodec),
+            "U-tree fanout must exceed U-PCR's (the Sec 4.3 rationale)"
+        );
+    }
+}

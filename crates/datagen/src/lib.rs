@@ -1,0 +1,126 @@
+//! Synthetic datasets and workloads reproducing the paper's Sec 6 setup.
+//!
+//! The paper uses the TIGER census point sets **LB** (Long Beach county,
+//! 53k points) and **CA** (California, 62k points), both normalised to
+//! `[0, 10000]²`, plus a derived 3D **Aircraft** set (100k objects). The
+//! TIGER files are not available offline, so [`lb_points`] and
+//! [`ca_points`] generate seeded Gaussian-mixture point sets with the same
+//! cardinalities, domain and — importantly — the *clustered, skewed*
+//! spatial distribution that R-tree experiments are sensitive to (LB ≈
+//! dense urban grid, CA ≈ elongated coastal band with inland clusters).
+//! The uncertain conversion and the Aircraft recipe follow the paper
+//! exactly: circles of radius 250 with Uniform (LB) / Constrained-Gaussian
+//! σ = 125 (CA) pdfs; spheres of radius 125 with Uniform pdfs on
+//! airport-segment positions (Aircraft).
+//!
+//! Queries: squares/cubes of side `q_s` whose *location distribution
+//! follows that of the data* (centers drawn from the dataset), 100 per
+//! workload.
+
+mod points;
+mod workload;
+
+pub use points::{aircraft_objects, ca_points, lb_points, mixture_points, ClusterSpec};
+pub use workload::{workload, Workload};
+
+use uncertain_geom::Point;
+use uncertain_pdf::{ObjectPdf, UncertainObject};
+
+/// Domain edge length used throughout the paper ("all dimensions are
+/// normalized to have domains [0, 10000]").
+pub const DOMAIN: f64 = 10_000.0;
+
+/// Paper cardinality of LB.
+pub const LB_SIZE: usize = 53_000;
+/// Paper cardinality of CA.
+pub const CA_SIZE: usize = 62_000;
+/// Paper cardinality of Aircraft.
+pub const AIRCRAFT_SIZE: usize = 100_000;
+
+/// Uncertainty radius for LB/CA (2.5% of an axis).
+pub const LB_CA_RADIUS: f64 = 250.0;
+/// Con-Gau standard deviation (half the radius; Sec 6).
+pub const CA_SIGMA: f64 = 125.0;
+/// Aircraft uncertainty radius.
+pub const AIRCRAFT_RADIUS: f64 = 125.0;
+
+/// Converts 2D points to uncertain objects with Uniform circular pdfs
+/// (the paper's LB conversion).
+pub fn to_uniform_objects(points: &[Point<2>], radius: f64) -> Vec<UncertainObject<2>> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(id, p)| {
+            UncertainObject::new(
+                id as u64,
+                ObjectPdf::UniformBall {
+                    center: *p,
+                    radius,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Converts 2D points to uncertain objects with Constrained-Gaussian pdfs
+/// (the paper's CA conversion; Eq. 16 with σ = radius/2).
+pub fn to_congau_objects(points: &[Point<2>], radius: f64, sigma: f64) -> Vec<UncertainObject<2>> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(id, p)| {
+            UncertainObject::new(
+                id as u64,
+                ObjectPdf::ConGauBall {
+                    center: *p,
+                    radius,
+                    sigma,
+                },
+            )
+        })
+        .collect()
+}
+
+/// The LB uncertain dataset at a chosen size (use [`LB_SIZE`] for the
+/// paper's full scale).
+pub fn lb_dataset(n: usize, seed: u64) -> Vec<UncertainObject<2>> {
+    to_uniform_objects(&lb_points(n, seed), LB_CA_RADIUS)
+}
+
+/// The CA uncertain dataset at a chosen size.
+pub fn ca_dataset(n: usize, seed: u64) -> Vec<UncertainObject<2>> {
+    to_congau_objects(&ca_points(n, seed), LB_CA_RADIUS, CA_SIGMA)
+}
+
+/// The Aircraft uncertain dataset at a chosen size.
+pub fn aircraft_dataset(n: usize, seed: u64) -> Vec<UncertainObject<3>> {
+    aircraft_objects(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_builders_assign_sequential_ids() {
+        let d = lb_dataset(100, 1);
+        assert_eq!(d.len(), 100);
+        for (i, o) in d.iter().enumerate() {
+            assert_eq!(o.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn ca_dataset_uses_congau() {
+        let d = ca_dataset(10, 2);
+        for o in &d {
+            match &o.pdf {
+                ObjectPdf::ConGauBall { radius, sigma, .. } => {
+                    assert_eq!(*radius, LB_CA_RADIUS);
+                    assert_eq!(*sigma, CA_SIGMA);
+                }
+                other => panic!("CA must be Con-Gau, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Point-set generators standing in for the TIGER datasets.
+
+use crate::{AIRCRAFT_RADIUS, DOMAIN};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use uncertain_geom::Point;
+use uncertain_pdf::{ObjectPdf, UncertainObject};
+
+/// One Gaussian cluster of a mixture point set.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Cluster center.
+    pub center: [f64; 2],
+    /// Isotropic spread (σ) scaled per axis.
+    pub sigma: [f64; 2],
+    /// Relative sampling weight.
+    pub weight: f64,
+}
+
+/// Samples `n` points from a Gaussian mixture, clamped to the domain.
+pub fn mixture_points(n: usize, clusters: &[ClusterSpec], rng: &mut SmallRng) -> Vec<Point<2>> {
+    assert!(!clusters.is_empty());
+    let total_weight: f64 = clusters.iter().map(|c| c.weight).sum();
+    let mut points = Vec::with_capacity(n);
+    while points.len() < n {
+        let mut pick = rng.gen_range(0.0..total_weight);
+        let mut chosen = &clusters[clusters.len() - 1];
+        for c in clusters {
+            if pick < c.weight {
+                chosen = c;
+                break;
+            }
+            pick -= c.weight;
+        }
+        let x = chosen.center[0] + gaussian(rng) * chosen.sigma[0];
+        let y = chosen.center[1] + gaussian(rng) * chosen.sigma[1];
+        if (0.0..=DOMAIN).contains(&x) && (0.0..=DOMAIN).contains(&y) {
+            points.push(Point::new([x, y]));
+        }
+    }
+    points
+}
+
+/// Box–Muller standard normal (avoids depending on rand_distr).
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// LB stand-in: a dense mosaic of compact urban clusters with a uniform
+/// background — mimics a county street map's point distribution.
+pub fn lb_points(n: usize, seed: u64) -> Vec<Point<2>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4C42); // "LB"
+    let mut clusters = Vec::new();
+    // 45 compact urban blobs…
+    for _ in 0..45 {
+        clusters.push(ClusterSpec {
+            center: [rng.gen_range(0.0..DOMAIN), rng.gen_range(0.0..DOMAIN)],
+            sigma: [rng.gen_range(120.0..450.0), rng.gen_range(120.0..450.0)],
+            weight: rng.gen_range(0.5..3.0),
+        });
+    }
+    // …plus a broad background component (10% of mass).
+    let urban_weight: f64 = clusters.iter().map(|c| c.weight).sum();
+    clusters.push(ClusterSpec {
+        center: [DOMAIN / 2.0, DOMAIN / 2.0],
+        sigma: [DOMAIN / 2.5, DOMAIN / 2.5],
+        weight: urban_weight / 9.0,
+    });
+    mixture_points(n, &clusters, &mut rng)
+}
+
+/// CA stand-in: an elongated diagonal "coastal" band of clusters plus
+/// sparse inland blobs — mimics California's population geography.
+pub fn ca_points(n: usize, seed: u64) -> Vec<Point<2>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4341); // "CA"
+    let mut clusters = Vec::new();
+    // Coastal band: clusters along the main diagonal.
+    for k in 0..30 {
+        let t = k as f64 / 29.0;
+        let along = t * DOMAIN;
+        let off = rng.gen_range(-600.0..600.0);
+        clusters.push(ClusterSpec {
+            center: [
+                (along + off).clamp(0.0, DOMAIN),
+                (DOMAIN - along + off).clamp(0.0, DOMAIN),
+            ],
+            sigma: [rng.gen_range(150.0..500.0), rng.gen_range(150.0..500.0)],
+            weight: rng.gen_range(1.0..4.0),
+        });
+    }
+    // Inland valley clusters.
+    for _ in 0..15 {
+        clusters.push(ClusterSpec {
+            center: [rng.gen_range(0.0..DOMAIN), rng.gen_range(0.0..DOMAIN)],
+            sigma: [rng.gen_range(200.0..700.0), rng.gen_range(200.0..700.0)],
+            weight: rng.gen_range(0.3..1.2),
+        });
+    }
+    mixture_points(n, &clusters, &mut rng)
+}
+
+/// The paper's Aircraft recipe: 2000 "airports" sampled from LB; each
+/// aircraft's (a, b) lies on the segment between a random airport pair;
+/// altitude c is uniform in the (normalised) domain; the uncertainty
+/// region is a sphere of radius 125 with a Uniform pdf.
+pub fn aircraft_objects(n: usize, seed: u64) -> Vec<UncertainObject<3>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xA1C);
+    let airports = lb_points(2000, seed ^ 0xA1C ^ 1);
+    (0..n)
+        .map(|id| {
+            let src = airports[rng.gen_range(0..airports.len())];
+            let dst = airports[rng.gen_range(0..airports.len())];
+            let t: f64 = rng.gen();
+            let a = src.coords[0] + t * (dst.coords[0] - src.coords[0]);
+            let b = src.coords[1] + t * (dst.coords[1] - src.coords[1]);
+            let c = rng.gen_range(0.0..DOMAIN);
+            UncertainObject::new(
+                id as u64,
+                ObjectPdf::UniformBall {
+                    center: Point::new([a, b, c]),
+                    radius: AIRCRAFT_RADIUS,
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(lb_points(500, 7), lb_points(500, 7));
+        assert_ne!(lb_points(500, 7), lb_points(500, 8));
+        assert_eq!(ca_points(300, 1), ca_points(300, 1));
+    }
+
+    #[test]
+    fn points_stay_in_domain() {
+        for p in lb_points(2000, 3).iter().chain(ca_points(2000, 3).iter()) {
+            assert!((0.0..=DOMAIN).contains(&p.coords[0]));
+            assert!((0.0..=DOMAIN).contains(&p.coords[1]));
+        }
+    }
+
+    #[test]
+    fn lb_is_clustered_not_uniform() {
+        // Chi-square-ish check: with 45 tight clusters, a 10×10 grid must
+        // show far more variance than a uniform sample would.
+        let pts = lb_points(10_000, 5);
+        let mut cells = [0usize; 100];
+        for p in &pts {
+            let cx = ((p.coords[0] / DOMAIN * 10.0) as usize).min(9);
+            let cy = ((p.coords[1] / DOMAIN * 10.0) as usize).min(9);
+            cells[cy * 10 + cx] += 1;
+        }
+        let mean = 100.0;
+        let var: f64 = cells
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / 100.0;
+        // Uniform data would have variance ≈ mean (Poisson). Require 5×.
+        assert!(var > 5.0 * mean, "variance {var} too uniform");
+    }
+
+    #[test]
+    fn ca_band_structure() {
+        // The coastal band runs along the anti-diagonal: x + y ≈ DOMAIN.
+        // Most points should be near it.
+        let pts = ca_points(5000, 11);
+        let near = pts
+            .iter()
+            .filter(|p| ((p.coords[0] + p.coords[1]) - DOMAIN).abs() < 2500.0)
+            .count();
+        assert!(
+            near > pts.len() / 2,
+            "only {near} of {} points near the band",
+            pts.len()
+        );
+    }
+
+    #[test]
+    fn aircraft_objects_match_recipe() {
+        let objs = aircraft_objects(500, 9);
+        assert_eq!(objs.len(), 500);
+        for o in &objs {
+            match &o.pdf {
+                ObjectPdf::UniformBall { center, radius } => {
+                    assert_eq!(*radius, AIRCRAFT_RADIUS);
+                    assert!((0.0..=DOMAIN).contains(&center.coords[2]), "altitude");
+                }
+                other => panic!("aircraft must be uniform spheres, got {other:?}"),
+            }
+        }
+        assert_eq!(aircraft_objects(500, 9), objs, "determinism");
+    }
+}

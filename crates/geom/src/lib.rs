@@ -1,0 +1,42 @@
+//! d-dimensional geometry substrate for the U-tree reproduction.
+//!
+//! Provides [`Point`] and [`Rect`] with the exact penalty metrics the
+//! R*-tree construction algorithm minimises (Beckmann et al., SIGMOD 1990,
+//! reviewed in Sec 2.2 of the U-tree paper): area, margin (perimeter),
+//! overlap between two rectangles, and the distance between centroids.
+//!
+//! Everything is generic over the compile-time dimensionality `D`; the paper
+//! evaluates `D = 2` (LB, CA) and `D = 3` (Aircraft).
+
+mod point;
+mod rect;
+
+pub use point::Point;
+pub use rect::Rect;
+
+/// Serde support for `[T; D]` with const-generic `D` (serde's built-in
+/// array impls stop at fixed sizes).
+pub mod array_serde {
+    use serde::de::Error;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    /// Serializes the array as a sequence.
+    pub fn serialize<S: Serializer, T: Serialize, const D: usize>(
+        arr: &[T; D],
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        s.collect_seq(arr.iter())
+    }
+
+    /// Deserializes a sequence of exactly `D` elements.
+    pub fn deserialize<'de, De: Deserializer<'de>, T: Deserialize<'de>, const D: usize>(
+        d: De,
+    ) -> Result<[T; D], De::Error> {
+        let v = Vec::<T>::deserialize(d)?;
+        v.try_into()
+            .map_err(|v: Vec<T>| De::Error::invalid_length(v.len(), &"array of dimension D"))
+    }
+}
+
+/// Relative tolerance used by the geometry tests.
+pub const EPS: f64 = 1e-9;

@@ -1,0 +1,271 @@
+//! A small, dependency-free linear-programming solver.
+//!
+//! The U-tree paper computes conservative functional boxes (CFBs) by
+//! solving, per dimension, a linear program with the Simplex method
+//! (Sec 4.4: "In our implementation, we adopt the well-known Simplex
+//! method"). This crate provides exactly that: a dense, two-phase primal
+//! Simplex with Bland's anti-cycling rule, supporting free (sign-
+//! unrestricted) variables — the CFB intercepts/slopes can be any sign.
+//!
+//! The LPs arising from CFB fitting are tiny (≤ 4 variables, ≤ 3·m
+//! constraints with catalog size m ≈ 15), so a dense tableau is the right
+//! tool; the solver is nevertheless a complete, general `max c·x  s.t.
+//! A·x ≤ b` solver and is property-tested against a geometric vertex
+//! enumerator.
+
+mod tableau;
+
+pub use tableau::solve_standard;
+
+/// Failure modes of [`LinearProgram::solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// The constraint set is empty.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// The pivot loop exceeded its iteration budget (numerical trouble).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Optimal assignment for the (free) variables.
+    pub x: Vec<f64>,
+    /// Objective value `c·x`.
+    pub objective_value: f64,
+}
+
+/// Builder for `maximize c·x subject to a_i·x ≤ b_i`, `x` free.
+///
+/// ```
+/// use simplex_lp::LinearProgram;
+/// // max x + y  s.t.  x ≤ 2, y ≤ 3, x + y ≤ 4
+/// let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+/// lp.less_eq(vec![1.0, 0.0], 2.0);
+/// lp.less_eq(vec![0.0, 1.0], 3.0);
+/// lp.less_eq(vec![1.0, 1.0], 4.0);
+/// let sol = lp.solve().unwrap();
+/// assert!((sol.objective_value - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    constraints: Vec<(Vec<f64>, f64)>,
+}
+
+impl LinearProgram {
+    /// Starts a maximisation problem over `objective.len()` free variables.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        assert!(!objective.is_empty());
+        Self {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Starts a minimisation problem (negates the objective internally).
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        Self::maximize(objective.into_iter().map(|c| -c).collect())
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Adds `coeffs·x ≤ rhs`.
+    pub fn less_eq(&mut self, coeffs: Vec<f64>, rhs: f64) -> &mut Self {
+        assert_eq!(coeffs.len(), self.num_vars());
+        self.constraints.push((coeffs, rhs));
+        self
+    }
+
+    /// Adds `coeffs·x ≥ rhs` (stored as `-coeffs·x ≤ -rhs`).
+    pub fn greater_eq(&mut self, coeffs: Vec<f64>, rhs: f64) -> &mut Self {
+        let neg: Vec<f64> = coeffs.iter().map(|c| -c).collect();
+        self.less_eq(neg, -rhs)
+    }
+
+    /// Adds `coeffs·x = rhs` (as a pair of inequalities).
+    pub fn equal(&mut self, coeffs: Vec<f64>, rhs: f64) -> &mut Self {
+        self.less_eq(coeffs.clone(), rhs);
+        self.greater_eq(coeffs, rhs)
+    }
+
+    /// Solves the program. The reported `objective_value` is for the
+    /// *maximisation* form (callers of [`LinearProgram::minimize`] should
+    /// negate it, or read `x` and evaluate their own objective).
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        // Free variables: x = u - v with u, v >= 0.
+        let n = self.num_vars();
+        let split_obj: Vec<f64> = self
+            .objective
+            .iter()
+            .flat_map(|&c| [c, -c])
+            .collect();
+        let split_rows: Vec<Vec<f64>> = self
+            .constraints
+            .iter()
+            .map(|(row, _)| row.iter().flat_map(|&a| [a, -a]).collect())
+            .collect();
+        let rhs: Vec<f64> = self.constraints.iter().map(|&(_, b)| b).collect();
+        let split = solve_standard(&split_obj, &split_rows, &rhs)?;
+        let mut x = Vec::with_capacity(n);
+        for i in 0..n {
+            x.push(split[2 * i] - split[2 * i + 1]);
+        }
+        let objective_value = self
+            .objective
+            .iter()
+            .zip(&x)
+            .map(|(c, xi)| c * xi)
+            .sum();
+        Ok(Solution { x, objective_value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_2d() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0
+        let mut lp = LinearProgram::maximize(vec![3.0, 5.0]);
+        lp.less_eq(vec![1.0, 0.0], 4.0);
+        lp.less_eq(vec![0.0, 2.0], 12.0);
+        lp.less_eq(vec![3.0, 2.0], 18.0);
+        lp.greater_eq(vec![1.0, 0.0], 0.0);
+        lp.greater_eq(vec![0.0, 1.0], 0.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective_value, 36.0);
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 6.0);
+    }
+
+    #[test]
+    fn free_variables_can_go_negative() {
+        // max -x s.t. x ≥ -5  →  x = -5, objective 5
+        let mut lp = LinearProgram::maximize(vec![-1.0]);
+        lp.greater_eq(vec![1.0], -5.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.x[0], -5.0);
+        assert_close(sol.objective_value, 5.0);
+    }
+
+    #[test]
+    fn negative_rhs_requires_phase_one() {
+        // max x + y s.t. x + y ≥ 2 (i.e. -x - y ≤ -2), x ≤ 3, y ≤ 3
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.greater_eq(vec![1.0, 1.0], 2.0);
+        lp.less_eq(vec![1.0, 0.0], 3.0);
+        lp.less_eq(vec![0.0, 1.0], 3.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective_value, 6.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 0 and x ≥ 1
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.less_eq(vec![1.0], 0.0);
+        lp.greater_eq(vec![1.0], 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.greater_eq(vec![1.0], 0.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn unbounded_via_free_variable() {
+        // max x with only y constrained.
+        let mut lp = LinearProgram::maximize(vec![1.0, 0.0]);
+        lp.less_eq(vec![0.0, 1.0], 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + 2y s.t. x + y = 3, 0 ≤ x ≤ 2, y ≥ 0
+        let mut lp = LinearProgram::maximize(vec![1.0, 2.0]);
+        lp.equal(vec![1.0, 1.0], 3.0);
+        lp.greater_eq(vec![1.0, 0.0], 0.0);
+        lp.less_eq(vec![1.0, 0.0], 2.0);
+        lp.greater_eq(vec![0.0, 1.0], 0.0);
+        let sol = lp.solve().unwrap();
+        // best: x = 0, y = 3 → 6
+        assert_close(sol.objective_value, 6.0);
+    }
+
+    #[test]
+    fn minimize_helper() {
+        // min x s.t. x ≥ 2  → x = 2, maximised objective = -2
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.greater_eq(vec![1.0], 2.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.objective_value, -2.0);
+    }
+
+    #[test]
+    fn degenerate_vertex_does_not_cycle() {
+        // Klee–Minty-ish degenerate setup; mostly checks termination.
+        let mut lp = LinearProgram::maximize(vec![10.0, 1.0]);
+        lp.less_eq(vec![1.0, 0.0], 1.0);
+        lp.less_eq(vec![20.0, 1.0], 100.0);
+        lp.less_eq(vec![1.0, 1.0], 5.0);
+        lp.greater_eq(vec![1.0, 0.0], 0.0);
+        lp.greater_eq(vec![0.0, 1.0], 0.0);
+        let sol = lp.solve().unwrap();
+        assert!(sol.objective_value > 0.0);
+    }
+
+    #[test]
+    fn cfb_shaped_lp() {
+        // The real shape from Sec 4.4: maximize m·α − P·β subject to
+        // α − β·p_j ≤ c_j (lower CFB face under the PCR faces).
+        let ps = [0.0, 0.125, 0.25, 0.375, 0.5];
+        let cs = [0.0, 1.0, 1.8, 2.4, 2.8]; // concave-ish PCR faces
+        let m = ps.len() as f64;
+        let p_sum: f64 = ps.iter().sum();
+        let mut lp = LinearProgram::maximize(vec![m, -p_sum]);
+        for (p, c) in ps.iter().zip(cs.iter()) {
+            lp.less_eq(vec![1.0, -p], *c);
+        }
+        let sol = lp.solve().unwrap();
+        let (alpha, beta) = (sol.x[0], sol.x[1]);
+        // Feasibility: the fitted line stays below every PCR face.
+        for (p, c) in ps.iter().zip(cs.iter()) {
+            assert!(alpha - beta * p <= c + 1e-7);
+        }
+        // And it is tight somewhere (optimality pushes against constraints).
+        let slack: f64 = ps
+            .iter()
+            .zip(cs.iter())
+            .map(|(p, c)| c - (alpha - beta * p))
+            .fold(f64::INFINITY, f64::min);
+        assert!(slack.abs() < 1e-7);
+    }
+}

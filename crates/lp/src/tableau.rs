@@ -1,0 +1,285 @@
+//! Dense two-phase primal Simplex on non-negative variables.
+//!
+//! Solves `max c·x  s.t.  A·x ≤ b, x ≥ 0` where `b` may have negative
+//! entries (handled by phase-1 artificial variables). Pivot selection is
+//! Dantzig's rule with a switch to Bland's rule after a burn-in to guarantee
+//! termination on degenerate programs.
+
+use crate::LpError;
+
+const EPS: f64 = 1e-9;
+/// After this many Dantzig pivots we switch to Bland's rule.
+const BLAND_AFTER: usize = 2_000;
+const MAX_ITERS: usize = 20_000;
+
+/// Solves the standard-form LP; returns the optimal `x` (length = number of
+/// structural variables).
+pub fn solve_standard(c: &[f64], rows: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, LpError> {
+    let n = c.len();
+    let m = rows.len();
+    debug_assert!(rows.iter().all(|r| r.len() == n));
+    debug_assert_eq!(b.len(), m);
+
+    if m == 0 {
+        // Feasible at x = 0; unbounded if any cost is positive.
+        if c.iter().any(|&ci| ci > EPS) {
+            return Err(LpError::Unbounded);
+        }
+        return Ok(vec![0.0; n]);
+    }
+
+    // Column layout: [structural 0..n | slack n..n+m | artificial ...].
+    let art_rows: Vec<usize> = (0..m).filter(|&i| b[i] < 0.0).collect();
+    let num_art = art_rows.len();
+    let ncols = n + m + num_art;
+
+    // T[i] = constraint row i (len ncols + 1, last = rhs).
+    let mut t = vec![vec![0.0; ncols + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut next_art = 0usize;
+    for i in 0..m {
+        let neg = b[i] < 0.0;
+        let sign = if neg { -1.0 } else { 1.0 };
+        for j in 0..n {
+            t[i][j] = sign * rows[i][j];
+        }
+        t[i][n + i] = sign; // slack (surplus when negated)
+        t[i][ncols] = sign * b[i];
+        if neg {
+            let aj = n + m + next_art;
+            next_art += 1;
+            t[i][aj] = 1.0;
+            basis[i] = aj;
+        } else {
+            basis[i] = n + i;
+        }
+    }
+
+    if num_art > 0 {
+        // Phase 1: maximize -Σ artificials. Reduced-cost row:
+        // r_j = z_j - c_j with c_B = -1 on artificial rows.
+        let mut obj = vec![0.0; ncols + 1];
+        for j in 0..ncols {
+            let mut zj = 0.0;
+            for &i in &art_rows {
+                zj -= t[i][j];
+            }
+            let cj = if j >= n + m { -1.0 } else { 0.0 };
+            obj[j] = zj - cj;
+        }
+        for &i in &art_rows {
+            obj[ncols] -= t[i][ncols];
+        }
+        pivot_loop(&mut t, &mut obj, &mut basis, ncols, usize::MAX)?;
+        // obj[ncols] holds -z; z = -Σ art must be ~0 for feasibility.
+        if obj[ncols].abs() > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any remaining basic artificials out of the basis.
+        for i in 0..m {
+            if basis[i] >= n + m {
+                let mut pivot_col = None;
+                for j in 0..n + m {
+                    if t[i][j].abs() > 1e-7 {
+                        pivot_col = Some(j);
+                        break;
+                    }
+                }
+                if let Some(j) = pivot_col {
+                    pivot(&mut t, &mut basis, i, j);
+                }
+                // A row with no eligible column is redundant; its artificial
+                // stays basic at value 0, which is harmless because the
+                // artificial columns are banned from re-entering below and
+                // pivots preserve rhs ≥ 0 only up to this zero row.
+            }
+        }
+    }
+
+    // Phase 2: rebuild the reduced-cost row for the real objective.
+    let banned_from = n + m; // artificial columns may not enter
+    let mut obj = vec![0.0; ncols + 1];
+    for j in 0..ncols {
+        let mut zj = 0.0;
+        for i in 0..m {
+            let cb = if basis[i] < n { c[basis[i]] } else { 0.0 };
+            if cb != 0.0 {
+                zj += cb * t[i][j];
+            }
+        }
+        let cj = if j < n { c[j] } else { 0.0 };
+        obj[j] = zj - cj;
+    }
+    for i in 0..m {
+        let cb = if basis[i] < n { c[basis[i]] } else { 0.0 };
+        obj[ncols] -= cb * t[i][ncols];
+    }
+    pivot_loop(&mut t, &mut obj, &mut basis, ncols, banned_from)?;
+
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = t[i][ncols];
+        }
+    }
+    Ok(x)
+}
+
+/// Runs the pivot loop until optimality (all reduced costs ≥ -EPS).
+fn pivot_loop(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    ncols: usize,
+    banned_from: usize,
+) -> Result<(), LpError> {
+    for iter in 0..MAX_ITERS {
+        let bland = iter >= BLAND_AFTER;
+        // Entering column: most negative reduced cost (Dantzig) or first
+        // negative (Bland).
+        let mut enter = None;
+        let mut best = -EPS;
+        for (j, &rj) in obj.iter().enumerate().take(ncols) {
+            if j >= banned_from {
+                continue;
+            }
+            if rj < best {
+                enter = Some(j);
+                if bland {
+                    break;
+                }
+                best = rj;
+            }
+        }
+        let Some(j) = enter else {
+            return Ok(());
+        };
+        // Leaving row: minimum ratio, Bland tie-break on basis index.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for (i, row) in t.iter().enumerate() {
+            if row[j] > EPS {
+                let ratio = row[ncols] / row[j];
+                match leave {
+                    None => {
+                        leave = Some(i);
+                        best_ratio = ratio;
+                    }
+                    Some(l) => {
+                        if ratio < best_ratio - EPS
+                            || (ratio <= best_ratio + EPS && basis[i] < basis[l])
+                        {
+                            best_ratio = best_ratio.min(ratio);
+                            leave = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        let Some(i) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        pivot_with_obj(t, obj, basis, i, j);
+    }
+    Err(LpError::IterationLimit)
+}
+
+/// Pivot on (row, col) updating constraint rows and the basis only.
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let ncols = t[row].len();
+    let piv = t[row][col];
+    debug_assert!(piv.abs() > 0.0);
+    for v in t[row].iter_mut() {
+        *v /= piv;
+    }
+    for i in 0..t.len() {
+        if i == row {
+            continue;
+        }
+        let factor = t[i][col];
+        if factor.abs() > 0.0 {
+            for j in 0..ncols {
+                t[i][j] -= factor * t[row][j];
+            }
+            t[i][col] = 0.0;
+        }
+    }
+    basis[row] = col;
+}
+
+/// Pivot that also eliminates the entering column from the objective row.
+fn pivot_with_obj(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+) {
+    let ncols = t[row].len();
+    let piv = t[row][col];
+    for v in t[row].iter_mut() {
+        *v /= piv;
+    }
+    for i in 0..t.len() {
+        if i == row {
+            continue;
+        }
+        let factor = t[i][col];
+        if factor.abs() > 0.0 {
+            for j in 0..ncols {
+                t[i][j] -= factor * t[row][j];
+            }
+            t[i][col] = 0.0;
+        }
+    }
+    let factor = obj[col];
+    if factor.abs() > 0.0 {
+        for j in 0..ncols {
+            obj[j] -= factor * t[row][j];
+        }
+        obj[col] = 0.0;
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_bounded() {
+        // max x s.t. x ≤ 3, x ≥ 0
+        let x = solve_standard(&[1.0], &[vec![1.0]], &[3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_constraints_zero_cost() {
+        let x = solve_standard(&[-1.0, 0.0], &[], &[]).unwrap();
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn no_constraints_positive_cost_unbounded() {
+        assert_eq!(
+            solve_standard(&[1.0], &[], &[]).unwrap_err(),
+            LpError::Unbounded
+        );
+    }
+
+    #[test]
+    fn phase_one_feasibility() {
+        // x ≥ 2 (as -x ≤ -2), x ≤ 5: max -x → x = 2.
+        let x = solve_standard(&[-1.0], &[vec![-1.0], vec![1.0]], &[-2.0, 5.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x = 1 expressed twice; max x.
+        let rows = vec![vec![1.0], vec![-1.0], vec![1.0], vec![-1.0]];
+        let b = vec![1.0, -1.0, 1.0, -1.0];
+        let x = solve_standard(&[1.0], &rows, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,303 @@
+//! Appearance-probability evaluation.
+//!
+//! `P_app(o, q) = ∫_{o.ur ∩ r_q} o.pdf(x) dx` (paper Eq. 2). The paper
+//! evaluates this with Monte-Carlo sampling (Eq. 3) because no closed form
+//! exists for, e.g., a Gaussian clipped by an arbitrary rectangle. We
+//! implement exactly that estimator — it is the "expensive refinement" whose
+//! avoidance motivates the entire U-tree — plus deterministic quadrature
+//! references used for validation and ground truth in tests.
+
+use crate::math::{adaptive_simpson, std_normal_cdf, unit_ball_volume};
+use crate::model::ObjectPdf;
+use rand::Rng;
+use uncertain_geom::Rect;
+
+/// The Monte-Carlo estimator of Eq. 3.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarlo {
+    /// Number of points generated in the uncertainty region (the paper's
+    /// n₁; Sec 6.1 settles on 10⁶).
+    pub n1: usize,
+}
+
+impl Default for MonteCarlo {
+    fn default() -> Self {
+        Self { n1: 1_000_000 }
+    }
+}
+
+impl MonteCarlo {
+    /// Creates an estimator with the given sample count.
+    pub fn new(n1: usize) -> Self {
+        assert!(n1 > 0);
+        Self { n1 }
+    }
+
+    /// Estimates `P_app(o, q)` per Eq. 3:
+    /// generate n₁ points uniformly in `o.ur`, weight each by `o.pdf`, and
+    /// return the weight fraction of the points falling inside `rq`.
+    ///
+    /// Two short-circuits mirror the paper: when `o.ur ∩ r_q = ∅` the
+    /// probability is 0 without sampling, and when `o.ur ⊆ r_q` Eq. 3
+    /// degenerates to exactly 1 (n₂ = n₁).
+    pub fn estimate<const D: usize, R: Rng + ?Sized>(
+        &self,
+        pdf: &ObjectPdf<D>,
+        rq: &Rect<D>,
+        rng: &mut R,
+    ) -> f64 {
+        let mbr = pdf.mbr();
+        if !mbr.intersects(rq) {
+            return 0.0;
+        }
+        if rq.contains_rect(&mbr) {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        let mut inside = 0.0;
+        for _ in 0..self.n1 {
+            let x = pdf.sample_support_uniform(rng);
+            let w = pdf.density(&x);
+            total += w;
+            if rq.contains_point(&x) {
+                inside += w;
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            inside / total
+        }
+    }
+}
+
+/// Convenience wrapper over [`MonteCarlo::estimate`].
+pub fn appearance_probability<const D: usize, R: Rng + ?Sized>(
+    pdf: &ObjectPdf<D>,
+    rq: &Rect<D>,
+    n1: usize,
+    rng: &mut R,
+) -> f64 {
+    MonteCarlo::new(n1).estimate(pdf, rq, rng)
+}
+
+/// Deterministic high-accuracy reference for `P_app`.
+///
+/// * uniform box — exact overlap ratio;
+/// * uniform ball — recursive slice quadrature of the ball/rect
+///   intersection volume;
+/// * Con-Gau — recursive slice quadrature of the Gaussian mass in
+///   ball ∩ rect, over λ;
+/// * histogram — exact clipped cell sums.
+///
+/// Absolute error is bounded by `tol` (quadrature tolerance), except for the
+/// exact paths which are tighter.
+pub fn appearance_reference<const D: usize>(pdf: &ObjectPdf<D>, rq: &Rect<D>, tol: f64) -> f64 {
+    match pdf {
+        ObjectPdf::UniformBox { rect } => rect.overlap(rq) / rect.area(),
+        ObjectPdf::UniformBall { center, radius } => {
+            let vol = ball_rect_volume(&center.coords, *radius, &rq.min, &rq.max, tol);
+            (vol / (unit_ball_volume(D) * radius.powi(D as i32))).clamp(0.0, 1.0)
+        }
+        ObjectPdf::ConGauBall {
+            center,
+            radius,
+            sigma,
+        } => {
+            let mass = gauss_ball_rect_mass(&center.coords, *sigma, *radius, &rq.min, &rq.max, tol);
+            (mass / pdf.lambda()).clamp(0.0, 1.0)
+        }
+        ObjectPdf::Histogram(h) => h.probability_in(rq),
+    }
+}
+
+/// Volume of `ball(center, r) ∩ rect`, computed by slicing dimension 0 and
+/// recursing: the cross-section of a d-ball at offset `dx` is a
+/// (d-1)-ball of radius `sqrt(r² - dx²)`.
+fn ball_rect_volume(center: &[f64], r: f64, lo: &[f64], hi: &[f64], tol: f64) -> f64 {
+    debug_assert!(!center.is_empty());
+    if r <= 0.0 {
+        return 0.0;
+    }
+    let a = lo[0].max(center[0] - r);
+    let b = hi[0].min(center[0] + r);
+    if a >= b {
+        return 0.0;
+    }
+    if center.len() == 1 {
+        return b - a;
+    }
+    let f = |x: f64| {
+        let dx = x - center[0];
+        let w2 = r * r - dx * dx;
+        if w2 <= 0.0 {
+            0.0
+        } else {
+            ball_rect_volume(&center[1..], w2.sqrt(), &lo[1..], &hi[1..], tol * 0.1)
+        }
+    };
+    adaptive_simpson(&f, a, b, tol)
+}
+
+/// Mass of an isotropic Gaussian `N(center, σ²I)` restricted to
+/// `ball(center, r) ∩ rect` (not yet divided by λ), by the same slicing.
+fn gauss_ball_rect_mass(center: &[f64], sigma: f64, r: f64, lo: &[f64], hi: &[f64], tol: f64) -> f64 {
+    debug_assert!(!center.is_empty());
+    if r <= 0.0 {
+        return 0.0;
+    }
+    let a = lo[0].max(center[0] - r);
+    let b = hi[0].min(center[0] + r);
+    if a >= b {
+        return 0.0;
+    }
+    if center.len() == 1 {
+        return std_normal_cdf((b - center[0]) / sigma) - std_normal_cdf((a - center[0]) / sigma);
+    }
+    let f = |x: f64| {
+        let dx = x - center[0];
+        let w2 = r * r - dx * dx;
+        if w2 <= 0.0 {
+            return 0.0;
+        }
+        let g = (-dx * dx / (2.0 * sigma * sigma)).exp()
+            / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+        g * gauss_ball_rect_mass(&center[1..], sigma, w2.sqrt(), &lo[1..], &hi[1..], tol * 0.1)
+    };
+    adaptive_simpson(&f, a, b, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use uncertain_geom::Point;
+
+    fn disk() -> ObjectPdf<2> {
+        ObjectPdf::UniformBall {
+            center: Point::new([0.0, 0.0]),
+            radius: 1.0,
+        }
+    }
+
+    #[test]
+    fn reference_full_containment_is_one() {
+        let rq = Rect::new([-2.0, -2.0], [2.0, 2.0]);
+        assert!((appearance_reference(&disk(), &rq, 1e-8) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reference_half_plane_is_half() {
+        let rq = Rect::new([-2.0, -2.0], [0.0, 2.0]);
+        assert!((appearance_reference(&disk(), &rq, 1e-9) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reference_quadrant_is_quarter() {
+        let rq = Rect::new([0.0, 0.0], [2.0, 2.0]);
+        assert!((appearance_reference(&disk(), &rq, 1e-9) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reference_disjoint_is_zero() {
+        let rq = Rect::new([5.0, 5.0], [6.0, 6.0]);
+        assert_eq!(appearance_reference(&disk(), &rq, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn reference_sphere_half_space() {
+        let ball: ObjectPdf<3> = ObjectPdf::UniformBall {
+            center: Point::new([0.0, 0.0, 0.0]),
+            radius: 1.0,
+        };
+        let rq = Rect::new([-2.0, -2.0, -2.0], [2.0, 2.0, 0.0]);
+        assert!((appearance_reference(&ball, &rq, 1e-8) - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reference_congau_half_plane() {
+        let g: ObjectPdf<2> = ObjectPdf::ConGauBall {
+            center: Point::new([0.0, 0.0]),
+            radius: 250.0,
+            sigma: 125.0,
+        };
+        let rq = Rect::new([-300.0, -300.0], [0.0, 300.0]);
+        assert!((appearance_reference(&g, &rq, 1e-9) - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn monte_carlo_converges_to_reference() {
+        let pdf = disk();
+        let rq = Rect::new([-0.3, -0.9], [0.8, 0.4]);
+        let exact = appearance_reference(&pdf, &rq, 1e-9);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let est = MonteCarlo::new(200_000).estimate(&pdf, &rq, &mut rng);
+        assert!(
+            (est - exact).abs() < 0.01,
+            "MC {est} vs reference {exact}"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_congau_converges() {
+        let pdf: ObjectPdf<2> = ObjectPdf::ConGauBall {
+            center: Point::new([0.0, 0.0]),
+            radius: 250.0,
+            sigma: 125.0,
+        };
+        let rq = Rect::new([-100.0, -50.0], [150.0, 220.0]);
+        let exact = appearance_reference(&pdf, &rq, 1e-9);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let est = MonteCarlo::new(300_000).estimate(&pdf, &rq, &mut rng);
+        assert!(
+            (est - exact).abs() < 0.01,
+            "MC {est} vs reference {exact}"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_short_circuits() {
+        let pdf = disk();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let contained = Rect::new([-5.0, -5.0], [5.0, 5.0]);
+        assert_eq!(MonteCarlo::new(10).estimate(&pdf, &contained, &mut rng), 1.0);
+        let disjoint = Rect::new([10.0, 10.0], [11.0, 11.0]);
+        assert_eq!(MonteCarlo::new(10).estimate(&pdf, &disjoint, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_error_shrinks_with_n1() {
+        // The Fig 7 phenomenon in miniature: bigger n₁ ⇒ smaller error.
+        let pdf = disk();
+        let rq = Rect::new([-0.5, -0.5], [0.5, 0.5]);
+        let exact = appearance_reference(&pdf, &rq, 1e-10);
+        let avg_err = |n1: usize| {
+            let mut acc = 0.0;
+            for seed in 0..8 {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let est = MonteCarlo::new(n1).estimate(&pdf, &rq, &mut rng);
+                acc += ((est - exact) / exact).abs();
+            }
+            acc / 8.0
+        };
+        let coarse = avg_err(100);
+        let fine = avg_err(40_000);
+        assert!(
+            fine < coarse * 0.5,
+            "error did not shrink: coarse {coarse}, fine {fine}"
+        );
+    }
+
+    #[test]
+    fn histogram_reference_is_exact() {
+        let h = crate::HistogramPdf::new(
+            Rect::new([0.0, 0.0], [2.0, 2.0]),
+            [2, 2],
+            vec![1.0, 1.0, 1.0, 1.0],
+        );
+        let pdf = ObjectPdf::Histogram(h);
+        let rq = Rect::new([0.0, 0.0], [1.0, 2.0]);
+        assert!((appearance_reference(&pdf, &rq, 1e-9) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,30 @@
+//! Probability machinery for uncertain objects.
+//!
+//! An *uncertain object* (paper, Sec 3) is a point whose position follows a
+//! pdf with bounded support (the *uncertainty region*). This crate supplies:
+//!
+//! * [`math`] — special functions (erf, Φ, regularized incomplete gamma),
+//!   adaptive Simpson quadrature and bisection root finding;
+//! * [`Region`] — uncertainty-region shapes (balls as in the paper's
+//!   location-based-services scenario, boxes for sensor ranges);
+//! * [`ObjectPdf`] — the pdf models: Uniform, Constrained-Gaussian
+//!   (paper Eq. 16) and a grid [`HistogramPdf`] realising "arbitrary pdfs";
+//! * marginal CDFs per dimension (the `o.cdf(x₁)` of Sec 4.1) together with
+//!   their inverses, which is exactly what PCR computation needs;
+//! * [`appearance`] — the Monte-Carlo estimator of Eq. 3 plus analytic /
+//!   quadrature references used for validation and the refinement step.
+
+pub mod appearance;
+pub mod histogram;
+pub mod marginal;
+pub mod math;
+pub mod model;
+pub mod object;
+pub mod region;
+
+pub use appearance::{appearance_probability, appearance_reference, MonteCarlo};
+pub use histogram::HistogramPdf;
+pub use marginal::NumericMarginal;
+pub use model::ObjectPdf;
+pub use object::UncertainObject;
+pub use region::Region;

@@ -1,0 +1,46 @@
+//! Uncertain objects: identity + pdf.
+
+use crate::model::ObjectPdf;
+use serde::{Deserialize, Serialize};
+use uncertain_geom::Rect;
+
+/// An uncertain object: a stable identifier plus its pdf (which carries the
+/// uncertainty region).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncertainObject<const D: usize> {
+    /// Application-level identifier, preserved through the index.
+    pub id: u64,
+    /// The probability density of the object's location.
+    pub pdf: ObjectPdf<D>,
+}
+
+impl<const D: usize> UncertainObject<D> {
+    /// Creates an object.
+    pub fn new(id: u64, pdf: ObjectPdf<D>) -> Self {
+        Self { id, pdf }
+    }
+
+    /// MBR of the object's uncertainty region.
+    pub fn mbr(&self) -> Rect<D> {
+        self.pdf.mbr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncertain_geom::Point;
+
+    #[test]
+    fn object_mbr_delegates_to_pdf() {
+        let o = UncertainObject::new(
+            42,
+            ObjectPdf::UniformBall {
+                center: Point::new([5.0, 5.0]),
+                radius: 1.0,
+            },
+        );
+        assert_eq!(o.id, 42);
+        assert_eq!(o.mbr(), Rect::new([4.0, 4.0], [6.0, 6.0]));
+    }
+}

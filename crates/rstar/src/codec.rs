@@ -1,0 +1,39 @@
+//! Node serialisation.
+
+use page_store::PageId;
+
+/// An intermediate entry: bounding key + child page pointer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InnerEntry<K> {
+    /// Bounding key covering everything in the child's subtree.
+    pub key: K,
+    /// Page of the child node.
+    pub child: PageId,
+}
+
+/// Encodes/decodes node payloads (everything after the 1-byte level tag the
+/// tree writes itself) and reports the resulting fanouts.
+///
+/// Capacities must be derived from the *encoded entry size* against the
+/// 4096-byte page — node fanout is the quantity the whole paper's
+/// size/performance story hinges on (CFBs exist to keep entries small,
+/// Sec 4.3).
+pub trait NodeCodec<K, L> {
+    /// Maximum number of leaf records per page.
+    fn leaf_capacity(&self) -> usize;
+
+    /// Maximum number of inner entries per page.
+    fn inner_capacity(&self) -> usize;
+
+    /// Serialises a leaf payload.
+    fn encode_leaf(&self, entries: &[L], out: &mut Vec<u8>);
+
+    /// Deserialises a leaf payload.
+    fn decode_leaf(&self, bytes: &[u8]) -> Vec<L>;
+
+    /// Serialises an inner payload.
+    fn encode_inner(&self, entries: &[InnerEntry<K>], out: &mut Vec<u8>);
+
+    /// Deserialises an inner payload.
+    fn decode_inner(&self, bytes: &[u8]) -> Vec<InnerEntry<K>>;
+}

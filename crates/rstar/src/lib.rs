@@ -1,0 +1,31 @@
+//! Generic, disk-based R*-tree machinery.
+//!
+//! The U-tree (paper Sec 5.3) "is performed in exactly the same way as the
+//! R*-tree, except that each metric is replaced with its summed
+//! counterpart", and its split "is decided using the R*-split, passing all
+//! the rectangles obtained in the previous step" (the entry rectangles at
+//! the median U-catalog value). This crate therefore implements the R*-tree
+//! (Beckmann et al., SIGMOD 1990) **once**, parameterised over:
+//!
+//! * a key type `K` (plain MBRs for the baseline R*-tree; `(MBR⊥, MBR̄)`
+//!   pairs for the U-tree; arrays of PCRs for U-PCR), and
+//! * a [`KeyMetrics`] strategy supplying area / margin / overlap / centroid
+//!   distance (the summed counterparts) and the *split rectangle* proxy.
+//!
+//! Nodes live on 4096-byte pages of a [`page_store::PageFile`]; every node
+//! access is counted, which is the paper's I/O metric.
+//!
+//! The concrete rectangle R*-tree ([`RectRStarTree`]) doubles as the
+//! conventional "precise data" baseline and as the substrate's test rig.
+
+mod codec;
+mod metrics;
+mod rect_tree;
+mod split;
+mod tree;
+
+pub use codec::{InnerEntry, NodeCodec};
+pub use metrics::{rect_covers_eps, KeyMetrics, LeafRecord};
+pub use rect_tree::{RectCodec, RectLeaf, RectMetrics, RectRStarTree};
+pub use split::rstar_split;
+pub use tree::{RStarTreeBase, TreeConfig, TreeStats};

@@ -1,0 +1,417 @@
+//! The concrete rectangle R*-tree: the conventional "precise data"
+//! baseline (paper Sec 2.2) and the substrate's primary test rig.
+
+use crate::codec::{InnerEntry, NodeCodec};
+use crate::metrics::{rect_covers_eps, KeyMetrics, LeafRecord};
+use crate::tree::{RStarTreeBase, TreeConfig};
+use page_store::{ByteReader, ByteWriter, PAGE_SIZE};
+use uncertain_geom::Rect;
+
+/// Plain-rectangle metrics: the R*-tree penalty metrics verbatim.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RectMetrics<const D: usize>;
+
+impl<const D: usize> KeyMetrics<D> for RectMetrics<D> {
+    type Key = Rect<D>;
+    type OverlapProfile = Rect<D>;
+
+    fn overlap_profile(&self, k: &Rect<D>) -> Rect<D> {
+        *k
+    }
+
+    fn profile_overlap(&self, a: &Rect<D>, b: &Rect<D>) -> f64 {
+        a.overlap(b)
+    }
+
+    fn union_with(&self, a: &mut Rect<D>, b: &Rect<D>) {
+        *a = a.union(b);
+    }
+
+    fn area(&self, k: &Rect<D>) -> f64 {
+        k.area()
+    }
+
+    fn margin(&self, k: &Rect<D>) -> f64 {
+        k.margin()
+    }
+
+    fn overlap(&self, a: &Rect<D>, b: &Rect<D>) -> f64 {
+        a.overlap(b)
+    }
+
+    fn centroid_distance(&self, a: &Rect<D>, b: &Rect<D>) -> f64 {
+        a.centroid_distance(b)
+    }
+
+    fn split_rect(&self, k: &Rect<D>) -> Rect<D> {
+        *k
+    }
+
+    fn covers(&self, outer: &Rect<D>, inner: &Rect<D>, tolerance: f64) -> bool {
+        rect_covers_eps(outer, inner, tolerance)
+    }
+}
+
+/// A leaf record: rectangle + identifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RectLeaf<const D: usize> {
+    /// The data rectangle (a point's degenerate rect or an extended object).
+    pub rect: Rect<D>,
+    /// Stable identifier.
+    pub id: u64,
+}
+
+impl<const D: usize> LeafRecord<Rect<D>> for RectLeaf<D> {
+    fn key(&self) -> Rect<D> {
+        self.rect
+    }
+
+    fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// On-page layout: `count: u16` then fixed-size entries
+/// (leaf: 2·D f32 + u64 id; inner: 2·D f32 + u64 child).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RectCodec<const D: usize>;
+
+impl<const D: usize> RectCodec<D> {
+    const ENTRY: usize = 2 * D * 4 + 8;
+
+    fn capacity() -> usize {
+        (PAGE_SIZE - 1 - 2) / Self::ENTRY
+    }
+
+    fn put_rect(w: &mut ByteWriter, r: &Rect<D>) {
+        for i in 0..D {
+            w.put_f32(r.min[i]);
+        }
+        for i in 0..D {
+            w.put_f32(r.max[i]);
+        }
+    }
+
+    fn get_rect(r: &mut ByteReader<'_>) -> Rect<D> {
+        let mut min = [0.0; D];
+        let mut max = [0.0; D];
+        for m in min.iter_mut() {
+            *m = r.get_f32();
+        }
+        for m in max.iter_mut() {
+            *m = r.get_f32();
+        }
+        // f32 rounding can flip degenerate bounds; repair conservatively.
+        for i in 0..D {
+            if min[i] > max[i] {
+                std::mem::swap(&mut min[i], &mut max[i]);
+            }
+        }
+        Rect { min, max }
+    }
+}
+
+impl<const D: usize> NodeCodec<Rect<D>, RectLeaf<D>> for RectCodec<D> {
+    fn leaf_capacity(&self) -> usize {
+        Self::capacity()
+    }
+
+    fn inner_capacity(&self) -> usize {
+        Self::capacity()
+    }
+
+    fn encode_leaf(&self, entries: &[RectLeaf<D>], out: &mut Vec<u8>) {
+        let mut w = ByteWriter::with_capacity(2 + entries.len() * Self::ENTRY);
+        w.put_u16(entries.len() as u16);
+        for e in entries {
+            Self::put_rect(&mut w, &e.rect);
+            w.put_u64(e.id);
+        }
+        out.extend_from_slice(w.as_slice());
+    }
+
+    fn decode_leaf(&self, bytes: &[u8]) -> Vec<RectLeaf<D>> {
+        let mut r = ByteReader::new(bytes);
+        let n = r.get_u16() as usize;
+        (0..n)
+            .map(|_| RectLeaf {
+                rect: Self::get_rect(&mut r),
+                id: r.get_u64(),
+            })
+            .collect()
+    }
+
+    fn encode_inner(&self, entries: &[InnerEntry<Rect<D>>], out: &mut Vec<u8>) {
+        let mut w = ByteWriter::with_capacity(2 + entries.len() * Self::ENTRY);
+        w.put_u16(entries.len() as u16);
+        for e in entries {
+            Self::put_rect(&mut w, &e.key);
+            w.put_u64(e.child);
+        }
+        out.extend_from_slice(w.as_slice());
+    }
+
+    fn decode_inner(&self, bytes: &[u8]) -> Vec<InnerEntry<Rect<D>>> {
+        let mut r = ByteReader::new(bytes);
+        let n = r.get_u16() as usize;
+        (0..n)
+            .map(|_| InnerEntry {
+                key: Self::get_rect(&mut r),
+                child: r.get_u64(),
+            })
+            .collect()
+    }
+}
+
+/// The baseline disk-based R*-tree over rectangles.
+pub struct RectRStarTree<const D: usize> {
+    tree: RStarTreeBase<D, RectMetrics<D>, RectLeaf<D>, RectCodec<D>>,
+}
+
+impl<const D: usize> Default for RectRStarTree<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize> RectRStarTree<D> {
+    /// An empty tree with R* defaults.
+    pub fn new() -> Self {
+        Self {
+            tree: RStarTreeBase::new(RectMetrics, RectCodec, TreeConfig::default()),
+        }
+    }
+
+    /// Inserts a rectangle with an identifier.
+    pub fn insert(&mut self, rect: Rect<D>, id: u64) {
+        self.tree.insert(RectLeaf { rect, id });
+    }
+
+    /// Deletes by (rect, id); returns `true` when found.
+    pub fn delete(&mut self, rect: Rect<D>, id: u64) -> bool {
+        self.tree.delete(&rect, id).is_some()
+    }
+
+    /// Conventional range query: ids of rectangles intersecting `query`.
+    pub fn range(&self, query: &Rect<D>) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.tree.visit(
+            |key, _| key.intersects(query),
+            |rec| {
+                if rec.rect.intersects(query) {
+                    out.push(rec.id);
+                }
+            },
+        );
+        out
+    }
+
+    /// Access to the generic machinery (stats, invariants, I/O counters).
+    pub fn inner(&self) -> &RStarTreeBase<D, RectMetrics<D>, RectLeaf<D>, RectCodec<D>> {
+        &self.tree
+    }
+
+    /// Number of stored rectangles.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rect(rng: &mut SmallRng, span: f64) -> Rect<2> {
+        let x = rng.gen_range(0.0..10_000.0);
+        let y = rng.gen_range(0.0..10_000.0);
+        let w = rng.gen_range(0.0..span);
+        let h = rng.gen_range(0.0..span);
+        Rect::new([x, y], [x + w, y + h])
+    }
+
+    /// f32-rounded copy of a rect — what the tree's pages store.
+    fn f32_round(r: &Rect<2>) -> Rect<2> {
+        Rect {
+            min: [r.min[0] as f32 as f64, r.min[1] as f32 as f64],
+            max: [r.max[0] as f32 as f64, r.max[1] as f32 as f64],
+        }
+    }
+
+    #[test]
+    fn capacities_are_sane() {
+        // 2D: entry = 16 + 8 = 24 bytes; (4096-3)/24 = 170
+        assert_eq!(RectCodec::<2>::capacity(), 170);
+        // 3D: entry = 24 + 8 = 32 bytes
+        assert_eq!(RectCodec::<3>::capacity(), 127);
+    }
+
+    #[test]
+    fn empty_tree_range_is_empty() {
+        let t = RectRStarTree::<2>::new();
+        assert!(t.range(&Rect::new([0.0, 0.0], [1.0, 1.0])).is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn range_query_matches_naive_scan() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut tree = RectRStarTree::<2>::new();
+        let mut data = Vec::new();
+        for id in 0..3000u64 {
+            let r = random_rect(&mut rng, 80.0);
+            tree.insert(r, id);
+            data.push((f32_round(&r), id));
+        }
+        tree.inner().check_invariants().unwrap();
+        for _ in 0..50 {
+            let q = random_rect(&mut rng, 700.0);
+            let mut got = tree.range(&q);
+            got.sort_unstable();
+            let mut expect: Vec<u64> = data
+                .iter()
+                .filter(|(r, _)| r.intersects(&q))
+                .map(|&(_, id)| id)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn queries_prune_subtrees() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut tree = RectRStarTree::<2>::new();
+        for id in 0..5000u64 {
+            tree.insert(random_rect(&mut rng, 10.0), id);
+        }
+        tree.inner().io_stats().reset();
+        let _ = tree.range(&Rect::new([0.0, 0.0], [300.0, 300.0]));
+        let accessed = tree.inner().io_stats().reads();
+        let total = tree.inner().node_count() as u64;
+        assert!(
+            accessed < total / 3,
+            "query touched {accessed} of {total} nodes — no pruning?"
+        );
+    }
+
+    #[test]
+    fn delete_removes_exactly_one() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut tree = RectRStarTree::<2>::new();
+        let mut data = Vec::new();
+        for id in 0..1200u64 {
+            let r = random_rect(&mut rng, 50.0);
+            tree.insert(r, id);
+            data.push((r, id));
+        }
+        // Delete every third element.
+        for (r, id) in data.iter().step_by(3) {
+            assert!(tree.delete(*r, *id), "id {id} must be deletable");
+        }
+        tree.inner().check_invariants().unwrap();
+        assert_eq!(tree.len(), 800);
+        let everything = Rect::new([-1.0, -1.0], [10_001.0, 10_001.0]);
+        let mut got = tree.range(&everything);
+        got.sort_unstable();
+        let mut expect: Vec<u64> = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, &(_, id))| id)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn delete_to_empty_and_reuse() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut tree = RectRStarTree::<2>::new();
+        let mut data = Vec::new();
+        for id in 0..600u64 {
+            let r = random_rect(&mut rng, 30.0);
+            tree.insert(r, id);
+            data.push((r, id));
+        }
+        for (r, id) in &data {
+            assert!(tree.delete(*r, *id));
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.inner().height(), 1);
+        // The tree must remain fully usable.
+        tree.insert(Rect::new([1.0, 1.0], [2.0, 2.0]), 9999);
+        assert_eq!(tree.range(&Rect::new([0.0, 0.0], [3.0, 3.0])), vec![9999]);
+    }
+
+    #[test]
+    fn delete_of_absent_id_returns_false() {
+        let mut tree = RectRStarTree::<2>::new();
+        let r = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        tree.insert(r, 1);
+        assert!(!tree.delete(r, 2));
+        assert!(tree.delete(r, 1));
+        assert!(!tree.delete(r, 1));
+    }
+
+    #[test]
+    fn three_dimensional_tree() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut tree = RectRStarTree::<3>::new();
+        let mut data = Vec::new();
+        for id in 0..2000u64 {
+            let c = [
+                rng.gen_range(0.0..10_000.0),
+                rng.gen_range(0.0..10_000.0),
+                rng.gen_range(0.0..10_000.0),
+            ];
+            let r = Rect::new(c, [c[0] + 20.0, c[1] + 20.0, c[2] + 20.0]);
+            tree.insert(r, id);
+            let rr = Rect {
+                min: [
+                    r.min[0] as f32 as f64,
+                    r.min[1] as f32 as f64,
+                    r.min[2] as f32 as f64,
+                ],
+                max: [
+                    r.max[0] as f32 as f64,
+                    r.max[1] as f32 as f64,
+                    r.max[2] as f32 as f64,
+                ],
+            };
+            data.push((rr, id));
+        }
+        tree.inner().check_invariants().unwrap();
+        let q = Rect::new([2000.0, 2000.0, 2000.0], [4000.0, 4000.0, 4000.0]);
+        let mut got = tree.range(&q);
+        got.sort_unstable();
+        let mut expect: Vec<u64> = data
+            .iter()
+            .filter(|(r, _)| r.intersects(&q))
+            .map(|&(_, id)| id)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn duplicate_rects_with_distinct_ids() {
+        let mut tree = RectRStarTree::<2>::new();
+        let r = Rect::new([5.0, 5.0], [6.0, 6.0]);
+        for id in 0..700u64 {
+            tree.insert(r, id);
+        }
+        tree.inner().check_invariants().unwrap();
+        assert_eq!(tree.range(&r).len(), 700);
+        for id in 0..700u64 {
+            assert!(tree.delete(r, id));
+        }
+        assert!(tree.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! The R*-tree split algorithm (Beckmann et al., Sec 4.2) over plain
+//! rectangles.
+//!
+//! The U-tree reuses this verbatim: it first materialises every entry's
+//! rectangle at the median catalog value and "the entry distribution after
+//! splitting is decided using the R*-split, passing all the rectangles
+//! obtained in the previous step" (paper Sec 5.3).
+
+use uncertain_geom::Rect;
+
+/// Splits the index set `0..rects.len()` into two groups.
+///
+/// `min_fill` is the R* parameter m (usually 40% of capacity); both groups
+/// receive at least `min_fill` entries. Returns the indices of each group.
+///
+/// Axis choice: minimise the sum of margins over all candidate
+/// distributions of both sorts (by lower and by upper boundary).
+/// Distribution choice on that axis: minimise overlap, ties by total area.
+pub fn rstar_split<const D: usize>(
+    rects: &[Rect<D>],
+    min_fill: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let n = rects.len();
+    assert!(n >= 2, "cannot split fewer than two entries");
+    let min_fill = min_fill.max(1).min(n / 2);
+
+    let mut best_axis = 0usize;
+    let mut best_axis_margin = f64::INFINITY;
+    let mut best_axis_orders: Option<[Vec<usize>; 2]> = None;
+
+    for axis in 0..D {
+        let mut by_lower: Vec<usize> = (0..n).collect();
+        by_lower.sort_by(|&a, &b| {
+            (rects[a].min[axis], rects[a].max[axis])
+                .partial_cmp(&(rects[b].min[axis], rects[b].max[axis]))
+                .unwrap()
+        });
+        let mut by_upper: Vec<usize> = (0..n).collect();
+        by_upper.sort_by(|&a, &b| {
+            (rects[a].max[axis], rects[a].min[axis])
+                .partial_cmp(&(rects[b].max[axis], rects[b].min[axis]))
+                .unwrap()
+        });
+        let mut margin_sum = 0.0;
+        for order in [&by_lower, &by_upper] {
+            let (prefix, suffix) = prefix_suffix_bounds(rects, order);
+            for k in min_fill..=(n - min_fill) {
+                margin_sum += prefix[k - 1].margin() + suffix[k].margin();
+            }
+        }
+        if margin_sum < best_axis_margin {
+            best_axis_margin = margin_sum;
+            best_axis = axis;
+            best_axis_orders = Some([by_lower, by_upper]);
+        }
+    }
+    let _ = best_axis; // axis choice is realised through the retained orders
+    let orders = best_axis_orders.expect("D >= 1");
+
+    // Pick the distribution with minimal overlap (ties: minimal area sum).
+    let mut best: Option<(f64, f64, Vec<usize>, Vec<usize>)> = None;
+    for order in &orders {
+        let (prefix, suffix) = prefix_suffix_bounds(rects, order);
+        for k in min_fill..=(n - min_fill) {
+            let bb1 = &prefix[k - 1];
+            let bb2 = &suffix[k];
+            let ov = bb1.overlap(bb2);
+            let area = bb1.area() + bb2.area();
+            let better = match &best {
+                None => true,
+                Some((bo, ba, _, _)) => ov < *bo || (ov == *bo && area < *ba),
+            };
+            if better {
+                best = Some((ov, area, order[..k].to_vec(), order[k..].to_vec()));
+            }
+        }
+    }
+    let (_, _, g1, g2) = best.expect("at least one distribution exists");
+    (g1, g2)
+}
+
+/// `prefix[i]` = bound of `order[..=i]`, `suffix[i]` = bound of `order[i..]`.
+fn prefix_suffix_bounds<const D: usize>(
+    rects: &[Rect<D>],
+    order: &[usize],
+) -> (Vec<Rect<D>>, Vec<Rect<D>>) {
+    let n = order.len();
+    let mut prefix = Vec::with_capacity(n);
+    let mut acc = rects[order[0]];
+    prefix.push(acc);
+    for &i in &order[1..] {
+        acc = acc.union(&rects[i]);
+        prefix.push(acc);
+    }
+    let mut suffix = vec![Rect::empty(); n];
+    let mut acc = rects[order[n - 1]];
+    suffix[n - 1] = acc;
+    for j in (0..n - 1).rev() {
+        acc = acc.union(&rects[order[j]]);
+        suffix[j] = acc;
+    }
+    (prefix, suffix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two clear clusters along x: the split must not mix them.
+        let mut rects = Vec::new();
+        for i in 0..4 {
+            let x = i as f64;
+            rects.push(Rect::new([x, 0.0], [x + 0.5, 1.0]));
+        }
+        for i in 0..4 {
+            let x = 100.0 + i as f64;
+            rects.push(Rect::new([x, 0.0], [x + 0.5, 1.0]));
+        }
+        let (g1, g2) = rstar_split(&rects, 3);
+        let left: Vec<usize> = (0..4).collect();
+        let mut a = g1.clone();
+        a.sort_unstable();
+        let mut b = g2.clone();
+        b.sort_unstable();
+        assert!(
+            a == left || b == left,
+            "clusters were mixed: {a:?} | {b:?}"
+        );
+    }
+
+    #[test]
+    fn split_respects_min_fill() {
+        let rects: Vec<Rect<2>> = (0..10)
+            .map(|i| {
+                let x = i as f64 * i as f64; // skewed spacing
+                Rect::new([x, 0.0], [x + 1.0, 1.0])
+            })
+            .collect();
+        let (g1, g2) = rstar_split(&rects, 4);
+        assert!(g1.len() >= 4 && g2.len() >= 4);
+        assert_eq!(g1.len() + g2.len(), 10);
+        let mut all: Vec<usize> = g1.iter().chain(g2.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_chooses_the_separating_axis() {
+        // Clusters separated along y; margin criterion must pick axis 1.
+        let mut rects = Vec::new();
+        for i in 0..5 {
+            rects.push(Rect::new([0.0, i as f64], [10.0, i as f64 + 0.5]));
+        }
+        for i in 0..5 {
+            rects.push(Rect::new([0.0, 1000.0 + i as f64], [10.0, 1000.5 + i as f64]));
+        }
+        let (g1, g2) = rstar_split(&rects, 4);
+        let bb = |g: &[usize]| {
+            g.iter()
+                .map(|&i| rects[i])
+                .fold(Rect::empty(), |a, r| a.union(&r))
+        };
+        assert_eq!(bb(&g1).overlap(&bb(&g2)), 0.0, "groups must not overlap");
+    }
+
+    #[test]
+    fn split_of_identical_rects_still_balances() {
+        let rects: Vec<Rect<2>> = (0..6).map(|_| Rect::new([0.0, 0.0], [1.0, 1.0])).collect();
+        let (g1, g2) = rstar_split(&rects, 2);
+        assert!(g1.len() >= 2 && g2.len() >= 2);
+        assert_eq!(g1.len() + g2.len(), 6);
+    }
+
+    #[test]
+    fn three_dimensional_split() {
+        let rects: Vec<Rect<3>> = (0..8)
+            .map(|i| {
+                let z = if i < 4 { 0.0 } else { 500.0 };
+                Rect::new(
+                    [i as f64, 0.0, z],
+                    [i as f64 + 1.0, 1.0, z + 1.0],
+                )
+            })
+            .collect();
+        let (g1, g2) = rstar_split(&rects, 3);
+        // z separates cleanly
+        let zs: Vec<f64> = g1.iter().map(|&i| rects[i].min[2]).collect();
+        assert!(
+            zs.iter().all(|&z| z == zs[0]),
+            "z-cluster split leaked: {zs:?}"
+        );
+        assert_eq!(g1.len() + g2.len(), 8);
+    }
+}

@@ -1,0 +1,777 @@
+//! The generic disk-based R*-tree.
+//!
+//! Implements insertion with forced reinsertion, deletion with tree
+//! condensation, and pruned traversal — all in terms of [`KeyMetrics`], so
+//! the same code drives the baseline R*-tree, the U-tree (summed metrics)
+//! and U-PCR.
+
+use crate::codec::{InnerEntry, NodeCodec};
+use crate::metrics::{KeyMetrics, LeafRecord};
+use crate::split::rstar_split;
+use page_store::{IoStats, PageFile, PageId};
+use std::sync::Arc;
+
+/// ChooseSubtree examines at most this many candidates with the overlap
+/// criterion (the R*-tree paper's constant).
+const CHOOSE_SUBTREE_CANDIDATES: usize = 32;
+
+/// Tuning knobs (R* defaults from Beckmann et al.).
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Minimum node fill as a fraction of capacity (R*: 40%).
+    pub min_fill: f64,
+    /// Fraction of entries removed by forced reinsertion (R*: 30%).
+    pub reinsert_frac: f64,
+    /// Containment slack for the deletion descent (absorbs the f32 on-page
+    /// rounding of keys; see `KeyMetrics::covers`).
+    pub covers_tolerance: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            min_fill: 0.4,
+            reinsert_frac: 0.3,
+            covers_tolerance: 0.05,
+        }
+    }
+}
+
+/// Per-level structure statistics (diagnostics; computed without touching
+/// the I/O counters).
+#[derive(Debug, Clone, Default)]
+pub struct TreeStats {
+    /// Number of nodes per level (index 0 = leaves).
+    pub nodes_per_level: Vec<usize>,
+    /// Total entries per level.
+    pub entries_per_level: Vec<usize>,
+}
+
+impl TreeStats {
+    /// Total node count.
+    pub fn total_nodes(&self) -> usize {
+        self.nodes_per_level.iter().sum()
+    }
+}
+
+enum Node<K, L> {
+    Leaf(Vec<L>),
+    Inner(Vec<InnerEntry<K>>),
+}
+
+enum Entry<K, L> {
+    Leaf(L),
+    Inner(InnerEntry<K>),
+}
+
+struct InsertResult<K> {
+    key: K,
+    split: Option<InnerEntry<K>>,
+}
+
+enum DeleteOutcome<K> {
+    NotFound,
+    Kept(Option<K>),
+    Dropped,
+}
+
+/// A disk-based R*-tree over records `L` bounded by keys `M::Key`.
+pub struct RStarTreeBase<const D: usize, M, L, C>
+where
+    M: KeyMetrics<D>,
+    L: LeafRecord<M::Key>,
+    C: NodeCodec<M::Key, L>,
+{
+    file: PageFile,
+    root: PageId,
+    /// Number of levels (1 = the root is a leaf).
+    height: usize,
+    len: usize,
+    metrics: M,
+    codec: C,
+    cfg: TreeConfig,
+    _leaf: std::marker::PhantomData<L>,
+}
+
+impl<const D: usize, M, L, C> RStarTreeBase<D, M, L, C>
+where
+    M: KeyMetrics<D>,
+    L: LeafRecord<M::Key>,
+    C: NodeCodec<M::Key, L>,
+{
+    /// Creates an empty tree (one empty leaf page).
+    pub fn new(metrics: M, codec: C, cfg: TreeConfig) -> Self {
+        assert!(codec.leaf_capacity() >= 4, "leaf fanout too small");
+        assert!(codec.inner_capacity() >= 4, "inner fanout too small");
+        let mut file = PageFile::new();
+        let root = file.allocate();
+        let mut tree = Self {
+            file,
+            root,
+            height: 1,
+            len: 0,
+            metrics,
+            codec,
+            cfg,
+            _leaf: std::marker::PhantomData,
+        };
+        tree.store(root, 0, &Node::Leaf(Vec::new()));
+        tree
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of levels (1 = root is a leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The metrics strategy.
+    pub fn metrics(&self) -> &M {
+        &self.metrics
+    }
+
+    /// The node codec.
+    pub fn codec(&self) -> &C {
+        &self.codec
+    }
+
+    /// Shared I/O counters of the node file.
+    pub fn io_stats(&self) -> &Arc<IoStats> {
+        self.file.stats()
+    }
+
+    /// Size of the node file in bytes (Table 1's metric).
+    pub fn size_bytes(&self) -> u64 {
+        self.file.size_bytes()
+    }
+
+    /// Live node count.
+    pub fn node_count(&self) -> usize {
+        self.file.live_pages()
+    }
+
+    // ---- node I/O -------------------------------------------------------
+
+    fn load(&self, page: PageId) -> (usize, Node<M::Key, L>) {
+        let bytes = self.file.read(page);
+        let level = bytes[0] as usize;
+        let node = if level == 0 {
+            Node::Leaf(self.codec.decode_leaf(&bytes[1..]))
+        } else {
+            Node::Inner(self.codec.decode_inner(&bytes[1..]))
+        };
+        (level, node)
+    }
+
+    fn store(&mut self, page: PageId, level: usize, node: &Node<M::Key, L>) {
+        let mut out = Vec::with_capacity(page_store::PAGE_SIZE);
+        out.push(level as u8);
+        match node {
+            Node::Leaf(es) => {
+                debug_assert_eq!(level, 0);
+                debug_assert!(es.len() <= self.codec.leaf_capacity());
+                self.codec.encode_leaf(es, &mut out);
+            }
+            Node::Inner(es) => {
+                debug_assert!(level > 0);
+                debug_assert!(es.len() <= self.codec.inner_capacity());
+                self.codec.encode_inner(es, &mut out);
+            }
+        }
+        self.file.write(page, &out);
+    }
+
+    fn node_len(node: &Node<M::Key, L>) -> usize {
+        match node {
+            Node::Leaf(es) => es.len(),
+            Node::Inner(es) => es.len(),
+        }
+    }
+
+    fn node_capacity(&self, level: usize) -> usize {
+        if level == 0 {
+            self.codec.leaf_capacity()
+        } else {
+            self.codec.inner_capacity()
+        }
+    }
+
+    fn min_fill_count(&self, level: usize) -> usize {
+        ((self.node_capacity(level) as f64 * self.cfg.min_fill) as usize).max(1)
+    }
+
+    fn node_key(&self, node: &Node<M::Key, L>) -> Option<M::Key> {
+        match node {
+            Node::Leaf(es) => {
+                let mut it = es.iter();
+                let first = it.next()?;
+                let mut acc = first.key();
+                for e in it {
+                    self.metrics.union_with(&mut acc, &e.key());
+                }
+                Some(acc)
+            }
+            Node::Inner(es) => {
+                let mut it = es.iter();
+                let first = it.next()?;
+                let mut acc = first.key.clone();
+                for e in it {
+                    self.metrics.union_with(&mut acc, &e.key);
+                }
+                Some(acc)
+            }
+        }
+    }
+
+    /// The bounding key of the whole tree (`None` when empty).
+    pub fn root_key(&self) -> Option<M::Key> {
+        let (_, node) = self.load(self.root);
+        self.node_key(&node)
+    }
+
+    // ---- insertion ------------------------------------------------------
+
+    /// Inserts a record (R* insertion with forced reinsertion).
+    pub fn insert(&mut self, record: L) {
+        self.len += 1;
+        let mut reinserted = vec![false; self.height];
+        self.run_inserts(vec![(0usize, Entry::Leaf(record))], &mut reinserted);
+    }
+
+    fn run_inserts(&mut self, mut pending: Vec<(usize, Entry<M::Key, L>)>, reinserted: &mut Vec<bool>) {
+        while let Some((level, entry)) = pending.pop() {
+            debug_assert!(level < self.height);
+            let res = self.insert_rec(self.root, self.height - 1, entry, level, reinserted, &mut pending);
+            if let Some(sibling) = res.split {
+                // Root split: grow the tree by one level.
+                let new_root = self.file.allocate();
+                let entries = vec![
+                    InnerEntry {
+                        key: res.key,
+                        child: self.root,
+                    },
+                    sibling,
+                ];
+                let new_level = self.height;
+                self.store(new_root, new_level, &Node::Inner(entries));
+                self.root = new_root;
+                self.height += 1;
+                reinserted.push(true); // no forced reinsert at a brand-new root level
+            }
+        }
+    }
+
+    fn entry_key(&self, e: &Entry<M::Key, L>) -> M::Key {
+        match e {
+            Entry::Leaf(r) => r.key(),
+            Entry::Inner(ie) => ie.key.clone(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert_rec(
+        &mut self,
+        page: PageId,
+        level: usize,
+        entry: Entry<M::Key, L>,
+        target_level: usize,
+        reinserted: &mut [bool],
+        pending: &mut Vec<(usize, Entry<M::Key, L>)>,
+    ) -> InsertResult<M::Key> {
+        let (lvl, mut node) = self.load(page);
+        debug_assert_eq!(lvl, level, "page level mismatch");
+
+        if level > target_level {
+            let ekey = self.entry_key(&entry);
+            let Node::Inner(ref mut entries) = node else {
+                unreachable!("non-leaf level must hold an inner node")
+            };
+            let idx = self.choose_subtree(entries, &ekey, level == 1);
+            let child = entries[idx].child;
+            // Recurse with `node` set aside; reload cost avoided by keeping
+            // the decoded entries and patching them afterwards.
+            let child_res = self.insert_rec(child, level - 1, entry, target_level, reinserted, pending);
+            entries[idx].key = child_res.key;
+            if let Some(sib) = child_res.split {
+                entries.push(sib);
+            }
+            return self.finish_overflow(page, level, node, reinserted, pending);
+        }
+
+        // level == target_level: the entry lands here.
+        match (&mut node, entry) {
+            (Node::Leaf(es), Entry::Leaf(r)) => es.push(r),
+            (Node::Inner(es), Entry::Inner(ie)) => es.push(ie),
+            _ => unreachable!("entry kind must match node kind at its level"),
+        }
+        self.finish_overflow(page, level, node, reinserted, pending)
+    }
+
+    /// Stores `node`, handling overflow by forced reinsertion or split.
+    fn finish_overflow(
+        &mut self,
+        page: PageId,
+        level: usize,
+        mut node: Node<M::Key, L>,
+        reinserted: &mut [bool],
+        pending: &mut Vec<(usize, Entry<M::Key, L>)>,
+    ) -> InsertResult<M::Key> {
+        let cap = self.node_capacity(level);
+        if Self::node_len(&node) <= cap {
+            self.store(page, level, &node);
+            return InsertResult {
+                key: self.node_key(&node).expect("non-empty after insert"),
+                split: None,
+            };
+        }
+
+        // Overflow treatment (R* §4.3): first overflow at each level per
+        // insertion (root excluded) triggers forced reinsertion.
+        if page != self.root && !reinserted[level] {
+            reinserted[level] = true;
+            let victims = self.pick_reinsert_victims(&mut node, cap);
+            self.store(page, level, &node);
+            // Push in far-to-near order so the LIFO pending stack performs
+            // "close reinsert" (nearest first), the variant R* recommends.
+            for v in victims {
+                pending.push((level, v));
+            }
+            return InsertResult {
+                key: self.node_key(&node).expect("reinsertion leaves entries behind"),
+                split: None,
+            };
+        }
+
+        // Split (paper Sec 5.3: R*-split over the split rectangles).
+        let (a, b) = self.split_node(node);
+        self.store(page, level, &a);
+        let sib_page = self.file.allocate();
+        self.store(sib_page, level, &b);
+        InsertResult {
+            key: self.node_key(&a).expect("split group A non-empty"),
+            split: Some(InnerEntry {
+                key: self.node_key(&b).expect("split group B non-empty"),
+                child: sib_page,
+            }),
+        }
+    }
+
+    /// Removes the `reinsert_frac` entries whose keys are farthest (summed
+    /// centroid distance) from the node's bounding key.
+    fn pick_reinsert_victims(
+        &self,
+        node: &mut Node<M::Key, L>,
+        cap: usize,
+    ) -> Vec<Entry<M::Key, L>> {
+        let p = ((cap as f64 * self.cfg.reinsert_frac) as usize).max(1);
+        let bound = self.node_key(node).expect("overflowing node is non-empty");
+        match node {
+            Node::Leaf(es) => {
+                let mut order: Vec<usize> = (0..es.len()).collect();
+                order.sort_by(|&i, &j| {
+                    let di = self.metrics.centroid_distance(&es[i].key(), &bound);
+                    let dj = self.metrics.centroid_distance(&es[j].key(), &bound);
+                    dj.partial_cmp(&di).unwrap()
+                });
+                let victims: Vec<usize> = order[..p].to_vec();
+                extract(es, &victims).into_iter().map(Entry::Leaf).collect()
+            }
+            Node::Inner(es) => {
+                let mut order: Vec<usize> = (0..es.len()).collect();
+                order.sort_by(|&i, &j| {
+                    let di = self.metrics.centroid_distance(&es[i].key, &bound);
+                    let dj = self.metrics.centroid_distance(&es[j].key, &bound);
+                    dj.partial_cmp(&di).unwrap()
+                });
+                let victims: Vec<usize> = order[..p].to_vec();
+                extract(es, &victims).into_iter().map(Entry::Inner).collect()
+            }
+        }
+    }
+
+    fn split_node(&self, node: Node<M::Key, L>) -> (Node<M::Key, L>, Node<M::Key, L>) {
+        match node {
+            Node::Leaf(es) => {
+                let rects: Vec<_> = es.iter().map(|e| self.metrics.split_rect(&e.key())).collect();
+                let min_fill = self.min_fill_count(0);
+                let (g1, g2) = rstar_split(&rects, min_fill);
+                let (a, b) = partition(es, &g1, &g2);
+                (Node::Leaf(a), Node::Leaf(b))
+            }
+            Node::Inner(es) => {
+                let rects: Vec<_> = es.iter().map(|e| self.metrics.split_rect(&e.key)).collect();
+                let min_fill = self.min_fill_count(1);
+                let (g1, g2) = rstar_split(&rects, min_fill);
+                let (a, b) = partition(es, &g1, &g2);
+                (Node::Inner(a), Node::Inner(b))
+            }
+        }
+    }
+
+    /// R* ChooseSubtree: overlap-enlargement for leaf parents, area
+    /// enlargement above (ties: area enlargement, then area).
+    ///
+    /// As in the R*-tree paper, the O(n²) overlap criterion only examines
+    /// the [`CHOOSE_SUBTREE_CANDIDATES`] entries with the least area
+    /// enlargement; overlap itself runs on precomputed profiles so the
+    /// U-tree's summed metric does not re-interpolate per pair.
+    fn choose_subtree(
+        &self,
+        entries: &[InnerEntry<M::Key>],
+        ekey: &M::Key,
+        children_are_leaves: bool,
+    ) -> usize {
+        debug_assert!(!entries.is_empty());
+        // Rank everything by (area enlargement, area).
+        let scored: Vec<(f64, f64)> = entries
+            .iter()
+            .map(|cand| {
+                let enlarged = self.metrics.union(&cand.key, ekey);
+                let area_before = self.metrics.area(&cand.key);
+                (self.metrics.area(&enlarged) - area_before, area_before)
+            })
+            .collect();
+        if !children_are_leaves {
+            let mut best = 0usize;
+            for i in 1..entries.len() {
+                if scored[i] < scored[best] {
+                    best = i;
+                }
+            }
+            return best;
+        }
+        // Leaf parents: overlap criterion over the best few candidates.
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| scored[a].partial_cmp(&scored[b]).unwrap());
+        order.truncate(CHOOSE_SUBTREE_CANDIDATES);
+        let profiles: Vec<M::OverlapProfile> = entries
+            .iter()
+            .map(|e| self.metrics.overlap_profile(&e.key))
+            .collect();
+        let mut best = order[0];
+        let mut best_score = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for &i in &order {
+            let enlarged = self.metrics.union(&entries[i].key, ekey);
+            let enlarged_profile = self.metrics.overlap_profile(&enlarged);
+            let mut delta = 0.0;
+            for (j, other) in profiles.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                delta += self.metrics.profile_overlap(&enlarged_profile, other)
+                    - self.metrics.profile_overlap(&profiles[i], other);
+            }
+            let score = (delta, scored[i].0, scored[i].1);
+            if score < best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+
+    // ---- deletion -------------------------------------------------------
+
+    /// Deletes the record with identifier `id` whose key is covered by
+    /// `probe_key` (usually the record's own key, possibly rounded by the
+    /// on-page codec). Returns the removed record when found. Dissolved
+    /// under-full nodes are condensed and their entries reinserted (R-tree
+    /// CondenseTree).
+    pub fn delete(&mut self, probe_key: &M::Key, id: u64) -> Option<L> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut orphans: Vec<(usize, Entry<M::Key, L>)> = Vec::new();
+        let mut removed: Option<L> = None;
+        let outcome = self.delete_rec(
+            self.root,
+            self.height - 1,
+            probe_key,
+            id,
+            &mut orphans,
+            &mut removed,
+        );
+        debug_assert!(
+            !matches!(outcome, DeleteOutcome::Dropped),
+            "root must never report Dropped"
+        );
+        if matches!(outcome, DeleteOutcome::NotFound) {
+            return None;
+        }
+        self.len -= 1;
+        // Reinsert orphans (highest level first so inner subtrees are
+        // re-attached before the leaf entries that might land under them).
+        orphans.sort_by_key(|(lvl, _)| std::cmp::Reverse(*lvl));
+        for (lvl, entry) in orphans {
+            let mut flags = vec![false; self.height];
+            self.run_inserts(vec![(lvl, entry)], &mut flags);
+        }
+        self.shrink_root();
+        removed
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn delete_rec(
+        &mut self,
+        page: PageId,
+        level: usize,
+        probe: &M::Key,
+        id: u64,
+        orphans: &mut Vec<(usize, Entry<M::Key, L>)>,
+        removed: &mut Option<L>,
+    ) -> DeleteOutcome<M::Key> {
+        let (_, mut node) = self.load(page);
+        match node {
+            Node::Leaf(ref mut es) => {
+                let Some(pos) = es.iter().position(|e| e.id() == id) else {
+                    return DeleteOutcome::NotFound;
+                };
+                *removed = Some(es.remove(pos));
+                if page != self.root && es.len() < self.min_fill_count(0) {
+                    for e in es.drain(..) {
+                        orphans.push((0, Entry::Leaf(e)));
+                    }
+                    self.file.release(page);
+                    return DeleteOutcome::Dropped;
+                }
+                let key = self.node_key(&node);
+                self.store(page, 0, &node);
+                DeleteOutcome::Kept(key)
+            }
+            Node::Inner(ref mut es) => {
+                let mut hit: Option<usize> = None;
+                let mut dropped = false;
+                for i in 0..es.len() {
+                    if !self
+                        .metrics
+                        .covers(&es[i].key, probe, self.cfg.covers_tolerance)
+                    {
+                        continue;
+                    }
+                    match self.delete_rec(es[i].child, level - 1, probe, id, orphans, removed) {
+                        DeleteOutcome::NotFound => continue,
+                        DeleteOutcome::Kept(Some(k)) => {
+                            es[i].key = k;
+                            hit = Some(i);
+                            break;
+                        }
+                        DeleteOutcome::Kept(None) => {
+                            // Only an empty root leaf reports no key, and the
+                            // root has no parent — unreachable here.
+                            unreachable!("non-root child kept with empty key")
+                        }
+                        DeleteOutcome::Dropped => {
+                            es.remove(i);
+                            dropped = true;
+                            hit = Some(i);
+                            break;
+                        }
+                    }
+                }
+                if hit.is_none() {
+                    return DeleteOutcome::NotFound;
+                }
+                if dropped && page != self.root && es.len() < self.min_fill_count(level) {
+                    for e in es.drain(..) {
+                        orphans.push((level, Entry::Inner(e)));
+                    }
+                    self.file.release(page);
+                    return DeleteOutcome::Dropped;
+                }
+                let key = self.node_key(&node);
+                self.store(page, level, &node);
+                DeleteOutcome::Kept(key)
+            }
+        }
+    }
+
+    /// Collapses trivial roots after deletions.
+    fn shrink_root(&mut self) {
+        loop {
+            let (level, node) = self.load(self.root);
+            match node {
+                Node::Inner(es) if es.len() == 1 => {
+                    let child = es[0].child;
+                    self.file.release(self.root);
+                    self.root = child;
+                    self.height = level; // child level = level - 1 ⇒ height = level
+                }
+                Node::Inner(es) if es.is_empty() => {
+                    // Everything deleted through condensation: reset to an
+                    // empty leaf root.
+                    self.height = 1;
+                    self.store(self.root, 0, &Node::Leaf(Vec::new()));
+                    return;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    // ---- traversal ------------------------------------------------------
+
+    /// Depth-first traversal. `descend(key, child_level)` decides whether a
+    /// subtree is entered; `on_record` sees every reached leaf record. Node
+    /// reads are counted in [`Self::io_stats`].
+    pub fn visit<FI, FL>(&self, mut descend: FI, mut on_record: FL)
+    where
+        FI: FnMut(&M::Key, usize) -> bool,
+        FL: FnMut(&L),
+    {
+        let mut stack = vec![(self.root, self.height - 1)];
+        while let Some((page, level)) = stack.pop() {
+            let (_, node) = self.load(page);
+            match node {
+                Node::Leaf(es) => {
+                    for r in &es {
+                        on_record(r);
+                    }
+                }
+                Node::Inner(es) => {
+                    for e in &es {
+                        if descend(&e.key, level - 1) {
+                            stack.push((e.child, level - 1));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visits every record (uncounted traversal would lie; this one counts).
+    pub fn for_each_record<FL: FnMut(&L)>(&self, on_record: FL) {
+        self.visit(|_, _| true, on_record);
+    }
+
+    /// Structure statistics without touching the I/O counters.
+    pub fn stats(&self) -> TreeStats {
+        let mut stats = TreeStats {
+            nodes_per_level: vec![0; self.height],
+            entries_per_level: vec![0; self.height],
+        };
+        let mut stack = vec![(self.root, self.height - 1)];
+        while let Some((page, level)) = stack.pop() {
+            let bytes = self.file.peek(page);
+            let lvl = bytes[0] as usize;
+            debug_assert_eq!(lvl, level);
+            stats.nodes_per_level[level] += 1;
+            if level == 0 {
+                stats.entries_per_level[0] += self.codec.decode_leaf(&bytes[1..]).len();
+            } else {
+                let es = self.codec.decode_inner(&bytes[1..]);
+                stats.entries_per_level[level] += es.len();
+                for e in &es {
+                    stack.push((e.child, level - 1));
+                }
+            }
+        }
+        stats
+    }
+
+    /// Checks the R-tree bounding invariant everywhere (test helper):
+    /// every inner entry's key must cover the key of its child node.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut stack = vec![(self.root, self.height - 1)];
+        let mut seen = 0usize;
+        while let Some((page, level)) = stack.pop() {
+            let bytes = self.file.peek(page);
+            let lvl = bytes[0] as usize;
+            if lvl != level {
+                return Err(format!("page {page} level {lvl}, expected {level}"));
+            }
+            if level == 0 {
+                let es = self.codec.decode_leaf(&bytes[1..]);
+                if page != self.root && es.len() < self.min_fill_count(0) {
+                    return Err(format!("leaf {page} underfull: {}", es.len()));
+                }
+                seen += es.len();
+            } else {
+                let es = self.codec.decode_inner(&bytes[1..]);
+                if es.is_empty() || (page != self.root && es.len() < self.min_fill_count(level)) {
+                    return Err(format!("inner {page} underfull: {}", es.len()));
+                }
+                for e in &es {
+                    let child_bytes = self.file.peek(e.child);
+                    let child_key = if child_bytes[0] == 0 {
+                        let ces = self.codec.decode_leaf(&child_bytes[1..]);
+                        self.node_key(&Node::Leaf(ces))
+                    } else {
+                        let ces = self.codec.decode_inner(&child_bytes[1..]);
+                        self.node_key(&Node::Inner(ces))
+                    };
+                    if let Some(ck) = child_key {
+                        if !self.metrics.covers(&e.key, &ck, self.cfg.covers_tolerance) {
+                            return Err(format!(
+                                "entry in {page} does not cover child {}: {:?} !⊇ {:?}",
+                                e.child, e.key, ck
+                            ));
+                        }
+                    }
+                    stack.push((e.child, level - 1));
+                }
+            }
+        }
+        if seen != self.len {
+            return Err(format!("len {} but traversal found {seen}", self.len));
+        }
+        Ok(())
+    }
+}
+
+/// Removes the elements at `victims` (any order) from `v`, returning them.
+fn extract<T>(v: &mut Vec<T>, victims: &[usize]) -> Vec<T> {
+    let mut sorted: Vec<usize> = victims.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut out = Vec::with_capacity(sorted.len());
+    for i in sorted {
+        out.push(v.swap_remove(i));
+    }
+    out.reverse();
+    out
+}
+
+/// Consumes `v`, distributing elements into the two index groups.
+fn partition<T>(v: Vec<T>, g1: &[usize], g2: &[usize]) -> (Vec<T>, Vec<T>) {
+    debug_assert_eq!(g1.len() + g2.len(), v.len());
+    let mut slots: Vec<Option<T>> = v.into_iter().map(Some).collect();
+    let take = |slots: &mut Vec<Option<T>>, idxs: &[usize]| {
+        idxs.iter()
+            .map(|&i| slots[i].take().expect("index used twice in split"))
+            .collect::<Vec<T>>()
+    };
+    let a = take(&mut slots, g1);
+    let b = take(&mut slots, g2);
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_removes_and_returns() {
+        let mut v = vec![10, 11, 12, 13, 14];
+        let out = extract(&mut v, &[1, 3]);
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&11) && out.contains(&13));
+        assert_eq!(v.len(), 3);
+        assert!(v.contains(&10) && v.contains(&12) && v.contains(&14));
+    }
+
+    #[test]
+    fn partition_splits_ownership() {
+        let v = vec!["a", "b", "c", "d"];
+        let (x, y) = partition(v, &[2, 0], &[1, 3]);
+        assert_eq!(x, vec!["c", "a"]);
+        assert_eq!(y, vec!["b", "d"]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Little-endian byte codecs for on-page data.
+//!
+//! Floats are narrowed to `f32` on disk (see the crate docs); integers are
+//! fixed-width little-endian.
+
+/// Largest `f32`-representable value `<= v` (as `f64`).
+///
+/// Conservative bounds must round *outward* before being narrowed to the
+/// on-page `f32` format — a lower bound that rounds up would let an object
+/// stick out of its parent entry and break the R-tree bounding invariant.
+pub fn f32_round_down(v: f64) -> f64 {
+    let g = v as f32;
+    let g = if (g as f64) > v { g.next_down() } else { g };
+    g as f64
+}
+
+/// Smallest `f32`-representable value `>= v` (as `f64`).
+pub fn f32_round_up(v: f64) -> f64 {
+    let g = v as f32;
+    let g = if (g as f64) < v { g.next_up() } else { g };
+    g as f64
+}
+
+/// Append-only byte writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow of the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Writes an `f64` narrowed to `f32` (the on-disk float format).
+    pub fn put_f32(&mut self, v: f64) {
+        self.buf.extend_from_slice(&(v as f32).to_le_bytes());
+    }
+
+    /// Writes a full-precision `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Sequential byte reader over a slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Reads an on-disk `f32` widened back to `f64`.
+    pub fn get_f32(&mut self) -> f64 {
+        f32::from_le_bytes(self.take(4).try_into().unwrap()) as f64
+    }
+
+    /// Reads an `f64`.
+    pub fn get_f64(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Reads a `u16`.
+    pub fn get_u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().unwrap())
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(65535);
+        w.put_u32(123_456);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(std::f64::consts::PI);
+        w.put_f32(2.5);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 65535);
+        assert_eq!(r.get_u32(), 123_456);
+        assert_eq!(r.get_u64(), u64::MAX - 3);
+        assert_eq!(r.get_f64(), std::f64::consts::PI);
+        assert_eq!(r.get_f32(), 2.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn f32_narrowing_loses_only_low_bits() {
+        let mut w = ByteWriter::new();
+        let v = 10_000.123_456_789_f64;
+        w.put_f32(v);
+        let bytes = w.into_bytes();
+        let back = ByteReader::new(&bytes).get_f32();
+        assert!((back - v).abs() < 1e-3 * v.abs());
+    }
+
+    #[test]
+    fn conservative_rounding_brackets_the_value() {
+        for v in [0.1f64, -0.1, 10_000.123, -9_876.543, 1e-40, 0.0, 250.0] {
+            let lo = f32_round_down(v);
+            let hi = f32_round_up(v);
+            assert!(lo <= v, "down({v}) = {lo} > v");
+            assert!(hi >= v, "up({v}) = {hi} < v");
+            // And both survive the f32 narrowing unchanged.
+            assert_eq!(lo as f32 as f64, lo);
+            assert_eq!(hi as f32 as f64, hi);
+        }
+    }
+
+    #[test]
+    fn rounding_is_idempotent() {
+        let v = std::f64::consts::PI * 1000.0;
+        let lo = f32_round_down(v);
+        assert_eq!(f32_round_down(lo), lo);
+        let hi = f32_round_up(v);
+        assert_eq!(f32_round_up(hi), hi);
+    }
+
+    #[test]
+    fn position_tracking() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        w.put_u32(2);
+        assert_eq!(w.len(), 8);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        r.get_u32();
+        assert_eq!(r.position(), 4);
+        assert_eq!(r.remaining(), 4);
+    }
+}

@@ -1,0 +1,216 @@
+//! Slotted-page heap file for object detail records.
+//!
+//! Leaf entries of both trees carry a [`RecordAddr`] pointing at the page
+//! (and slot) holding the serialized uncertainty region + pdf parameters.
+//! During refinement the query engine groups candidates by page so that
+//! "for each address, one I/O is performed to load the detailed information
+//! of all relevant candidates" (paper Sec 5.2).
+
+use crate::{PageFile, PageId, PAGE_SIZE};
+
+/// Page layout:
+/// `[n_slots: u16][data_start: u16]` then `n_slots` descriptors of
+/// `[offset: u16][len: u16]`; record bytes grow downward from the page end.
+/// A zero-length descriptor is a tombstone.
+const HEADER: usize = 4;
+const SLOT: usize = 4;
+
+/// Address of a record: page + slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordAddr {
+    /// Heap page holding the record.
+    pub page: PageId,
+    /// Slot index within the page.
+    pub slot: u16,
+}
+
+/// An append-mostly heap of variable-length records packed into pages.
+#[derive(Debug, Default)]
+pub struct ObjectHeap {
+    file: PageFile,
+    /// Page currently being filled.
+    open_page: Option<PageId>,
+}
+
+impl ObjectHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Underlying page file (for I/O statistics and size reporting).
+    pub fn file(&self) -> &PageFile {
+        &self.file
+    }
+
+    /// Inserts a record; returns its address.
+    ///
+    /// Records must fit a page (`len + 8 <= PAGE_SIZE`); the object records
+    /// of the paper's datasets are well under 100 bytes.
+    pub fn insert(&mut self, record: &[u8]) -> RecordAddr {
+        assert!(
+            record.len() + HEADER + SLOT <= PAGE_SIZE,
+            "record of {} bytes cannot fit a page",
+            record.len()
+        );
+        if let Some(page) = self.open_page {
+            if let Some(addr) = self.try_append(page, record) {
+                return addr;
+            }
+        }
+        let page = self.file.allocate();
+        // Fresh page: initialise header (n=0, data_start=PAGE_SIZE).
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        self.file.write(page, &buf);
+        self.open_page = Some(page);
+        self.try_append(page, record)
+            .expect("fresh page must accept the record")
+    }
+
+    /// Appends to `page` if space allows; one read + one write when it does.
+    fn try_append(&mut self, page: PageId, record: &[u8]) -> Option<RecordAddr> {
+        let mut buf = self.file.peek(page).to_vec();
+        let n_slots = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+        let data_start = u16::from_le_bytes([buf[2], buf[3]]) as usize;
+        let slot_table_end = HEADER + (n_slots + 1) * SLOT;
+        if slot_table_end + record.len() > data_start {
+            return None;
+        }
+        self.file.stats().record_read();
+        let new_start = data_start - record.len();
+        buf[new_start..data_start].copy_from_slice(record);
+        let slot_off = HEADER + n_slots * SLOT;
+        buf[slot_off..slot_off + 2].copy_from_slice(&(new_start as u16).to_le_bytes());
+        buf[slot_off + 2..slot_off + 4].copy_from_slice(&(record.len() as u16).to_le_bytes());
+        buf[0..2].copy_from_slice(&((n_slots + 1) as u16).to_le_bytes());
+        buf[2..4].copy_from_slice(&(new_start as u16).to_le_bytes());
+        self.file.write(page, &buf);
+        Some(RecordAddr {
+            page,
+            slot: n_slots as u16,
+        })
+    }
+
+    /// Reads one record (counted as one page read).
+    pub fn get(&self, addr: RecordAddr) -> Option<Vec<u8>> {
+        let buf = self.file.read(addr.page);
+        Self::record_in(buf, addr.slot)
+    }
+
+    /// Reads a whole page and returns every live record with its slot —
+    /// the refinement step's one-I/O-per-page access path.
+    pub fn page_records(&self, page: PageId) -> Vec<(u16, Vec<u8>)> {
+        let buf = self.file.read(page);
+        let n_slots = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+        let mut out = Vec::with_capacity(n_slots);
+        for slot in 0..n_slots {
+            if let Some(rec) = Self::record_in(buf, slot as u16) {
+                out.push((slot as u16, rec));
+            }
+        }
+        out
+    }
+
+    fn record_in(buf: &[u8], slot: u16) -> Option<Vec<u8>> {
+        let n_slots = u16::from_le_bytes([buf[0], buf[1]]);
+        if slot >= n_slots {
+            return None;
+        }
+        let off = HEADER + slot as usize * SLOT;
+        let start = u16::from_le_bytes([buf[off], buf[off + 1]]) as usize;
+        let len = u16::from_le_bytes([buf[off + 2], buf[off + 3]]) as usize;
+        if len == 0 {
+            return None;
+        }
+        Some(buf[start..start + len].to_vec())
+    }
+
+    /// Tombstones a record (read + write of its page). Space is not
+    /// compacted — deletions in the paper's workload are index-side.
+    pub fn remove(&mut self, addr: RecordAddr) {
+        let mut buf = self.file.read(addr.page).to_vec();
+        let n_slots = u16::from_le_bytes([buf[0], buf[1]]);
+        assert!(addr.slot < n_slots, "remove of unknown slot");
+        let off = HEADER + addr.slot as usize * SLOT;
+        buf[off + 2..off + 4].copy_from_slice(&0u16.to_le_bytes());
+        self.file.write(addr.page, &buf);
+    }
+
+    /// Size of the heap in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.file.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut h = ObjectHeap::new();
+        let a = h.insert(b"alpha");
+        let b = h.insert(b"beta");
+        assert_eq!(h.get(a).unwrap(), b"alpha");
+        assert_eq!(h.get(b).unwrap(), b"beta");
+    }
+
+    #[test]
+    fn records_pack_into_shared_pages() {
+        let mut h = ObjectHeap::new();
+        let a = h.insert(&[1u8; 100]);
+        let b = h.insert(&[2u8; 100]);
+        assert_eq!(a.page, b.page, "small records should share a page");
+        assert_ne!(a.slot, b.slot);
+    }
+
+    #[test]
+    fn page_overflows_to_next() {
+        let mut h = ObjectHeap::new();
+        let big = vec![7u8; 1500];
+        let a = h.insert(&big);
+        let b = h.insert(&big);
+        let c = h.insert(&big);
+        assert_eq!(a.page, b.page);
+        assert_ne!(a.page, c.page, "third 1500B record cannot fit the page");
+    }
+
+    #[test]
+    fn page_records_returns_all_live() {
+        let mut h = ObjectHeap::new();
+        let a = h.insert(b"one");
+        let _b = h.insert(b"two");
+        let _c = h.insert(b"three");
+        h.remove(a);
+        let recs = h.page_records(a.page);
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().any(|(_, r)| r == b"two"));
+        assert!(recs.iter().any(|(_, r)| r == b"three"));
+    }
+
+    #[test]
+    fn removed_record_is_gone() {
+        let mut h = ObjectHeap::new();
+        let a = h.insert(b"dead");
+        h.remove(a);
+        assert!(h.get(a).is_none());
+    }
+
+    #[test]
+    fn many_records_addressable() {
+        let mut h = ObjectHeap::new();
+        let addrs: Vec<_> = (0..500u32)
+            .map(|i| {
+                let mut rec = vec![0u8; 40];
+                rec[..4].copy_from_slice(&i.to_le_bytes());
+                h.insert(&rec)
+            })
+            .collect();
+        for (i, addr) in addrs.iter().enumerate() {
+            let rec = h.get(*addr).unwrap();
+            assert_eq!(u32::from_le_bytes(rec[..4].try_into().unwrap()), i as u32);
+        }
+        assert!(h.file().live_pages() > 1, "40B x500 records must span pages");
+    }
+}

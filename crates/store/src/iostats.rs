@@ -1,0 +1,72 @@
+//! I/O counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters of page-level I/O, shared by readers via `&self`.
+///
+/// The relaxed atomics make the counters usable from the (single-threaded)
+/// query path and from concurrent benchmark harnesses alike.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one page read.
+    #[inline]
+    pub fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one page write.
+    #[inline]
+    pub fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of page reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of page writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Total page accesses (reads + writes) — the paper's "node accesses"
+    /// for read-only workloads equals `reads()`.
+    pub fn total(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    /// Zeroes both counters.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = IoStats::new();
+        s.record_read();
+        s.record_read();
+        s.record_write();
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.writes(), 1);
+        assert_eq!(s.total(), 3);
+        s.reset();
+        assert_eq!(s.total(), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Simulated paged storage with I/O accounting.
+//!
+//! The paper measures query cost in *node accesses* against a 4096-byte page
+//! size (Sec 6). This crate provides the storage substrate both trees sit
+//! on:
+//!
+//! * [`PageFile`] — a page-granular store where every read/write is counted
+//!   (one tree node = one page, exactly like the paper's setup);
+//! * [`ObjectHeap`] — a slotted-page heap file holding the "details of
+//!   `o.ur` and the parameters of `o.pdf`" that leaf entries point to; the
+//!   refinement step groups candidates by page and performs **one I/O per
+//!   page** (Sec 5.2);
+//! * [`codec`] — little-endian byte readers/writers. On-page floats are
+//!   stored as `f32` (computation stays `f64`): this matches the paper's
+//!   entry-size arithmetic (Table 1) and is standard practice for
+//!   coordinate data.
+
+pub mod codec;
+mod heap;
+mod iostats;
+mod pagefile;
+
+pub use codec::{f32_round_down, f32_round_up, ByteReader, ByteWriter};
+pub use heap::{ObjectHeap, RecordAddr};
+pub use iostats::IoStats;
+pub use pagefile::{PageFile, PageId, PAGE_SIZE};

@@ -1,0 +1,63 @@
+//! Aircraft tracking: the paper's 3D evaluation scenario as an application.
+//!
+//! 100k (scaled down here) aircraft fly between 2000 airports; the tracker
+//! knows each position up to a radius-125 sphere. Queries ask for aircraft
+//! inside an airspace box (lat × lon × altitude band) with high confidence
+//! — e.g. conflict probing around a storm cell.
+//!
+//! ```text
+//! cargo run --release --example aircraft_tracking
+//! ```
+
+use utree_repro::prelude::*;
+
+fn main() {
+    const FLEET: usize = 20_000;
+    let objects = datagen::aircraft_dataset(FLEET, 7);
+
+    let mut tree = UTree::<3>::new(UCatalog::uniform(10));
+    let mut upcr = UPcrTree::<3>::new(UCatalog::uniform(10));
+    for o in &objects {
+        tree.insert(o);
+        upcr.insert(o);
+    }
+    println!(
+        "tracking {FLEET} aircraft | U-tree {:.1} MB vs U-PCR {:.1} MB",
+        tree.index_size_bytes() as f64 / 1e6,
+        upcr.index_size_bytes() as f64 / 1e6,
+    );
+
+    // A storm cell: 1500-unit square footprint, altitude band 20%–45%.
+    let storm = Rect::new([4_000.0, 4_000.0, 2_000.0], [5_500.0, 5_500.0, 4_500.0]);
+
+    for pq in [0.9, 0.6, 0.3] {
+        let q = ProbRangeQuery::new(storm, pq);
+        let (ids, s_tree) = tree.query(&q, RefineMode::default());
+        let (ids2, s_upcr) = upcr.query(&q, RefineMode::default());
+        assert_eq!(sorted(ids.clone()), sorted(ids2));
+        println!(
+            "aircraft in storm cell at ≥{:>2.0}%: {:4} | U-tree {:3} I/Os vs U-PCR {:3} I/Os",
+            pq * 100.0,
+            ids.len(),
+            s_tree.total_io(),
+            s_upcr.total_io(),
+        );
+    }
+
+    // Safety margin analysis: everything that could *possibly* be inside
+    // (threshold ~0) versus near-certain occupants.
+    let any = ProbRangeQuery::new(storm, 0.01);
+    let sure = ProbRangeQuery::new(storm, 0.99);
+    let (possible, _) = tree.query(&any, RefineMode::default());
+    let (certain, _) = tree.query(&sure, RefineMode::default());
+    println!(
+        "\nrisk picture: {} possibly inside, {} almost certainly inside",
+        possible.len(),
+        certain.len()
+    );
+}
+
+fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v
+}

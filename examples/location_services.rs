@@ -1,0 +1,87 @@
+//! Location-based services: the paper's Figure-1 scenario.
+//!
+//! Moving clients report a position only when they stray more than a
+//! distance threshold from their last report, so the server knows each
+//! client up to a circular uncertainty region. The canonical query —
+//! "retrieve the objects that are currently in the downtown area with a
+//! probability no less than 80%" — is a prob-range query.
+//!
+//! ```text
+//! cargo run --release --example location_services
+//! ```
+
+use utree_repro::prelude::*;
+
+fn main() {
+    const CLIENTS: usize = 20_000;
+    let threshold = 250.0; // report distance threshold = uncertainty radius
+
+    // Last-reported positions follow an urban cluster distribution.
+    let objects = datagen::to_uniform_objects(&datagen::lb_points(CLIENTS, 99), threshold);
+
+    let mut tree = UTree::<2>::new(UCatalog::uniform(12));
+    let mut scan = SeqScan::<2>::new(UCatalog::uniform(12));
+    for o in &objects {
+        tree.insert(o);
+        scan.insert(o);
+    }
+    println!(
+        "indexed {CLIENTS} clients (uncertainty radius {threshold}); \
+         U-tree: {} pages, {} levels",
+        tree.tree_stats().total_nodes(),
+        tree.tree_stats().nodes_per_level.len()
+    );
+
+    // Downtown = a 1.5km square around a busy cluster center.
+    let downtown_center = objects[17].mbr().center();
+    let downtown = Rect::cube(&downtown_center, 1_500.0);
+
+    for pq in [0.8, 0.5, 0.2] {
+        let q = ProbRangeQuery::new(downtown, pq);
+        let (ids, stats) = tree.query(&q, RefineMode::default());
+        let (scan_ids, scan_stats) = scan.query(&q, RefineMode::default());
+        assert_eq!(
+            sorted(ids.clone()),
+            sorted(scan_ids),
+            "index and scan must agree"
+        );
+        println!(
+            "P >= {:.0}%: {:4} clients | U-tree: {:4} I/Os, {:3} integrations | \
+             seq-scan: {:4} I/Os, {:3} integrations",
+            pq * 100.0,
+            ids.len(),
+            stats.total_io(),
+            stats.prob_computations,
+            scan_stats.total_io(),
+            scan_stats.prob_computations,
+        );
+    }
+
+    // Clients move: each new report is a delete + insert.
+    println!("\nsimulating 1000 client movements…");
+    let moved: Vec<UncertainObject<2>> = objects
+        .iter()
+        .take(1000)
+        .map(|o| {
+            let c = o.mbr().center();
+            UncertainObject::new(
+                o.id,
+                ObjectPdf::UniformBall {
+                    center: Point::new([c.coords[0] + 400.0, c.coords[1] - 250.0]),
+                    radius: threshold,
+                },
+            )
+        })
+        .collect();
+    for (old, new) in objects.iter().zip(&moved) {
+        assert!(tree.delete(old), "client {} must be deletable", old.id);
+        tree.insert(new);
+    }
+    tree.check_invariants().expect("index stays consistent");
+    println!("index still holds {} clients and passes invariants", tree.len());
+}
+
+fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v
+}

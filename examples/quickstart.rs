@@ -1,0 +1,82 @@
+//! Quickstart: index a handful of uncertain objects and run prob-range
+//! queries.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use utree_repro::prelude::*;
+
+fn main() {
+    // A U-catalog is the set of probability values at which the index
+    // pre-computes its filters. 10 evenly spaced values is a good default.
+    let mut tree = UTree::<2>::new(UCatalog::uniform(10));
+
+    // A delivery drone somewhere within 150m of its last report, equally
+    // likely anywhere in that disk.
+    tree.insert(&UncertainObject::new(
+        1,
+        ObjectPdf::UniformBall {
+            center: Point::new([2_000.0, 3_000.0]),
+            radius: 150.0,
+        },
+    ));
+
+    // A vehicle whose GPS fix is Gaussian around the reported position,
+    // truncated to a 200m disk (the paper's Constrained-Gaussian).
+    tree.insert(&UncertainObject::new(
+        2,
+        ObjectPdf::ConGauBall {
+            center: Point::new([2_300.0, 3_100.0]),
+            radius: 200.0,
+            sigma: 100.0,
+        },
+    ));
+
+    // A sensor whose reading lives in an axis-aligned error box.
+    tree.insert(&UncertainObject::new(
+        3,
+        ObjectPdf::UniformBox {
+            rect: Rect::new([5_000.0, 5_000.0], [5_400.0, 5_600.0]),
+        },
+    ));
+
+    // A truly arbitrary pdf: a histogram leaning toward the north-east.
+    tree.insert(&UncertainObject::new(
+        4,
+        ObjectPdf::Histogram(HistogramPdf::from_fn(
+            Rect::new([2_100.0, 2_800.0], [2_500.0, 3_200.0]),
+            [16, 16],
+            |p| (p.coords[0] - 2_100.0) + (p.coords[1] - 2_800.0) + 50.0,
+        )),
+    ));
+
+    // "Which objects are in the downtown rectangle with >= 80% probability?"
+    let downtown = Rect::new([1_800.0, 2_800.0], [2_600.0, 3_300.0]);
+    let query = ProbRangeQuery::new(downtown, 0.8);
+    let (ids, stats) = tree.query(&query, RefineMode::default());
+
+    println!("objects in downtown with P >= 80%: {ids:?}");
+    println!(
+        "cost: {} node accesses, {} probability integrations \
+         ({} validated for free, {} pruned for free)",
+        stats.node_reads, stats.prob_computations, stats.validated, stats.pruned
+    );
+
+    // Lower the bar to 20% — more objects qualify.
+    let relaxed = ProbRangeQuery::new(downtown, 0.2);
+    let (ids, _) = tree.query(&relaxed, RefineMode::default());
+    println!("objects in downtown with P >= 20%: {ids:?}");
+
+    // The index is fully dynamic: objects can leave.
+    let gone = UncertainObject::new(
+        1,
+        ObjectPdf::UniformBall {
+            center: Point::new([2_000.0, 3_000.0]),
+            radius: 150.0,
+        },
+    );
+    assert!(tree.delete(&gone));
+    let (ids, _) = tree.query(&relaxed, RefineMode::default());
+    println!("after drone 1 left: {ids:?}");
+}

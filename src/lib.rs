@@ -1,0 +1,64 @@
+//! # utree-repro
+//!
+//! Umbrella crate of the reproduction of *"Indexing Multi-Dimensional
+//! Uncertain Data with Arbitrary Probability Density Functions"* (Tao,
+//! Cheng, Xiao, Ngai, Kao, Prabhakar — VLDB 2005).
+//!
+//! Re-exports the whole stack under one roof:
+//!
+//! * [`geom`] — d-dimensional geometry;
+//! * [`pdf`] — pdf models, marginal CDFs, appearance probability;
+//! * [`lp`] — the Simplex solver behind CFB fitting;
+//! * [`store`] — paged storage with I/O accounting;
+//! * [`rstar`] — the generic R*-tree machinery and the precise-data
+//!   baseline;
+//! * [`index`] — the paper's structures: [`index::UTree`],
+//!   [`index::UPcrTree`], [`index::SeqScan`];
+//! * [`data`] — the LB/CA/Aircraft dataset generators and workloads.
+//!
+//! ```
+//! use utree_repro::prelude::*;
+//!
+//! let mut tree = UTree::<2>::new(UCatalog::uniform(10));
+//! for object in datagen::lb_dataset(200, 42) {
+//!     tree.insert(&object);
+//! }
+//! let query = ProbRangeQuery::new(Rect::new([2000.0, 2000.0], [4000.0, 4000.0]), 0.7);
+//! let (ids, stats) = tree.query(&query, RefineMode::default());
+//! println!("{} results, {} node accesses", ids.len(), stats.node_reads);
+//! ```
+
+pub use datagen as data;
+pub use page_store as store;
+pub use rstar_base as rstar;
+pub use simplex_lp as lp;
+pub use uncertain_geom as geom;
+pub use uncertain_pdf as pdf;
+pub use utree as index;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use datagen;
+    pub use uncertain_geom::{Point, Rect};
+    pub use uncertain_pdf::{HistogramPdf, ObjectPdf, Region, UncertainObject};
+    pub use utree::{
+        FilterOutcome, ProbRangeQuery, QueryStats, RefineMode, SeqScan, UCatalog, UPcrTree, UTree,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_builds_and_queries() {
+        let mut tree = UTree::<2>::new(UCatalog::uniform(6));
+        let objs = datagen::lb_dataset(100, 7);
+        for o in &objs {
+            tree.insert(o);
+        }
+        let q = ProbRangeQuery::new(Rect::new([0.0, 0.0], [10_000.0, 10_000.0]), 0.5);
+        let (ids, _) = tree.query(&q, RefineMode::Reference { tol: 1e-6 });
+        assert_eq!(ids.len(), 100, "domain-spanning query returns everything");
+    }
+}

@@ -1,0 +1,222 @@
+//! Cross-crate integration: the three query engines (U-tree, U-PCR,
+//! sequential scan) must return identical result sets, and those results
+//! must match brute-force ground truth — through inserts, deletes and
+//! mixed pdf types.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use utree_repro::prelude::*;
+
+/// Builds a mixed-pdf dataset exercising every model the library ships.
+fn mixed_dataset(n: usize, seed: u64) -> Vec<UncertainObject<2>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|id| {
+            let cx = rng.gen_range(500.0..9_500.0);
+            let cy = rng.gen_range(500.0..9_500.0);
+            let pdf = match id % 4 {
+                0 => ObjectPdf::UniformBall {
+                    center: Point::new([cx, cy]),
+                    radius: rng.gen_range(50.0..250.0),
+                },
+                1 => ObjectPdf::ConGauBall {
+                    center: Point::new([cx, cy]),
+                    radius: 250.0,
+                    sigma: 125.0,
+                },
+                2 => {
+                    let w = rng.gen_range(100.0..400.0);
+                    let h = rng.gen_range(100.0..400.0);
+                    ObjectPdf::UniformBox {
+                        rect: Rect::new([cx - w / 2.0, cy - h / 2.0], [cx + w / 2.0, cy + h / 2.0]),
+                    }
+                }
+                _ => {
+                    let half = rng.gen_range(80.0..200.0);
+                    ObjectPdf::Histogram(HistogramPdf::from_fn(
+                        Rect::new([cx - half, cy - half], [cx + half, cy + half]),
+                        [8, 8],
+                        |p| 1.0 + (p.coords[0] * 0.01).sin().abs(),
+                    ))
+                }
+            };
+            UncertainObject::new(id as u64, pdf)
+        })
+        .collect()
+}
+
+fn ground_truth(
+    objs: &[UncertainObject<2>],
+    rq: &Rect<2>,
+    pq: f64,
+) -> (Vec<u64>, Vec<u64>) {
+    let mut expect = Vec::new();
+    let mut boundary = Vec::new();
+    for o in objs {
+        let p = utree_repro::pdf::appearance_reference(&o.pdf, rq, 1e-9);
+        if (p - pq).abs() < 2e-4 {
+            boundary.push(o.id); // too close to call under numeric noise
+        } else if p >= pq {
+            expect.push(o.id);
+        }
+    }
+    (expect, boundary)
+}
+
+fn clean(mut ids: Vec<u64>, boundary: &[u64]) -> Vec<u64> {
+    ids.retain(|id| !boundary.contains(id));
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn all_engines_agree_with_ground_truth() {
+    let objs = mixed_dataset(400, 2024);
+    let mut tree = UTree::new(UCatalog::uniform(12));
+    let mut upcr = UPcrTree::new(UCatalog::uniform(9));
+    let mut scan = SeqScan::new(UCatalog::uniform(12));
+    for o in &objs {
+        tree.insert(o);
+        upcr.insert(o);
+        scan.insert(o);
+    }
+    tree.check_invariants().unwrap();
+    upcr.check_invariants().unwrap();
+
+    let mut rng = SmallRng::seed_from_u64(7);
+    for round in 0..25 {
+        let c = Point::new([
+            rng.gen_range(1_000.0..9_000.0),
+            rng.gen_range(1_000.0..9_000.0),
+        ]);
+        let rq = Rect::cube(&c, rng.gen_range(300.0..2_500.0));
+        let pq = rng.gen_range(0.05..0.95);
+        let q = ProbRangeQuery::new(rq, pq);
+        let mode = RefineMode::Reference { tol: 1e-9 };
+
+        let (t_ids, _) = tree.query(&q, mode);
+        let (p_ids, _) = upcr.query(&q, mode);
+        let (s_ids, _) = scan.query(&q, mode);
+        let (expect, boundary) = ground_truth(&objs, &rq, pq);
+        let expect = clean(expect, &boundary);
+
+        assert_eq!(clean(t_ids, &boundary), expect, "U-tree, round {round}");
+        assert_eq!(clean(p_ids, &boundary), expect, "U-PCR, round {round}");
+        assert_eq!(clean(s_ids, &boundary), expect, "SeqScan, round {round}");
+    }
+}
+
+#[test]
+fn agreement_survives_interleaved_deletes() {
+    let objs = mixed_dataset(300, 555);
+    let mut tree = UTree::new(UCatalog::uniform(10));
+    let mut upcr = UPcrTree::new(UCatalog::uniform(10));
+    for o in &objs {
+        tree.insert(o);
+        upcr.insert(o);
+    }
+
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut alive: Vec<UncertainObject<2>> = objs.clone();
+    for round in 0..5 {
+        // Delete a random third of the survivors.
+        let mut keep = Vec::new();
+        for o in alive.drain(..) {
+            if rng.gen_bool(1.0 / 3.0) {
+                assert!(tree.delete(&o), "U-tree delete {} r{round}", o.id);
+                assert!(upcr.delete(&o), "U-PCR delete {} r{round}", o.id);
+            } else {
+                keep.push(o);
+            }
+        }
+        alive = keep;
+        tree.check_invariants().unwrap();
+        upcr.check_invariants().unwrap();
+
+        let rq = Rect::cube(
+            &Point::new([
+                rng.gen_range(2_000.0..8_000.0),
+                rng.gen_range(2_000.0..8_000.0),
+            ]),
+            1_800.0,
+        );
+        let pq = rng.gen_range(0.1..0.9);
+        let q = ProbRangeQuery::new(rq, pq);
+        let mode = RefineMode::Reference { tol: 1e-9 };
+        let (t_ids, _) = tree.query(&q, mode);
+        let (p_ids, _) = upcr.query(&q, mode);
+        let (expect, boundary) = ground_truth(&alive, &rq, pq);
+        let expect = clean(expect, &boundary);
+        assert_eq!(clean(t_ids, &boundary), expect, "U-tree after deletes r{round}");
+        assert_eq!(clean(p_ids, &boundary), expect, "U-PCR after deletes r{round}");
+    }
+}
+
+#[test]
+fn monte_carlo_refinement_matches_reference_off_boundary() {
+    // With queries whose qualifying objects sit well away from the
+    // threshold, MC refinement (the paper's estimator) and quadrature must
+    // produce the same result sets.
+    let objs = mixed_dataset(150, 31);
+    let mut tree = UTree::new(UCatalog::uniform(10));
+    for o in &objs {
+        tree.insert(o);
+    }
+    let mut rng = SmallRng::seed_from_u64(3);
+    for _ in 0..8 {
+        let rq = Rect::cube(
+            &Point::new([
+                rng.gen_range(2_000.0..8_000.0),
+                rng.gen_range(2_000.0..8_000.0),
+            ]),
+            2_000.0,
+        );
+        let q = ProbRangeQuery::new(rq, 0.5);
+        let (ref_ids, _) = tree.query(&q, RefineMode::Reference { tol: 1e-9 });
+        let (mc_ids, _) = tree.query(
+            &q,
+            RefineMode::MonteCarlo {
+                n1: 100_000,
+                seed: 1,
+            },
+        );
+        // Objects with P within MC noise of 0.5 may differ; exclude them.
+        let noisy: Vec<u64> = objs
+            .iter()
+            .filter(|o| {
+                let p = utree_repro::pdf::appearance_reference(&o.pdf, &rq, 1e-9);
+                (p - 0.5).abs() < 0.02
+            })
+            .map(|o| o.id)
+            .collect();
+        assert_eq!(clean(ref_ids, &noisy), clean(mc_ids, &noisy));
+    }
+}
+
+#[test]
+fn three_dimensional_engines_agree() {
+    let objs = datagen::aircraft_dataset(400, 17);
+    let mut tree = UTree::<3>::new(UCatalog::uniform(10));
+    let mut upcr = UPcrTree::<3>::new(UCatalog::uniform(10));
+    for o in &objs {
+        tree.insert(o);
+        upcr.insert(o);
+    }
+    let mut rng = SmallRng::seed_from_u64(41);
+    for _ in 0..10 {
+        let c = Point::new([
+            rng.gen_range(2_000.0..8_000.0),
+            rng.gen_range(2_000.0..8_000.0),
+            rng.gen_range(2_000.0..8_000.0),
+        ]);
+        let q = ProbRangeQuery::new(Rect::cube(&c, 1_500.0), rng.gen_range(0.1..0.9));
+        let mode = RefineMode::Reference { tol: 1e-7 };
+        let (a, _) = tree.query(&q, mode);
+        let (b, _) = upcr.query(&q, mode);
+        let mut a = a;
+        let mut b = b;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

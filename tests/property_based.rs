@@ -1,0 +1,238 @@
+//! Property-based tests of the paper's core invariants, via proptest.
+//!
+//! These are the load-bearing guarantees: if any of them breaks, the index
+//! can return wrong answers — so they are fuzzed over random pdfs,
+//! catalogs, queries and LP instances rather than hand-picked cases.
+
+use proptest::prelude::*;
+use utree_repro::geom::{Point, Rect};
+use utree_repro::index::{
+    filter_object, fit_cfb_pair, CfbView, FilterOutcome, PcrSet, UCatalog,
+};
+use utree_repro::lp::LinearProgram;
+use utree_repro::pdf::{appearance_reference, ObjectPdf};
+
+/// Strategy: an uncertain 2D object with a random supported pdf model.
+fn arb_pdf() -> impl Strategy<Value = ObjectPdf<2>> {
+    let ball = (100.0..9_900.0f64, 100.0..9_900.0f64, 20.0..400.0f64)
+        .prop_map(|(x, y, r)| ObjectPdf::UniformBall {
+            center: Point::new([x, y]),
+            radius: r,
+        });
+    let gau = (100.0..9_900.0f64, 100.0..9_900.0f64, 50.0..400.0f64, 0.3..0.9f64).prop_map(
+        |(x, y, r, frac)| ObjectPdf::ConGauBall {
+            center: Point::new([x, y]),
+            radius: r,
+            sigma: r * frac,
+        },
+    );
+    let bx = (100.0..9_000.0f64, 100.0..9_000.0f64, 20.0..600.0f64, 20.0..600.0f64).prop_map(
+        |(x, y, w, h)| ObjectPdf::UniformBox {
+            rect: Rect::new([x, y], [x + w, y + h]),
+        },
+    );
+    prop_oneof![ball, gau, bx]
+}
+
+fn arb_catalog() -> impl Strategy<Value = UCatalog> {
+    (3usize..12).prop_map(UCatalog::uniform)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PCRs are nested: pcr(p) shrinks as p grows (Sec 4.1).
+    #[test]
+    fn pcrs_are_nested(pdf in arb_pdf(), cat in arb_catalog()) {
+        let pcrs = PcrSet::compute(&pdf, &cat);
+        for j in 1..pcrs.len() {
+            let outer = pcrs.rect(j - 1);
+            let inner = pcrs.rect(j);
+            for i in 0..2 {
+                prop_assert!(outer.min[i] <= inner.min[i] + 1e-6);
+                prop_assert!(outer.max[i] >= inner.max[i] - 1e-6);
+            }
+        }
+        // pcr(p1=0) equals the MBR.
+        let mbr = pdf.mbr();
+        for i in 0..2 {
+            prop_assert!((pcrs.rect(0).min[i] - mbr.min[i]).abs() < 1.0);
+            prop_assert!((pcrs.rect(0).max[i] - mbr.max[i]).abs() < 1.0);
+        }
+    }
+
+    /// CFBs bracket the PCRs at every catalog value (Sec 4.3 contract).
+    #[test]
+    fn cfbs_bracket_pcrs(pdf in arb_pdf(), cat in arb_catalog()) {
+        let pcrs = PcrSet::compute(&pdf, &cat);
+        let pair = fit_cfb_pair(&pcrs, &cat);
+        for (j, &p) in cat.values().iter().enumerate() {
+            let out = pair.outer.eval(p);
+            let inn = pair.inner.eval(p);
+            let pcr = pcrs.rect(j);
+            for i in 0..2 {
+                prop_assert!(out.min[i] <= pcr.min[i] + 1e-6, "outer low face at p={p}");
+                prop_assert!(out.max[i] >= pcr.max[i] - 1e-6, "outer high face at p={p}");
+                // Inner faces may collapse at p≈0.5 within quantile noise.
+                prop_assert!(inn.min[i] >= pcr.min[i] - 0.5, "inner low face at p={p}");
+                prop_assert!(inn.max[i] <= pcr.max[i] + 0.5, "inner high face at p={p}");
+            }
+        }
+    }
+
+    /// Filter soundness: a pruned object's true appearance probability is
+    /// below the threshold; a validated object's is above (up to numeric
+    /// slack). This is Observations 2+3 against quadrature ground truth.
+    #[test]
+    fn filter_never_lies(
+        pdf in arb_pdf(),
+        cat in arb_catalog(),
+        qx in 0.0..9_000.0f64,
+        qy in 0.0..9_000.0f64,
+        qs in 100.0..3_000.0f64,
+        pq in 0.02..0.98f64,
+    ) {
+        let rq = Rect::new([qx, qy], [qx + qs, qy + qs]);
+        let truth = appearance_reference(&pdf, &rq, 1e-8);
+        let mbr = pdf.mbr();
+        const SLACK: f64 = 2e-3; // quantile grid + quadrature noise
+
+        // Observation 2 (exact PCRs)…
+        let pcrs = PcrSet::compute(&pdf, &cat);
+        match filter_object(&pcrs, &mbr, &cat, &rq, pq) {
+            FilterOutcome::Pruned => prop_assert!(
+                truth < pq + SLACK,
+                "PCR filter pruned an object with P={truth} >= pq={pq}"
+            ),
+            FilterOutcome::Validated => prop_assert!(
+                truth > pq - SLACK,
+                "PCR filter validated an object with P={truth} < pq={pq}"
+            ),
+            FilterOutcome::Candidate => {}
+        }
+
+        // …and Observation 3 (CFBs) must both be sound.
+        let pair = fit_cfb_pair(&pcrs, &cat);
+        let view = CfbView { pair: &pair, catalog: &cat };
+        match filter_object(&view, &mbr, &cat, &rq, pq) {
+            FilterOutcome::Pruned => prop_assert!(
+                truth < pq + SLACK,
+                "CFB filter pruned an object with P={truth} >= pq={pq}"
+            ),
+            FilterOutcome::Validated => prop_assert!(
+                truth > pq - SLACK,
+                "CFB filter validated an object with P={truth} < pq={pq}"
+            ),
+            FilterOutcome::Candidate => {}
+        }
+    }
+
+    /// CFB filtering is weaker than exact-PCR filtering, never stronger in
+    /// a contradictory way: if the CFB view *validates*, exact PCRs must
+    /// not *prune*, and vice versa.
+    #[test]
+    fn cfb_and_pcr_filters_are_consistent(
+        pdf in arb_pdf(),
+        cat in arb_catalog(),
+        qx in 0.0..9_000.0f64,
+        qy in 0.0..9_000.0f64,
+        qs in 100.0..3_000.0f64,
+        pq in 0.02..0.98f64,
+    ) {
+        let rq = Rect::new([qx, qy], [qx + qs, qy + qs]);
+        let mbr = pdf.mbr();
+        let pcrs = PcrSet::compute(&pdf, &cat);
+        let pair = fit_cfb_pair(&pcrs, &cat);
+        let view = CfbView { pair: &pair, catalog: &cat };
+        let a = filter_object(&pcrs, &mbr, &cat, &rq, pq);
+        let b = filter_object(&view, &mbr, &cat, &rq, pq);
+        prop_assert!(
+            !(a == FilterOutcome::Pruned && b == FilterOutcome::Validated),
+            "PCR pruned but CFB validated"
+        );
+        prop_assert!(
+            !(a == FilterOutcome::Validated && b == FilterOutcome::Pruned),
+            "PCR validated but CFB pruned"
+        );
+    }
+
+    /// Rectangle algebra invariants the R*-tree machinery relies on.
+    #[test]
+    fn rect_algebra(
+        ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+        aw in 0.0..50.0f64, ah in 0.0..50.0f64,
+        bx in -100.0..100.0f64, by in -100.0..100.0f64,
+        bw in 0.0..50.0f64, bh in 0.0..50.0f64,
+    ) {
+        let a = Rect::new([ax, ay], [ax + aw, ay + ah]);
+        let b = Rect::new([bx, by], [bx + bw, by + bh]);
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+        prop_assert!((a.overlap(&b) - b.overlap(&a)).abs() < 1e-9);
+        prop_assert!(a.overlap(&b) <= a.area().min(b.area()) + 1e-9);
+        match a.intersection(&b) {
+            Some(i) => {
+                prop_assert!(a.intersects(&b));
+                prop_assert!((i.area() - a.overlap(&b)).abs() < 1e-9);
+            }
+            None => prop_assert!(!a.intersects(&b)),
+        }
+    }
+
+    /// The Simplex solver against brute-force vertex enumeration on random
+    /// bounded 2-variable programs.
+    #[test]
+    fn simplex_matches_vertex_enumeration(
+        c0 in -5.0..5.0f64, c1 in -5.0..5.0f64,
+        rows in proptest::collection::vec(
+            (-3.0..3.0f64, -3.0..3.0f64, -10.0..10.0f64), 3..8),
+    ) {
+        // Box-bound the problem so it is always feasible and bounded.
+        let mut lp = LinearProgram::maximize(vec![c0, c1]);
+        let mut all_rows: Vec<(f64, f64, f64)> = vec![
+            (1.0, 0.0, 20.0), (-1.0, 0.0, 20.0),
+            (0.0, 1.0, 20.0), (0.0, -1.0, 20.0),
+        ];
+        all_rows.extend(rows.iter().filter(|(a, b, rhs)| {
+            // keep (0,0) feasible so feasibility is guaranteed
+            *rhs >= 0.0 || (a.abs() + b.abs() > 1e-6)
+        }).filter(|(_, _, rhs)| *rhs >= 0.0));
+        for (a, b, rhs) in &all_rows {
+            lp.less_eq(vec![*a, *b], *rhs);
+        }
+        let sol = lp.solve();
+        prop_assert!(sol.is_ok(), "boxed feasible LP must solve: {sol:?}");
+        let sol = sol.unwrap();
+
+        // Vertex enumeration: all pairwise constraint intersections.
+        let mut best = f64::NEG_INFINITY;
+        let n = all_rows.len();
+        let feasible = |x: f64, y: f64| {
+            all_rows.iter().all(|(a, b, r)| a * x + b * y <= r + 1e-7)
+        };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a1, b1, r1) = all_rows[i];
+                let (a2, b2, r2) = all_rows[j];
+                let det = a1 * b2 - a2 * b1;
+                if det.abs() < 1e-9 {
+                    continue;
+                }
+                let x = (r1 * b2 - r2 * b1) / det;
+                let y = (a1 * r2 - a2 * r1) / det;
+                if feasible(x, y) {
+                    best = best.max(c0 * x + c1 * y);
+                }
+            }
+        }
+        if feasible(0.0, 0.0) {
+            best = best.max(0.0);
+        }
+        prop_assert!(
+            (sol.objective_value - best).abs() < 1e-5 * (1.0 + best.abs()),
+            "simplex {} vs enumeration {best}",
+            sol.objective_value
+        );
+    }
+}
