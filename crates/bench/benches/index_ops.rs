@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 use rstar_base::RectRStarTree;
 use std::hint::black_box;
 use uncertain_geom::Rect;
-use utree::{ProbRangeQuery, RefineMode, UCatalog, UPcrTree, UTree};
+use utree::{ProbRangeQuery, Query, RefineMode, UCatalog, UPcrTree, UTree};
 
 const N: usize = 4_000;
 
@@ -75,12 +75,12 @@ fn bench_query(c: &mut Criterion) {
     for (name, run) in [
         (
             "utree",
-            Box::new(|q: &ProbRangeQuery<2>| utree.query(q, mode).0.len())
+            Box::new(|q: &ProbRangeQuery<2>| utree.execute(&Query::from_prob_range(*q, mode)).len())
                 as Box<dyn Fn(&ProbRangeQuery<2>) -> usize>,
         ),
         (
             "upcr",
-            Box::new(|q: &ProbRangeQuery<2>| upcr.query(q, mode).0.len()),
+            Box::new(|q: &ProbRangeQuery<2>| upcr.execute(&Query::from_prob_range(*q, mode)).len()),
         ),
     ] {
         let mut k = 0usize;
@@ -111,8 +111,8 @@ fn bench_threshold_sensitivity(c: &mut Criterion) {
     let mut g = c.benchmark_group("query_vs_threshold");
     for pq in [0.3f64, 0.6, 0.9] {
         g.bench_with_input(BenchmarkId::new("pq", pq), &pq, |b, &pq| {
-            let q = ProbRangeQuery::new(region, pq);
-            b.iter(|| black_box(utree.query(&q, mode).0.len()))
+            let q = Query::from_prob_range(ProbRangeQuery::new(region, pq), mode);
+            b.iter(|| black_box(utree.execute(&q).len()))
         });
     }
     g.finish();

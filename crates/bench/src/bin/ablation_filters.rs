@@ -4,32 +4,21 @@
 //! Four configurations of the same U-tree on the LB workload of Fig 9
 //! (qs = 1500, pq = 0.6):
 //!
-//! * `full`      — Observation 4 + Observation 3 pruning + validation;
-//! * `no-obs4`   — intermediate entries prune with plain `e.MBR(p₁)`
-//!                 intersection (an ordinary R-tree over the MBRs);
-//! * `no-valid`  — validation off: every qualifying object must be
-//!                 integrated (isolates the "directly reported" saving);
-//! * `mbr-only`  — no leaf rules at all: every MBR-intersecting object is
-//!                 refined (the "conventional range search" strawman of
-//!                 Sec 1 — correct, but pays the full integration bill).
+//! * `full` — Observation 4 + Observation 3 pruning + validation;
+//! * `no-obs4` — intermediate entries prune with plain `e.MBR(p₁)`
+//!   intersection (an ordinary R-tree over the MBRs);
+//! * `no-valid` — validation off: every qualifying object must be
+//!   integrated (isolates the "directly reported" saving);
+//! * `mbr-only` — no leaf rules at all: every MBR-intersecting object is
+//!   refined (the "conventional range search" strawman of Sec 1 —
+//!   correct, but pays the full integration bill).
 //!
 //! All four return identical result sets; only cost differs.
 
-use bench::{fmt, print_table, run_workload, timed, HarnessConfig, QueryEngine};
+use bench::{fmt, print_table, run_workload_with_options, timed, HarnessConfig};
 use datagen::workload;
 use uncertain_geom::Point;
-use utree::{ProbRangeQuery, QueryOptions, QueryStats, RefineMode, UCatalog, UTree};
-
-struct Ablated<'a> {
-    tree: &'a UTree<2>,
-    opts: QueryOptions,
-}
-
-impl QueryEngine<2> for Ablated<'_> {
-    fn run(&self, q: &ProbRangeQuery<2>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
-        self.tree.query_with_options(q, mode, self.opts)
-    }
-}
+use utree::{ProbIndex, Query, QueryOptions, Refine, UTree};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
@@ -37,15 +26,14 @@ fn main() {
     println!("LB at {n} objects, qs = 1500, pq = 0.6, n1 = {}", cfg.n1);
 
     let objs = datagen::lb_dataset(n, 1);
-    let (mut tree, build_secs) = timed(|| {
-        let mut t = UTree::<2>::new(UCatalog::paper_utree_default());
-        for o in &objs {
-            t.insert(o);
-        }
+    let (tree, build_secs) = timed(|| {
+        let mut t = UTree::<2>::builder()
+            .build()
+            .expect("paper default catalog is valid");
+        t.bulk_load(&objs);
         t
     });
     println!("built in {build_secs:.1}s");
-    let tree = &mut tree;
 
     let centers: Vec<Point<2>> = objs.iter().map(|o| o.mbr().center()).collect();
     let w = workload(&centers, 1_500.0, 0.6, cfg.queries, 4242);
@@ -79,15 +67,17 @@ fn main() {
     let mut rows = Vec::new();
     let mut reference: Option<Vec<u64>> = None;
     for (name, opts) in configs {
-        let engine = Ablated { tree, opts };
         // Result-set agreement check on the first query.
-        let (mut ids, _) = engine.run(&w.queries[0], RefineMode::Reference { tol: 1e-8 });
-        ids.sort_unstable();
+        let ids = tree
+            .execute(
+                &Query::from_prob_range(w.queries[0], Refine::reference(1e-8)).with_options(opts),
+            )
+            .sorted_ids();
         match &reference {
             None => reference = Some(ids),
             Some(r) => assert_eq!(r, &ids, "{name} changed the answers!"),
         }
-        let cost = run_workload(&engine, &w, cfg.refine_mode());
+        let cost = run_workload_with_options(&tree, &w, cfg.refine_mode(), opts);
         rows.push(vec![
             name.to_string(),
             fmt(cost.node_accesses),

@@ -7,7 +7,7 @@
 //! objects (the paper omits deletion CPU as negligible).
 
 use bench::{print_table, timed, HarnessConfig};
-use utree::{UCatalog, UTree};
+use utree::UTree;
 
 struct UpdateCost {
     insert_io_ms: f64,
@@ -18,11 +18,10 @@ struct UpdateCost {
     delete_wall_ms: f64,
 }
 
-fn measure<const D: usize>(
-    objs: &[uncertain_pdf::UncertainObject<D>],
-    io_ms: f64,
-) -> UpdateCost {
-    let mut tree = UTree::<D>::new(UCatalog::paper_utree_default());
+fn measure<const D: usize>(objs: &[uncertain_pdf::UncertainObject<D>], io_ms: f64) -> UpdateCost {
+    let mut tree = UTree::<D>::builder()
+        .build()
+        .expect("paper default catalog is valid");
     let mut io = 0u64;
     let mut pcr_nanos = 0u128;
     let mut lp_nanos = 0u128;
@@ -45,8 +44,7 @@ fn measure<const D: usize>(
     });
     let del_io = tree.tree_stats(); // tree is empty; stats for sanity only
     let _ = del_io;
-    let delete_io =
-        tree_io_after_reset(&tree);
+    let delete_io = tree_io_after_reset(&tree);
     UpdateCost {
         insert_io_ms,
         insert_cpu_ms: pcr_ms + lp_ms,
@@ -75,7 +73,10 @@ fn main() {
     let n_lb = cfg.sized(datagen::LB_SIZE);
     let n_ca = cfg.sized(datagen::CA_SIZE);
     let n_air = cfg.sized(datagen::AIRCRAFT_SIZE);
-    println!("scale {} (LB {n_lb}, CA {n_ca}, Aircraft {n_air}), io = {} ms/page", cfg.scale, cfg.io_ms);
+    println!(
+        "scale {} (LB {n_lb}, CA {n_ca}, Aircraft {n_air}), io = {} ms/page",
+        cfg.scale, cfg.io_ms
+    );
 
     let lb = measure(&datagen::lb_dataset(n_lb, 1), cfg.io_ms);
     let ca = measure(&datagen::ca_dataset(n_ca, 1), cfg.io_ms);

@@ -20,7 +20,7 @@ use uncertain_pdf::{appearance_reference, MonteCarlo, ObjectPdf};
 fn sweep<const D: usize>(pdf: &ObjectPdf<D>, n1s: &[usize], queries: usize) -> Vec<(f64, f64)> {
     // Queries of side 500 at varying offsets from the object's center, so
     // the intersections range from slivers to near-total coverage.
-    let mut rng = SmallRng::seed_from_u64(0xF16_7);
+    let mut rng = SmallRng::seed_from_u64(0xF167);
     let mbr = pdf.mbr();
     let c = mbr.center();
     let r = mbr.extent(0) / 2.0;
@@ -76,7 +76,7 @@ fn main() {
         radius: 250.0,
     };
 
-    let q = cfg.queries.min(40).max(10);
+    let q = cfg.queries.clamp(10, 40);
     let r2 = sweep(&disk, &n1s, q);
     let r3 = sweep(&sphere, &n1s, q);
 
@@ -108,7 +108,11 @@ fn main() {
     );
     println!(
         "3D error {}≥ 2D error at n1=1e6 (larger uncertainty volume), paper's Sec 6.1 observation",
-        if r3.last().unwrap().0 >= r2.last().unwrap().0 * 0.8 { "" } else { "NOT " }
+        if r3.last().unwrap().0 >= r2.last().unwrap().0 * 0.8 {
+            ""
+        } else {
+            "NOT "
+        }
     );
     let _ = fmt(0.0);
 }

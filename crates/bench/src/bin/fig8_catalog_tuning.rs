@@ -12,17 +12,14 @@
 use bench::{print_table, run_workload, HarnessConfig};
 use datagen::workload;
 use uncertain_geom::Point;
-use utree::{UCatalog, UPcrTree};
+use utree::{ProbIndex, UPcrTree};
 
-fn avg_cost_2d(
-    objs: &[uncertain_pdf::UncertainObject<2>],
-    m: usize,
-    cfg: &HarnessConfig,
-) -> f64 {
-    let mut tree = UPcrTree::<2>::new(UCatalog::uniform(m));
-    for o in objs {
-        tree.insert(o);
-    }
+fn avg_cost_2d(objs: &[uncertain_pdf::UncertainObject<2>], m: usize, cfg: &HarnessConfig) -> f64 {
+    let mut tree = UPcrTree::<2>::builder()
+        .uniform_catalog(m)
+        .build()
+        .expect("m >= 3 catalogs are valid");
+    tree.bulk_load(objs);
     let centers: Vec<Point<2>> = objs.iter().map(|o| o.mbr().center()).collect();
     let mut total = 0.0;
     let mut n = 0;
@@ -36,15 +33,12 @@ fn avg_cost_2d(
     total / n as f64
 }
 
-fn avg_cost_3d(
-    objs: &[uncertain_pdf::UncertainObject<3>],
-    m: usize,
-    cfg: &HarnessConfig,
-) -> f64 {
-    let mut tree = UPcrTree::<3>::new(UCatalog::uniform(m));
-    for o in objs {
-        tree.insert(o);
-    }
+fn avg_cost_3d(objs: &[uncertain_pdf::UncertainObject<3>], m: usize, cfg: &HarnessConfig) -> f64 {
+    let mut tree = UPcrTree::<3>::builder()
+        .uniform_catalog(m)
+        .build()
+        .expect("m >= 3 catalogs are valid");
+    tree.bulk_load(objs);
     let centers: Vec<Point<3>> = objs.iter().map(|o| o.mbr().center()).collect();
     let mut total = 0.0;
     let mut n = 0;
@@ -78,7 +72,14 @@ fn main() {
 
     let ms = [3usize, 4, 6, 8, 9, 10, 12];
     let mut rows = Vec::new();
-    let mut best = (0usize, f64::INFINITY, 0usize, f64::INFINITY, 0usize, f64::INFINITY);
+    let mut best = (
+        0usize,
+        f64::INFINITY,
+        0usize,
+        f64::INFINITY,
+        0usize,
+        f64::INFINITY,
+    );
     for &m in &ms {
         let c_lb = avg_cost_2d(&lb, m, &cfg);
         let c_ca = avg_cost_2d(&ca, m, &cfg);

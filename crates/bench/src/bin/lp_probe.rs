@@ -1,8 +1,8 @@
 //! LP micro-probe (calibration, not a paper figure).
 use bench::timed;
-use utree::{fit_cfb_pair, PcrSet, UCatalog};
-use uncertain_pdf::ObjectPdf;
 use uncertain_geom::Point;
+use uncertain_pdf::ObjectPdf;
+use utree::{fit_cfb_pair, PcrSet, UCatalog};
 
 fn main() {
     let cat = UCatalog::paper_utree_default();

@@ -1,7 +1,7 @@
 //! Quick throughput probe used to calibrate experiment scales (not a
 //! paper figure).
 use bench::timed;
-use utree::{UCatalog, UPcrTree, UTree};
+use utree::{ProbIndex, UPcrTree, UTree};
 
 fn main() {
     let lb = datagen::lb_dataset(5_000, 1);
@@ -9,35 +9,33 @@ fn main() {
     let air = datagen::aircraft_dataset(5_000, 1);
 
     let (_, t) = timed(|| {
-        let mut tree = UTree::<2>::new(UCatalog::paper_utree_default());
-        for o in &lb {
-            tree.insert(o);
-        }
+        let mut tree = UTree::<2>::builder().build().expect("valid");
+        tree.bulk_load(&lb);
         tree.len()
     });
-    println!("U-tree LB (uniform) insert: {:.1} µs/obj", t / 5_000.0 * 1e6);
+    println!(
+        "U-tree LB (uniform) insert: {:.1} µs/obj",
+        t / 5_000.0 * 1e6
+    );
 
     let (_, t) = timed(|| {
-        let mut tree = UTree::<2>::new(UCatalog::paper_utree_default());
-        for o in &ca {
-            tree.insert(o);
-        }
+        let mut tree = UTree::<2>::builder().build().expect("valid");
+        tree.bulk_load(&ca);
     });
-    println!("U-tree CA (con-gau) insert: {:.1} µs/obj", t / 5_000.0 * 1e6);
+    println!(
+        "U-tree CA (con-gau) insert: {:.1} µs/obj",
+        t / 5_000.0 * 1e6
+    );
 
     let (_, t) = timed(|| {
-        let mut tree = UTree::<3>::new(UCatalog::paper_utree_default());
-        for o in &air {
-            tree.insert(o);
-        }
+        let mut tree = UTree::<3>::builder().build().expect("valid");
+        tree.bulk_load(&air);
     });
     println!("U-tree Aircraft insert: {:.1} µs/obj", t / 5_000.0 * 1e6);
 
     let (_, t) = timed(|| {
-        let mut tree = UPcrTree::<2>::new(UCatalog::uniform(9));
-        for o in &lb {
-            tree.insert(o);
-        }
+        let mut tree = UPcrTree::<2>::builder().build().expect("valid");
+        tree.bulk_load(&lb);
     });
     println!("U-PCR LB insert: {:.1} µs/obj", t / 5_000.0 * 1e6);
 }

@@ -11,48 +11,45 @@
 //! extrapolation (sizes are linear in N).
 
 use bench::{fmt_mb, print_table, timed, HarnessConfig};
-use utree::{UCatalog, UPcrTree, UTree};
+use utree::{ProbIndex, UPcrTree, UTree};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
     let n_lb = cfg.sized(datagen::LB_SIZE);
     let n_ca = cfg.sized(datagen::CA_SIZE);
     let n_air = cfg.sized(datagen::AIRCRAFT_SIZE);
-    println!("building at scale {} (LB {n_lb}, CA {n_ca}, Aircraft {n_air})…", cfg.scale);
+    println!(
+        "building at scale {} (LB {n_lb}, CA {n_ca}, Aircraft {n_air})…",
+        cfg.scale
+    );
 
     let lb = datagen::lb_dataset(n_lb, 1);
     let ca = datagen::ca_dataset(n_ca, 1);
     let air = datagen::aircraft_dataset(n_air, 1);
 
     let ((lb_pcr, lb_u), t2) = timed(|| {
-        let mut upcr = UPcrTree::<2>::new(UCatalog::uniform(9));
-        let mut utree = UTree::<2>::new(UCatalog::paper_utree_default());
-        for o in &lb {
-            upcr.insert(o);
-            utree.insert(o);
-        }
+        let mut upcr = UPcrTree::<2>::builder().build().expect("valid");
+        let mut utree = UTree::<2>::builder().build().expect("valid");
+        upcr.bulk_load(&lb);
+        utree.bulk_load(&lb);
         (upcr.index_size_bytes(), utree.index_size_bytes())
     });
     println!("LB built in {t2:.1}s");
 
     let ((ca_pcr, ca_u), t3) = timed(|| {
-        let mut upcr = UPcrTree::<2>::new(UCatalog::uniform(9));
-        let mut utree = UTree::<2>::new(UCatalog::paper_utree_default());
-        for o in &ca {
-            upcr.insert(o);
-            utree.insert(o);
-        }
+        let mut upcr = UPcrTree::<2>::builder().build().expect("valid");
+        let mut utree = UTree::<2>::builder().build().expect("valid");
+        upcr.bulk_load(&ca);
+        utree.bulk_load(&ca);
         (upcr.index_size_bytes(), utree.index_size_bytes())
     });
     println!("CA built in {t3:.1}s");
 
     let ((air_pcr, air_u), t4) = timed(|| {
-        let mut upcr = UPcrTree::<3>::new(UCatalog::uniform(10));
-        let mut utree = UTree::<3>::new(UCatalog::paper_utree_default());
-        for o in &air {
-            upcr.insert(o);
-            utree.insert(o);
-        }
+        let mut upcr = UPcrTree::<3>::builder().build().expect("valid");
+        let mut utree = UTree::<3>::builder().build().expect("valid");
+        upcr.bulk_load(&air);
+        utree.bulk_load(&air);
         (upcr.index_size_bytes(), utree.index_size_bytes())
     });
     println!("Aircraft built in {t4:.1}s");
@@ -100,5 +97,7 @@ fn main() {
             &rows,
         );
     }
-    println!("\npaper:   U-PCR 11.9M / 14.0M / 40.1M ; U-tree 5.0M / 5.9M / 14.2M (ratios 2.4/2.4/2.8)");
+    println!(
+        "\npaper:   U-PCR 11.9M / 14.0M / 40.1M ; U-tree 5.0M / 5.9M / 14.2M (ratios 2.4/2.4/2.8)"
+    );
 }

@@ -16,7 +16,7 @@
 
 use datagen::Workload;
 use std::time::Instant;
-use utree::{ProbRangeQuery, QueryStats, RefineMode, SeqScan, UPcrTree, UTree};
+use utree::{ProbIndex, Query, QueryOptions, QueryStats, RefineMode, UPcrTree, UTree};
 
 /// Scaling knobs (see crate docs).
 #[derive(Debug, Clone, Copy)]
@@ -131,44 +131,32 @@ impl AvgCost {
     }
 }
 
-/// Anything that can answer prob-range queries (the three structures).
-pub trait QueryEngine<const D: usize> {
-    /// Runs one query.
-    fn run(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats);
-}
-
-impl<const D: usize> QueryEngine<D> for UTree<D> {
-    fn run(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
-        self.query(q, mode)
-    }
-}
-
-impl<const D: usize> QueryEngine<D> for UPcrTree<D> {
-    fn run(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
-        self.query(q, mode)
-    }
-}
-
-impl<const D: usize> QueryEngine<D> for SeqScan<D> {
-    fn run(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
-        self.query(q, mode)
-    }
-}
-
-/// Runs a workload and averages the paper's cost metrics.
-pub fn run_workload<const D: usize, E: QueryEngine<D>>(
-    engine: &E,
+/// Runs a workload against any [`ProbIndex`] backend and averages the
+/// paper's cost metrics.
+pub fn run_workload<const D: usize, I: ProbIndex<D>>(
+    index: &I,
     workload: &Workload<D>,
     mode: RefineMode,
+) -> AvgCost {
+    run_workload_with_options(index, workload, mode, QueryOptions::default())
+}
+
+/// [`run_workload`] with ablation switches (the filter-component study;
+/// only the U-tree honours them).
+pub fn run_workload_with_options<const D: usize, I: ProbIndex<D>>(
+    index: &I,
+    workload: &Workload<D>,
+    mode: RefineMode,
+    opts: QueryOptions,
 ) -> AvgCost {
     let mut acc = QueryStats::default();
     let mut validated = 0u64;
     let mut results = 0u64;
     for q in &workload.queries {
-        let (_, stats) = engine.run(q, mode);
-        validated += stats.validated;
-        results += stats.results;
-        acc.add(&stats);
+        let outcome = index.execute(&Query::from_prob_range(*q, mode).with_options(opts));
+        validated += outcome.stats.validated;
+        results += outcome.stats.results;
+        acc += &outcome.stats;
     }
     AvgCost::from_accumulated(&acc, workload.len(), validated, results)
 }
@@ -181,17 +169,19 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 }
 
 /// Builds the U-tree / U-PCR pair with the paper's Sec 6.2 catalogs
-/// (U-tree m = 15; U-PCR m = 9 in 2D, m = 10 in 3D).
+/// (U-tree m = 15; U-PCR m = 9 in 2D, m = 10 in 3D — the builder
+/// defaults).
 pub fn build_pair<const D: usize>(
     objs: &[uncertain_pdf::UncertainObject<D>],
 ) -> (UTree<D>, UPcrTree<D>) {
-    let upcr_m = if D >= 3 { 10 } else { 9 };
-    let mut utree = UTree::<D>::new(utree::UCatalog::paper_utree_default());
-    let mut upcr = UPcrTree::<D>::new(utree::UCatalog::uniform(upcr_m));
-    for o in objs {
-        utree.insert(o);
-        upcr.insert(o);
-    }
+    let mut utree = UTree::<D>::builder()
+        .build()
+        .expect("paper default catalog is valid");
+    let mut upcr = UPcrTree::<D>::builder()
+        .build()
+        .expect("paper default catalog is valid");
+    utree.bulk_load(objs);
+    upcr.bulk_load(objs);
     (utree, upcr)
 }
 
@@ -225,7 +215,13 @@ pub fn run_pair<const D: usize>(
 }
 
 /// Emits the three Fig 9/10 panels (I/O, CPU, total) for one dataset.
-pub fn print_fig_panels(dataset: &str, xlabel: &str, xs: &[String], costs: &[PairCost], io_ms: f64) {
+pub fn print_fig_panels(
+    dataset: &str,
+    xlabel: &str,
+    xs: &[String],
+    costs: &[PairCost],
+    io_ms: f64,
+) {
     let io_rows: Vec<Vec<String>> = xs
         .iter()
         .zip(costs)
@@ -328,13 +324,11 @@ mod tests {
     #[test]
     fn harness_runs_a_tiny_experiment_end_to_end() {
         let objs = datagen::lb_dataset(300, 3);
-        let mut tree = UTree::<2>::new(utree::UCatalog::uniform(8));
-        for o in &objs {
-            tree.insert(o);
-        }
+        let mut tree = UTree::<2>::builder().uniform_catalog(8).build().unwrap();
+        tree.bulk_load(&objs);
         let centers: Vec<Point<2>> = objs.iter().map(|o| o.mbr().center()).collect();
         let w = workload(&centers, 800.0, 0.6, 10, 1);
-        let cost = run_workload(&tree, &w, RefineMode::Reference { tol: 1e-6 });
+        let cost = run_workload(&tree, &w, RefineMode::reference(1e-6));
         assert!(cost.node_accesses > 0.0);
         assert!(cost.results > 0.0, "queries centred on data must hit");
         assert!(cost.total_secs(5.0) > 0.0);

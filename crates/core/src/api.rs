@@ -1,0 +1,740 @@
+//! The backend-agnostic index API.
+//!
+//! The paper evaluates three interchangeable access methods — the U-tree,
+//! U-PCR and a sequential scan — over one contract: answer probabilistic
+//! range queries, charge I/O and probability computations. This module
+//! makes that contract a first-class, typed API:
+//!
+//! * [`ProbIndex`] — the trait all three structures implement
+//!   (insert / delete / size / I/O accounting / query execution);
+//! * [`Query`] + [`QueryBuilder`] — a fluent, validated query description:
+//!   `Query::range(rect).threshold(0.7).refine(Refine::monte_carlo(1_000_000, 7)).run(&tree)?`;
+//! * [`QueryOutcome`] — structured results carrying per-object
+//!   [`Provenance`] (validated for free vs refined with its estimated
+//!   probability) plus the [`QueryStats`] cost counters;
+//! * [`IndexBuilder`] — fallible construction shared by every backend:
+//!   `UTree::<2>::builder().catalog(UCatalog::uniform(10)).build()?`;
+//! * [`IndexError`] / [`QueryError`] — typed errors replacing the seed's
+//!   `assert!` panics.
+//!
+//! The old tuple-returning `query` methods remain as deprecated shims; see
+//! `docs/API.md` for the migration table.
+
+use crate::catalog::UCatalog;
+use crate::query::{ProbRangeQuery, QueryStats, RefineMode};
+use crate::seqscan::SeqScan;
+use crate::tree::{InsertStats, QueryOptions, UTree};
+use crate::upcr::UPcrTree;
+use rstar_base::TreeConfig;
+use std::borrow::Borrow;
+use std::fmt;
+use std::marker::PhantomData;
+
+use uncertain_geom::Rect;
+use uncertain_pdf::UncertainObject;
+
+/// Refinement-mode constructors under the name the fluent API uses
+/// (`Refine::monte_carlo(..)`, `Refine::reference(..)`).
+pub use crate::query::RefineMode as Refine;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Construction errors of catalogs and index builders.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IndexError {
+    /// A catalog needs at least two values.
+    CatalogTooSmall {
+        /// How many values were supplied.
+        len: usize,
+    },
+    /// Catalog values must be strictly ascending.
+    CatalogNotAscending {
+        /// First index where `values[index] >= values[index + 1]` fails to
+        /// ascend.
+        index: usize,
+    },
+    /// Catalog values must lie in `[0, 0.5]` (Sec 4.2: PCRs are only
+    /// defined there; `pcr(p)` for `p > 0.5` would be empty).
+    CatalogValueOutOfRange {
+        /// Index of the offending value.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::CatalogTooSmall { len } => {
+                write!(f, "a catalog needs at least two values (got {len})")
+            }
+            IndexError::CatalogNotAscending { index } => {
+                write!(
+                    f,
+                    "catalog values must be strictly ascending (violated at index {index})"
+                )
+            }
+            IndexError::CatalogValueOutOfRange { index, value } => {
+                write!(
+                    f,
+                    "catalog values must lie in [0, 0.5] (value {value} at index {index})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// Validation errors of query descriptions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// The probability threshold must lie in `[0, 1]`.
+    ThresholdOutOfRange {
+        /// The offending threshold.
+        threshold: f64,
+    },
+    /// The builder was run without `.threshold(..)`.
+    MissingThreshold,
+    /// The search region is inverted (`min > max`) in some dimension.
+    EmptyRegion {
+        /// First dimension where `min > max`.
+        dim: usize,
+    },
+    /// The search region contains a NaN or infinite coordinate.
+    NonFiniteRegion {
+        /// First dimension with a non-finite bound.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::ThresholdOutOfRange { threshold } => {
+                write!(
+                    f,
+                    "probability threshold must lie in [0, 1] (got {threshold})"
+                )
+            }
+            QueryError::MissingThreshold => {
+                write!(f, "query built without a probability threshold")
+            }
+            QueryError::EmptyRegion { dim } => {
+                write!(f, "search region has min > max in dimension {dim}")
+            }
+            QueryError::NonFiniteRegion { dim } => {
+                write!(f, "search region has a non-finite bound in dimension {dim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+// ---------------------------------------------------------------------------
+// Query description
+// ---------------------------------------------------------------------------
+
+/// A fully validated probabilistic range query: region, threshold,
+/// refinement mode and ablation options.
+///
+/// Built with [`Query::range`]; executed with [`QueryBuilder::run`] or
+/// [`ProbIndex::execute`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query<const D: usize> {
+    region: Rect<D>,
+    threshold: f64,
+    refine: RefineMode,
+    options: QueryOptions,
+}
+
+impl<const D: usize> Query<D> {
+    /// Starts a fluent query over the given search region.
+    pub fn range(region: Rect<D>) -> QueryBuilder<D> {
+        QueryBuilder {
+            region,
+            threshold: None,
+            refine: RefineMode::default(),
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// Adopts an already-validated [`ProbRangeQuery`] (e.g. from a
+    /// pre-generated workload) with the given refinement mode.
+    pub fn from_prob_range(q: ProbRangeQuery<D>, refine: RefineMode) -> Self {
+        Query {
+            region: q.region,
+            threshold: q.threshold,
+            refine,
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// Replaces the ablation options (used by the filter-component study).
+    pub fn with_options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The search region `r_q`.
+    pub fn region(&self) -> &Rect<D> {
+        &self.region
+    }
+
+    /// The probability threshold `p_q`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// How candidate probabilities are evaluated during refinement.
+    pub fn refine_mode(&self) -> RefineMode {
+        self.refine
+    }
+
+    /// The ablation switches.
+    pub fn options(&self) -> QueryOptions {
+        self.options
+    }
+
+    /// The `(r_q, p_q)` pair as the paper's query type.
+    pub fn prob_range(&self) -> ProbRangeQuery<D> {
+        ProbRangeQuery {
+            region: self.region,
+            threshold: self.threshold,
+        }
+    }
+}
+
+/// Fluent builder returned by [`Query::range`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueryBuilder<const D: usize> {
+    region: Rect<D>,
+    threshold: Option<f64>,
+    refine: RefineMode,
+    options: QueryOptions,
+}
+
+impl<const D: usize> QueryBuilder<D> {
+    /// Sets the probability threshold `p_q ∈ [0, 1]` (required).
+    pub fn threshold(mut self, p_q: f64) -> Self {
+        self.threshold = Some(p_q);
+        self
+    }
+
+    /// Sets the refinement mode (default: the paper's Monte-Carlo
+    /// estimator with n₁ = 10⁶).
+    pub fn refine(mut self, refine: RefineMode) -> Self {
+        self.refine = refine;
+        self
+    }
+
+    /// Sets the ablation options (default: all filter components on).
+    pub fn options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Validates the description into a [`Query`].
+    pub fn build(self) -> Result<Query<D>, QueryError> {
+        for dim in 0..D {
+            if !self.region.min[dim].is_finite() || !self.region.max[dim].is_finite() {
+                return Err(QueryError::NonFiniteRegion { dim });
+            }
+            if self.region.min[dim] > self.region.max[dim] {
+                return Err(QueryError::EmptyRegion { dim });
+            }
+        }
+        let threshold = self.threshold.ok_or(QueryError::MissingThreshold)?;
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(QueryError::ThresholdOutOfRange { threshold });
+        }
+        Ok(Query {
+            region: self.region,
+            threshold,
+            refine: self.refine,
+            options: self.options,
+        })
+    }
+
+    /// Builds and executes against any [`ProbIndex`].
+    pub fn run<I: ProbIndex<D> + ?Sized>(self, index: &I) -> Result<QueryOutcome, QueryError> {
+        Ok(index.execute(&self.build()?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query results
+// ---------------------------------------------------------------------------
+
+/// How a query result was certified (per-object match provenance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Provenance {
+    /// Reported by the validation rules without any probability
+    /// computation (the paper's "directly reported" results).
+    Validated,
+    /// Survived refinement with the estimated appearance probability `p`.
+    Refined {
+        /// The appearance probability the refinement step computed.
+        p: f64,
+    },
+}
+
+/// One qualifying object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Match {
+    /// The object's application-level identifier.
+    pub id: u64,
+    /// How the match was certified.
+    pub provenance: Provenance,
+}
+
+/// Structured result of one query: the matches (validated first, refined
+/// after, mirroring execution order) plus the cost counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The qualifying objects with their provenance.
+    pub matches: Vec<Match>,
+    /// The paper's cost metrics for this query.
+    pub stats: QueryStats,
+}
+
+impl QueryOutcome {
+    /// The qualifying ids, in execution order.
+    pub fn ids(&self) -> Vec<u64> {
+        self.matches.iter().map(|m| m.id).collect()
+    }
+
+    /// The qualifying ids, ascending (for set comparison).
+    pub fn sorted_ids(&self) -> Vec<u64> {
+        let mut ids = self.ids();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of qualifying objects.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// True when nothing qualified.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// True when `id` qualified.
+    pub fn contains(&self, id: u64) -> bool {
+        self.matches.iter().any(|m| m.id == id)
+    }
+
+    /// Matches certified for free by the validation rules.
+    pub fn validated_count(&self) -> usize {
+        self.matches
+            .iter()
+            .filter(|m| m.provenance == Provenance::Validated)
+            .count()
+    }
+
+    /// Matches that needed a probability computation.
+    pub fn refined_count(&self) -> usize {
+        self.matches.len() - self.validated_count()
+    }
+
+    /// Iterates over the matches.
+    pub fn iter(&self) -> std::slice::Iter<'_, Match> {
+        self.matches.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a QueryOutcome {
+    type Item = &'a Match;
+    type IntoIter = std::slice::Iter<'a, Match>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.matches.iter()
+    }
+}
+
+impl IntoIterator for QueryOutcome {
+    type Item = Match;
+    type IntoIter = std::vec::IntoIter<Match>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.matches.into_iter()
+    }
+}
+
+/// Assembles an outcome from the two result streams every backend
+/// produces: validated ids (filter step) then refined `(id, p)` pairs.
+pub(crate) fn outcome_from_parts(
+    validated: Vec<u64>,
+    refined: Vec<(u64, f64)>,
+    stats: QueryStats,
+) -> QueryOutcome {
+    let mut matches = Vec::with_capacity(validated.len() + refined.len());
+    matches.extend(validated.into_iter().map(|id| Match {
+        id,
+        provenance: Provenance::Validated,
+    }));
+    matches.extend(refined.into_iter().map(|(id, p)| Match {
+        id,
+        provenance: Provenance::Refined { p },
+    }));
+    QueryOutcome { matches, stats }
+}
+
+// ---------------------------------------------------------------------------
+// The index trait
+// ---------------------------------------------------------------------------
+
+/// Anything that can maintain uncertain objects and answer probabilistic
+/// range queries — the contract shared by [`UTree`], [`UPcrTree`] and
+/// [`SeqScan`].
+///
+/// Object-safe (except [`ProbIndex::bulk_load`]), so heterogeneous
+/// backends can sit behind `dyn ProbIndex<D>`.
+pub trait ProbIndex<const D: usize> {
+    /// Inserts an object; ids must be unique. Returns the update-cost
+    /// breakdown.
+    fn insert(&mut self, obj: &UncertainObject<D>) -> InsertStats;
+
+    /// Deletes an object previously inserted (the caller supplies the same
+    /// object; payloads are recomputed deterministically to locate it).
+    /// Returns `true` when found.
+    fn delete(&mut self, obj: &UncertainObject<D>) -> bool;
+
+    /// Number of indexed objects.
+    fn len(&self) -> usize;
+
+    /// True when no objects are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the filter structure in bytes (Table 1's metric).
+    fn index_size_bytes(&self) -> u64;
+
+    /// Size of the object-detail heap in bytes.
+    fn heap_size_bytes(&self) -> u64;
+
+    /// Total filter-structure page accesses (reads + writes) since the
+    /// last [`ProbIndex::reset_io`].
+    fn io_counters(&self) -> u64;
+
+    /// Resets the I/O counters (harness use).
+    fn reset_io(&self);
+
+    /// Executes a validated query, returning matches with provenance and
+    /// the cost counters.
+    fn execute(&self, query: &Query<D>) -> QueryOutcome;
+
+    /// Inserts every object from an iterator, returning the accumulated
+    /// [`InsertStats`]. Accepts owned or borrowed objects.
+    fn bulk_load<It>(&mut self, objs: It) -> InsertStats
+    where
+        It: IntoIterator,
+        It::Item: Borrow<UncertainObject<D>>,
+        Self: Sized,
+    {
+        let mut acc = InsertStats::default();
+        for obj in objs {
+            acc += &self.insert(obj.borrow());
+        }
+        acc
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+/// A backend constructible by [`IndexBuilder`]. Implemented by the three
+/// structures; sealed against downstream implementations so the builder
+/// surface can evolve.
+pub trait IndexBackend<const D: usize>: ProbIndex<D> + Sized + sealed::Sealed {
+    /// Human-readable backend name (diagnostics, harness tables).
+    const NAME: &'static str;
+
+    /// The paper's Sec 6.2 default catalog for this backend.
+    fn default_catalog() -> UCatalog;
+
+    #[doc(hidden)]
+    fn from_parts(catalog: UCatalog, cfg: TreeConfig) -> Self;
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl<const D: usize> Sealed for super::UTree<D> {}
+    impl<const D: usize> Sealed for super::UPcrTree<D> {}
+    impl<const D: usize> Sealed for super::SeqScan<D> {}
+}
+
+impl<const D: usize> IndexBackend<D> for UTree<D> {
+    const NAME: &'static str = "u-tree";
+
+    fn default_catalog() -> UCatalog {
+        UCatalog::paper_utree_default()
+    }
+
+    fn from_parts(catalog: UCatalog, cfg: TreeConfig) -> Self {
+        UTree::with_config(catalog, cfg)
+    }
+}
+
+impl<const D: usize> IndexBackend<D> for UPcrTree<D> {
+    const NAME: &'static str = "u-pcr";
+
+    fn default_catalog() -> UCatalog {
+        // Sec 6.2 tuning: m = 9 in 2D, m = 10 in 3D.
+        UCatalog::uniform(if D >= 3 { 10 } else { 9 })
+    }
+
+    fn from_parts(catalog: UCatalog, cfg: TreeConfig) -> Self {
+        UPcrTree::with_config(catalog, cfg)
+    }
+}
+
+impl<const D: usize> IndexBackend<D> for SeqScan<D> {
+    const NAME: &'static str = "seq-scan";
+
+    fn default_catalog() -> UCatalog {
+        // Same filter power per object as the default U-tree.
+        UCatalog::paper_utree_default()
+    }
+
+    fn from_parts(catalog: UCatalog, _cfg: TreeConfig) -> Self {
+        // A packed sequential file has no R* tuning knobs.
+        SeqScan::new(catalog)
+    }
+}
+
+enum CatalogSpec {
+    Ready(UCatalog),
+    Values(Vec<f64>),
+    Uniform(usize),
+}
+
+/// Fallible, fluent construction shared by all three backends:
+///
+/// ```
+/// use utree::{ProbIndex, UCatalog, UTree};
+///
+/// let tree = UTree::<2>::builder()
+///     .catalog(UCatalog::uniform(10))
+///     .build()
+///     .expect("valid catalog");
+/// assert!(tree.is_empty());
+///
+/// // Invalid catalogs are typed errors, not panics:
+/// let err = UTree::<2>::builder()
+///     .catalog_values(vec![0.3, 0.1])
+///     .build()
+///     .err()
+///     .unwrap();
+/// assert!(err.to_string().contains("ascending"));
+/// ```
+pub struct IndexBuilder<const D: usize, B: IndexBackend<D>> {
+    catalog: Option<CatalogSpec>,
+    cfg: TreeConfig,
+    _backend: PhantomData<fn() -> B>,
+}
+
+impl<const D: usize, B: IndexBackend<D>> Default for IndexBuilder<D, B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize, B: IndexBackend<D>> IndexBuilder<D, B> {
+    /// An empty builder (backend defaults apply at [`IndexBuilder::build`]).
+    pub fn new() -> Self {
+        IndexBuilder {
+            catalog: None,
+            cfg: TreeConfig::default(),
+            _backend: PhantomData,
+        }
+    }
+
+    /// Uses an already-validated catalog.
+    pub fn catalog(mut self, catalog: UCatalog) -> Self {
+        self.catalog = Some(CatalogSpec::Ready(catalog));
+        self
+    }
+
+    /// Uses raw catalog values, validated at build time.
+    pub fn catalog_values(mut self, values: Vec<f64>) -> Self {
+        self.catalog = Some(CatalogSpec::Values(values));
+        self
+    }
+
+    /// Uses the evenly spaced catalog `{0, 0.5/(m−1), …, 0.5}`.
+    pub fn uniform_catalog(mut self, m: usize) -> Self {
+        self.catalog = Some(CatalogSpec::Uniform(m));
+        self
+    }
+
+    /// Overrides the R*-tree tuning (ignored by the sequential scan).
+    pub fn tree_config(mut self, cfg: TreeConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Validates and constructs the backend. Without an explicit catalog,
+    /// the backend's paper default (Sec 6.2) is used.
+    pub fn build(self) -> Result<B, IndexError> {
+        let catalog = match self.catalog {
+            None => B::default_catalog(),
+            Some(CatalogSpec::Ready(c)) => c,
+            Some(CatalogSpec::Values(values)) => UCatalog::try_new(values)?,
+            Some(CatalogSpec::Uniform(m)) => UCatalog::try_uniform(m)?,
+        };
+        Ok(B::from_parts(catalog, self.cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncertain_geom::Point;
+    use uncertain_pdf::ObjectPdf;
+
+    fn ball(id: u64, x: f64, y: f64, r: f64) -> UncertainObject<2> {
+        UncertainObject::new(
+            id,
+            ObjectPdf::UniformBall {
+                center: Point::new([x, y]),
+                radius: r,
+            },
+        )
+    }
+
+    #[test]
+    fn builder_rejects_bad_catalogs_with_typed_errors() {
+        let e = UTree::<2>::builder()
+            .catalog_values(vec![0.1])
+            .build()
+            .err()
+            .unwrap();
+        assert_eq!(e, IndexError::CatalogTooSmall { len: 1 });
+
+        let e = UTree::<2>::builder()
+            .catalog_values(vec![0.0, 0.2, 0.2])
+            .build()
+            .err()
+            .unwrap();
+        assert_eq!(e, IndexError::CatalogNotAscending { index: 1 });
+
+        let e = UPcrTree::<2>::builder()
+            .catalog_values(vec![0.0, 0.7])
+            .build()
+            .err()
+            .unwrap();
+        assert_eq!(
+            e,
+            IndexError::CatalogValueOutOfRange {
+                index: 1,
+                value: 0.7
+            }
+        );
+
+        let e = SeqScan::<2>::builder()
+            .uniform_catalog(1)
+            .build()
+            .err()
+            .unwrap();
+        assert_eq!(e, IndexError::CatalogTooSmall { len: 1 });
+    }
+
+    #[test]
+    fn builder_defaults_follow_the_paper() {
+        let t = UTree::<2>::builder().build().unwrap();
+        assert_eq!(t.catalog().len(), 15);
+        let p2 = UPcrTree::<2>::builder().build().unwrap();
+        assert_eq!(p2.catalog().len(), 9);
+        let p3 = UPcrTree::<3>::builder().build().unwrap();
+        assert_eq!(p3.catalog().len(), 10);
+    }
+
+    #[test]
+    fn query_builder_validates() {
+        let rect = Rect::new([0.0, 0.0], [10.0, 10.0]);
+        assert_eq!(
+            Query::range(rect).build().unwrap_err(),
+            QueryError::MissingThreshold
+        );
+        assert_eq!(
+            Query::range(rect).threshold(1.5).build().unwrap_err(),
+            QueryError::ThresholdOutOfRange { threshold: 1.5 }
+        );
+        let inverted = Rect {
+            min: [5.0, 0.0],
+            max: [0.0, 10.0],
+        };
+        assert_eq!(
+            Query::range(inverted).threshold(0.5).build().unwrap_err(),
+            QueryError::EmptyRegion { dim: 0 }
+        );
+        let non_finite = Rect {
+            min: [0.0, f64::NAN],
+            max: [10.0, 10.0],
+        };
+        assert_eq!(
+            Query::range(non_finite).threshold(0.5).build().unwrap_err(),
+            QueryError::NonFiniteRegion { dim: 1 }
+        );
+        let q = Query::range(rect)
+            .threshold(0.5)
+            .refine(Refine::reference(1e-8))
+            .build()
+            .unwrap();
+        assert_eq!(q.threshold(), 0.5);
+        assert_eq!(q.refine_mode(), Refine::Reference { tol: 1e-8 });
+    }
+
+    #[test]
+    fn outcome_carries_provenance() {
+        let mut tree = UTree::<2>::builder().uniform_catalog(6).build().unwrap();
+        tree.insert(&ball(7, 500.0, 500.0, 100.0));
+        tree.insert(&ball(8, 620.0, 500.0, 100.0));
+        // Fully containing query: both validated, no integration.
+        let out = Query::range(Rect::new([300.0, 300.0], [800.0, 700.0]))
+            .threshold(0.95)
+            .refine(Refine::reference(1e-8))
+            .run(&tree)
+            .unwrap();
+        assert_eq!(out.sorted_ids(), vec![7, 8]);
+        assert_eq!(out.validated_count(), 2);
+        assert_eq!(out.refined_count(), 0);
+        assert_eq!(out.stats.prob_computations, 0);
+
+        // Half-covering query: refined matches carry their probability.
+        let out = Query::range(Rect::new([400.0, 300.0], [500.0, 700.0]))
+            .threshold(0.2)
+            .refine(Refine::reference(1e-8))
+            .run(&tree)
+            .unwrap();
+        for m in &out {
+            if let Provenance::Refined { p } = m.provenance {
+                assert!((0.2..=1.0).contains(&p), "match {m:?} below threshold");
+            }
+        }
+        assert_eq!(out.len(), out.validated_count() + out.refined_count());
+    }
+
+    #[test]
+    fn dyn_prob_index_is_object_safe() {
+        let mut tree = UTree::<2>::builder().uniform_catalog(6).build().unwrap();
+        tree.insert(&ball(1, 100.0, 100.0, 20.0));
+        let as_dyn: &dyn ProbIndex<2> = &tree;
+        assert_eq!(as_dyn.len(), 1);
+        let out = Query::range(Rect::new([0.0, 0.0], [200.0, 200.0]))
+            .threshold(0.5)
+            .refine(Refine::reference(1e-8))
+            .run(as_dyn)
+            .unwrap();
+        assert_eq!(out.ids(), vec![1]);
+    }
+}

@@ -1,6 +1,8 @@
 //! The U-catalog: the pre-determined probability values at which PCRs are
 //! materialised (paper Sec 4.2).
 
+use crate::api::IndexError;
+
 /// A sorted set of probability values `p₁ < p₂ < … < p_m`, all in
 /// `[0, 0.5]`, shared by every object in a database.
 ///
@@ -15,28 +17,42 @@ pub struct UCatalog {
 
 impl UCatalog {
     /// Builds a catalog from explicit values (must be strictly ascending,
-    /// within `[0, 0.5]`, at least two of them).
-    pub fn new(values: Vec<f64>) -> Self {
-        assert!(values.len() >= 2, "a catalog needs at least two values");
-        assert!(
-            values.windows(2).all(|w| w[0] < w[1]),
-            "catalog values must be strictly ascending"
-        );
-        assert!(
-            values.iter().all(|&p| (0.0..=0.5).contains(&p)),
-            "catalog values must lie in [0, 0.5]"
-        );
-        Self { values }
+    /// within `[0, 0.5]`, at least two of them), returning a typed error
+    /// instead of panicking on invalid input.
+    pub fn try_new(values: Vec<f64>) -> Result<Self, IndexError> {
+        if values.len() < 2 {
+            return Err(IndexError::CatalogTooSmall { len: values.len() });
+        }
+        if let Some(index) = values.windows(2).position(|w| w[0] >= w[1]) {
+            return Err(IndexError::CatalogNotAscending { index });
+        }
+        if let Some(index) = values.iter().position(|p| !(0.0..=0.5).contains(p)) {
+            return Err(IndexError::CatalogValueOutOfRange {
+                index,
+                value: values[index],
+            });
+        }
+        Ok(Self { values })
     }
 
-    /// The paper's evenly spaced catalog `{0, 0.5/(m−1), …, 0.5}`.
+    /// [`Self::try_new`], panicking on invalid values (kept for
+    /// infallible call sites with literal catalogs).
+    pub fn new(values: Vec<f64>) -> Self {
+        Self::try_new(values).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The paper's evenly spaced catalog `{0, 0.5/(m−1), …, 0.5}`,
+    /// returning a typed error when `m < 2`.
+    pub fn try_uniform(m: usize) -> Result<Self, IndexError> {
+        if m < 2 {
+            return Err(IndexError::CatalogTooSmall { len: m });
+        }
+        Self::try_new((0..m).map(|j| 0.5 * j as f64 / (m - 1) as f64).collect())
+    }
+
+    /// [`Self::try_uniform`], panicking when `m < 2`.
     pub fn uniform(m: usize) -> Self {
-        assert!(m >= 2);
-        Self::new(
-            (0..m)
-                .map(|j| 0.5 * j as f64 / (m - 1) as f64)
-                .collect(),
-        )
+        Self::try_uniform(m).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The U-tree default from Sec 6.2: m = 15, values `0, 1/28, …, 14/28`.

@@ -295,7 +295,10 @@ mod tests {
         let cat = UCatalog::paper_utree_default();
         let (pcrs, pair) = fit(&pdf, &cat);
         for (j, &p) in cat.values().iter().enumerate() {
-            assert!(pair.outer.eval(p).contains_rect(pcrs.rect(j)), "outer at {p}");
+            assert!(
+                pair.outer.eval(p).contains_rect(pcrs.rect(j)),
+                "outer at {p}"
+            );
             // Con-Gau marginals are tabulated (1024-cell grid), so the
             // degenerate pcr(0.5) point carries ~1e-3 of quantile noise;
             // 0.05 is still 4 orders below the radius-250 object scale.

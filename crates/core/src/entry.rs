@@ -35,7 +35,13 @@ impl<const D: usize> ULeafEntry<D> {
     /// Builds an entry; `cfbs` and `mbr` must already be conservatively
     /// f32-rounded (see [`crate::cfb::Cfb::round_outward`]) so that the key
     /// derived here is byte-identical after an encode/decode round trip.
-    pub fn new(cfbs: CfbPair<D>, mbr: Rect<D>, addr: RecordAddr, id: u64, catalog: &UCatalog) -> Self {
+    pub fn new(
+        cfbs: CfbPair<D>,
+        mbr: Rect<D>,
+        addr: RecordAddr,
+        id: u64,
+        catalog: &UCatalog,
+    ) -> Self {
         let key = UKey {
             lo: cfbs.outer.eval(catalog.first()),
             hi: cfbs.outer.eval(catalog.last()),

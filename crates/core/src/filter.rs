@@ -129,13 +129,7 @@ pub fn filter_object<const D: usize, A: PcrAccess<D>>(
 /// Does `rq` cover the part of `mbr` whose `dim`-projection lies in
 /// `[lo, hi]`? (The paper's O(d) check below Observation 1: full
 /// containment on every other dimension plus interval coverage on `dim`.)
-fn covers_slab<const D: usize>(
-    rq: &Rect<D>,
-    mbr: &Rect<D>,
-    dim: usize,
-    lo: f64,
-    hi: f64,
-) -> bool {
+fn covers_slab<const D: usize>(rq: &Rect<D>, mbr: &Rect<D>, dim: usize, lo: f64, hi: f64) -> bool {
     for k in 0..D {
         if k != dim && (rq.min[k] > mbr.min[k] || rq.max[k] < mbr.max[k]) {
             return false;

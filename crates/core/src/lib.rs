@@ -21,8 +21,29 @@
 //!    ([`query::refine_candidates`]).
 //!
 //! [`UPcrTree`] (PCRs stored verbatim) and [`SeqScan`] (no index) are the
-//! paper's comparison points.
+//! paper's comparison points. All three implement the backend-agnostic
+//! [`ProbIndex`] trait and are built/queried through the fluent [`api`]
+//! surface:
+//!
+//! ```
+//! use utree::{ProbIndex, Query, Refine, UTree};
+//! use uncertain_geom::{Point, Rect};
+//! use uncertain_pdf::{ObjectPdf, UncertainObject};
+//!
+//! let mut tree = UTree::<2>::builder().uniform_catalog(10).build()?;
+//! tree.insert(&UncertainObject::new(
+//!     1,
+//!     ObjectPdf::UniformBall { center: Point::new([40.0, 40.0]), radius: 15.0 },
+//! ));
+//! let outcome = Query::range(Rect::new([0.0, 0.0], [100.0, 100.0]))
+//!     .threshold(0.7)
+//!     .refine(Refine::reference(1e-8))
+//!     .run(&tree)?;
+//! assert_eq!(outcome.ids(), vec![1]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
+pub mod api;
 pub mod catalog;
 pub mod cfb;
 pub mod entry;
@@ -36,13 +57,19 @@ pub mod seqscan;
 pub mod tree;
 pub mod upcr;
 
+pub use api::{
+    IndexBackend, IndexBuilder, IndexError, Match, ProbIndex, Provenance, Query, QueryBuilder,
+    QueryError, QueryOutcome, Refine,
+};
 pub use catalog::UCatalog;
 pub use cfb::{fit_cfb_pair, Cfb, CfbPair, CfbView};
 pub use filter::{filter_object, FilterOutcome, PcrAccess};
 pub use key::{PcrKey, PcrMetrics, UKey, UMetrics};
 pub use pcr::PcrSet;
 pub use quadratic::{fit_quad_cfb_pair, QuadCfb, QuadCfbPair, QuadCfbView};
-pub use query::{refine_candidates, ProbRangeQuery, QueryStats, RefineMode};
+pub use query::{
+    refine_candidates, refine_candidates_scored, ProbRangeQuery, QueryStats, RefineMode,
+};
 pub use seqscan::SeqScan;
 pub use tree::{InsertStats, QueryOptions, UTree};
 pub use upcr::UPcrTree;

@@ -161,17 +161,11 @@ mod tests {
             // mass strictly left of the lower x-face
             let left = Rect::new([-big, -big], [r.min[0], big]);
             let got = appearance_reference(&pdf, &left, 1e-9);
-            assert!(
-                (got - p).abs() < 1e-3,
-                "left mass at p={p}: got {got}"
-            );
+            assert!((got - p).abs() < 1e-3, "left mass at p={p}: got {got}");
             // mass right of the upper y-face
             let above = Rect::new([-big, r.max[1]], [big, big]);
             let got = appearance_reference(&pdf, &above, 1e-9);
-            assert!(
-                (got - p).abs() < 1e-3,
-                "top mass at p={p}: got {got}"
-            );
+            assert!((got - p).abs() < 1e-3, "top mass at p={p}: got {got}");
         }
     }
 

@@ -293,7 +293,10 @@ mod tests {
             },
             &cat,
         );
-        assert!(qm < lm * 0.995, "expected >0.5% tightening, got {qm} vs {lm}");
+        assert!(
+            qm < lm * 0.995,
+            "expected >0.5% tightening, got {qm} vs {lm}"
+        );
     }
 
     #[test]

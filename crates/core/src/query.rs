@@ -1,10 +1,12 @@
 //! Prob-range queries, execution statistics and the shared refinement step.
 
+use crate::api::QueryError;
 use crate::object_codec::decode_object;
 use page_store::{ObjectHeap, PageId, RecordAddr};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::ops::AddAssign;
 use uncertain_geom::Rect;
 use uncertain_pdf::{appearance_reference, MonteCarlo};
 
@@ -18,16 +20,24 @@ pub struct ProbRangeQuery<const D: usize> {
 }
 
 impl<const D: usize> ProbRangeQuery<D> {
-    /// Creates a query; `threshold` must be in `[0, 1]`.
+    /// Creates a query, returning a typed error when `threshold` is
+    /// outside `[0, 1]`.
+    pub fn try_new(region: Rect<D>, threshold: f64) -> Result<Self, QueryError> {
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(QueryError::ThresholdOutOfRange { threshold });
+        }
+        Ok(Self { region, threshold })
+    }
+
+    /// [`Self::try_new`], panicking on an out-of-range threshold.
     pub fn new(region: Rect<D>, threshold: f64) -> Self {
-        assert!((0.0..=1.0).contains(&threshold));
-        Self { region, threshold }
+        Self::try_new(region, threshold).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
 /// How candidate appearance probabilities are evaluated in the refinement
 /// step.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RefineMode {
     /// The paper's Monte-Carlo estimator (Eq. 3) with n₁ samples and a
     /// deterministic seed.
@@ -45,6 +55,18 @@ pub enum RefineMode {
     },
 }
 
+impl RefineMode {
+    /// The paper's Monte-Carlo estimator with `n1` samples and a seed.
+    pub fn monte_carlo(n1: usize, seed: u64) -> Self {
+        RefineMode::MonteCarlo { n1, seed }
+    }
+
+    /// Deterministic quadrature with the given tolerance.
+    pub fn reference(tol: f64) -> Self {
+        RefineMode::Reference { tol }
+    }
+}
+
 impl Default for RefineMode {
     fn default() -> Self {
         RefineMode::MonteCarlo {
@@ -55,7 +77,7 @@ impl Default for RefineMode {
 }
 
 /// Cost counters for one query (the paper's evaluation metrics).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct QueryStats {
     /// Index node pages read (Fig 9/10 "number of node accesses").
     pub node_reads: u64,
@@ -64,6 +86,9 @@ pub struct QueryStats {
     /// Appearance probabilities computed (Fig 9/10 "# of prob.
     /// computations").
     pub prob_computations: u64,
+    /// Leaf entries inspected by the filter step
+    /// (`pruned + validated + candidates`).
+    pub visited: u64,
     /// Leaf entries pruned by the filter rules.
     pub pruned: u64,
     /// Results certified without probability computation.
@@ -94,10 +119,18 @@ impl QueryStats {
     }
 
     /// Accumulates another query's stats (workload averaging).
+    #[deprecated(since = "0.2.0", note = "use `stats += &other` instead")]
     pub fn add(&mut self, other: &QueryStats) {
+        *self += other;
+    }
+}
+
+impl AddAssign<&QueryStats> for QueryStats {
+    fn add_assign(&mut self, other: &QueryStats) {
         self.node_reads += other.node_reads;
         self.heap_reads += other.heap_reads;
         self.prob_computations += other.prob_computations;
+        self.visited += other.visited;
         self.pruned += other.pruned;
         self.validated += other.validated;
         self.candidates += other.candidates;
@@ -107,27 +140,36 @@ impl QueryStats {
     }
 }
 
-/// The refinement step of Sec 5.2: candidates are grouped by heap page;
-/// each page is loaded once; every candidate's appearance probability is
-/// evaluated and compared with `p_q`.
+impl AddAssign<QueryStats> for QueryStats {
+    fn add_assign(&mut self, other: QueryStats) {
+        *self += &other;
+    }
+}
+
+/// The refinement step of Sec 5.2, reporting each qualifying candidate
+/// with the appearance probability computed for it: candidates are grouped
+/// by heap page; each page is loaded once; every candidate's appearance
+/// probability is evaluated and compared with `p_q`.
 ///
-/// Returns the qualifying ids and updates `stats`.
-pub fn refine_candidates<const D: usize>(
+/// Returns `(id, p)` for the qualifiers and updates `stats`.
+pub fn refine_candidates_scored<const D: usize>(
     heap: &ObjectHeap,
     candidates: &[(RecordAddr, u64)],
     rq: &Rect<D>,
     pq: f64,
     mode: RefineMode,
     stats: &mut QueryStats,
-) -> Vec<u64> {
+) -> Vec<(u64, f64)> {
     let mut by_page: BTreeMap<PageId, Vec<(u16, u64)>> = BTreeMap::new();
     for (addr, id) in candidates {
         by_page.entry(addr.page).or_default().push((addr.slot, *id));
     }
     let mut results = Vec::new();
+    // One generator for the whole refinement pass, created only when the
+    // mode actually samples.
     let mut rng = match mode {
-        RefineMode::MonteCarlo { seed, .. } => SmallRng::seed_from_u64(seed),
-        RefineMode::Reference { .. } => SmallRng::seed_from_u64(0),
+        RefineMode::MonteCarlo { seed, .. } => Some(SmallRng::seed_from_u64(seed)),
+        RefineMode::Reference { .. } => None,
     };
     for (page, slots) in by_page {
         let records = heap.page_records(page);
@@ -141,18 +183,35 @@ pub fn refine_candidates<const D: usize>(
             debug_assert_eq!(obj.id, id, "heap record id mismatch");
             let p_app = match mode {
                 RefineMode::MonteCarlo { n1, .. } => {
-                    MonteCarlo::new(n1).estimate(&obj.pdf, rq, &mut rng)
+                    let rng = rng.as_mut().expect("rng exists in Monte-Carlo mode");
+                    MonteCarlo::new(n1).estimate(&obj.pdf, rq, rng)
                 }
                 RefineMode::Reference { tol } => appearance_reference(&obj.pdf, rq, tol),
             };
             stats.prob_computations += 1;
             if p_app >= pq {
-                results.push(id);
+                results.push((id, p_app));
             }
         }
     }
     stats.results += results.len() as u64;
     results
+}
+
+/// [`refine_candidates_scored`] without the probabilities (the original
+/// id-only surface, kept for direct callers of the refinement step).
+pub fn refine_candidates<const D: usize>(
+    heap: &ObjectHeap,
+    candidates: &[(RecordAddr, u64)],
+    rq: &Rect<D>,
+    pq: f64,
+    mode: RefineMode,
+    stats: &mut QueryStats,
+) -> Vec<u64> {
+    refine_candidates_scored(heap, candidates, rq, pq, mode, stats)
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect()
 }
 
 #[cfg(test)]
@@ -184,7 +243,7 @@ mod tests {
 
         let rq = Rect::new([-1.0, -1.0], [9.0, 11.0]); // 90% of obj 1, 0% of 2
         let mut stats = QueryStats::default();
-        let got = refine_candidates(
+        let got = refine_candidates_scored(
             &heap,
             &[(a1, 1), (a2, 2)],
             &rq,
@@ -192,7 +251,9 @@ mod tests {
             RefineMode::Reference { tol: 1e-9 },
             &mut stats,
         );
-        assert_eq!(got, vec![1]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 1);
+        assert!((got[0].1 - 0.9).abs() < 1e-6, "reported p {}", got[0].1);
         assert_eq!(stats.heap_reads, 1, "grouping must cost a single I/O");
         assert_eq!(stats.prob_computations, 2);
         assert_eq!(stats.results, 1);
@@ -228,7 +289,7 @@ mod tests {
     }
 
     #[test]
-    fn stats_accumulate() {
+    fn stats_accumulate_via_add_assign() {
         let mut a = QueryStats {
             node_reads: 5,
             heap_reads: 1,
@@ -241,10 +302,29 @@ mod tests {
             results: 4,
             ..Default::default()
         };
-        a.add(&b);
+        a += &b;
         assert_eq!(a.node_reads, 8);
         assert_eq!(a.validated, 4);
         assert_eq!(a.total_io(), 9);
+        // By-value accumulation and the deprecated alias stay equivalent.
+        let mut c = QueryStats::default();
+        c += b;
+        #[allow(deprecated)]
+        {
+            let mut d = QueryStats::default();
+            d.add(&b);
+            assert_eq!(c, d);
+        }
+    }
+
+    #[test]
+    fn stats_equality_derives() {
+        assert_eq!(QueryStats::default(), QueryStats::default());
+        assert_eq!(
+            RefineMode::monte_carlo(10, 3),
+            RefineMode::MonteCarlo { n1: 10, seed: 3 }
+        );
+        assert_ne!(RefineMode::reference(1e-6), RefineMode::reference(1e-7));
     }
 
     #[test]
@@ -256,5 +336,17 @@ mod tests {
         };
         assert!((s.directly_reported_fraction() - 0.9).abs() < 1e-12);
         assert_eq!(QueryStats::default().directly_reported_fraction(), 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_thresholds() {
+        let r = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        assert!(ProbRangeQuery::try_new(r, 0.0).is_ok());
+        assert!(ProbRangeQuery::try_new(r, 1.0).is_ok());
+        assert_eq!(
+            ProbRangeQuery::try_new(r, 1.01).unwrap_err(),
+            QueryError::ThresholdOutOfRange { threshold: 1.01 }
+        );
+        assert!(ProbRangeQuery::try_new(r, -0.2).is_err());
     }
 }

@@ -4,15 +4,18 @@
 //!
 //! The U-tree's job is to beat this on I/O by pruning subtrees; the filter
 //! power per object is identical, which makes this the perfect ablation
-//! baseline.
+//! baseline. It implements the same [`ProbIndex`] contract as the trees,
+//! so the harness and applications can swap it in transparently.
 
+use crate::api::{outcome_from_parts, IndexBuilder, ProbIndex, Query, QueryOutcome};
 use crate::catalog::UCatalog;
 use crate::cfb::{fit_cfb_pair, CfbView};
 use crate::entry::{UCodec, ULeafEntry};
 use crate::filter::{filter_object, FilterOutcome};
 use crate::object_codec::encode_object;
 use crate::pcr::PcrSet;
-use crate::query::{refine_candidates, ProbRangeQuery, QueryStats, RefineMode};
+use crate::query::{refine_candidates_scored, ProbRangeQuery, QueryStats, RefineMode};
+use crate::tree::InsertStats;
 use page_store::{f32_round_down, f32_round_up, ObjectHeap, PageFile, PageId, RecordAddr};
 use rstar_base::NodeCodec;
 use std::sync::Arc;
@@ -32,6 +35,12 @@ pub struct SeqScan<const D: usize> {
 }
 
 impl<const D: usize> SeqScan<D> {
+    /// Fluent fallible construction (see [`IndexBuilder`]; the R*-tree
+    /// tuning knob is ignored — a packed file has no tree structure).
+    pub fn builder() -> IndexBuilder<D, Self> {
+        IndexBuilder::new()
+    }
+
     /// An empty scan file over the given catalog.
     pub fn new(catalog: UCatalog) -> Self {
         let catalog = Arc::new(catalog);
@@ -44,6 +53,11 @@ impl<const D: usize> SeqScan<D> {
             catalog,
             len: 0,
         }
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &UCatalog {
+        &self.catalog
     }
 
     /// Number of stored objects.
@@ -61,11 +75,33 @@ impl<const D: usize> SeqScan<D> {
         ((self.pages.len() + usize::from(!self.open.is_empty())) * page_store::PAGE_SIZE) as u64
     }
 
+    /// Heap (object detail) size in bytes.
+    pub fn heap_size_bytes(&self) -> u64 {
+        self.heap.size_bytes()
+    }
+
+    /// Total filter-file page accesses (reads + writes) since the last
+    /// [`Self::reset_io`].
+    pub fn io_counters(&self) -> u64 {
+        self.file.stats().total()
+    }
+
+    /// Resets the I/O counters (harness use).
+    pub fn reset_io(&self) {
+        self.file.stats().reset();
+        self.heap.file().stats().reset();
+    }
+
     /// Appends an object (packed pages, 100% fill — sequential files have
-    /// no update locality to preserve).
-    pub fn insert(&mut self, obj: &UncertainObject<D>) {
+    /// no update locality to preserve). Returns the same cost breakdown as
+    /// the tree inserts (no `lp` shortcut: the scan stores CFBs too).
+    pub fn insert(&mut self, obj: &UncertainObject<D>) -> InsertStats {
+        let t0 = Instant::now();
         let pcrs = PcrSet::compute(&obj.pdf, &self.catalog);
+        let pcr_nanos = t0.elapsed().as_nanos();
+        let t1 = Instant::now();
         let cfbs = fit_cfb_pair(&pcrs, &self.catalog);
+        let lp_nanos = t1.elapsed().as_nanos();
         let raw = obj.pdf.mbr();
         let mut mbr = raw;
         for i in 0..D {
@@ -73,11 +109,60 @@ impl<const D: usize> SeqScan<D> {
             mbr.max[i] = f32_round_up(raw.max[i]);
         }
         let addr = self.heap.insert(&encode_object(obj));
-        self.open
-            .push(ULeafEntry::new(cfbs, mbr, addr, obj.id, &self.catalog));
+        let entry = ULeafEntry::new(cfbs, mbr, addr, obj.id, &self.catalog);
+        let reads0 = self.file.stats().reads();
+        let writes0 = self.file.stats().writes();
+        self.open.push(entry);
         self.len += 1;
         if self.open.len() == self.codec.leaf_capacity() {
             self.flush_page();
+        }
+        InsertStats {
+            pcr_nanos,
+            lp_nanos,
+            io_reads: self.file.stats().reads() - reads0,
+            io_writes: self.file.stats().writes() - writes0,
+        }
+    }
+
+    /// Deletes an object by id. A packed file has no search structure, so
+    /// the whole file is scanned and repacked — the honest sequential-file
+    /// deletion cost the trees are meant to beat.
+    pub fn delete(&mut self, obj: &UncertainObject<D>) -> bool {
+        let mut all: Vec<ULeafEntry<D>> = Vec::with_capacity(self.len);
+        for &page in &self.pages {
+            all.extend(self.codec.decode_leaf(self.file.read(page)));
+        }
+        all.extend(self.open.iter().cloned());
+        // A miss stays read-only: the scan above is the whole deletion
+        // search cost; nothing is repacked.
+        let Some(pos) = all.iter().position(|e| e.id == obj.id) else {
+            return false;
+        };
+        let removed = all.remove(pos);
+        self.heap.remove(removed.addr);
+        self.rebuild_from(all);
+        true
+    }
+
+    /// Repacks `entries` into full pages + open tail.
+    fn rebuild_from(&mut self, entries: Vec<ULeafEntry<D>>) {
+        for page in self.pages.drain(..) {
+            self.file.release(page);
+        }
+        self.len = entries.len();
+        let cap = self.codec.leaf_capacity();
+        self.open = Vec::new();
+        for chunk in entries.chunks(cap) {
+            if chunk.len() == cap {
+                let page = self.file.allocate();
+                let mut bytes = Vec::with_capacity(page_store::PAGE_SIZE);
+                self.codec.encode_leaf(chunk, &mut bytes);
+                self.file.write(page, &bytes);
+                self.pages.push(page);
+            } else {
+                self.open = chunk.to_vec();
+            }
         }
     }
 
@@ -90,11 +175,14 @@ impl<const D: usize> SeqScan<D> {
         self.open.clear();
     }
 
-    /// Executes a prob-range query by scanning every page.
-    pub fn query(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
+    /// Executes a prob-range query by scanning every page. The
+    /// [`QueryOptions`](crate::tree::QueryOptions) ablation switches are
+    /// U-tree-specific and ignored here.
+    pub fn execute(&self, query: &Query<D>) -> QueryOutcome {
         let mut stats = QueryStats::default();
-        let rq = &q.region;
-        let pq = q.threshold;
+        let rq = query.region();
+        let pq = query.threshold();
+        let mode = query.refine_mode();
         let t0 = Instant::now();
         let mut results = Vec::new();
         let mut candidates: Vec<(RecordAddr, u64)> = Vec::new();
@@ -103,6 +191,7 @@ impl<const D: usize> SeqScan<D> {
                 pair: &rec.cfbs,
                 catalog: &self.catalog,
             };
+            stats.visited += 1;
             match filter_object(&view, &rec.mbr, &self.catalog, rq, pq) {
                 FilterOutcome::Pruned => stats.pruned += 1,
                 FilterOutcome::Validated => {
@@ -130,10 +219,53 @@ impl<const D: usize> SeqScan<D> {
         stats.results = results.len() as u64;
 
         let t1 = Instant::now();
-        let refined = refine_candidates(&self.heap, &candidates, rq, pq, mode, &mut stats);
+        let refined = refine_candidates_scored(&self.heap, &candidates, rq, pq, mode, &mut stats);
         stats.refine_nanos = t1.elapsed().as_nanos();
-        results.extend(refined);
-        (results, stats)
+        outcome_from_parts(results, refined, stats)
+    }
+
+    /// Legacy tuple query.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Query::range(..).threshold(..).run(&scan)` or `ProbIndex::execute`; see docs/API.md"
+    )]
+    pub fn query(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
+        let outcome = self.execute(&Query::from_prob_range(*q, mode));
+        (outcome.ids(), outcome.stats)
+    }
+}
+
+impl<const D: usize> ProbIndex<D> for SeqScan<D> {
+    fn insert(&mut self, obj: &UncertainObject<D>) -> InsertStats {
+        SeqScan::insert(self, obj)
+    }
+
+    fn delete(&mut self, obj: &UncertainObject<D>) -> bool {
+        SeqScan::delete(self, obj)
+    }
+
+    fn len(&self) -> usize {
+        SeqScan::len(self)
+    }
+
+    fn index_size_bytes(&self) -> u64 {
+        SeqScan::size_bytes(self)
+    }
+
+    fn heap_size_bytes(&self) -> u64 {
+        SeqScan::heap_size_bytes(self)
+    }
+
+    fn io_counters(&self) -> u64 {
+        SeqScan::io_counters(self)
+    }
+
+    fn reset_io(&self) {
+        SeqScan::reset_io(self)
+    }
+
+    fn execute(&self, query: &Query<D>) -> QueryOutcome {
+        SeqScan::execute(self, query)
     }
 }
 
@@ -146,28 +278,43 @@ mod tests {
     use uncertain_geom::Rect;
     use uncertain_pdf::ObjectPdf;
 
+    fn run<const D: usize, I: ProbIndex<D>>(
+        index: &I,
+        q: ProbRangeQuery<D>,
+        mode: RefineMode,
+    ) -> (Vec<u64>, QueryStats) {
+        let out = index.execute(&Query::from_prob_range(q, mode));
+        (out.ids(), out.stats)
+    }
+
+    fn ball(id: u64, x: f64, y: f64, r: f64) -> UncertainObject<2> {
+        UncertainObject::new(
+            id,
+            ObjectPdf::UniformBall {
+                center: Point::new([x, y]),
+                radius: r,
+            },
+        )
+    }
+
     #[test]
     fn seqscan_matches_utree_results_but_reads_everything() {
         let mut rng = SmallRng::seed_from_u64(61);
         let mut scan = SeqScan::new(UCatalog::uniform(8));
         let mut tree = crate::UTree::new(UCatalog::uniform(8));
         for id in 0..500u64 {
-            let o = UncertainObject::new(
+            let o = ball(
                 id,
-                ObjectPdf::UniformBall {
-                    center: Point::new([
-                        rng.gen_range(300.0..9700.0),
-                        rng.gen_range(300.0..9700.0),
-                    ]),
-                    radius: 200.0,
-                },
+                rng.gen_range(300.0..9700.0),
+                rng.gen_range(300.0..9700.0),
+                200.0,
             );
             scan.insert(&o);
             tree.insert(&o);
         }
         let q = ProbRangeQuery::new(Rect::new([2000.0, 2000.0], [3500.0, 3500.0]), 0.4);
-        let (mut a, s_scan) = scan.query(&q, RefineMode::Reference { tol: 1e-9 });
-        let (mut b, s_tree) = tree.query(&q, RefineMode::Reference { tol: 1e-9 });
+        let (mut a, s_scan) = run(&scan, q, RefineMode::reference(1e-9));
+        let (mut b, s_tree) = run(&tree, q, RefineMode::reference(1e-9));
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
@@ -183,18 +330,44 @@ mod tests {
     fn scan_reads_every_page() {
         let mut scan = SeqScan::new(UCatalog::uniform(6));
         for id in 0..150u64 {
-            scan.insert(&UncertainObject::new(
-                id,
-                ObjectPdf::UniformBall {
-                    center: Point::new([100.0 + id as f64 * 50.0, 5000.0]),
-                    radius: 20.0,
-                },
-            ));
+            scan.insert(&ball(id, 100.0 + id as f64 * 50.0, 5000.0, 20.0));
         }
         let q = ProbRangeQuery::new(Rect::new([0.0, 0.0], [1.0, 1.0]), 0.5);
-        let (ids, stats) = scan.query(&q, RefineMode::Reference { tol: 1e-9 });
+        let (ids, stats) = run(&scan, q, RefineMode::reference(1e-9));
         assert!(ids.is_empty());
-        let expected_pages = (150 + 40) / 41; // leaf capacity 41 in 2D
+        let expected_pages = 150_usize.div_ceil(41); // leaf capacity 41 in 2D
         assert_eq!(stats.node_reads as usize, expected_pages);
+        assert_eq!(stats.visited, 150, "a scan inspects every object");
+    }
+
+    #[test]
+    fn delete_repacks_and_preserves_answers() {
+        let mut scan = SeqScan::new(UCatalog::uniform(8));
+        let objs: Vec<UncertainObject<2>> = (0..120u64)
+            .map(|id| ball(id, 200.0 + id as f64 * 75.0, 5000.0, 30.0))
+            .collect();
+        for o in &objs {
+            scan.insert(o);
+        }
+        assert_eq!(scan.len(), 120);
+        // Delete every third object.
+        for o in objs.iter().step_by(3) {
+            assert!(scan.delete(o), "object {} must be deletable", o.id);
+        }
+        assert_eq!(scan.len(), 80);
+        assert!(!scan.delete(&objs[0]), "double delete must fail");
+        // Survivors all answer; removed ids never appear.
+        let q = ProbRangeQuery::new(Rect::new([0.0, 0.0], [10_000.0, 10_000.0]), 0.01);
+        let (ids, _) = run(&scan, q, RefineMode::reference(1e-8));
+        assert_eq!(ids.len(), 80);
+        assert!(ids.iter().all(|id| id % 3 != 0));
+    }
+
+    #[test]
+    fn insert_reports_cpu_breakdown() {
+        let mut scan = SeqScan::<2>::new(UCatalog::uniform(8));
+        let stats = scan.insert(&ball(1, 5000.0, 5000.0, 250.0));
+        assert!(stats.pcr_nanos > 0, "PCR time must be measured");
+        assert!(stats.lp_nanos > 0, "CFB fitting time must be measured");
     }
 }

@@ -1,6 +1,7 @@
 //! The U-tree (paper Sec 5): a fully dynamic, disk-based index for
 //! multi-dimensional uncertain data with arbitrary pdfs.
 
+use crate::api::{outcome_from_parts, IndexBuilder, ProbIndex, Query, QueryOutcome};
 use crate::catalog::UCatalog;
 use crate::cfb::{fit_cfb_pair, CfbView};
 use crate::entry::{UCodec, ULeafEntry};
@@ -8,19 +9,23 @@ use crate::filter::{filter_object, FilterOutcome};
 use crate::key::{UKey, UMetrics};
 use crate::object_codec::encode_object;
 use crate::pcr::PcrSet;
-use crate::query::{refine_candidates, ProbRangeQuery, QueryStats, RefineMode};
+use crate::query::{refine_candidates_scored, ProbRangeQuery, QueryStats, RefineMode};
 use page_store::{f32_round_down, f32_round_up, ObjectHeap, RecordAddr};
 use rstar_base::{LeafRecord, RStarTreeBase, TreeConfig, TreeStats};
+use std::ops::AddAssign;
 use std::sync::Arc;
 use std::time::Instant;
 use uncertain_geom::Rect;
 use uncertain_pdf::{ObjectPdf, UncertainObject};
 
-/// Ablation switches for [`UTree::query_with_options`].
+/// Ablation switches for query execution
+/// ([`crate::api::QueryBuilder::options`]).
 ///
 /// Disabling a component never changes the *result set* (everything not
 /// decided by a filter goes through exact refinement) — only the cost.
-#[derive(Debug, Clone, Copy)]
+/// The U-tree honours every switch; U-PCR and the sequential scan have no
+/// Observation-4 descent and ignore the options.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryOptions {
     /// Apply Observation 4 at intermediate entries (off = plain R-tree
     /// `e.MBR(p₁)` intersection pruning).
@@ -43,8 +48,10 @@ impl Default for QueryOptions {
     }
 }
 
-/// Cost breakdown of one insertion (Fig 11a's CPU components).
-#[derive(Debug, Clone, Copy, Default)]
+/// Cost breakdown of one insertion (Fig 11a's CPU components), or — via
+/// [`crate::api::ProbIndex::bulk_load`] — the accumulated breakdown of a
+/// batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct InsertStats {
     /// Nanoseconds computing the PCRs (marginal CDF inversion).
     pub pcr_nanos: u128,
@@ -56,23 +63,42 @@ pub struct InsertStats {
     pub io_writes: u64,
 }
 
+impl AddAssign<&InsertStats> for InsertStats {
+    fn add_assign(&mut self, other: &InsertStats) {
+        self.pcr_nanos += other.pcr_nanos;
+        self.lp_nanos += other.lp_nanos;
+        self.io_reads += other.io_reads;
+        self.io_writes += other.io_writes;
+    }
+}
+
 /// The U-tree: an R*-tree derivative over conservative functional boxes,
 /// plus the object-detail heap file its leaf entries point into.
 ///
+/// Construction goes through [`UTree::builder`] (shared with the other
+/// backends); queries through the fluent [`Query`] API. Both are available
+/// generically via the [`ProbIndex`] trait.
+///
 /// ```
-/// use utree::{ProbRangeQuery, RefineMode, UCatalog, UTree};
+/// use utree::{ProbIndex, Provenance, Query, Refine, UTree};
 /// use uncertain_geom::{Point, Rect};
 /// use uncertain_pdf::{ObjectPdf, UncertainObject};
 ///
-/// let mut tree = UTree::<2>::new(UCatalog::uniform(6));
+/// let mut tree = UTree::<2>::builder().uniform_catalog(6).build()?;
 /// tree.insert(&UncertainObject::new(
 ///     1,
 ///     ObjectPdf::UniformBall { center: Point::new([50.0, 50.0]), radius: 10.0 },
 /// ));
-/// let q = ProbRangeQuery::new(Rect::new([30.0, 30.0], [70.0, 70.0]), 0.9);
-/// let (ids, stats) = tree.query(&q, RefineMode::Reference { tol: 1e-8 });
-/// assert_eq!(ids, vec![1]);
-/// assert_eq!(stats.results, 1);
+///
+/// let outcome = Query::range(Rect::new([30.0, 30.0], [70.0, 70.0]))
+///     .threshold(0.9)
+///     .refine(Refine::reference(1e-8))
+///     .run(&tree)?;
+/// assert_eq!(outcome.ids(), vec![1]);
+/// // The containing query certifies the object without integration:
+/// assert_eq!(outcome.matches[0].provenance, Provenance::Validated);
+/// assert_eq!(outcome.stats.prob_computations, 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct UTree<const D: usize> {
     tree: RStarTreeBase<D, UMetrics<D>, ULeafEntry<D>, UCodec<D>>,
@@ -81,6 +107,11 @@ pub struct UTree<const D: usize> {
 }
 
 impl<const D: usize> UTree<D> {
+    /// Fluent fallible construction (see [`IndexBuilder`]).
+    pub fn builder() -> IndexBuilder<D, Self> {
+        IndexBuilder::new()
+    }
+
     /// An empty U-tree over the given catalog.
     pub fn new(catalog: UCatalog) -> Self {
         Self::with_config(catalog, TreeConfig::default())
@@ -190,28 +221,22 @@ impl<const D: usize> UTree<D> {
         }
     }
 
-    /// Executes a prob-range query.
+    /// Executes a prob-range query, returning matches with provenance.
     ///
     /// Filter step: subtrees are pruned with Observation 4
     /// (`r_q ∩ e.MBR(p_j) = ∅` for the largest catalog value `p_j <= p_q`);
     /// leaf entries are pruned/validated with Observation 3. Refinement:
     /// the remaining candidates' appearance probabilities are evaluated,
     /// one heap I/O per page (Sec 5.2).
-    pub fn query(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
-        self.query_with_options(q, mode, QueryOptions::default())
-    }
-
-    /// [`Self::query`] with ablation switches (see [`QueryOptions`]) —
-    /// used to quantify how much each filter component contributes.
-    pub fn query_with_options(
-        &self,
-        q: &ProbRangeQuery<D>,
-        mode: RefineMode,
-        opts: QueryOptions,
-    ) -> (Vec<u64>, QueryStats) {
+    ///
+    /// Callers usually reach this through
+    /// [`crate::api::QueryBuilder::run`] or [`ProbIndex::execute`].
+    pub fn execute(&self, query: &Query<D>) -> QueryOutcome {
         let mut stats = QueryStats::default();
-        let rq = &q.region;
-        let pq = q.threshold;
+        let rq = query.region();
+        let pq = query.threshold();
+        let mode = query.refine_mode();
+        let opts = query.options();
         // Observation 4 index: p_j = largest catalog value <= p_q
         // (p₁ = 0 guarantees existence; clamp defensively otherwise).
         let j = if opts.observation4 {
@@ -245,6 +270,7 @@ impl<const D: usize> UTree<D> {
                     FilterOutcome::Validated if !opts.validation => FilterOutcome::Candidate,
                     other => other,
                 };
+                stats.visited += 1;
                 match outcome {
                     FilterOutcome::Pruned => stats.pruned += 1,
                     FilterOutcome::Validated => {
@@ -261,10 +287,35 @@ impl<const D: usize> UTree<D> {
         stats.results = results.len() as u64;
 
         let t1 = Instant::now();
-        let refined = refine_candidates(&self.heap, &candidates, rq, pq, mode, &mut stats);
+        let refined = refine_candidates_scored(&self.heap, &candidates, rq, pq, mode, &mut stats);
         stats.refine_nanos = t1.elapsed().as_nanos();
-        results.extend(refined);
-        (results, stats)
+        outcome_from_parts(results, refined, stats)
+    }
+
+    /// Executes a prob-range query with the default options, returning the
+    /// legacy `(ids, stats)` tuple.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Query::range(..).threshold(..).run(&tree)` or `ProbIndex::execute`; see docs/API.md"
+    )]
+    pub fn query(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
+        let outcome = self.execute(&Query::from_prob_range(*q, mode));
+        (outcome.ids(), outcome.stats)
+    }
+
+    /// Legacy tuple query with ablation switches.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Query::range(..).threshold(..).options(..).run(&tree)`; see docs/API.md"
+    )]
+    pub fn query_with_options(
+        &self,
+        q: &ProbRangeQuery<D>,
+        mode: RefineMode,
+        opts: QueryOptions,
+    ) -> (Vec<u64>, QueryStats) {
+        let outcome = self.execute(&Query::from_prob_range(*q, mode).with_options(opts));
+        (outcome.ids(), outcome.stats)
     }
 
     /// Visits every leaf entry (diagnostics / baselines).
@@ -290,6 +341,40 @@ impl<const D: usize> UTree<D> {
     }
 }
 
+impl<const D: usize> ProbIndex<D> for UTree<D> {
+    fn insert(&mut self, obj: &UncertainObject<D>) -> InsertStats {
+        UTree::insert(self, obj)
+    }
+
+    fn delete(&mut self, obj: &UncertainObject<D>) -> bool {
+        UTree::delete(self, obj)
+    }
+
+    fn len(&self) -> usize {
+        UTree::len(self)
+    }
+
+    fn index_size_bytes(&self) -> u64 {
+        UTree::index_size_bytes(self)
+    }
+
+    fn heap_size_bytes(&self) -> u64 {
+        UTree::heap_size_bytes(self)
+    }
+
+    fn io_counters(&self) -> u64 {
+        UTree::io_counters(self)
+    }
+
+    fn reset_io(&self) {
+        UTree::reset_io(self)
+    }
+
+    fn execute(&self, query: &Query<D>) -> QueryOutcome {
+        UTree::execute(self, query)
+    }
+}
+
 // `LeafRecord` is implemented in entry.rs; re-assert the link here so the
 // compiler surfaces any drift in one obvious place.
 const _: () = {
@@ -305,6 +390,26 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     use uncertain_geom::Point;
+
+    /// Legacy-tuple shim over the new API so the tests exercise `execute`.
+    fn run<const D: usize>(
+        tree: &UTree<D>,
+        q: ProbRangeQuery<D>,
+        mode: RefineMode,
+    ) -> (Vec<u64>, QueryStats) {
+        let out = tree.execute(&Query::from_prob_range(q, mode));
+        (out.ids(), out.stats)
+    }
+
+    fn run_opts<const D: usize>(
+        tree: &UTree<D>,
+        q: ProbRangeQuery<D>,
+        mode: RefineMode,
+        opts: QueryOptions,
+    ) -> (Vec<u64>, QueryStats) {
+        let out = tree.execute(&Query::from_prob_range(q, mode).with_options(opts));
+        (out.ids(), out.stats)
+    }
 
     fn ball(id: u64, x: f64, y: f64, r: f64) -> UncertainObject<2> {
         UncertainObject::new(
@@ -337,7 +442,7 @@ mod tests {
     fn empty_tree_query() {
         let tree = UTree::<2>::new(UCatalog::uniform(4));
         let q = ProbRangeQuery::new(Rect::new([0.0, 0.0], [100.0, 100.0]), 0.5);
-        let (ids, stats) = tree.query(&q, RefineMode::Reference { tol: 1e-8 });
+        let (ids, stats) = run(&tree, q, RefineMode::Reference { tol: 1e-8 });
         assert!(ids.is_empty());
         assert_eq!(stats.results, 0);
     }
@@ -349,13 +454,13 @@ mod tests {
         // Fully containing query at high threshold: hit, and validated
         // without probability computation.
         let q = ProbRangeQuery::new(Rect::new([300.0, 300.0], [700.0, 700.0]), 0.95);
-        let (ids, stats) = tree.query(&q, RefineMode::Reference { tol: 1e-8 });
+        let (ids, stats) = run(&tree, q, RefineMode::Reference { tol: 1e-8 });
         assert_eq!(ids, vec![7]);
         assert_eq!(stats.validated, 1);
         assert_eq!(stats.prob_computations, 0);
         // Disjoint query: pruned without probability computation.
         let q2 = ProbRangeQuery::new(Rect::new([5000.0, 5000.0], [6000.0, 6000.0]), 0.1);
-        let (ids2, stats2) = tree.query(&q2, RefineMode::Reference { tol: 1e-8 });
+        let (ids2, stats2) = run(&tree, q2, RefineMode::Reference { tol: 1e-8 });
         assert!(ids2.is_empty());
         assert_eq!(stats2.prob_computations, 0);
     }
@@ -372,7 +477,7 @@ mod tests {
             let pq = rng.gen_range(0.05..0.95);
             let rq = Rect::cube(&Point::new([cx, cy]), side);
             let q = ProbRangeQuery::new(rq, pq);
-            let (mut got, _) = tree.query(&q, RefineMode::Reference { tol: 1e-9 });
+            let (mut got, _) = run(&tree, q, RefineMode::Reference { tol: 1e-9 });
             got.sort_unstable();
             // Brute force with the same reference evaluator; skip objects
             // whose true probability is within ε of the threshold (filter
@@ -403,7 +508,7 @@ mod tests {
     fn filter_avoids_most_probability_computations() {
         let (tree, _) = build_random(1500, 23);
         let q = ProbRangeQuery::new(Rect::new([3000.0, 3000.0], [5000.0, 5000.0]), 0.6);
-        let (ids, stats) = tree.query(&q, RefineMode::Reference { tol: 1e-8 });
+        let (ids, stats) = run(&tree, q, RefineMode::Reference { tol: 1e-8 });
         assert!(!ids.is_empty());
         // The entire point of the paper: most decided objects never reach
         // the integrator.
@@ -425,7 +530,7 @@ mod tests {
         assert_eq!(tree.len(), 150);
         // Deleted objects never appear in results.
         let q = ProbRangeQuery::new(Rect::new([0.0, 0.0], [10_000.0, 10_000.0]), 0.01);
-        let (ids, _) = tree.query(&q, RefineMode::Reference { tol: 1e-8 });
+        let (ids, _) = run(&tree, q, RefineMode::Reference { tol: 1e-8 });
         for o in objs.iter().take(150) {
             assert!(!ids.contains(&o.id), "deleted {} still reported", o.id);
         }
@@ -469,7 +574,7 @@ mod tests {
         tree.insert(&UncertainObject::new(4, ObjectPdf::Histogram(h)));
         // A query around the cluster with a generous region takes all four.
         let q = ProbRangeQuery::new(Rect::new([600.0, 600.0], [1500.0, 1500.0]), 0.9);
-        let (mut ids, _) = tree.query(&q, RefineMode::Reference { tol: 1e-8 });
+        let (mut ids, _) = run(&tree, q, RefineMode::Reference { tol: 1e-8 });
         ids.sort_unstable();
         assert_eq!(ids, vec![1, 2, 3, 4]);
     }
@@ -479,14 +584,24 @@ mod tests {
         let (tree, _) = build_random(500, 77);
         let q = ProbRangeQuery::new(Rect::new([2500.0, 2500.0], [5000.0, 5500.0]), 0.55);
         let mode = RefineMode::Reference { tol: 1e-8 };
-        let (mut full, s_full) = tree.query(&q, mode);
+        let (mut full, s_full) = run(&tree, q, mode);
         full.sort_unstable();
         for opts in [
-            QueryOptions { observation4: false, ..QueryOptions::default() },
-            QueryOptions { validation: false, ..QueryOptions::default() },
-            QueryOptions { leaf_filter: false, validation: false, observation4: false },
+            QueryOptions {
+                observation4: false,
+                ..QueryOptions::default()
+            },
+            QueryOptions {
+                validation: false,
+                ..QueryOptions::default()
+            },
+            QueryOptions {
+                leaf_filter: false,
+                validation: false,
+                observation4: false,
+            },
         ] {
-            let (mut got, s) = tree.query_with_options(&q, mode, opts);
+            let (mut got, s) = run_opts(&tree, q, mode, opts);
             got.sort_unstable();
             assert_eq!(got, full, "ablation {opts:?} changed the answers");
             if !opts.validation {
@@ -528,7 +643,7 @@ mod tests {
         tree.check_invariants().unwrap();
         let rq = Rect::new([2000.0, 2000.0, 2000.0], [6000.0, 6000.0, 6000.0]);
         let q = ProbRangeQuery::new(rq, 0.5);
-        let (mut got, _) = tree.query(&q, RefineMode::Reference { tol: 1e-7 });
+        let (mut got, _) = run(&tree, q, RefineMode::Reference { tol: 1e-7 });
         got.sort_unstable();
         let mut expect: Vec<u64> = objs
             .iter()

@@ -6,13 +6,14 @@
 //! fat entries shrink fanout, so the structure reads more pages — the
 //! trade-off the paper's experiments quantify.
 
+use crate::api::{outcome_from_parts, IndexBuilder, ProbIndex, Query, QueryOutcome};
 use crate::catalog::UCatalog;
 use crate::entry::{UPcrCodec, UPcrLeafEntry};
 use crate::filter::{filter_object, FilterOutcome};
 use crate::key::{PcrKey, PcrMetrics};
 use crate::object_codec::encode_object;
 use crate::pcr::PcrSet;
-use crate::query::{refine_candidates, ProbRangeQuery, QueryStats, RefineMode};
+use crate::query::{refine_candidates_scored, ProbRangeQuery, QueryStats, RefineMode};
 use crate::tree::InsertStats;
 use page_store::{ObjectHeap, RecordAddr};
 use rstar_base::{LeafRecord, RStarTreeBase, TreeConfig, TreeStats};
@@ -29,6 +30,11 @@ pub struct UPcrTree<const D: usize> {
 }
 
 impl<const D: usize> UPcrTree<D> {
+    /// Fluent fallible construction (see [`IndexBuilder`]).
+    pub fn builder() -> IndexBuilder<D, Self> {
+        IndexBuilder::new()
+    }
+
     /// An empty U-PCR over the given catalog (the paper tunes m = 9 for 2D
     /// and m = 10 for 3D; Sec 6.2).
     pub fn new(catalog: UCatalog) -> Self {
@@ -65,6 +71,11 @@ impl<const D: usize> UPcrTree<D> {
     /// Index size in bytes (Table 1's metric).
     pub fn index_size_bytes(&self) -> u64 {
         self.tree.size_bytes()
+    }
+
+    /// Heap (object detail) size in bytes.
+    pub fn heap_size_bytes(&self) -> u64 {
+        self.heap.size_bytes()
     }
 
     /// Structure statistics.
@@ -150,15 +161,18 @@ impl<const D: usize> UPcrTree<D> {
         }
     }
 
-    /// Executes a prob-range query.
+    /// Executes a prob-range query, returning matches with provenance.
     ///
     /// Intermediate pruning tests `r_q` against the stored rectangle at the
     /// largest catalog value `p_j <= p_q` (the exact-PCR analogue of
-    /// Observation 4); leaf entries use Observation 2 directly.
-    pub fn query(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
+    /// Observation 4); leaf entries use Observation 2 directly. The
+    /// [`QueryOptions`](crate::tree::QueryOptions) ablation switches are
+    /// U-tree-specific and ignored here.
+    pub fn execute(&self, query: &Query<D>) -> QueryOutcome {
         let mut stats = QueryStats::default();
-        let rq = &q.region;
-        let pq = q.threshold;
+        let rq = query.region();
+        let pq = query.threshold();
+        let mode = query.refine_mode();
         let j = self
             .catalog
             .largest_leq(pq + crate::filter::PROB_EPS)
@@ -170,13 +184,16 @@ impl<const D: usize> UPcrTree<D> {
         let mut candidates: Vec<(RecordAddr, u64)> = Vec::new();
         self.tree.visit(
             |key, _| rq.intersects(&key.rects[j]),
-            |rec| match filter_object(&rec.pcrs, &rec.mbr, &self.catalog, rq, pq) {
-                FilterOutcome::Pruned => stats.pruned += 1,
-                FilterOutcome::Validated => {
-                    stats.validated += 1;
-                    results.push(rec.id);
+            |rec| {
+                stats.visited += 1;
+                match filter_object(&rec.pcrs, &rec.mbr, &self.catalog, rq, pq) {
+                    FilterOutcome::Pruned => stats.pruned += 1,
+                    FilterOutcome::Validated => {
+                        stats.validated += 1;
+                        results.push(rec.id);
+                    }
+                    FilterOutcome::Candidate => candidates.push((rec.addr, rec.id)),
                 }
-                FilterOutcome::Candidate => candidates.push((rec.addr, rec.id)),
             },
         );
         stats.filter_nanos = t0.elapsed().as_nanos();
@@ -185,10 +202,19 @@ impl<const D: usize> UPcrTree<D> {
         stats.results = results.len() as u64;
 
         let t1 = Instant::now();
-        let refined = refine_candidates(&self.heap, &candidates, rq, pq, mode, &mut stats);
+        let refined = refine_candidates_scored(&self.heap, &candidates, rq, pq, mode, &mut stats);
         stats.refine_nanos = t1.elapsed().as_nanos();
-        results.extend(refined);
-        (results, stats)
+        outcome_from_parts(results, refined, stats)
+    }
+
+    /// Legacy tuple query.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Query::range(..).threshold(..).run(&tree)` or `ProbIndex::execute`; see docs/API.md"
+    )]
+    pub fn query(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
+        let outcome = self.execute(&Query::from_prob_range(*q, mode));
+        (outcome.ids(), outcome.stats)
     }
 
     /// Visits every leaf entry.
@@ -209,6 +235,40 @@ impl<const D: usize> UPcrTree<D> {
     }
 }
 
+impl<const D: usize> ProbIndex<D> for UPcrTree<D> {
+    fn insert(&mut self, obj: &UncertainObject<D>) -> InsertStats {
+        UPcrTree::insert(self, obj)
+    }
+
+    fn delete(&mut self, obj: &UncertainObject<D>) -> bool {
+        UPcrTree::delete(self, obj)
+    }
+
+    fn len(&self) -> usize {
+        UPcrTree::len(self)
+    }
+
+    fn index_size_bytes(&self) -> u64 {
+        UPcrTree::index_size_bytes(self)
+    }
+
+    fn heap_size_bytes(&self) -> u64 {
+        UPcrTree::heap_size_bytes(self)
+    }
+
+    fn io_counters(&self) -> u64 {
+        UPcrTree::io_counters(self)
+    }
+
+    fn reset_io(&self) {
+        UPcrTree::reset_io(self)
+    }
+
+    fn execute(&self, query: &Query<D>) -> QueryOutcome {
+        UPcrTree::execute(self, query)
+    }
+}
+
 // Keep the trait wiring visible here too.
 const _: () = {
     fn _assert_leaf_record() {
@@ -223,6 +283,15 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     use uncertain_geom::Point;
+
+    fn run<const D: usize, I: ProbIndex<D>>(
+        index: &I,
+        q: ProbRangeQuery<D>,
+        mode: RefineMode,
+    ) -> (Vec<u64>, QueryStats) {
+        let out = index.execute(&Query::from_prob_range(q, mode));
+        (out.ids(), out.stats)
+    }
 
     fn build_random(n: usize, seed: u64) -> (UPcrTree<2>, Vec<UncertainObject<2>>) {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -252,16 +321,14 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(29);
         for _ in 0..20 {
             let rq = Rect::cube(
-                &Point::new([
-                    rng.gen_range(500.0..9500.0),
-                    rng.gen_range(500.0..9500.0),
-                ]),
+                &Point::new([rng.gen_range(500.0..9500.0), rng.gen_range(500.0..9500.0)]),
                 rng.gen_range(300.0..1500.0),
             );
             let pq = rng.gen_range(0.05..0.95);
-            let (mut got, _) = tree.query(
-                &ProbRangeQuery::new(rq, pq),
-                RefineMode::Reference { tol: 1e-9 },
+            let (mut got, _) = run(
+                &tree,
+                ProbRangeQuery::new(rq, pq),
+                RefineMode::reference(1e-9),
             );
             got.sort_unstable();
             let mut expect = Vec::new();
@@ -306,16 +373,13 @@ mod tests {
         }
         for _ in 0..15 {
             let rq = Rect::cube(
-                &Point::new([
-                    rng.gen_range(1000.0..9000.0),
-                    rng.gen_range(1000.0..9000.0),
-                ]),
+                &Point::new([rng.gen_range(1000.0..9000.0), rng.gen_range(1000.0..9000.0)]),
                 rng.gen_range(400.0..2000.0),
             );
             let pq = rng.gen_range(0.1..0.9);
             let q = ProbRangeQuery::new(rq, pq);
-            let (mut a, _) = upcr.query(&q, RefineMode::Reference { tol: 1e-9 });
-            let (mut b, _) = utree.query(&q, RefineMode::Reference { tol: 1e-9 });
+            let (mut a, _) = run(&upcr, q, RefineMode::Reference { tol: 1e-9 });
+            let (mut b, _) = run(&utree, q, RefineMode::Reference { tol: 1e-9 });
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "structures disagree at rq={rq:?} pq={pq}");
@@ -331,7 +395,7 @@ mod tests {
         tree.check_invariants().unwrap();
         assert_eq!(tree.len(), 100);
         let q = ProbRangeQuery::new(Rect::new([0.0, 0.0], [10_000.0, 10_000.0]), 0.01);
-        let (ids, _) = tree.query(&q, RefineMode::Reference { tol: 1e-8 });
+        let (ids, _) = run(&tree, q, RefineMode::Reference { tol: 1e-8 });
         assert_eq!(ids.len(), 100);
         assert!(ids.iter().all(|id| id % 2 == 1));
     }

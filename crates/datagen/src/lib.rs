@@ -51,13 +51,7 @@ pub fn to_uniform_objects(points: &[Point<2>], radius: f64) -> Vec<UncertainObje
         .iter()
         .enumerate()
         .map(|(id, p)| {
-            UncertainObject::new(
-                id as u64,
-                ObjectPdf::UniformBall {
-                    center: *p,
-                    radius,
-                },
-            )
+            UncertainObject::new(id as u64, ObjectPdf::UniformBall { center: *p, radius })
         })
         .collect()
 }

@@ -14,29 +14,5 @@ mod rect;
 pub use point::Point;
 pub use rect::Rect;
 
-/// Serde support for `[T; D]` with const-generic `D` (serde's built-in
-/// array impls stop at fixed sizes).
-pub mod array_serde {
-    use serde::de::Error;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    /// Serializes the array as a sequence.
-    pub fn serialize<S: Serializer, T: Serialize, const D: usize>(
-        arr: &[T; D],
-        s: S,
-    ) -> Result<S::Ok, S::Error> {
-        s.collect_seq(arr.iter())
-    }
-
-    /// Deserializes a sequence of exactly `D` elements.
-    pub fn deserialize<'de, De: Deserializer<'de>, T: Deserialize<'de>, const D: usize>(
-        d: De,
-    ) -> Result<[T; D], De::Error> {
-        let v = Vec::<T>::deserialize(d)?;
-        v.try_into()
-            .map_err(|v: Vec<T>| De::Error::invalid_length(v.len(), &"array of dimension D"))
-    }
-}
-
 /// Relative tolerance used by the geometry tests.
 pub const EPS: f64 = 1e-9;

@@ -1,13 +1,10 @@
-use serde::{Deserialize, Serialize};
-
 /// A point in `D`-dimensional space.
 ///
 /// Coordinates are `f64`; the paper normalises every dimension to the domain
 /// `[0, 10000]`, but nothing here assumes that.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point<const D: usize> {
     /// Coordinate per dimension.
-    #[serde(with = "crate::array_serde")]
     pub coords: [f64; D],
 }
 
@@ -45,27 +42,27 @@ impl<const D: usize> Point<D> {
 
     /// Component-wise addition.
     pub fn add(&self, other: &Self) -> Self {
-        let mut coords = [0.0; D];
-        for i in 0..D {
-            coords[i] = self.coords[i] + other.coords[i];
+        let mut coords = self.coords;
+        for (c, o) in coords.iter_mut().zip(other.coords) {
+            *c += o;
         }
         Self::new(coords)
     }
 
     /// Component-wise subtraction `self - other`.
     pub fn sub(&self, other: &Self) -> Self {
-        let mut coords = [0.0; D];
-        for i in 0..D {
-            coords[i] = self.coords[i] - other.coords[i];
+        let mut coords = self.coords;
+        for (c, o) in coords.iter_mut().zip(other.coords) {
+            *c -= o;
         }
         Self::new(coords)
     }
 
     /// Scales every coordinate by `s`.
     pub fn scale(&self, s: f64) -> Self {
-        let mut coords = [0.0; D];
-        for i in 0..D {
-            coords[i] = self.coords[i] * s;
+        let mut coords = self.coords;
+        for c in coords.iter_mut() {
+            *c *= s;
         }
         Self::new(coords)
     }

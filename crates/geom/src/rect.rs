@@ -1,18 +1,15 @@
 use crate::Point;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned (hyper-)rectangle in `D` dimensions, `min[i] <= max[i]`.
 ///
 /// This is the common currency of the whole stack: MBRs of uncertainty
 /// regions, PCRs, CFB evaluations, query regions and tree-entry bounds are
 /// all `Rect`s.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect<const D: usize> {
     /// Lower corner.
-    #[serde(with = "crate::array_serde")]
     pub min: [f64; D],
     /// Upper corner.
-    #[serde(with = "crate::array_serde")]
     pub max: [f64; D],
 }
 
@@ -96,9 +93,9 @@ impl<const D: usize> Rect<D> {
 
     /// Center point.
     pub fn center(&self) -> Point<D> {
-        let mut coords = [0.0; D];
-        for i in 0..D {
-            coords[i] = 0.5 * (self.min[i] + self.max[i]);
+        let mut coords = self.min;
+        for (c, hi) in coords.iter_mut().zip(self.max) {
+            *c = 0.5 * (*c + hi);
         }
         Point::new(coords)
     }
@@ -196,7 +193,10 @@ impl<const D: usize> Rect<D> {
 
     /// True if all corners are finite numbers.
     pub fn is_finite(&self) -> bool {
-        self.min.iter().chain(self.max.iter()).all(|c| c.is_finite())
+        self.min
+            .iter()
+            .chain(self.max.iter())
+            .all(|c| c.is_finite())
     }
 
     /// Projection on dimension `i` as `(lo, hi)`.

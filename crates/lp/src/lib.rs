@@ -112,11 +112,7 @@ impl LinearProgram {
     pub fn solve(&self) -> Result<Solution, LpError> {
         // Free variables: x = u - v with u, v >= 0.
         let n = self.num_vars();
-        let split_obj: Vec<f64> = self
-            .objective
-            .iter()
-            .flat_map(|&c| [c, -c])
-            .collect();
+        let split_obj: Vec<f64> = self.objective.iter().flat_map(|&c| [c, -c]).collect();
         let split_rows: Vec<Vec<f64>> = self
             .constraints
             .iter()
@@ -128,12 +124,7 @@ impl LinearProgram {
         for i in 0..n {
             x.push(split[2 * i] - split[2 * i + 1]);
         }
-        let objective_value = self
-            .objective
-            .iter()
-            .zip(&x)
-            .map(|(c, xi)| c * xi)
-            .sum();
+        let objective_value = self.objective.iter().zip(&x).map(|(c, xi)| c * xi).sum();
         Ok(Solution { x, objective_value })
     }
 }

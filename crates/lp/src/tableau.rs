@@ -78,13 +78,7 @@ pub fn solve_standard(c: &[f64], rows: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64
         // Drive any remaining basic artificials out of the basis.
         for i in 0..m {
             if basis[i] >= n + m {
-                let mut pivot_col = None;
-                for j in 0..n + m {
-                    if t[i][j].abs() > 1e-7 {
-                        pivot_col = Some(j);
-                        break;
-                    }
-                }
+                let pivot_col = t[i][..n + m].iter().position(|v| v.abs() > 1e-7);
                 if let Some(j) = pivot_col {
                     pivot(&mut t, &mut basis, i, j);
                 }
@@ -186,22 +180,20 @@ fn pivot_loop(
 
 /// Pivot on (row, col) updating constraint rows and the basis only.
 fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
-    let ncols = t[row].len();
     let piv = t[row][col];
     debug_assert!(piv.abs() > 0.0);
     for v in t[row].iter_mut() {
         *v /= piv;
     }
-    for i in 0..t.len() {
-        if i == row {
-            continue;
-        }
-        let factor = t[i][col];
+    let (before, rest) = t.split_at_mut(row);
+    let (pivot_row, after) = rest.split_first_mut().expect("row index in range");
+    for r in before.iter_mut().chain(after.iter_mut()) {
+        let factor = r[col];
         if factor.abs() > 0.0 {
-            for j in 0..ncols {
-                t[i][j] -= factor * t[row][j];
+            for (v, pv) in r.iter_mut().zip(pivot_row.iter()) {
+                *v -= factor * pv;
             }
-            t[i][col] = 0.0;
+            r[col] = 0.0;
         }
     }
     basis[row] = col;
@@ -220,16 +212,15 @@ fn pivot_with_obj(
     for v in t[row].iter_mut() {
         *v /= piv;
     }
-    for i in 0..t.len() {
-        if i == row {
-            continue;
-        }
-        let factor = t[i][col];
+    let (before, rest) = t.split_at_mut(row);
+    let (pivot_row, after) = rest.split_first_mut().expect("row index in range");
+    for r in before.iter_mut().chain(after.iter_mut()) {
+        let factor = r[col];
         if factor.abs() > 0.0 {
-            for j in 0..ncols {
-                t[i][j] -= factor * t[row][j];
+            for (v, pv) in r.iter_mut().zip(pivot_row.iter()) {
+                *v -= factor * pv;
             }
-            t[i][col] = 0.0;
+            r[col] = 0.0;
         }
     }
     let factor = obj[col];

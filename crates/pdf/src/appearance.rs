@@ -141,7 +141,14 @@ fn ball_rect_volume(center: &[f64], r: f64, lo: &[f64], hi: &[f64], tol: f64) ->
 
 /// Mass of an isotropic Gaussian `N(center, σ²I)` restricted to
 /// `ball(center, r) ∩ rect` (not yet divided by λ), by the same slicing.
-fn gauss_ball_rect_mass(center: &[f64], sigma: f64, r: f64, lo: &[f64], hi: &[f64], tol: f64) -> f64 {
+fn gauss_ball_rect_mass(
+    center: &[f64],
+    sigma: f64,
+    r: f64,
+    lo: &[f64],
+    hi: &[f64],
+    tol: f64,
+) -> f64 {
     debug_assert!(!center.is_empty());
     if r <= 0.0 {
         return 0.0;
@@ -162,7 +169,14 @@ fn gauss_ball_rect_mass(center: &[f64], sigma: f64, r: f64, lo: &[f64], hi: &[f6
         }
         let g = (-dx * dx / (2.0 * sigma * sigma)).exp()
             / (sigma * (2.0 * std::f64::consts::PI).sqrt());
-        g * gauss_ball_rect_mass(&center[1..], sigma, w2.sqrt(), &lo[1..], &hi[1..], tol * 0.1)
+        g * gauss_ball_rect_mass(
+            &center[1..],
+            sigma,
+            w2.sqrt(),
+            &lo[1..],
+            &hi[1..],
+            tol * 0.1,
+        )
     };
     adaptive_simpson(&f, a, b, tol)
 }
@@ -233,10 +247,7 @@ mod tests {
         let exact = appearance_reference(&pdf, &rq, 1e-9);
         let mut rng = SmallRng::seed_from_u64(42);
         let est = MonteCarlo::new(200_000).estimate(&pdf, &rq, &mut rng);
-        assert!(
-            (est - exact).abs() < 0.01,
-            "MC {est} vs reference {exact}"
-        );
+        assert!((est - exact).abs() < 0.01, "MC {est} vs reference {exact}");
     }
 
     #[test]
@@ -250,10 +261,7 @@ mod tests {
         let exact = appearance_reference(&pdf, &rq, 1e-9);
         let mut rng = SmallRng::seed_from_u64(7);
         let est = MonteCarlo::new(300_000).estimate(&pdf, &rq, &mut rng);
-        assert!(
-            (est - exact).abs() < 0.01,
-            "MC {est} vs reference {exact}"
-        );
+        assert!((est - exact).abs() < 0.01, "MC {est} vs reference {exact}");
     }
 
     #[test]
@@ -261,7 +269,10 @@ mod tests {
         let pdf = disk();
         let mut rng = SmallRng::seed_from_u64(1);
         let contained = Rect::new([-5.0, -5.0], [5.0, 5.0]);
-        assert_eq!(MonteCarlo::new(10).estimate(&pdf, &contained, &mut rng), 1.0);
+        assert_eq!(
+            MonteCarlo::new(10).estimate(&pdf, &contained, &mut rng),
+            1.0
+        );
         let disjoint = Rect::new([10.0, 10.0], [11.0, 11.0]);
         assert_eq!(MonteCarlo::new(10).estimate(&pdf, &disjoint, &mut rng), 0.0);
     }

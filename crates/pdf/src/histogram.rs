@@ -8,16 +8,14 @@
 //! CDFs — has simple exact forms.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use uncertain_geom::{Point, Rect};
 
 /// A piecewise-constant pdf on a regular grid over a rectangle.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HistogramPdf<const D: usize> {
     /// Support of the pdf.
     rect: Rect<D>,
     /// Number of cells per dimension (each >= 1).
-    #[serde(with = "uncertain_geom::array_serde")]
     bins: [usize; D],
     /// Probability mass per cell in row-major order (dimension 0 slowest);
     /// sums to 1.
@@ -179,9 +177,9 @@ impl<const D: usize> HistogramPdf<D> {
             }
             let idx = Self::unflatten(flat, &self.bins);
             let mut frac = 1.0;
-            for i in 0..D {
+            for (i, &cell) in idx.iter().enumerate() {
                 let w = self.rect.extent(i) / self.bins[i] as f64;
-                let lo = self.rect.min[i] + idx[i] as f64 * w;
+                let lo = self.rect.min[i] + cell as f64 * w;
                 let hi = lo + w;
                 let clip_lo = lo.max(rq.min[i]);
                 let clip_hi = hi.min(rq.max[i]);
@@ -202,11 +200,7 @@ mod tests {
     use super::*;
 
     fn uniform_grid() -> HistogramPdf<2> {
-        HistogramPdf::new(
-            Rect::new([0.0, 0.0], [4.0, 4.0]),
-            [4, 4],
-            vec![1.0; 16],
-        )
+        HistogramPdf::new(Rect::new([0.0, 0.0], [4.0, 4.0]), [4, 4], vec![1.0; 16])
     }
 
     #[test]

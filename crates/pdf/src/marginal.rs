@@ -126,7 +126,13 @@ impl NumericMarginal {
         let x_a = self.lo + a as f64 * h;
         if cb <= ca {
             // Flat cell: every point has the same CDF; bisect for stability.
-            return bisect_monotone(&|t| self.cdf(t), x_a, x_a + h, p, 1e-12 * (self.hi - self.lo));
+            return bisect_monotone(
+                &|t| self.cdf(t),
+                x_a,
+                x_a + h,
+                p,
+                1e-12 * (self.hi - self.lo),
+            );
         }
         x_a + h * (p - ca) / (cb - ca)
     }

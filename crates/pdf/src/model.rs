@@ -5,7 +5,6 @@ use crate::marginal::{NumericMarginal, DEFAULT_GRID};
 use crate::math::{chi2_cdf, unit_ball_volume};
 use crate::region::Region;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use uncertain_geom::{Point, Rect};
 
 /// A probability density function with bounded support.
@@ -17,7 +16,7 @@ use uncertain_geom::{Point, Rect};
 /// consumes [`ObjectPdf::mbr`], [`ObjectPdf::marginal`] (for PCRs) and the
 /// appearance-probability evaluator (for refinement), which is exactly the
 /// paper's "unified solution" contract.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ObjectPdf<const D: usize> {
     /// Equal density over a ball (paper Eq. 1 scenario).
     UniformBall { center: Point<D>, radius: f64 },
@@ -97,9 +96,7 @@ impl MarginalCdf {
         match self {
             MarginalCdf::UniformInterval { lo, hi } => (*lo, *hi),
             MarginalCdf::UniformDisk { center, radius }
-            | MarginalCdf::UniformSphere { center, radius } => {
-                (center - radius, center + radius)
-            }
+            | MarginalCdf::UniformSphere { center, radius } => (center - radius, center + radius),
             MarginalCdf::Numeric(n) => (n.lo(), n.hi()),
         }
     }
@@ -194,9 +191,7 @@ impl<const D: usize> ObjectPdf<D> {
     /// Returns 1 for the other models.
     pub fn lambda(&self) -> f64 {
         match self {
-            ObjectPdf::ConGauBall { radius, sigma, .. } => {
-                chi2_cdf(D, (radius / sigma).powi(2))
-            }
+            ObjectPdf::ConGauBall { radius, sigma, .. } => chi2_cdf(D, (radius / sigma).powi(2)),
             _ => 1.0,
         }
     }
@@ -438,16 +433,16 @@ mod tests {
         }
         // Gaussian concentrates mass near the mean: its 10% quantile must be
         // closer to the center than the uniform disk's.
-        let uni = ObjectPdf::UniformBall { center: c, radius: 250.0 };
+        let uni = ObjectPdf::UniformBall {
+            center: c,
+            radius: 250.0,
+        };
         assert!(m.quantile(0.1) > uni.marginal(0).quantile(0.1));
     }
 
     #[test]
     fn mbr_of_ball_and_box() {
-        assert_eq!(
-            disk().mbr(),
-            Rect::new([90.0, 40.0], [110.0, 60.0])
-        );
+        assert_eq!(disk().mbr(), Rect::new([90.0, 40.0], [110.0, 60.0]));
         let b: ObjectPdf<2> = ObjectPdf::UniformBox {
             rect: Rect::new([1.0, 2.0], [3.0, 4.0]),
         };

@@ -1,12 +1,11 @@
 //! Uncertain objects: identity + pdf.
 
 use crate::model::ObjectPdf;
-use serde::{Deserialize, Serialize};
 use uncertain_geom::Rect;
 
 /// An uncertain object: a stable identifier plus its pdf (which carries the
 /// uncertainty region).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UncertainObject<const D: usize> {
     /// Application-level identifier, preserved through the index.
     pub id: u64,

@@ -2,7 +2,6 @@
 
 use crate::math::unit_ball_volume;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use uncertain_geom::{Point, Rect};
 
 /// The support of an object's pdf (the paper's `o.ur`).
@@ -12,7 +11,7 @@ use uncertain_geom::{Point, Rect};
 /// histogram model. The PCR/CFB machinery works for "uncertainty regions of
 /// any shapes" (Sec 4.1) — everything downstream only consumes the marginal
 /// CDFs and the MBR, so adding further shapes is local to this module.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Region<const D: usize> {
     /// A d-dimensional ball.
     Ball { center: Point<D>, radius: f64 },

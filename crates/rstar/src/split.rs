@@ -16,10 +16,7 @@ use uncertain_geom::Rect;
 /// Axis choice: minimise the sum of margins over all candidate
 /// distributions of both sorts (by lower and by upper boundary).
 /// Distribution choice on that axis: minimise overlap, ties by total area.
-pub fn rstar_split<const D: usize>(
-    rects: &[Rect<D>],
-    min_fill: usize,
-) -> (Vec<usize>, Vec<usize>) {
+pub fn rstar_split<const D: usize>(rects: &[Rect<D>], min_fill: usize) -> (Vec<usize>, Vec<usize>) {
     let n = rects.len();
     assert!(n >= 2, "cannot split fewer than two entries");
     let min_fill = min_fill.max(1).min(n / 2);
@@ -124,10 +121,7 @@ mod tests {
         a.sort_unstable();
         let mut b = g2.clone();
         b.sort_unstable();
-        assert!(
-            a == left || b == left,
-            "clusters were mixed: {a:?} | {b:?}"
-        );
+        assert!(a == left || b == left, "clusters were mixed: {a:?} | {b:?}");
     }
 
     #[test]
@@ -154,7 +148,10 @@ mod tests {
             rects.push(Rect::new([0.0, i as f64], [10.0, i as f64 + 0.5]));
         }
         for i in 0..5 {
-            rects.push(Rect::new([0.0, 1000.0 + i as f64], [10.0, 1000.5 + i as f64]));
+            rects.push(Rect::new(
+                [0.0, 1000.0 + i as f64],
+                [10.0, 1000.5 + i as f64],
+            ));
         }
         let (g1, g2) = rstar_split(&rects, 4);
         let bb = |g: &[usize]| {
@@ -178,10 +175,7 @@ mod tests {
         let rects: Vec<Rect<3>> = (0..8)
             .map(|i| {
                 let z = if i < 4 { 0.0 } else { 500.0 };
-                Rect::new(
-                    [i as f64, 0.0, z],
-                    [i as f64 + 1.0, 1.0, z + 1.0],
-                )
+                Rect::new([i as f64, 0.0, z], [i as f64 + 1.0, 1.0, z + 1.0])
             })
             .collect();
         let (g1, g2) = rstar_split(&rects, 3);

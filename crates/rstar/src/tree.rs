@@ -247,10 +247,21 @@ where
         self.run_inserts(vec![(0usize, Entry::Leaf(record))], &mut reinserted);
     }
 
-    fn run_inserts(&mut self, mut pending: Vec<(usize, Entry<M::Key, L>)>, reinserted: &mut Vec<bool>) {
+    fn run_inserts(
+        &mut self,
+        mut pending: Vec<(usize, Entry<M::Key, L>)>,
+        reinserted: &mut Vec<bool>,
+    ) {
         while let Some((level, entry)) = pending.pop() {
             debug_assert!(level < self.height);
-            let res = self.insert_rec(self.root, self.height - 1, entry, level, reinserted, &mut pending);
+            let res = self.insert_rec(
+                self.root,
+                self.height - 1,
+                entry,
+                level,
+                reinserted,
+                &mut pending,
+            );
             if let Some(sibling) = res.split {
                 // Root split: grow the tree by one level.
                 let new_root = self.file.allocate();
@@ -299,7 +310,8 @@ where
             let child = entries[idx].child;
             // Recurse with `node` set aside; reload cost avoided by keeping
             // the decoded entries and patching them afterwards.
-            let child_res = self.insert_rec(child, level - 1, entry, target_level, reinserted, pending);
+            let child_res =
+                self.insert_rec(child, level - 1, entry, target_level, reinserted, pending);
             entries[idx].key = child_res.key;
             if let Some(sib) = child_res.split {
                 entries.push(sib);
@@ -346,7 +358,9 @@ where
                 pending.push((level, v));
             }
             return InsertResult {
-                key: self.node_key(&node).expect("reinsertion leaves entries behind"),
+                key: self
+                    .node_key(&node)
+                    .expect("reinsertion leaves entries behind"),
                 split: None,
             };
         }
@@ -393,7 +407,10 @@ where
                     dj.partial_cmp(&di).unwrap()
                 });
                 let victims: Vec<usize> = order[..p].to_vec();
-                extract(es, &victims).into_iter().map(Entry::Inner).collect()
+                extract(es, &victims)
+                    .into_iter()
+                    .map(Entry::Inner)
+                    .collect()
             }
         }
     }
@@ -401,7 +418,10 @@ where
     fn split_node(&self, node: Node<M::Key, L>) -> (Node<M::Key, L>, Node<M::Key, L>) {
         match node {
             Node::Leaf(es) => {
-                let rects: Vec<_> = es.iter().map(|e| self.metrics.split_rect(&e.key())).collect();
+                let rects: Vec<_> = es
+                    .iter()
+                    .map(|e| self.metrics.split_rect(&e.key()))
+                    .collect();
                 let min_fill = self.min_fill_count(0);
                 let (g1, g2) = rstar_split(&rects, min_fill);
                 let (a, b) = partition(es, &g1, &g2);

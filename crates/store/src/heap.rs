@@ -211,6 +211,9 @@ mod tests {
             let rec = h.get(*addr).unwrap();
             assert_eq!(u32::from_le_bytes(rec[..4].try_into().unwrap()), i as u32);
         }
-        assert!(h.file().live_pages() > 1, "40B x500 records must span pages");
+        assert!(
+            h.file().live_pages() > 1,
+            "40B x500 records must span pages"
+        );
     }
 }

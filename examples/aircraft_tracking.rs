@@ -11,16 +11,15 @@
 
 use utree_repro::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     const FLEET: usize = 20_000;
     let objects = datagen::aircraft_dataset(FLEET, 7);
 
-    let mut tree = UTree::<3>::new(UCatalog::uniform(10));
-    let mut upcr = UPcrTree::<3>::new(UCatalog::uniform(10));
-    for o in &objects {
-        tree.insert(o);
-        upcr.insert(o);
-    }
+    // Both backends use their paper-default catalogs (U-PCR: m = 10 in 3D).
+    let mut tree = UTree::<3>::builder().uniform_catalog(10).build()?;
+    let mut upcr = UPcrTree::<3>::builder().build()?;
+    tree.bulk_load(&objects);
+    upcr.bulk_load(&objects);
     println!(
         "tracking {FLEET} aircraft | U-tree {:.1} MB vs U-PCR {:.1} MB",
         tree.index_size_bytes() as f64 / 1e6,
@@ -31,33 +30,26 @@ fn main() {
     let storm = Rect::new([4_000.0, 4_000.0, 2_000.0], [5_500.0, 5_500.0, 4_500.0]);
 
     for pq in [0.9, 0.6, 0.3] {
-        let q = ProbRangeQuery::new(storm, pq);
-        let (ids, s_tree) = tree.query(&q, RefineMode::default());
-        let (ids2, s_upcr) = upcr.query(&q, RefineMode::default());
-        assert_eq!(sorted(ids.clone()), sorted(ids2));
+        let from_tree = Query::range(storm).threshold(pq).run(&tree)?;
+        let from_upcr = Query::range(storm).threshold(pq).run(&upcr)?;
+        assert_eq!(from_tree.sorted_ids(), from_upcr.sorted_ids());
         println!(
             "aircraft in storm cell at ≥{:>2.0}%: {:4} | U-tree {:3} I/Os vs U-PCR {:3} I/Os",
             pq * 100.0,
-            ids.len(),
-            s_tree.total_io(),
-            s_upcr.total_io(),
+            from_tree.len(),
+            from_tree.stats.total_io(),
+            from_upcr.stats.total_io(),
         );
     }
 
     // Safety margin analysis: everything that could *possibly* be inside
     // (threshold ~0) versus near-certain occupants.
-    let any = ProbRangeQuery::new(storm, 0.01);
-    let sure = ProbRangeQuery::new(storm, 0.99);
-    let (possible, _) = tree.query(&any, RefineMode::default());
-    let (certain, _) = tree.query(&sure, RefineMode::default());
+    let possible = Query::range(storm).threshold(0.01).run(&tree)?;
+    let certain = Query::range(storm).threshold(0.99).run(&tree)?;
     println!(
         "\nrisk picture: {} possibly inside, {} almost certainly inside",
         possible.len(),
         certain.len()
     );
-}
-
-fn sorted(mut v: Vec<u64>) -> Vec<u64> {
-    v.sort_unstable();
-    v
+    Ok(())
 }

@@ -6,25 +6,36 @@
 //! "retrieve the objects that are currently in the downtown area with a
 //! probability no less than 80%" — is a prob-range query.
 //!
+//! The whole example is written against [`ProbIndex`], so the U-tree and
+//! the sequential-scan baseline run through identical code.
+//!
 //! ```text
 //! cargo run --release --example location_services
 //! ```
 
 use utree_repro::prelude::*;
 
-fn main() {
+/// Answers one downtown query on any backend (this is the point of the
+/// trait: the caller neither knows nor cares which structure runs it).
+fn downtown_report<I: ProbIndex<2>>(
+    index: &I,
+    downtown: Rect<2>,
+    pq: f64,
+) -> Result<QueryOutcome, QueryError> {
+    Query::range(downtown).threshold(pq).run(index)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     const CLIENTS: usize = 20_000;
     let threshold = 250.0; // report distance threshold = uncertainty radius
 
     // Last-reported positions follow an urban cluster distribution.
     let objects = datagen::to_uniform_objects(&datagen::lb_points(CLIENTS, 99), threshold);
 
-    let mut tree = UTree::<2>::new(UCatalog::uniform(12));
-    let mut scan = SeqScan::<2>::new(UCatalog::uniform(12));
-    for o in &objects {
-        tree.insert(o);
-        scan.insert(o);
-    }
+    let mut tree = UTree::<2>::builder().uniform_catalog(12).build()?;
+    let mut scan = SeqScan::<2>::builder().uniform_catalog(12).build()?;
+    tree.bulk_load(&objects);
+    scan.bulk_load(&objects);
     println!(
         "indexed {CLIENTS} clients (uncertainty radius {threshold}); \
          U-tree: {} pages, {} levels",
@@ -37,23 +48,22 @@ fn main() {
     let downtown = Rect::cube(&downtown_center, 1_500.0);
 
     for pq in [0.8, 0.5, 0.2] {
-        let q = ProbRangeQuery::new(downtown, pq);
-        let (ids, stats) = tree.query(&q, RefineMode::default());
-        let (scan_ids, scan_stats) = scan.query(&q, RefineMode::default());
+        let from_tree = downtown_report(&tree, downtown, pq)?;
+        let from_scan = downtown_report(&scan, downtown, pq)?;
         assert_eq!(
-            sorted(ids.clone()),
-            sorted(scan_ids),
+            from_tree.sorted_ids(),
+            from_scan.sorted_ids(),
             "index and scan must agree"
         );
         println!(
             "P >= {:.0}%: {:4} clients | U-tree: {:4} I/Os, {:3} integrations | \
              seq-scan: {:4} I/Os, {:3} integrations",
             pq * 100.0,
-            ids.len(),
-            stats.total_io(),
-            stats.prob_computations,
-            scan_stats.total_io(),
-            scan_stats.prob_computations,
+            from_tree.len(),
+            from_tree.stats.total_io(),
+            from_tree.stats.prob_computations,
+            from_scan.stats.total_io(),
+            from_scan.stats.prob_computations,
         );
     }
 
@@ -78,10 +88,9 @@ fn main() {
         tree.insert(new);
     }
     tree.check_invariants().expect("index stays consistent");
-    println!("index still holds {} clients and passes invariants", tree.len());
-}
-
-fn sorted(mut v: Vec<u64>) -> Vec<u64> {
-    v.sort_unstable();
-    v
+    println!(
+        "index still holds {} clients and passes invariants",
+        tree.len()
+    );
+    Ok(())
 }

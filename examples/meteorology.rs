@@ -26,7 +26,7 @@ fn norm(v: f64, (lo, hi): (f64, f64)) -> f64 {
     (v - lo) / (hi - lo) * 10_000.0
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(2024);
     const REGIONS: usize = 5_000;
 
@@ -53,10 +53,8 @@ fn main() {
         })
         .collect();
 
-    let mut tree = UTree::<3>::new(UCatalog::uniform(10));
-    for o in &objects {
-        tree.insert(o);
-    }
+    let mut tree = UTree::<3>::builder().uniform_catalog(10).build()?;
+    tree.bulk_load(&objects);
     println!(
         "indexed {REGIONS} regions; index = {:.1} MB over {} pages",
         tree.index_size_bytes() as f64 / 1e6,
@@ -76,27 +74,27 @@ fn main() {
             norm(6.0, UV_RANGE),
         ],
     );
-    let q = ProbRangeQuery::new(rq, 0.7);
-    let (ids, stats) = tree.query(&q, RefineMode::default());
+    let outcome = Query::range(rq).threshold(0.7).run(&tree)?;
     println!(
         "regions with T∈[75,80]F, H∈[40,60]%, UV∈[4.5,6] at ≥70% likelihood: {}",
-        ids.len()
+        outcome.len()
     );
     println!(
         "cost: {} node accesses, {} heap pages, {} probability integrations",
-        stats.node_reads, stats.heap_reads, stats.prob_computations
+        outcome.stats.node_reads, outcome.stats.heap_reads, outcome.stats.prob_computations
     );
 
     // Threshold sensitivity: how the answer set grows as confidence drops.
     println!("\nthreshold sweep:");
     for pq in [0.9, 0.7, 0.5, 0.3, 0.1] {
-        let (ids, stats) = tree.query(&ProbRangeQuery::new(rq, pq), RefineMode::default());
+        let o = Query::range(rq).threshold(pq).run(&tree)?;
         println!(
             "  P >= {:>3.0}% : {:4} regions ({} integrations, {} validated free)",
             pq * 100.0,
-            ids.len(),
-            stats.prob_computations,
-            stats.validated
+            o.len(),
+            o.stats.prob_computations,
+            o.stats.validated
         );
     }
+    Ok(())
 }

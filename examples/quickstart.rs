@@ -1,5 +1,5 @@
 //! Quickstart: index a handful of uncertain objects and run prob-range
-//! queries.
+//! queries through the fluent API.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -7,76 +7,86 @@
 
 use utree_repro::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A U-catalog is the set of probability values at which the index
-    // pre-computes its filters. 10 evenly spaced values is a good default.
-    let mut tree = UTree::<2>::new(UCatalog::uniform(10));
+    // pre-computes its filters. 10 evenly spaced values is a good default;
+    // invalid catalogs surface as typed errors instead of panics.
+    let mut tree = UTree::<2>::builder()
+        .catalog(UCatalog::uniform(10))
+        .build()?;
 
     // A delivery drone somewhere within 150m of its last report, equally
-    // likely anywhere in that disk.
-    tree.insert(&UncertainObject::new(
-        1,
-        ObjectPdf::UniformBall {
-            center: Point::new([2_000.0, 3_000.0]),
-            radius: 150.0,
-        },
-    ));
-
-    // A vehicle whose GPS fix is Gaussian around the reported position,
-    // truncated to a 200m disk (the paper's Constrained-Gaussian).
-    tree.insert(&UncertainObject::new(
-        2,
-        ObjectPdf::ConGauBall {
-            center: Point::new([2_300.0, 3_100.0]),
-            radius: 200.0,
-            sigma: 100.0,
-        },
-    ));
-
-    // A sensor whose reading lives in an axis-aligned error box.
-    tree.insert(&UncertainObject::new(
-        3,
-        ObjectPdf::UniformBox {
-            rect: Rect::new([5_000.0, 5_000.0], [5_400.0, 5_600.0]),
-        },
-    ));
-
-    // A truly arbitrary pdf: a histogram leaning toward the north-east.
-    tree.insert(&UncertainObject::new(
-        4,
-        ObjectPdf::Histogram(HistogramPdf::from_fn(
-            Rect::new([2_100.0, 2_800.0], [2_500.0, 3_200.0]),
-            [16, 16],
-            |p| (p.coords[0] - 2_100.0) + (p.coords[1] - 2_800.0) + 50.0,
-        )),
-    ));
+    // likely anywhere in that disk; a vehicle with a truncated-Gaussian
+    // GPS fix; a sensor reading in an error box; and a truly arbitrary
+    // histogram pdf leaning north-east.
+    let objects = vec![
+        UncertainObject::new(
+            1,
+            ObjectPdf::UniformBall {
+                center: Point::new([2_000.0, 3_000.0]),
+                radius: 150.0,
+            },
+        ),
+        UncertainObject::new(
+            2,
+            ObjectPdf::ConGauBall {
+                center: Point::new([2_300.0, 3_100.0]),
+                radius: 200.0,
+                sigma: 100.0,
+            },
+        ),
+        UncertainObject::new(
+            3,
+            ObjectPdf::UniformBox {
+                rect: Rect::new([5_000.0, 5_000.0], [5_400.0, 5_600.0]),
+            },
+        ),
+        UncertainObject::new(
+            4,
+            ObjectPdf::Histogram(HistogramPdf::from_fn(
+                Rect::new([2_100.0, 2_800.0], [2_500.0, 3_200.0]),
+                [16, 16],
+                |p| (p.coords[0] - 2_100.0) + (p.coords[1] - 2_800.0) + 50.0,
+            )),
+        ),
+    ];
+    let load = tree.bulk_load(&objects);
+    println!(
+        "indexed {} objects ({} page writes, {:.1} µs of Simplex CFB fitting)",
+        tree.len(),
+        load.io_writes,
+        load.lp_nanos as f64 / 1e3
+    );
 
     // "Which objects are in the downtown rectangle with >= 80% probability?"
     let downtown = Rect::new([1_800.0, 2_800.0], [2_600.0, 3_300.0]);
-    let query = ProbRangeQuery::new(downtown, 0.8);
-    let (ids, stats) = tree.query(&query, RefineMode::default());
+    let outcome = Query::range(downtown).threshold(0.8).run(&tree)?;
 
-    println!("objects in downtown with P >= 80%: {ids:?}");
+    println!("\nobjects in downtown with P >= 80%:");
+    for m in &outcome {
+        match m.provenance {
+            Provenance::Validated => {
+                println!("  #{:<3} certified by the filter, no integration", m.id)
+            }
+            Provenance::Refined { p } => println!("  #{:<3} refined: P = {p:.3}", m.id),
+        }
+    }
     println!(
         "cost: {} node accesses, {} probability integrations \
          ({} validated for free, {} pruned for free)",
-        stats.node_reads, stats.prob_computations, stats.validated, stats.pruned
+        outcome.stats.node_reads,
+        outcome.stats.prob_computations,
+        outcome.stats.validated,
+        outcome.stats.pruned
     );
 
     // Lower the bar to 20% — more objects qualify.
-    let relaxed = ProbRangeQuery::new(downtown, 0.2);
-    let (ids, _) = tree.query(&relaxed, RefineMode::default());
-    println!("objects in downtown with P >= 20%: {ids:?}");
+    let relaxed = Query::range(downtown).threshold(0.2).run(&tree)?;
+    println!("\nobjects in downtown with P >= 20%: {:?}", relaxed.ids());
 
     // The index is fully dynamic: objects can leave.
-    let gone = UncertainObject::new(
-        1,
-        ObjectPdf::UniformBall {
-            center: Point::new([2_000.0, 3_000.0]),
-            radius: 150.0,
-        },
-    );
-    assert!(tree.delete(&gone));
-    let (ids, _) = tree.query(&relaxed, RefineMode::default());
-    println!("after drone 1 left: {ids:?}");
+    assert!(tree.delete(&objects[0]));
+    let after = Query::range(downtown).threshold(0.2).run(&tree)?;
+    println!("after drone 1 left: {:?}", after.ids());
+    Ok(())
 }

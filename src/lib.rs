@@ -12,21 +12,48 @@
 //! * [`store`] — paged storage with I/O accounting;
 //! * [`rstar`] — the generic R*-tree machinery and the precise-data
 //!   baseline;
-//! * [`index`] — the paper's structures: [`index::UTree`],
-//!   [`index::UPcrTree`], [`index::SeqScan`];
+//! * [`index`] — the paper's structures behind one trait
+//!   ([`index::ProbIndex`]): [`index::UTree`], [`index::UPcrTree`],
+//!   [`index::SeqScan`];
 //! * [`data`] — the LB/CA/Aircraft dataset generators and workloads.
+//!
+//! ## The API in one example
+//!
+//! Indexes are built with the shared fluent builder, loaded in bulk, and
+//! queried with the [`prelude::Query`] builder; results carry per-object
+//! provenance and the paper's cost counters:
 //!
 //! ```
 //! use utree_repro::prelude::*;
 //!
-//! let mut tree = UTree::<2>::new(UCatalog::uniform(10));
-//! for object in datagen::lb_dataset(200, 42) {
-//!     tree.insert(&object);
+//! let mut tree = UTree::<2>::builder()
+//!     .catalog(UCatalog::uniform(10))
+//!     .build()?;
+//! tree.bulk_load(datagen::lb_dataset(200, 42));
+//!
+//! let outcome = Query::range(Rect::new([2000.0, 2000.0], [4000.0, 4000.0]))
+//!     .threshold(0.7)
+//!     .refine(Refine::monte_carlo(100_000, 7))
+//!     .run(&tree)?;
+//!
+//! println!(
+//!     "{} results ({} validated for free), {} node accesses",
+//!     outcome.len(),
+//!     outcome.validated_count(),
+//!     outcome.stats.node_reads
+//! );
+//! for m in &outcome {
+//!     match m.provenance {
+//!         Provenance::Validated => println!("object {} (certified by the filter)", m.id),
+//!         Provenance::Refined { p } => println!("object {} (P = {p:.3})", m.id),
+//!     }
 //! }
-//! let query = ProbRangeQuery::new(Rect::new([2000.0, 2000.0], [4000.0, 4000.0]), 0.7);
-//! let (ids, stats) = tree.query(&query, RefineMode::default());
-//! println!("{} results, {} node accesses", ids.len(), stats.node_reads);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The same code runs against [`prelude::UPcrTree`] or
+//! [`prelude::SeqScan`] — or any `&dyn ProbIndex<D>` — unchanged; see
+//! `docs/API.md` for the migration guide from the 0.1 tuple API.
 
 pub use datagen as data;
 pub use page_store as store;
@@ -39,10 +66,13 @@ pub use utree as index;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use datagen;
+    pub use rstar_base::TreeConfig;
     pub use uncertain_geom::{Point, Rect};
     pub use uncertain_pdf::{HistogramPdf, ObjectPdf, Region, UncertainObject};
     pub use utree::{
-        FilterOutcome, ProbRangeQuery, QueryStats, RefineMode, SeqScan, UCatalog, UPcrTree, UTree,
+        FilterOutcome, IndexBuilder, IndexError, InsertStats, Match, ProbIndex, ProbRangeQuery,
+        Provenance, Query, QueryBuilder, QueryError, QueryOptions, QueryOutcome, QueryStats,
+        Refine, RefineMode, SeqScan, UCatalog, UPcrTree, UTree,
     };
 }
 
@@ -52,13 +82,25 @@ mod tests {
 
     #[test]
     fn facade_builds_and_queries() {
-        let mut tree = UTree::<2>::new(UCatalog::uniform(6));
-        let objs = datagen::lb_dataset(100, 7);
-        for o in &objs {
-            tree.insert(o);
-        }
-        let q = ProbRangeQuery::new(Rect::new([0.0, 0.0], [10_000.0, 10_000.0]), 0.5);
-        let (ids, _) = tree.query(&q, RefineMode::Reference { tol: 1e-6 });
-        assert_eq!(ids.len(), 100, "domain-spanning query returns everything");
+        let mut tree = UTree::<2>::builder()
+            .uniform_catalog(6)
+            .build()
+            .expect("valid catalog");
+        let load = tree.bulk_load(datagen::lb_dataset(100, 7));
+        assert!(load.io_writes > 0, "bulk load must write pages");
+        let outcome = Query::range(Rect::new([0.0, 0.0], [10_000.0, 10_000.0]))
+            .threshold(0.5)
+            .refine(Refine::reference(1e-6))
+            .run(&tree)
+            .expect("valid query");
+        assert_eq!(
+            outcome.len(),
+            100,
+            "domain-spanning query returns everything"
+        );
+        assert_eq!(
+            outcome.len(),
+            outcome.validated_count() + outcome.refined_count()
+        );
     }
 }

@@ -2,6 +2,10 @@
 //! sequential scan) must return identical result sets, and those results
 //! must match brute-force ground truth — through inserts, deletes and
 //! mixed pdf types.
+//!
+//! The three-way comparison runs *generically over [`ProbIndex`]*: one
+//! function drives every backend, which is the API contract this crate
+//! promises.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -45,11 +49,7 @@ fn mixed_dataset(n: usize, seed: u64) -> Vec<UncertainObject<2>> {
         .collect()
 }
 
-fn ground_truth(
-    objs: &[UncertainObject<2>],
-    rq: &Rect<2>,
-    pq: f64,
-) -> (Vec<u64>, Vec<u64>) {
+fn ground_truth(objs: &[UncertainObject<2>], rq: &Rect<2>, pq: f64) -> (Vec<u64>, Vec<u64>) {
     let mut expect = Vec::new();
     let mut boundary = Vec::new();
     for o in objs {
@@ -69,17 +69,92 @@ fn clean(mut ids: Vec<u64>, boundary: &[u64]) -> Vec<u64> {
     ids
 }
 
+/// Executes one query on any backend and checks the outcome's internal
+/// consistency: provenance counts must reconcile with the stat counters,
+/// and the filter-step counters must add up.
+fn run_checked<I: ProbIndex<2>>(index: &I, q: &QueryBuilder<2>) -> QueryOutcome {
+    let outcome = q.run(index).expect("workload queries are valid");
+    let s = &outcome.stats;
+    assert_eq!(
+        s.results as usize,
+        outcome.len(),
+        "stats.results must equal the number of matches"
+    );
+    assert_eq!(
+        outcome.len(),
+        outcome.validated_count() + outcome.refined_count(),
+        "every match is either validated or refined"
+    );
+    assert_eq!(
+        s.validated as usize,
+        outcome.validated_count(),
+        "validated counter must match provenance"
+    );
+    assert_eq!(
+        s.pruned + s.validated + s.candidates,
+        s.visited,
+        "every inspected leaf entry is pruned, validated or a candidate"
+    );
+    assert!(
+        s.prob_computations >= outcome.refined_count() as u64,
+        "every refined match costs at least one probability computation"
+    );
+    // Refined matches must report probabilities at or above the threshold.
+    for m in &outcome {
+        if let Provenance::Refined { p } = m.provenance {
+            assert!(
+                p >= q.build().unwrap().threshold(),
+                "refined match {m:?} below threshold"
+            );
+        }
+    }
+    outcome
+}
+
+/// The ISSUE's trait-level three-way equivalence: one seeded workload,
+/// three backends behind the same generic function, identical answers and
+/// sane stat invariants everywhere.
+#[test]
+fn three_backends_agree_generically() {
+    let objs = mixed_dataset(350, 4711);
+    let mut tree = UTree::<2>::builder().uniform_catalog(12).build().unwrap();
+    let mut upcr = UPcrTree::<2>::builder().uniform_catalog(9).build().unwrap();
+    let mut scan = SeqScan::<2>::builder().uniform_catalog(12).build().unwrap();
+    // Load through the trait as well.
+    fn load<I: ProbIndex<2>>(index: &mut I, objs: &[UncertainObject<2>]) {
+        index.bulk_load(objs);
+        assert_eq!(index.len(), objs.len());
+    }
+    load(&mut tree, &objs);
+    load(&mut upcr, &objs);
+    load(&mut scan, &objs);
+
+    let mut rng = SmallRng::seed_from_u64(99);
+    for round in 0..15 {
+        let c = Point::new([
+            rng.gen_range(1_000.0..9_000.0),
+            rng.gen_range(1_000.0..9_000.0),
+        ]);
+        let q = Query::range(Rect::cube(&c, rng.gen_range(300.0..2_500.0)))
+            .threshold(rng.gen_range(0.05..0.95))
+            .refine(Refine::reference(1e-9));
+        let a = run_checked(&tree, &q).sorted_ids();
+        let b = run_checked(&upcr, &q).sorted_ids();
+        let s = run_checked(&scan, &q).sorted_ids();
+        assert_eq!(a, b, "U-tree vs U-PCR, round {round}");
+        assert_eq!(a, s, "U-tree vs SeqScan, round {round}");
+    }
+}
+
 #[test]
 fn all_engines_agree_with_ground_truth() {
     let objs = mixed_dataset(400, 2024);
-    let mut tree = UTree::new(UCatalog::uniform(12));
-    let mut upcr = UPcrTree::new(UCatalog::uniform(9));
-    let mut scan = SeqScan::new(UCatalog::uniform(12));
-    for o in &objs {
-        tree.insert(o);
-        upcr.insert(o);
-        scan.insert(o);
-    }
+    let mut tree = UTree::<2>::builder().uniform_catalog(12).build().unwrap();
+    let mut upcr = UPcrTree::<2>::builder().uniform_catalog(9).build().unwrap();
+    let mut scan = SeqScan::<2>::builder().uniform_catalog(12).build().unwrap();
+    tree.bulk_load(&objs);
+    upcr.bulk_load(&objs);
+    scan.bulk_load(&objs);
     tree.check_invariants().unwrap();
     upcr.check_invariants().unwrap();
 
@@ -91,12 +166,13 @@ fn all_engines_agree_with_ground_truth() {
         ]);
         let rq = Rect::cube(&c, rng.gen_range(300.0..2_500.0));
         let pq = rng.gen_range(0.05..0.95);
-        let q = ProbRangeQuery::new(rq, pq);
-        let mode = RefineMode::Reference { tol: 1e-9 };
+        let q = Query::range(rq)
+            .threshold(pq)
+            .refine(Refine::reference(1e-9));
 
-        let (t_ids, _) = tree.query(&q, mode);
-        let (p_ids, _) = upcr.query(&q, mode);
-        let (s_ids, _) = scan.query(&q, mode);
+        let t_ids = q.run(&tree).unwrap().ids();
+        let p_ids = q.run(&upcr).unwrap().ids();
+        let s_ids = q.run(&scan).unwrap().ids();
         let (expect, boundary) = ground_truth(&objs, &rq, pq);
         let expect = clean(expect, &boundary);
 
@@ -109,12 +185,13 @@ fn all_engines_agree_with_ground_truth() {
 #[test]
 fn agreement_survives_interleaved_deletes() {
     let objs = mixed_dataset(300, 555);
-    let mut tree = UTree::new(UCatalog::uniform(10));
-    let mut upcr = UPcrTree::new(UCatalog::uniform(10));
-    for o in &objs {
-        tree.insert(o);
-        upcr.insert(o);
-    }
+    let mut tree = UTree::<2>::builder().uniform_catalog(10).build().unwrap();
+    let mut upcr = UPcrTree::<2>::builder()
+        .uniform_catalog(10)
+        .build()
+        .unwrap();
+    tree.bulk_load(&objs);
+    upcr.bulk_load(&objs);
 
     let mut rng = SmallRng::seed_from_u64(99);
     let mut alive: Vec<UncertainObject<2>> = objs.clone();
@@ -141,14 +218,23 @@ fn agreement_survives_interleaved_deletes() {
             1_800.0,
         );
         let pq = rng.gen_range(0.1..0.9);
-        let q = ProbRangeQuery::new(rq, pq);
-        let mode = RefineMode::Reference { tol: 1e-9 };
-        let (t_ids, _) = tree.query(&q, mode);
-        let (p_ids, _) = upcr.query(&q, mode);
+        let q = Query::range(rq)
+            .threshold(pq)
+            .refine(Refine::reference(1e-9));
+        let t_ids = q.run(&tree).unwrap().ids();
+        let p_ids = q.run(&upcr).unwrap().ids();
         let (expect, boundary) = ground_truth(&alive, &rq, pq);
         let expect = clean(expect, &boundary);
-        assert_eq!(clean(t_ids, &boundary), expect, "U-tree after deletes r{round}");
-        assert_eq!(clean(p_ids, &boundary), expect, "U-PCR after deletes r{round}");
+        assert_eq!(
+            clean(t_ids, &boundary),
+            expect,
+            "U-tree after deletes r{round}"
+        );
+        assert_eq!(
+            clean(p_ids, &boundary),
+            expect,
+            "U-PCR after deletes r{round}"
+        );
     }
 }
 
@@ -158,10 +244,8 @@ fn monte_carlo_refinement_matches_reference_off_boundary() {
     // threshold, MC refinement (the paper's estimator) and quadrature must
     // produce the same result sets.
     let objs = mixed_dataset(150, 31);
-    let mut tree = UTree::new(UCatalog::uniform(10));
-    for o in &objs {
-        tree.insert(o);
-    }
+    let mut tree = UTree::<2>::builder().uniform_catalog(10).build().unwrap();
+    tree.bulk_load(&objs);
     let mut rng = SmallRng::seed_from_u64(3);
     for _ in 0..8 {
         let rq = Rect::cube(
@@ -171,15 +255,18 @@ fn monte_carlo_refinement_matches_reference_off_boundary() {
             ]),
             2_000.0,
         );
-        let q = ProbRangeQuery::new(rq, 0.5);
-        let (ref_ids, _) = tree.query(&q, RefineMode::Reference { tol: 1e-9 });
-        let (mc_ids, _) = tree.query(
-            &q,
-            RefineMode::MonteCarlo {
-                n1: 100_000,
-                seed: 1,
-            },
-        );
+        let ref_ids = Query::range(rq)
+            .threshold(0.5)
+            .refine(Refine::reference(1e-9))
+            .run(&tree)
+            .unwrap()
+            .ids();
+        let mc_ids = Query::range(rq)
+            .threshold(0.5)
+            .refine(Refine::monte_carlo(100_000, 1))
+            .run(&tree)
+            .unwrap()
+            .ids();
         // Objects with P within MC noise of 0.5 may differ; exclude them.
         let noisy: Vec<u64> = objs
             .iter()
@@ -196,12 +283,13 @@ fn monte_carlo_refinement_matches_reference_off_boundary() {
 #[test]
 fn three_dimensional_engines_agree() {
     let objs = datagen::aircraft_dataset(400, 17);
-    let mut tree = UTree::<3>::new(UCatalog::uniform(10));
-    let mut upcr = UPcrTree::<3>::new(UCatalog::uniform(10));
-    for o in &objs {
-        tree.insert(o);
-        upcr.insert(o);
-    }
+    let mut tree = UTree::<3>::builder().uniform_catalog(10).build().unwrap();
+    let mut upcr = UPcrTree::<3>::builder()
+        .uniform_catalog(10)
+        .build()
+        .unwrap();
+    tree.bulk_load(&objs);
+    upcr.bulk_load(&objs);
     let mut rng = SmallRng::seed_from_u64(41);
     for _ in 0..10 {
         let c = Point::new([
@@ -209,14 +297,11 @@ fn three_dimensional_engines_agree() {
             rng.gen_range(2_000.0..8_000.0),
             rng.gen_range(2_000.0..8_000.0),
         ]);
-        let q = ProbRangeQuery::new(Rect::cube(&c, 1_500.0), rng.gen_range(0.1..0.9));
-        let mode = RefineMode::Reference { tol: 1e-7 };
-        let (a, _) = tree.query(&q, mode);
-        let (b, _) = upcr.query(&q, mode);
-        let mut a = a;
-        let mut b = b;
-        a.sort_unstable();
-        b.sort_unstable();
+        let q = Query::range(Rect::cube(&c, 1_500.0))
+            .threshold(rng.gen_range(0.1..0.9))
+            .refine(Refine::reference(1e-7));
+        let a = q.run(&tree).unwrap().sorted_ids();
+        let b = q.run(&upcr).unwrap().sorted_ids();
         assert_eq!(a, b);
     }
 }

@@ -5,12 +5,10 @@ use utree_repro::prelude::*;
 
 fn build_pair(n: usize) -> (UTree<2>, UPcrTree<2>, Vec<UncertainObject<2>>) {
     let objs = datagen::lb_dataset(n, 11);
-    let mut tree = UTree::new(UCatalog::paper_utree_default());
-    let mut upcr = UPcrTree::new(UCatalog::uniform(9));
-    for o in &objs {
-        tree.insert(o);
-        upcr.insert(o);
-    }
+    let mut tree = UTree::<2>::builder().build().expect("valid default");
+    let mut upcr = UPcrTree::<2>::builder().build().expect("valid default");
+    tree.bulk_load(&objs);
+    upcr.bulk_load(&objs);
     (tree, upcr, objs)
 }
 
@@ -33,18 +31,21 @@ fn utree_beats_upcr_on_node_accesses() {
     let (tree, upcr, objs) = build_pair(6_000);
     let centers: Vec<Point<2>> = objs.iter().map(|o| o.mbr().center()).collect();
     let w = datagen::workload(&centers, 1_500.0, 0.6, 20, 3);
-    let mode = RefineMode::Reference { tol: 1e-6 };
     let mut tree_io = 0u64;
     let mut upcr_io = 0u64;
     for q in &w.queries {
-        let (a, sa) = tree.query(q, mode);
-        let (b, sb) = upcr.query(q, mode);
-        let (mut a, mut b) = (a, b);
-        a.sort_unstable();
-        b.sort_unstable();
-        assert_eq!(a, b, "result agreement is a precondition");
-        tree_io += sa.node_reads;
-        upcr_io += sb.node_reads;
+        let builder = Query::range(q.region)
+            .threshold(q.threshold)
+            .refine(Refine::reference(1e-6));
+        let a = builder.run(&tree).unwrap();
+        let b = builder.run(&upcr).unwrap();
+        assert_eq!(
+            a.sorted_ids(),
+            b.sorted_ids(),
+            "result agreement is a precondition"
+        );
+        tree_io += a.stats.node_reads;
+        upcr_io += b.stats.node_reads;
     }
     assert!(
         tree_io < upcr_io,
@@ -60,15 +61,17 @@ fn most_results_are_validated_without_integration() {
     let (tree, _, objs) = build_pair(6_000);
     let centers: Vec<Point<2>> = objs.iter().map(|o| o.mbr().center()).collect();
     let w = datagen::workload(&centers, 1_500.0, 0.6, 20, 5);
-    let mut validated = 0u64;
-    let mut results = 0u64;
+    let mut acc = QueryStats::default();
     for q in &w.queries {
-        let (_, s) = tree.query(q, RefineMode::Reference { tol: 1e-6 });
-        validated += s.validated;
-        results += s.results;
+        let outcome = Query::range(q.region)
+            .threshold(q.threshold)
+            .refine(Refine::reference(1e-6))
+            .run(&tree)
+            .unwrap();
+        acc += &outcome.stats;
     }
-    assert!(results > 0);
-    let frac = validated as f64 / results as f64;
+    assert!(acc.results > 0);
+    let frac = acc.directly_reported_fraction();
     assert!(
         frac > 0.5,
         "only {:.0}% of results validated for free (paper: 83–97%)",
@@ -84,14 +87,16 @@ fn upcr_io_grows_with_catalog_size() {
     let centers: Vec<Point<2>> = objs.iter().map(|o| o.mbr().center()).collect();
     let w = datagen::workload(&centers, 500.0, 0.5, 15, 9);
     let io_for = |m: usize| {
-        let mut t = UPcrTree::new(UCatalog::uniform(m));
-        for o in &objs {
-            t.insert(o);
-        }
+        let mut t = UPcrTree::<2>::builder().uniform_catalog(m).build().unwrap();
+        t.bulk_load(&objs);
         let mut io = 0u64;
         for q in &w.queries {
-            let (_, s) = t.query(q, RefineMode::Reference { tol: 1e-6 });
-            io += s.node_reads;
+            let outcome = Query::range(q.region)
+                .threshold(q.threshold)
+                .refine(Refine::reference(1e-6))
+                .run(&t)
+                .unwrap();
+            io += outcome.stats.node_reads;
         }
         io
     };
@@ -108,26 +113,22 @@ fn upcr_io_grows_with_catalog_size() {
 #[test]
 fn incremental_equals_rebuilt() {
     let objs = datagen::ca_dataset(1_500, 21);
-    let mut incremental = UTree::new(UCatalog::uniform(10));
-    for o in &objs {
-        incremental.insert(o);
-    }
+    let mut incremental = UTree::<2>::builder().uniform_catalog(10).build().unwrap();
+    incremental.bulk_load(&objs);
     // Delete the middle third.
     for o in &objs[500..1000] {
         assert!(incremental.delete(o));
     }
-    let mut rebuilt = UTree::new(UCatalog::uniform(10));
-    for o in objs[..500].iter().chain(objs[1000..].iter()) {
-        rebuilt.insert(o);
-    }
+    let mut rebuilt = UTree::<2>::builder().uniform_catalog(10).build().unwrap();
+    rebuilt.bulk_load(objs[..500].iter().chain(objs[1000..].iter()));
     let centers: Vec<Point<2>> = objs.iter().map(|o| o.mbr().center()).collect();
     let w = datagen::workload(&centers, 1_200.0, 0.4, 15, 77);
     for q in &w.queries {
-        let mode = RefineMode::Reference { tol: 1e-8 };
-        let (mut a, _) = incremental.query(q, mode);
-        let (mut b, _) = rebuilt.query(q, mode);
-        a.sort_unstable();
-        b.sort_unstable();
+        let builder = Query::range(q.region)
+            .threshold(q.threshold)
+            .refine(Refine::reference(1e-8));
+        let a = builder.run(&incremental).unwrap().sorted_ids();
+        let b = builder.run(&rebuilt).unwrap().sorted_ids();
         assert_eq!(a, b);
     }
 }
@@ -143,9 +144,15 @@ fn filter_decides_most_inspected_entries() {
     let mut decided = 0u64;
     let mut undecided = 0u64;
     for q in &w.queries {
-        let (_, s) = tree.query(q, RefineMode::Reference { tol: 1e-6 });
+        let s = Query::range(q.region)
+            .threshold(q.threshold)
+            .refine(Refine::reference(1e-6))
+            .run(&tree)
+            .unwrap()
+            .stats;
         decided += s.pruned + s.validated;
         undecided += s.candidates;
+        assert_eq!(s.visited, s.pruned + s.validated + s.candidates);
     }
     assert!(
         decided > 3 * undecided,
