@@ -1,0 +1,90 @@
+//! Physical I/O vs buffer size (the Fig-9-style storage experiment): the
+//! same workload runs against one saved U-tree reopened through LRU
+//! buffer pools of growing capacity.
+//!
+//! The *logical* node accesses per query are backend-independent (they are
+//! the paper's metric and must not move); the *physical* reads that reach
+//! the disk file shrink as the pool grows, monotonically under LRU, until
+//! the working set fits in memory.
+
+use bench::{fmt, print_table, HarnessConfig};
+use datagen::workload;
+use page_store::PageStore;
+use utree::{DiskUTree, ProbIndex, Query, Refine, UTree};
+
+const CAPACITIES: [usize; 7] = [8, 16, 32, 64, 128, 256, 512];
+const QS: f64 = 1_000.0;
+const PQ: f64 = 0.6;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let n = cfg.sized(datagen::LB_SIZE);
+    println!(
+        "scale {} | {} objects | {} queries/workload",
+        cfg.scale, n, cfg.queries
+    );
+
+    let objs = datagen::lb_dataset(n, 1);
+    let mut tree = UTree::<2>::builder()
+        .build()
+        .expect("paper default catalog");
+    tree.bulk_load(&objs);
+    let centers: Vec<_> = objs.iter().map(|o| o.mbr().center()).collect();
+    let w = workload(&centers, QS, PQ, cfg.queries, 17);
+
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("utree-io-vs-buffer-{}", std::process::id()));
+    tree.save(&dir).expect("save index");
+    println!(
+        "saved {} nodes / {} heap pages to {}",
+        tree.tree_stats().total_nodes(),
+        tree.heap().file().live_pages(),
+        dir.display()
+    );
+
+    // The refinement mode only burns CPU; reference quadrature keeps the
+    // sweep fast without touching the I/O being measured.
+    let mode = Refine::reference(1e-6);
+    let nq = w.len() as f64;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut physical: Vec<u64> = Vec::new();
+    for &cap in &CAPACITIES {
+        let reopened = DiskUTree::<2>::open(&dir, cap).expect("open saved index");
+        for q in &w.queries {
+            let _ = reopened.execute(&Query::from_prob_range(*q, mode));
+        }
+        let logical = reopened.node_store().stats();
+        let disk = reopened.node_store().backend_stats();
+        let hits = logical.cache_hits();
+        let total = hits + logical.cache_misses();
+        physical.push(disk.reads());
+        rows.push(vec![
+            cap.to_string(),
+            fmt(logical.reads() as f64 / nq),
+            fmt(disk.reads() as f64 / nq),
+            format!("{:.0}%", 100.0 * hits as f64 / total.max(1) as f64),
+            fmt(reopened.heap().file().backend_stats().reads() as f64 / nq),
+        ]);
+    }
+    print_table(
+        "physical node reads vs buffer capacity (one saved U-tree, identical workload)",
+        &["frames", "logical/q", "disk/q", "hit%", "heap disk/q"],
+        &rows,
+    );
+
+    let monotone = physical.windows(2).all(|p| p[1] <= p[0]);
+    println!(
+        "\nphysical reads {:?} — {}",
+        physical,
+        if monotone {
+            "monotonically non-increasing with capacity (LRU is a stack algorithm)"
+        } else {
+            "NOT monotone: buffer pool is broken"
+        }
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        monotone,
+        "physical reads must not grow with buffer capacity"
+    );
+}

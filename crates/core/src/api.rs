@@ -467,8 +467,8 @@ pub trait IndexBackend<const D: usize>: ProbIndex<D> + Sized + sealed::Sealed {
 
 mod sealed {
     pub trait Sealed {}
-    impl<const D: usize> Sealed for super::UTree<D> {}
-    impl<const D: usize> Sealed for super::UPcrTree<D> {}
+    impl<const D: usize, S: page_store::PageStore> Sealed for super::UTree<D, S> {}
+    impl<const D: usize, S: page_store::PageStore> Sealed for super::UPcrTree<D, S> {}
     impl<const D: usize> Sealed for super::SeqScan<D> {}
 }
 

@@ -23,7 +23,10 @@
 //! [`UPcrTree`] (PCRs stored verbatim) and [`SeqScan`] (no index) are the
 //! paper's comparison points. All three implement the backend-agnostic
 //! [`ProbIndex`] trait and are built/queried through the fluent [`api`]
-//! surface:
+//! surface. The trees are additionally generic over their
+//! [`page_store::PageStore`]: `save(dir)` persists an index on disk and
+//! [`DiskUTree`]`::open(dir, frames)` reopens it cold through an LRU
+//! buffer pool with identical query answers:
 //!
 //! ```
 //! use utree::{ProbIndex, Query, Refine, UTree};
@@ -51,6 +54,7 @@ pub mod filter;
 pub mod key;
 pub mod object_codec;
 pub mod pcr;
+mod persist;
 pub mod quadratic;
 pub mod query;
 pub mod seqscan;
@@ -73,3 +77,12 @@ pub use query::{
 pub use seqscan::SeqScan;
 pub use tree::{InsertStats, QueryOptions, UTree};
 pub use upcr::UPcrTree;
+
+/// A [`UTree`] reopened from disk through an LRU buffer pool — what
+/// [`UTree::open`] returns.
+pub type DiskUTree<const D: usize> = UTree<D, page_store::BufferPool<page_store::DiskPageFile>>;
+
+/// A [`UPcrTree`] reopened from disk through an LRU buffer pool — what
+/// [`UPcrTree::open`] returns.
+pub type DiskUPcrTree<const D: usize> =
+    UPcrTree<D, page_store::BufferPool<page_store::DiskPageFile>>;

@@ -87,8 +87,11 @@ pub fn decode_object<const D: usize>(bytes: &[u8]) -> UncertainObject<D> {
                 *b = r.get_u32() as usize;
             }
             let n = r.get_u32() as usize;
-            let weights: Vec<f64> = (0..n).map(|_| r.get_f64()).collect();
-            ObjectPdf::Histogram(HistogramPdf::new(rect, bins, weights))
+            let mass: Vec<f64> = (0..n).map(|_| r.get_f64()).collect();
+            // The encoder wrote the histogram's normalised masses;
+            // `from_mass` skips renormalisation so the round trip is
+            // bit-exact.
+            ObjectPdf::Histogram(HistogramPdf::from_mass(rect, bins, mass))
         }
         other => panic!("unknown pdf tag {other} in heap record"),
     };

@@ -1,0 +1,359 @@
+//! On-disk index persistence: page-image snapshots + a small metadata
+//! file.
+//!
+//! [`crate::UTree::save`] / [`crate::UPcrTree::save`] write a directory of
+//! three files:
+//!
+//! * `index.pg` — the node pages, copied verbatim into a
+//!   [`DiskPageFile`] (they are already in on-page codec format, so the
+//!   snapshot *is* the serialized tree);
+//! * `heap.pg`  — the object-detail heap pages, likewise;
+//! * `meta.bin` — everything that lives outside the page space: structure
+//!   kind, dimensionality, the U-catalog, R* tuning, root page, height,
+//!   record count, and the heap's open page.
+//!
+//! `open` reverses the process, wrapping each page file in a
+//! [`page_store::BufferPool`] so a reopened index reads cold pages from
+//! disk through a bounded cache.
+
+use crate::catalog::UCatalog;
+use page_store::{
+    BufferPool, ByteReader, ByteWriter, DiskPageFile, ObjectHeap, PageId, PageStore, PAGE_SIZE,
+};
+use rstar_base::TreeConfig;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// File names inside a saved-index directory.
+pub(crate) const META_FILE: &str = "meta.bin";
+pub(crate) const INDEX_FILE: &str = "index.pg";
+pub(crate) const HEAP_FILE: &str = "heap.pg";
+
+/// Structure tags stored in the metadata.
+pub(crate) const KIND_UTREE: u8 = 0;
+pub(crate) const KIND_UPCR: u8 = 1;
+
+const MAGIC: [u8; 4] = *b"UIDX";
+const VERSION: u16 = 1;
+
+/// The superstructure a saved index needs besides its page images.
+pub(crate) struct SavedMeta {
+    pub kind: u8,
+    pub dims: u8,
+    pub catalog: Vec<f64>,
+    pub cfg: TreeConfig,
+    pub root: PageId,
+    pub height: usize,
+    pub len: usize,
+    pub heap_open_page: Option<PageId>,
+}
+
+pub(crate) fn invalid_data(msg: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Sibling scratch path for write-then-rename replacement.
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Copies every page of `src` (live and freed alike, so page ids are
+/// preserved verbatim) into a fresh [`DiskPageFile`] at `path`, replicating
+/// the free list, and flushes.
+///
+/// The snapshot is written to a sibling `.tmp` file and renamed into place
+/// only when complete, so saving **over** the directory a disk-backed
+/// index was opened from never truncates the file that index is still
+/// reading (the open store keeps its pre-save inode; reopen to pick up
+/// the new snapshot), and a crash mid-save never leaves a torn file
+/// behind.
+pub(crate) fn dump_store<S: PageStore>(src: &S, path: &Path) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut dst = DiskPageFile::create(&tmp)?;
+        let mut buf = [0u8; PAGE_SIZE];
+        for id in 0..src.capacity_pages() as PageId {
+            let did = dst.allocate();
+            debug_assert_eq!(did, id, "snapshot ids must mirror the source");
+            src.peek_into(id, &mut buf);
+            dst.write(did, &buf);
+        }
+        // Replaying releases in free-list order reproduces the exact
+        // stack, so reallocation order survives the round trip too.
+        for id in src.free_list() {
+            dst.release(id);
+        }
+        dst.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+pub(crate) fn write_meta(path: &Path, meta: &SavedMeta) -> io::Result<()> {
+    let mut w = ByteWriter::new();
+    for b in MAGIC {
+        w.put_u8(b);
+    }
+    w.put_u16(VERSION);
+    w.put_u8(meta.kind);
+    w.put_u8(meta.dims);
+    w.put_f64(meta.cfg.min_fill);
+    w.put_f64(meta.cfg.reinsert_frac);
+    w.put_f64(meta.cfg.covers_tolerance);
+    w.put_u64(meta.root);
+    w.put_u64(meta.height as u64);
+    w.put_u64(meta.len as u64);
+    w.put_u64(meta.heap_open_page.unwrap_or(u64::MAX));
+    w.put_u16(meta.catalog.len() as u16);
+    for &p in &meta.catalog {
+        w.put_f64(p);
+    }
+    // Write-then-rename, like the page snapshots: the metadata file is
+    // rewritten by every flush of a disk-backed tree and must never be
+    // observable half-written.
+    let tmp = tmp_path(path);
+    std::fs::write(&tmp, w.as_slice())?;
+    std::fs::rename(&tmp, path)
+}
+
+pub(crate) fn read_meta(path: &Path) -> io::Result<SavedMeta> {
+    let bytes = std::fs::read(path)?;
+    // Fixed header + the catalog length field.
+    const FIXED: usize = 4 + 2 + 1 + 1 + 3 * 8 + 4 * 8 + 2;
+    if bytes.len() < FIXED {
+        return Err(invalid_data(format!(
+            "{}: truncated metadata",
+            path.display()
+        )));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(invalid_data(format!("{}: bad magic", path.display())));
+    }
+    let mut r = ByteReader::new(&bytes[4..]);
+    let version = r.get_u16();
+    if version != VERSION {
+        return Err(invalid_data(format!(
+            "{}: unsupported metadata version {version}",
+            path.display()
+        )));
+    }
+    let kind = r.get_u8();
+    let dims = r.get_u8();
+    let cfg = TreeConfig {
+        min_fill: r.get_f64(),
+        reinsert_frac: r.get_f64(),
+        covers_tolerance: r.get_f64(),
+    };
+    let root = r.get_u64();
+    let height = r.get_u64() as usize;
+    let len = r.get_u64() as usize;
+    let heap_open_page = match r.get_u64() {
+        u64::MAX => None,
+        p => Some(p),
+    };
+    let m = r.get_u16() as usize;
+    if r.remaining() != m * 8 {
+        return Err(invalid_data(format!(
+            "{}: catalog length mismatch",
+            path.display()
+        )));
+    }
+    let catalog = (0..m).map(|_| r.get_f64()).collect();
+    Ok(SavedMeta {
+        kind,
+        dims,
+        catalog,
+        cfg,
+        root,
+        height,
+        len,
+        heap_open_page,
+    })
+}
+
+/// Writes a complete saved-index directory: both page-image snapshots plus
+/// the metadata file. Shared by every tree's `save`.
+pub(crate) fn save_index<SI: PageStore, SH: PageStore>(
+    dir: &Path,
+    meta: &SavedMeta,
+    index_store: &SI,
+    heap_store: &SH,
+) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    dump_store(index_store, &dir.join(INDEX_FILE))?;
+    dump_store(heap_store, &dir.join(HEAP_FILE))?;
+    write_meta(&dir.join(META_FILE), meta)
+}
+
+/// Rewrites the metadata file sitting next to a disk-backed node store
+/// (located via [`PageStore::backing_path`]), so the superstructure a
+/// reopened index mutated (root, height, len, open heap page) stays
+/// consistent with its flushed pages. A no-op for stores with no backing
+/// file (the in-memory backend).
+pub(crate) fn refresh_meta<S: PageStore>(index_store: &S, meta: &SavedMeta) -> io::Result<()> {
+    let Some(index_path) = index_store.backing_path() else {
+        return Ok(());
+    };
+    let Some(dir) = index_path.parent() else {
+        return Ok(());
+    };
+    write_meta(&dir.join(META_FILE), meta)
+}
+
+/// Everything `open` reconstructs before the tree-specific metrics/codec
+/// are attached: validated metadata, the shared catalog, and the two
+/// pool-wrapped page files.
+pub(crate) struct OpenedParts {
+    pub meta: SavedMeta,
+    pub catalog: Arc<UCatalog>,
+    pub index: BufferPool<DiskPageFile>,
+    pub heap: ObjectHeap<BufferPool<DiskPageFile>>,
+}
+
+/// Reads and validates a saved-index directory (structure kind,
+/// dimensionality, catalog, and that the root / open heap page actually
+/// lie inside their files), wrapping each page file in a `buffer_pages`
+/// LRU pool. Shared by every tree's `open`.
+pub(crate) fn open_parts(
+    dir: &Path,
+    kind: u8,
+    dims: usize,
+    buffer_pages: usize,
+) -> io::Result<OpenedParts> {
+    if buffer_pages == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a buffer pool needs at least one frame",
+        ));
+    }
+    let meta_path = dir.join(META_FILE);
+    let meta = read_meta(&meta_path)?;
+    expect(&meta, kind, dims, &meta_path)?;
+    let catalog = Arc::new(UCatalog::try_new(meta.catalog.clone()).map_err(invalid_data)?);
+    let index = BufferPool::new(DiskPageFile::open(dir.join(INDEX_FILE))?, buffer_pages);
+    if meta.root as usize >= index.capacity_pages() {
+        return Err(invalid_data(format!(
+            "{}: root page {} outside the index file",
+            dir.display(),
+            meta.root
+        )));
+    }
+    let heap_store = BufferPool::new(DiskPageFile::open(dir.join(HEAP_FILE))?, buffer_pages);
+    if let Some(p) = meta.heap_open_page {
+        if p as usize >= heap_store.capacity_pages() {
+            return Err(invalid_data(format!(
+                "{}: open heap page {p} outside the heap file",
+                dir.display()
+            )));
+        }
+    }
+    let heap = ObjectHeap::from_raw_parts(heap_store, meta.heap_open_page);
+    Ok(OpenedParts {
+        meta,
+        catalog,
+        index,
+        heap,
+    })
+}
+
+/// Validates the metadata against what the caller is about to construct.
+pub(crate) fn expect(meta: &SavedMeta, kind: u8, dims: usize, path: &Path) -> io::Result<()> {
+    if meta.kind != kind {
+        return Err(invalid_data(format!(
+            "{}: saved index kind {} does not match the requested structure ({kind})",
+            path.display(),
+            meta.kind
+        )));
+    }
+    if meta.dims as usize != dims {
+        return Err(invalid_data(format!(
+            "{}: saved index is {}-dimensional, expected {dims}",
+            path.display(),
+            meta.dims
+        )));
+    }
+    if meta.height == 0 {
+        return Err(invalid_data(format!("{}: zero height", path.display())));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use page_store::PageFile;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("utree-persist-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let dir = temp_dir("meta");
+        let path = dir.join(META_FILE);
+        let meta = SavedMeta {
+            kind: KIND_UPCR,
+            dims: 3,
+            catalog: vec![0.0, 0.25, 0.5],
+            cfg: TreeConfig {
+                min_fill: 0.35,
+                reinsert_frac: 0.25,
+                covers_tolerance: 0.01,
+            },
+            root: 42,
+            height: 3,
+            len: 1234,
+            heap_open_page: Some(7),
+        };
+        write_meta(&path, &meta).unwrap();
+        let back = read_meta(&path).unwrap();
+        assert_eq!(back.kind, meta.kind);
+        assert_eq!(back.dims, meta.dims);
+        assert_eq!(back.catalog, meta.catalog);
+        assert_eq!(back.cfg.min_fill, meta.cfg.min_fill);
+        assert_eq!(back.root, 42);
+        assert_eq!(back.height, 3);
+        assert_eq!(back.len, 1234);
+        assert_eq!(back.heap_open_page, Some(7));
+        assert!(expect(&back, KIND_UPCR, 3, &path).is_ok());
+        assert!(expect(&back, KIND_UTREE, 3, &path).is_err());
+        assert!(expect(&back, KIND_UPCR, 2, &path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_meta_rejects_garbage() {
+        let dir = temp_dir("garbage");
+        let path = dir.join(META_FILE);
+        std::fs::write(&path, b"not an index").unwrap();
+        assert!(read_meta(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_replicates_pages_and_free_list() {
+        let dir = temp_dir("dump");
+        let mut src = PageFile::new();
+        let ids: Vec<_> = (0..6).map(|_| src.allocate()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            src.write(id, &[i as u8 + 10; 32]);
+        }
+        src.release(ids[2]);
+        src.release(ids[4]);
+        let path = dir.join(INDEX_FILE);
+        dump_store(&src, &path).unwrap();
+        let dst = DiskPageFile::open(&path).unwrap();
+        assert_eq!(dst.capacity_pages(), 6);
+        assert_eq!(dst.free_list(), src.free_list());
+        for &id in &[ids[0], ids[1], ids[3], ids[5]] {
+            assert_eq!(dst.peek_page(id)[..], src.peek(id)[..]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

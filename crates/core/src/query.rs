@@ -2,7 +2,7 @@
 
 use crate::api::QueryError;
 use crate::object_codec::decode_object;
-use page_store::{ObjectHeap, PageId, RecordAddr};
+use page_store::{ObjectHeap, PageId, PageStore, RecordAddr};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -152,8 +152,8 @@ impl AddAssign<QueryStats> for QueryStats {
 /// probability is evaluated and compared with `p_q`.
 ///
 /// Returns `(id, p)` for the qualifiers and updates `stats`.
-pub fn refine_candidates_scored<const D: usize>(
-    heap: &ObjectHeap,
+pub fn refine_candidates_scored<const D: usize, S: PageStore>(
+    heap: &ObjectHeap<S>,
     candidates: &[(RecordAddr, u64)],
     rq: &Rect<D>,
     pq: f64,
@@ -200,8 +200,8 @@ pub fn refine_candidates_scored<const D: usize>(
 
 /// [`refine_candidates_scored`] without the probabilities (the original
 /// id-only surface, kept for direct callers of the refinement step).
-pub fn refine_candidates<const D: usize>(
-    heap: &ObjectHeap,
+pub fn refine_candidates<const D: usize, S: PageStore>(
+    heap: &ObjectHeap<S>,
     candidates: &[(RecordAddr, u64)],
     rq: &Rect<D>,
     pq: f64,

@@ -14,9 +14,11 @@ use crate::entry::{UCodec, ULeafEntry};
 use crate::filter::{filter_object, FilterOutcome};
 use crate::object_codec::encode_object;
 use crate::pcr::PcrSet;
-use crate::query::{refine_candidates_scored, ProbRangeQuery, QueryStats, RefineMode};
+use crate::query::{refine_candidates_scored, QueryStats};
 use crate::tree::InsertStats;
-use page_store::{f32_round_down, f32_round_up, ObjectHeap, PageFile, PageId, RecordAddr};
+use page_store::{
+    f32_round_down, f32_round_up, ObjectHeap, PageFile, PageId, PageStore, RecordAddr,
+};
 use rstar_base::NodeCodec;
 use std::sync::Arc;
 use std::time::Instant;
@@ -223,16 +225,6 @@ impl<const D: usize> SeqScan<D> {
         stats.refine_nanos = t1.elapsed().as_nanos();
         outcome_from_parts(results, refined, stats)
     }
-
-    /// Legacy tuple query.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Query::range(..).threshold(..).run(&scan)` or `ProbIndex::execute`; see docs/API.md"
-    )]
-    pub fn query(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
-        let outcome = self.execute(&Query::from_prob_range(*q, mode));
-        (outcome.ids(), outcome.stats)
-    }
 }
 
 impl<const D: usize> ProbIndex<D> for SeqScan<D> {
@@ -272,6 +264,7 @@ impl<const D: usize> ProbIndex<D> for SeqScan<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::{ProbRangeQuery, RefineMode};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     use uncertain_geom::Point;

@@ -9,10 +9,16 @@ use crate::filter::{filter_object, FilterOutcome};
 use crate::key::{UKey, UMetrics};
 use crate::object_codec::encode_object;
 use crate::pcr::PcrSet;
-use crate::query::{refine_candidates_scored, ProbRangeQuery, QueryStats, RefineMode};
-use page_store::{f32_round_down, f32_round_up, ObjectHeap, RecordAddr};
+use crate::persist;
+use crate::query::{refine_candidates_scored, QueryStats};
+use page_store::{
+    f32_round_down, f32_round_up, BufferPool, DiskPageFile, ObjectHeap, PageFile, PageStore,
+    RecordAddr,
+};
 use rstar_base::{LeafRecord, RStarTreeBase, TreeConfig, TreeStats};
+use std::io;
 use std::ops::AddAssign;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 use uncertain_geom::Rect;
@@ -79,6 +85,12 @@ impl AddAssign<&InsertStats> for InsertStats {
 /// backends); queries through the fluent [`Query`] API. Both are available
 /// generically via the [`ProbIndex`] trait.
 ///
+/// The tree is generic over its [`PageStore`] `S`: the default is the
+/// in-memory [`PageFile`]; [`UTree::open`] yields a
+/// `UTree<D, BufferPool<DiskPageFile>>` reading a [`UTree::save`]d index
+/// cold from disk through a bounded LRU cache. Query results are
+/// byte-identical across backends — only the I/O cost model changes.
+///
 /// ```
 /// use utree::{ProbIndex, Provenance, Query, Refine, UTree};
 /// use uncertain_geom::{Point, Rect};
@@ -100,9 +112,9 @@ impl AddAssign<&InsertStats> for InsertStats {
 /// assert_eq!(outcome.stats.prob_computations, 0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct UTree<const D: usize> {
-    tree: RStarTreeBase<D, UMetrics<D>, ULeafEntry<D>, UCodec<D>>,
-    heap: ObjectHeap,
+pub struct UTree<const D: usize, S: PageStore = PageFile> {
+    tree: RStarTreeBase<D, UMetrics<D>, ULeafEntry<D>, UCodec<D>, S>,
+    heap: ObjectHeap<S>,
     catalog: Arc<UCatalog>,
 }
 
@@ -112,12 +124,12 @@ impl<const D: usize> UTree<D> {
         IndexBuilder::new()
     }
 
-    /// An empty U-tree over the given catalog.
+    /// An empty in-memory U-tree over the given catalog.
     pub fn new(catalog: UCatalog) -> Self {
         Self::with_config(catalog, TreeConfig::default())
     }
 
-    /// An empty U-tree with explicit R* tuning.
+    /// An empty in-memory U-tree with explicit R* tuning.
     pub fn with_config(catalog: UCatalog, cfg: TreeConfig) -> Self {
         let catalog = Arc::new(catalog);
         let metrics = UMetrics::new(catalog.clone());
@@ -127,6 +139,75 @@ impl<const D: usize> UTree<D> {
             heap: ObjectHeap::new(),
             catalog,
         }
+    }
+}
+
+impl<const D: usize> UTree<D, BufferPool<DiskPageFile>> {
+    /// Opens a [`UTree::save`]d index directory, reading node and heap
+    /// pages from disk through two LRU buffer pools of `buffer_pages`
+    /// frames each.
+    ///
+    /// The returned tree answers queries byte-identically to the one that
+    /// was saved; its logical I/O counters behave exactly like the
+    /// in-memory tree's, while the pools' backend counters report the
+    /// physical reads that actually hit the disk files.
+    pub fn open<P: AsRef<Path>>(dir: P, buffer_pages: usize) -> io::Result<Self> {
+        let parts = persist::open_parts(dir.as_ref(), persist::KIND_UTREE, D, buffer_pages)?;
+        let metrics = UMetrics::new(parts.catalog.clone());
+        let codec = UCodec::new(parts.catalog.clone());
+        Ok(Self {
+            tree: RStarTreeBase::from_raw_parts(
+                parts.index,
+                parts.meta.root,
+                parts.meta.height,
+                parts.meta.len,
+                metrics,
+                codec,
+                parts.meta.cfg,
+            ),
+            heap: parts.heap,
+            catalog: parts.catalog,
+        })
+    }
+}
+
+impl<const D: usize, S: PageStore> UTree<D, S> {
+    /// Saves the index as a directory (`index.pg`, `heap.pg`, `meta.bin`)
+    /// that [`UTree::open`] can reopen cold. Node and heap pages are
+    /// copied verbatim — they are already in on-page codec format — and
+    /// the superstructure (catalog, R* tuning, root/height/len) goes into
+    /// the metadata file.
+    fn saved_meta(&self) -> persist::SavedMeta {
+        persist::SavedMeta {
+            kind: persist::KIND_UTREE,
+            dims: D as u8,
+            catalog: self.catalog.values().to_vec(),
+            cfg: self.tree.config(),
+            root: self.tree.root_page(),
+            height: self.tree.height(),
+            len: self.tree.len(),
+            heap_open_page: self.heap.open_page(),
+        }
+    }
+
+    pub fn save<P: AsRef<Path>>(&self, dir: P) -> io::Result<()> {
+        persist::save_index(
+            dir.as_ref(),
+            &self.saved_meta(),
+            self.tree.store(),
+            self.heap.file(),
+        )
+    }
+
+    /// Flushes both stores (write-back pools, disk files) and — when the
+    /// node store is backed by a saved-index file — rewrites the sibling
+    /// metadata, so updates made after [`UTree::open`] (new root, height,
+    /// record count, open heap page) survive a cold reopen. A no-op on
+    /// the in-memory backend.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.tree.store_mut().flush()?;
+        self.heap.file_mut().flush()?;
+        persist::refresh_meta(self.tree.store(), &self.saved_meta())
     }
 
     /// The shared catalog.
@@ -292,32 +373,6 @@ impl<const D: usize> UTree<D> {
         outcome_from_parts(results, refined, stats)
     }
 
-    /// Executes a prob-range query with the default options, returning the
-    /// legacy `(ids, stats)` tuple.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Query::range(..).threshold(..).run(&tree)` or `ProbIndex::execute`; see docs/API.md"
-    )]
-    pub fn query(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
-        let outcome = self.execute(&Query::from_prob_range(*q, mode));
-        (outcome.ids(), outcome.stats)
-    }
-
-    /// Legacy tuple query with ablation switches.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Query::range(..).threshold(..).options(..).run(&tree)`; see docs/API.md"
-    )]
-    pub fn query_with_options(
-        &self,
-        q: &ProbRangeQuery<D>,
-        mode: RefineMode,
-        opts: QueryOptions,
-    ) -> (Vec<u64>, QueryStats) {
-        let outcome = self.execute(&Query::from_prob_range(*q, mode).with_options(opts));
-        (outcome.ids(), outcome.stats)
-    }
-
     /// Visits every leaf entry (diagnostics / baselines).
     pub fn for_each_entry<F: FnMut(&ULeafEntry<D>)>(&self, f: F) {
         self.tree.for_each_record(f);
@@ -336,12 +391,18 @@ impl<const D: usize> UTree<D> {
     }
 
     /// Direct read access to the heap (shared by baselines in benches).
-    pub fn heap(&self) -> &ObjectHeap {
+    pub fn heap(&self) -> &ObjectHeap<S> {
         &self.heap
+    }
+
+    /// Direct read access to the node store (buffer-pool statistics,
+    /// backend counters).
+    pub fn node_store(&self) -> &S {
+        self.tree.store()
     }
 }
 
-impl<const D: usize> ProbIndex<D> for UTree<D> {
+impl<const D: usize, S: PageStore> ProbIndex<D> for UTree<D, S> {
     fn insert(&mut self, obj: &UncertainObject<D>) -> InsertStats {
         UTree::insert(self, obj)
     }
@@ -387,6 +448,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::{ProbRangeQuery, RefineMode};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     use uncertain_geom::Point;

@@ -13,19 +13,24 @@ use crate::filter::{filter_object, FilterOutcome};
 use crate::key::{PcrKey, PcrMetrics};
 use crate::object_codec::encode_object;
 use crate::pcr::PcrSet;
-use crate::query::{refine_candidates_scored, ProbRangeQuery, QueryStats, RefineMode};
-use crate::tree::InsertStats;
-use page_store::{ObjectHeap, RecordAddr};
+use crate::persist;
+use crate::query::{refine_candidates_scored, QueryStats};
+use page_store::{BufferPool, DiskPageFile, ObjectHeap, PageFile, PageStore, RecordAddr};
 use rstar_base::{LeafRecord, RStarTreeBase, TreeConfig, TreeStats};
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 use uncertain_geom::Rect;
 use uncertain_pdf::{ObjectPdf, UncertainObject};
 
-/// The U-PCR index.
-pub struct UPcrTree<const D: usize> {
-    tree: RStarTreeBase<D, PcrMetrics<D>, UPcrLeafEntry<D>, UPcrCodec<D>>,
-    heap: ObjectHeap,
+use crate::tree::InsertStats;
+
+/// The U-PCR index, generic over its [`PageStore`] like
+/// [`crate::UTree`].
+pub struct UPcrTree<const D: usize, S: PageStore = PageFile> {
+    tree: RStarTreeBase<D, PcrMetrics<D>, UPcrLeafEntry<D>, UPcrCodec<D>, S>,
+    heap: ObjectHeap<S>,
     catalog: Arc<UCatalog>,
 }
 
@@ -51,6 +56,63 @@ impl<const D: usize> UPcrTree<D> {
             heap: ObjectHeap::new(),
             catalog,
         }
+    }
+}
+
+impl<const D: usize> UPcrTree<D, BufferPool<DiskPageFile>> {
+    /// Opens a [`UPcrTree::save`]d index directory through LRU buffer
+    /// pools of `buffer_pages` frames (see [`crate::UTree::open`]).
+    pub fn open<P: AsRef<Path>>(dir: P, buffer_pages: usize) -> io::Result<Self> {
+        let parts = persist::open_parts(dir.as_ref(), persist::KIND_UPCR, D, buffer_pages)?;
+        let metrics = PcrMetrics::new(parts.catalog.clone());
+        let codec = UPcrCodec::new(parts.catalog.clone());
+        Ok(Self {
+            tree: RStarTreeBase::from_raw_parts(
+                parts.index,
+                parts.meta.root,
+                parts.meta.height,
+                parts.meta.len,
+                metrics,
+                codec,
+                parts.meta.cfg,
+            ),
+            heap: parts.heap,
+            catalog: parts.catalog,
+        })
+    }
+}
+
+impl<const D: usize, S: PageStore> UPcrTree<D, S> {
+    /// Saves the index as a directory [`UPcrTree::open`] can reopen cold
+    /// (same format as [`crate::UTree::save`], tagged as U-PCR).
+    fn saved_meta(&self) -> persist::SavedMeta {
+        persist::SavedMeta {
+            kind: persist::KIND_UPCR,
+            dims: D as u8,
+            catalog: self.catalog.values().to_vec(),
+            cfg: self.tree.config(),
+            root: self.tree.root_page(),
+            height: self.tree.height(),
+            len: self.tree.len(),
+            heap_open_page: self.heap.open_page(),
+        }
+    }
+
+    pub fn save<P: AsRef<Path>>(&self, dir: P) -> io::Result<()> {
+        persist::save_index(
+            dir.as_ref(),
+            &self.saved_meta(),
+            self.tree.store(),
+            self.heap.file(),
+        )
+    }
+
+    /// Flushes both stores and rewrites the saved-index metadata when one
+    /// exists (see [`crate::UTree::flush`]).
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.tree.store_mut().flush()?;
+        self.heap.file_mut().flush()?;
+        persist::refresh_meta(self.tree.store(), &self.saved_meta())
     }
 
     /// The shared catalog.
@@ -207,16 +269,6 @@ impl<const D: usize> UPcrTree<D> {
         outcome_from_parts(results, refined, stats)
     }
 
-    /// Legacy tuple query.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Query::range(..).threshold(..).run(&tree)` or `ProbIndex::execute`; see docs/API.md"
-    )]
-    pub fn query(&self, q: &ProbRangeQuery<D>, mode: RefineMode) -> (Vec<u64>, QueryStats) {
-        let outcome = self.execute(&Query::from_prob_range(*q, mode));
-        (outcome.ids(), outcome.stats)
-    }
-
     /// Visits every leaf entry.
     pub fn for_each_entry<F: FnMut(&UPcrLeafEntry<D>)>(&self, mut f: F) {
         self.tree.for_each_record(|r| f(r));
@@ -233,9 +285,20 @@ impl<const D: usize> UPcrTree<D> {
         self.tree.io_stats().reset();
         self.heap.file().stats().reset();
     }
+
+    /// Direct read access to the node store (buffer-pool statistics,
+    /// backend counters).
+    pub fn node_store(&self) -> &S {
+        self.tree.store()
+    }
+
+    /// Direct read access to the heap.
+    pub fn heap(&self) -> &ObjectHeap<S> {
+        &self.heap
+    }
 }
 
-impl<const D: usize> ProbIndex<D> for UPcrTree<D> {
+impl<const D: usize, S: PageStore> ProbIndex<D> for UPcrTree<D, S> {
     fn insert(&mut self, obj: &UncertainObject<D>) -> InsertStats {
         UPcrTree::insert(self, obj)
     }
@@ -280,6 +343,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::{ProbRangeQuery, RefineMode};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     use uncertain_geom::Point;

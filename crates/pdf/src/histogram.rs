@@ -43,6 +43,32 @@ impl<const D: usize> HistogramPdf<D> {
         Self { rect, bins, mass }
     }
 
+    /// Rebuilds a histogram from cell masses that are *already*
+    /// normalised (a prior histogram's [`Self::mass`], e.g. read back from
+    /// disk). Skips the renormalising division so a store→load round trip
+    /// is bit-exact.
+    pub fn from_mass(rect: Rect<D>, bins: [usize; D], mass: Vec<f64>) -> Self {
+        let cells: usize = bins.iter().product();
+        assert!(cells > 0, "every dimension needs at least one bin");
+        assert_eq!(mass.len(), cells, "mass count must match grid size");
+        assert!(
+            mass.iter().all(|m| m.is_finite() && *m >= 0.0),
+            "masses must be finite and non-negative"
+        );
+        assert!(
+            mass.iter().sum::<f64>() > 0.0,
+            "at least one mass must be positive"
+        );
+        debug_assert!(
+            (mass.iter().sum::<f64>() - 1.0).abs() < 1e-6,
+            "from_mass expects normalised masses"
+        );
+        for i in 0..D {
+            assert!(rect.extent(i) > 0.0, "support must have positive extent");
+        }
+        Self { rect, bins, mass }
+    }
+
     /// Builds a histogram by sampling `density` at cell centers.
     ///
     /// This is how an application plugs in a truly arbitrary pdf: hand any

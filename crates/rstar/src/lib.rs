@@ -12,8 +12,10 @@
 //! * a [`KeyMetrics`] strategy supplying area / margin / overlap / centroid
 //!   distance (the summed counterparts) and the *split rectangle* proxy.
 //!
-//! Nodes live on 4096-byte pages of a [`page_store::PageFile`]; every node
-//! access is counted, which is the paper's I/O metric.
+//! Nodes live on 4096-byte pages of any [`page_store::PageStore`] (the
+//! in-memory [`page_store::PageFile`] by default, or a disk file / buffer
+//! pool); every counted node access lands in the store's
+//! [`page_store::IoStats`], which is the paper's I/O metric.
 //!
 //! The concrete rectangle R*-tree ([`RectRStarTree`]) doubles as the
 //! conventional "precise data" baseline and as the substrate's test rig.

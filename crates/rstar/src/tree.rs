@@ -8,7 +8,7 @@
 use crate::codec::{InnerEntry, NodeCodec};
 use crate::metrics::{KeyMetrics, LeafRecord};
 use crate::split::rstar_split;
-use page_store::{IoStats, PageFile, PageId};
+use page_store::{IoStats, PageFile, PageId, PageStore, PAGE_SIZE};
 use std::sync::Arc;
 
 /// ChooseSubtree examines at most this many candidates with the overlap
@@ -75,14 +75,17 @@ enum DeleteOutcome<K> {
     Dropped,
 }
 
-/// A disk-based R*-tree over records `L` bounded by keys `M::Key`.
-pub struct RStarTreeBase<const D: usize, M, L, C>
+/// A disk-based R*-tree over records `L` bounded by keys `M::Key`,
+/// generic over the [`PageStore`] its nodes live on (in-memory page file,
+/// disk file, or a buffer pool over either).
+pub struct RStarTreeBase<const D: usize, M, L, C, S = PageFile>
 where
     M: KeyMetrics<D>,
     L: LeafRecord<M::Key>,
     C: NodeCodec<M::Key, L>,
+    S: PageStore,
 {
-    file: PageFile,
+    file: S,
     root: PageId,
     /// Number of levels (1 = the root is a leaf).
     height: usize,
@@ -93,17 +96,25 @@ where
     _leaf: std::marker::PhantomData<L>,
 }
 
-impl<const D: usize, M, L, C> RStarTreeBase<D, M, L, C>
+impl<const D: usize, M, L, C, S> RStarTreeBase<D, M, L, C, S>
 where
     M: KeyMetrics<D>,
     L: LeafRecord<M::Key>,
     C: NodeCodec<M::Key, L>,
+    S: PageStore,
 {
-    /// Creates an empty tree (one empty leaf page).
-    pub fn new(metrics: M, codec: C, cfg: TreeConfig) -> Self {
+    /// Creates an empty tree (one empty leaf page) on a default store.
+    pub fn new(metrics: M, codec: C, cfg: TreeConfig) -> Self
+    where
+        S: Default,
+    {
+        Self::with_store(S::default(), metrics, codec, cfg)
+    }
+
+    /// Creates an empty tree on the given store.
+    pub fn with_store(mut file: S, metrics: M, codec: C, cfg: TreeConfig) -> Self {
         assert!(codec.leaf_capacity() >= 4, "leaf fanout too small");
         assert!(codec.inner_capacity() >= 4, "inner fanout too small");
-        let mut file = PageFile::new();
         let root = file.allocate();
         let mut tree = Self {
             file,
@@ -115,8 +126,33 @@ where
             cfg,
             _leaf: std::marker::PhantomData,
         };
-        tree.store(root, 0, &Node::Leaf(Vec::new()));
+        tree.store_node(root, 0, &Node::Leaf(Vec::new()));
         tree
+    }
+
+    /// Reattaches a tree whose pages already live in `file` (persistence):
+    /// `root`/`height`/`len` are the superstructure saved alongside the
+    /// page data. No validation is performed here; callers verify the
+    /// store's provenance (magic numbers, catalogs) first.
+    pub fn from_raw_parts(
+        file: S,
+        root: PageId,
+        height: usize,
+        len: usize,
+        metrics: M,
+        codec: C,
+        cfg: TreeConfig,
+    ) -> Self {
+        Self {
+            file,
+            root,
+            height,
+            len,
+            metrics,
+            codec,
+            cfg,
+            _leaf: std::marker::PhantomData,
+        }
     }
 
     /// Number of records.
@@ -144,9 +180,30 @@ where
         &self.codec
     }
 
-    /// Shared I/O counters of the node file.
+    /// The R* tuning knobs this tree runs with.
+    pub fn config(&self) -> TreeConfig {
+        self.cfg
+    }
+
+    /// Shared I/O counters of the node store (logical accesses when the
+    /// store is a buffer pool).
     pub fn io_stats(&self) -> &Arc<IoStats> {
         self.file.stats()
+    }
+
+    /// The node store.
+    pub fn store(&self) -> &S {
+        &self.file
+    }
+
+    /// Mutable access to the node store (flushing, pool tuning).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.file
+    }
+
+    /// Page id of the root node (persistence metadata).
+    pub fn root_page(&self) -> PageId {
+        self.root
     }
 
     /// Size of the node file in bytes (Table 1's metric).
@@ -162,7 +219,8 @@ where
     // ---- node I/O -------------------------------------------------------
 
     fn load(&self, page: PageId) -> (usize, Node<M::Key, L>) {
-        let bytes = self.file.read(page);
+        let mut bytes = [0u8; PAGE_SIZE];
+        self.file.read_into(page, &mut bytes);
         let level = bytes[0] as usize;
         let node = if level == 0 {
             Node::Leaf(self.codec.decode_leaf(&bytes[1..]))
@@ -172,7 +230,7 @@ where
         (level, node)
     }
 
-    fn store(&mut self, page: PageId, level: usize, node: &Node<M::Key, L>) {
+    fn store_node(&mut self, page: PageId, level: usize, node: &Node<M::Key, L>) {
         let mut out = Vec::with_capacity(page_store::PAGE_SIZE);
         out.push(level as u8);
         match node {
@@ -273,7 +331,7 @@ where
                     sibling,
                 ];
                 let new_level = self.height;
-                self.store(new_root, new_level, &Node::Inner(entries));
+                self.store_node(new_root, new_level, &Node::Inner(entries));
                 self.root = new_root;
                 self.height += 1;
                 reinserted.push(true); // no forced reinsert at a brand-new root level
@@ -339,7 +397,7 @@ where
     ) -> InsertResult<M::Key> {
         let cap = self.node_capacity(level);
         if Self::node_len(&node) <= cap {
-            self.store(page, level, &node);
+            self.store_node(page, level, &node);
             return InsertResult {
                 key: self.node_key(&node).expect("non-empty after insert"),
                 split: None,
@@ -351,7 +409,7 @@ where
         if page != self.root && !reinserted[level] {
             reinserted[level] = true;
             let victims = self.pick_reinsert_victims(&mut node, cap);
-            self.store(page, level, &node);
+            self.store_node(page, level, &node);
             // Push in far-to-near order so the LIFO pending stack performs
             // "close reinsert" (nearest first), the variant R* recommends.
             for v in victims {
@@ -367,9 +425,9 @@ where
 
         // Split (paper Sec 5.3: R*-split over the split rectangles).
         let (a, b) = self.split_node(node);
-        self.store(page, level, &a);
+        self.store_node(page, level, &a);
         let sib_page = self.file.allocate();
-        self.store(sib_page, level, &b);
+        self.store_node(sib_page, level, &b);
         InsertResult {
             key: self.node_key(&a).expect("split group A non-empty"),
             split: Some(InnerEntry {
@@ -564,7 +622,7 @@ where
                     return DeleteOutcome::Dropped;
                 }
                 let key = self.node_key(&node);
-                self.store(page, 0, &node);
+                self.store_node(page, 0, &node);
                 DeleteOutcome::Kept(key)
             }
             Node::Inner(ref mut es) => {
@@ -608,7 +666,7 @@ where
                     return DeleteOutcome::Dropped;
                 }
                 let key = self.node_key(&node);
-                self.store(page, level, &node);
+                self.store_node(page, level, &node);
                 DeleteOutcome::Kept(key)
             }
         }
@@ -629,7 +687,7 @@ where
                     // Everything deleted through condensation: reset to an
                     // empty leaf root.
                     self.height = 1;
-                    self.store(self.root, 0, &Node::Leaf(Vec::new()));
+                    self.store_node(self.root, 0, &Node::Leaf(Vec::new()));
                     return;
                 }
                 _ => return,
@@ -679,8 +737,9 @@ where
             entries_per_level: vec![0; self.height],
         };
         let mut stack = vec![(self.root, self.height - 1)];
+        let mut bytes = [0u8; PAGE_SIZE];
         while let Some((page, level)) = stack.pop() {
-            let bytes = self.file.peek(page);
+            self.file.peek_into(page, &mut bytes);
             let lvl = bytes[0] as usize;
             debug_assert_eq!(lvl, level);
             stats.nodes_per_level[level] += 1;
@@ -702,8 +761,10 @@ where
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut stack = vec![(self.root, self.height - 1)];
         let mut seen = 0usize;
+        let mut bytes = [0u8; PAGE_SIZE];
+        let mut child_bytes = [0u8; PAGE_SIZE];
         while let Some((page, level)) = stack.pop() {
-            let bytes = self.file.peek(page);
+            self.file.peek_into(page, &mut bytes);
             let lvl = bytes[0] as usize;
             if lvl != level {
                 return Err(format!("page {page} level {lvl}, expected {level}"));
@@ -720,7 +781,7 @@ where
                     return Err(format!("inner {page} underfull: {}", es.len()));
                 }
                 for e in &es {
-                    let child_bytes = self.file.peek(e.child);
+                    self.file.peek_into(e.child, &mut child_bytes);
                     let child_key = if child_bytes[0] == 0 {
                         let ces = self.codec.decode_leaf(&child_bytes[1..]);
                         self.node_key(&Node::Leaf(ces))

@@ -1,0 +1,378 @@
+//! A capacity-bounded LRU buffer pool over any [`PageStore`].
+//!
+//! The pool's own [`IoStats`] count *logical* accesses — exactly what the
+//! caller issued, so an index's node-access accounting is identical
+//! whatever backend sits underneath. The backend's counters keep counting
+//! *physical* transfers (misses, dirty write-backs), which is how the
+//! Fig-9-style `io_vs_buffer` experiment measures real I/O against buffer
+//! size. Counted logical reads additionally record a cache hit or miss on
+//! the pool stats (`hits + misses == reads` at all times).
+
+use crate::pagefile::{PageId, PageStore, PAGE_SIZE};
+use crate::IoStats;
+use std::collections::HashMap;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+struct Frame {
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    last_used: u64,
+}
+
+struct PoolInner<S> {
+    backend: S,
+    frames: HashMap<PageId, Frame>,
+    tick: u64,
+}
+
+impl<S: PageStore> PoolInner<S> {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evicts the least-recently-used frame when the pool is at `capacity`,
+    /// writing it back to the backend if dirty.
+    fn make_room(&mut self, capacity: usize) {
+        while self.frames.len() >= capacity {
+            let victim = self
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(&id, _)| id)
+                .expect("non-empty pool at capacity");
+            let frame = self.frames.remove(&victim).expect("victim resident");
+            if frame.dirty {
+                self.backend.write(victim, &frame.data[..]);
+            }
+        }
+    }
+
+    /// Returns the resident frame for `id`, fetching it from the backend
+    /// (a counted physical read) on a miss.
+    fn fetch(&mut self, id: PageId, capacity: usize) -> &mut Frame {
+        let tick = self.next_tick();
+        if !self.frames.contains_key(&id) {
+            self.make_room(capacity);
+            let mut data = Box::new([0u8; PAGE_SIZE]);
+            self.backend.read_into(id, &mut data);
+            self.frames.insert(
+                id,
+                Frame {
+                    data,
+                    dirty: false,
+                    last_used: tick,
+                },
+            );
+        }
+        let frame = self.frames.get_mut(&id).expect("frame just ensured");
+        frame.last_used = tick;
+        frame
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        for (&id, frame) in self.frames.iter_mut() {
+            if frame.dirty {
+                self.backend.write(id, &frame.data[..]);
+                frame.dirty = false;
+            }
+        }
+        self.backend.flush()
+    }
+}
+
+/// An LRU page cache in front of a slower [`PageStore`].
+///
+/// * Counted reads are served from resident frames; misses fetch from the
+///   backend (a physical read on the backend's counters). Peeks serve
+///   resident frames for coherence but never fetch into the cache.
+/// * Writes are absorbed into the frame and marked dirty (**write-back**):
+///   the backend sees them only when the frame is evicted or on
+///   [`flush`](PageStore::flush). Dropping the pool flushes best-effort;
+///   call `flush` explicitly where durability matters.
+/// * At most `capacity` pages are resident at any time.
+pub struct BufferPool<S: PageStore> {
+    inner: Mutex<PoolInner<S>>,
+    stats: Arc<IoStats>,
+    backend_stats: Arc<IoStats>,
+    capacity: usize,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Wraps `backend` with an LRU cache of `capacity` pages (>= 1).
+    pub fn new(backend: S, capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        let backend_stats = Arc::clone(backend.stats());
+        Self {
+            inner: Mutex::new(PoolInner {
+                backend,
+                frames: HashMap::with_capacity(capacity),
+                tick: 0,
+            }),
+            stats: Arc::new(IoStats::new()),
+            backend_stats,
+            capacity,
+        }
+    }
+
+    /// The configured frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pages currently resident in the cache.
+    pub fn resident_pages(&self) -> usize {
+        self.lock().frames.len()
+    }
+
+    /// The backend's *physical* I/O counters (misses + write-backs).
+    pub fn backend_stats(&self) -> &Arc<IoStats> {
+        &self.backend_stats
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner<S>> {
+        self.inner.lock().expect("buffer pool poisoned")
+    }
+}
+
+impl<S: PageStore> PageStore for BufferPool<S> {
+    fn allocate(&mut self) -> PageId {
+        self.lock().backend.allocate()
+    }
+
+    fn release(&mut self, id: PageId) {
+        let mut inner = self.lock();
+        // The page is dead: discard its frame, dirty or not.
+        inner.frames.remove(&id);
+        inner.backend.release(id);
+    }
+
+    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+        self.stats.record_read();
+        let mut inner = self.lock();
+        if inner.frames.contains_key(&id) {
+            self.stats.record_cache_hit();
+        } else {
+            self.stats.record_cache_miss();
+        }
+        let frame = inner.fetch(id, self.capacity);
+        out.copy_from_slice(&frame.data[..]);
+    }
+
+    /// Peeks never disturb the pool: a resident (possibly dirty) frame is
+    /// served for coherence, but a miss reads straight from the backend
+    /// without inserting a frame — so out-of-model scans (invariant
+    /// checks, statistics, persistence snapshots) cannot evict the hot
+    /// working set, and no counter moves anywhere.
+    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+        let inner = self.lock();
+        match inner.frames.get(&id) {
+            Some(frame) => out.copy_from_slice(&frame.data[..]),
+            None => inner.backend.peek_into(id, out),
+        }
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) {
+        assert!(data.len() <= PAGE_SIZE, "page overflow: {}", data.len());
+        self.stats.record_write();
+        let mut inner = self.lock();
+        let tick = inner.next_tick();
+        if !inner.frames.contains_key(&id) {
+            inner.make_room(self.capacity);
+            // A write covers the whole page (shorter data zero-fills), so a
+            // miss needs no backend read.
+            inner.frames.insert(
+                id,
+                Frame {
+                    data: Box::new([0u8; PAGE_SIZE]),
+                    dirty: false,
+                    last_used: tick,
+                },
+            );
+        }
+        let frame = inner.frames.get_mut(&id).expect("frame just ensured");
+        frame.data[..data.len()].copy_from_slice(data);
+        frame.data[data.len()..].fill(0);
+        frame.dirty = true;
+        frame.last_used = tick;
+    }
+
+    fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    fn live_pages(&self) -> usize {
+        self.lock().backend.live_pages()
+    }
+
+    fn capacity_pages(&self) -> usize {
+        self.lock().backend.capacity_pages()
+    }
+
+    fn free_list(&self) -> Vec<PageId> {
+        self.lock().backend.free_list()
+    }
+
+    /// Writes every dirty frame back and flushes the backend.
+    fn flush(&mut self) -> io::Result<()> {
+        self.lock().flush()
+    }
+
+    fn backing_path(&self) -> Option<std::path::PathBuf> {
+        self.lock().backend.backing_path()
+    }
+}
+
+impl<S: PageStore> Drop for BufferPool<S> {
+    fn drop(&mut self) {
+        if let Ok(mut inner) = self.inner.lock() {
+            let _ = inner.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PageFile;
+
+    fn pool(capacity: usize) -> BufferPool<PageFile> {
+        BufferPool::new(PageFile::new(), capacity)
+    }
+
+    #[test]
+    fn read_through_and_hit_on_repeat() {
+        let mut p = pool(4);
+        let a = p.allocate();
+        p.write(a, b"cached");
+        assert_eq!(&p.read_page(a)[..6], b"cached");
+        assert_eq!(&p.read_page(a)[..6], b"cached");
+        // Both logical reads hit the frame created by the write.
+        assert_eq!(p.stats().reads(), 2);
+        assert_eq!(p.stats().cache_hits(), 2);
+        assert_eq!(p.stats().cache_misses(), 0);
+        // Nothing physical happened yet (write-back policy).
+        assert_eq!(p.backend_stats().total(), 0);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let mut p = pool(2);
+        let ids: Vec<PageId> = (0..4).map(|_| p.allocate()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.write(id, &[i as u8 + 1; 8]);
+        }
+        // Capacity 2: writing 4 pages evicted the first two to the backend.
+        assert!(p.resident_pages() <= 2);
+        assert!(p.backend_stats().writes() >= 2);
+        // Read-after-evict returns the last written content (via a miss).
+        assert_eq!(p.read_page(ids[0])[0], 1);
+        assert_eq!(p.stats().cache_misses(), 1);
+    }
+
+    #[test]
+    fn lru_keeps_the_recently_used_page() {
+        let mut p = pool(2);
+        let a = p.allocate();
+        let b = p.allocate();
+        let c = p.allocate();
+        p.write(a, b"a");
+        p.write(b, b"b");
+        let _ = p.read_page(a); // a is now more recent than b
+        p.write(c, b"c"); // evicts b, not a
+        let misses0 = p.stats().cache_misses();
+        let _ = p.read_page(a);
+        assert_eq!(
+            p.stats().cache_misses(),
+            misses0,
+            "a must still be resident"
+        );
+        let _ = p.read_page(b);
+        assert_eq!(p.stats().cache_misses(), misses0 + 1, "b was evicted");
+    }
+
+    #[test]
+    fn peek_bypasses_all_counting() {
+        let mut p = pool(2);
+        let a = p.allocate();
+        p.write(a, b"quiet");
+        p.flush().unwrap();
+        let before = (
+            p.stats().reads(),
+            p.stats().cache_hits() + p.stats().cache_misses(),
+        );
+        let page = p.peek_page(a);
+        assert_eq!(&page[..5], b"quiet");
+        assert_eq!(
+            (
+                p.stats().reads(),
+                p.stats().cache_hits() + p.stats().cache_misses()
+            ),
+            before
+        );
+    }
+
+    #[test]
+    fn peek_misses_do_not_disturb_the_cache() {
+        let mut p = pool(2);
+        let a = p.allocate();
+        let b = p.allocate();
+        let cold = p.allocate();
+        p.write(a, b"hot-a");
+        p.write(b, b"hot-b");
+        p.flush().unwrap();
+        // `cold` was zero-allocated and never touched since: not resident.
+        assert_eq!(p.resident_pages(), 2);
+        let page = p.peek_page(cold);
+        assert!(page.iter().all(|&x| x == 0));
+        // The peek neither cached `cold` nor evicted the hot frames …
+        assert_eq!(p.resident_pages(), 2);
+        let misses0 = p.stats().cache_misses();
+        let _ = p.read_page(a);
+        let _ = p.read_page(b);
+        assert_eq!(
+            p.stats().cache_misses(),
+            misses0,
+            "hot set must survive peeks"
+        );
+        // … and a peek of a dirty resident frame still sees the new bytes.
+        p.write(a, b"dirty");
+        assert_eq!(&p.peek_page(a)[..5], b"dirty");
+    }
+
+    #[test]
+    fn flush_propagates_to_backend_and_clears_dirt() {
+        let mut p = pool(4);
+        let a = p.allocate();
+        p.write(a, b"durable");
+        p.flush().unwrap();
+        let w = p.backend_stats().writes();
+        assert!(w >= 1);
+        p.flush().unwrap();
+        assert_eq!(
+            p.backend_stats().writes(),
+            w,
+            "clean frames are not rewritten"
+        );
+    }
+
+    #[test]
+    fn release_discards_the_frame() {
+        let mut p = pool(4);
+        let a = p.allocate();
+        p.write(a, b"dead");
+        p.release(a);
+        assert_eq!(p.resident_pages(), 0);
+        // Reallocation hands the id back zeroed.
+        let b = p.allocate();
+        assert_eq!(b, a);
+        assert!(p.read_page(b).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_rejected() {
+        let _ = pool(0);
+    }
+}

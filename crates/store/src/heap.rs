@@ -5,8 +5,12 @@
 //! During refinement the query engine groups candidates by page so that
 //! "for each address, one I/O is performed to load the detailed information
 //! of all relevant candidates" (paper Sec 5.2).
+//!
+//! The heap is generic over its [`PageStore`], so the same slotted-page
+//! code runs over the in-memory [`PageFile`], a [`crate::DiskPageFile`],
+//! or a [`crate::BufferPool`] — only the I/O cost changes.
 
-use crate::{PageFile, PageId, PAGE_SIZE};
+use crate::{PageFile, PageId, PageStore, PAGE_SIZE};
 
 /// Page layout:
 /// `[n_slots: u16][data_start: u16]` then `n_slots` descriptors of
@@ -26,21 +30,47 @@ pub struct RecordAddr {
 
 /// An append-mostly heap of variable-length records packed into pages.
 #[derive(Debug, Default)]
-pub struct ObjectHeap {
-    file: PageFile,
+pub struct ObjectHeap<S: PageStore = PageFile> {
+    file: S,
     /// Page currently being filled.
     open_page: Option<PageId>,
 }
 
-impl ObjectHeap {
-    /// An empty heap.
+impl ObjectHeap<PageFile> {
+    /// An empty in-memory heap.
     pub fn new() -> Self {
         Self::default()
     }
+}
 
-    /// Underlying page file (for I/O statistics and size reporting).
-    pub fn file(&self) -> &PageFile {
+impl<S: PageStore> ObjectHeap<S> {
+    /// An empty heap over the given store.
+    pub fn with_store(file: S) -> Self {
+        Self {
+            file,
+            open_page: None,
+        }
+    }
+
+    /// Reattaches a heap persisted elsewhere: the store already holds the
+    /// pages; `open_page` is the page inserts were filling (if any).
+    pub fn from_raw_parts(file: S, open_page: Option<PageId>) -> Self {
+        Self { file, open_page }
+    }
+
+    /// Underlying page store (for I/O statistics and size reporting).
+    pub fn file(&self) -> &S {
         &self.file
+    }
+
+    /// Mutable access to the underlying store (flushing, pool tuning).
+    pub fn file_mut(&mut self) -> &mut S {
+        &mut self.file
+    }
+
+    /// The page inserts are currently filling (persistence metadata).
+    pub fn open_page(&self) -> Option<PageId> {
+        self.open_page
     }
 
     /// Inserts a record; returns its address.
@@ -60,7 +90,7 @@ impl ObjectHeap {
         }
         let page = self.file.allocate();
         // Fresh page: initialise header (n=0, data_start=PAGE_SIZE).
-        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut buf = [0u8; PAGE_SIZE];
         buf[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
         self.file.write(page, &buf);
         self.open_page = Some(page);
@@ -70,7 +100,7 @@ impl ObjectHeap {
 
     /// Appends to `page` if space allows; one read + one write when it does.
     fn try_append(&mut self, page: PageId, record: &[u8]) -> Option<RecordAddr> {
-        let mut buf = self.file.peek(page).to_vec();
+        let mut buf = self.file.peek_page(page);
         let n_slots = u16::from_le_bytes([buf[0], buf[1]]) as usize;
         let data_start = u16::from_le_bytes([buf[2], buf[3]]) as usize;
         let slot_table_end = HEADER + (n_slots + 1) * SLOT;
@@ -85,7 +115,7 @@ impl ObjectHeap {
         buf[slot_off + 2..slot_off + 4].copy_from_slice(&(record.len() as u16).to_le_bytes());
         buf[0..2].copy_from_slice(&((n_slots + 1) as u16).to_le_bytes());
         buf[2..4].copy_from_slice(&(new_start as u16).to_le_bytes());
-        self.file.write(page, &buf);
+        self.file.write(page, &buf[..]);
         Some(RecordAddr {
             page,
             slot: n_slots as u16,
@@ -94,18 +124,18 @@ impl ObjectHeap {
 
     /// Reads one record (counted as one page read).
     pub fn get(&self, addr: RecordAddr) -> Option<Vec<u8>> {
-        let buf = self.file.read(addr.page);
-        Self::record_in(buf, addr.slot)
+        let buf = self.file.read_page(addr.page);
+        Self::record_in(&buf[..], addr.slot)
     }
 
     /// Reads a whole page and returns every live record with its slot —
     /// the refinement step's one-I/O-per-page access path.
     pub fn page_records(&self, page: PageId) -> Vec<(u16, Vec<u8>)> {
-        let buf = self.file.read(page);
+        let buf = self.file.read_page(page);
         let n_slots = u16::from_le_bytes([buf[0], buf[1]]) as usize;
         let mut out = Vec::with_capacity(n_slots);
         for slot in 0..n_slots {
-            if let Some(rec) = Self::record_in(buf, slot as u16) {
+            if let Some(rec) = Self::record_in(&buf[..], slot as u16) {
                 out.push((slot as u16, rec));
             }
         }
@@ -129,12 +159,12 @@ impl ObjectHeap {
     /// Tombstones a record (read + write of its page). Space is not
     /// compacted — deletions in the paper's workload are index-side.
     pub fn remove(&mut self, addr: RecordAddr) {
-        let mut buf = self.file.read(addr.page).to_vec();
+        let mut buf = self.file.read_page(addr.page);
         let n_slots = u16::from_le_bytes([buf[0], buf[1]]);
         assert!(addr.slot < n_slots, "remove of unknown slot");
         let off = HEADER + addr.slot as usize * SLOT;
         buf[off + 2..off + 4].copy_from_slice(&0u16.to_le_bytes());
-        self.file.write(addr.page, &buf);
+        self.file.write(addr.page, &buf[..]);
     }
 
     /// Size of the heap in bytes.
@@ -215,5 +245,17 @@ mod tests {
             h.file().live_pages() > 1,
             "40B x500 records must span pages"
         );
+    }
+
+    #[test]
+    fn heap_works_over_a_buffer_pool() {
+        let pool = crate::BufferPool::new(PageFile::new(), 2);
+        let mut h = ObjectHeap::with_store(pool);
+        let addrs: Vec<_> = (0..300u32).map(|i| h.insert(&i.to_le_bytes())).collect();
+        for (i, addr) in addrs.iter().enumerate() {
+            let rec = h.get(*addr).unwrap();
+            assert_eq!(u32::from_le_bytes(rec[..4].try_into().unwrap()), i as u32);
+        }
+        assert!(h.file().resident_pages() <= 2);
     }
 }

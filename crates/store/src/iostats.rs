@@ -6,10 +6,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// The relaxed atomics make the counters usable from the (single-threaded)
 /// query path and from concurrent benchmark harnesses alike.
+///
+/// Two families of counters live here:
+///
+/// * `reads` / `writes` — page accesses against the store they belong to.
+///   On a [`crate::BufferPool`] these are the *logical* accesses the caller
+///   issued; on the pool's backend they are the *physical* accesses that
+///   actually reached it.
+/// * `cache_hits` / `cache_misses` — maintained only by caching stores
+///   ([`crate::BufferPool`]); always zero on plain backends. For counted
+///   reads, `cache_hits + cache_misses == reads` at all times.
 #[derive(Debug, Default)]
 pub struct IoStats {
     reads: AtomicU64,
     writes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl IoStats {
@@ -30,6 +42,19 @@ impl IoStats {
         self.writes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one buffer-pool hit (a counted read served from memory).
+    #[inline]
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one buffer-pool miss (a counted read that had to fetch the
+    /// page from the backend).
+    #[inline]
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of page reads so far.
     pub fn reads(&self) -> u64 {
         self.reads.load(Ordering::Relaxed)
@@ -40,16 +65,28 @@ impl IoStats {
         self.writes.load(Ordering::Relaxed)
     }
 
+    /// Number of buffer-pool hits so far (zero on non-caching stores).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of buffer-pool misses so far (zero on non-caching stores).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
     /// Total page accesses (reads + writes) — the paper's "node accesses"
     /// for read-only workloads equals `reads()`.
     pub fn total(&self) -> u64 {
         self.reads() + self.writes()
     }
 
-    /// Zeroes both counters.
+    /// Zeroes all counters.
     pub fn reset(&self) {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -68,5 +105,20 @@ mod tests {
         assert_eq!(s.total(), 3);
         s.reset();
         assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_reset() {
+        let s = IoStats::new();
+        s.record_cache_hit();
+        s.record_cache_miss();
+        s.record_cache_miss();
+        assert_eq!(s.cache_hits(), 1);
+        assert_eq!(s.cache_misses(), 2);
+        // Hits/misses are a separate family: reads stay untouched.
+        assert_eq!(s.reads(), 0);
+        s.reset();
+        assert_eq!(s.cache_hits(), 0);
+        assert_eq!(s.cache_misses(), 0);
     }
 }

@@ -1,4 +1,4 @@
-//! The page-granular store.
+//! The [`PageStore`] contract and the in-memory reference backend.
 
 use crate::IoStats;
 use std::sync::Arc;
@@ -6,14 +6,105 @@ use std::sync::Arc;
 /// Page size in bytes; the paper fixes this to 4096 (Sec 6).
 pub const PAGE_SIZE: usize = 4096;
 
-/// Identifier of a page within a [`PageFile`].
+/// Identifier of a page within a page store.
 pub type PageId = u64;
 
-/// An in-memory simulation of a paged disk file.
+/// A page-granular store: fixed-size pages addressed by [`PageId`], with
+/// every counted access recorded in shared [`IoStats`].
 ///
-/// Every `read`/`write` bumps the shared [`IoStats`]; experiment harnesses
-/// reset the counters around each query to obtain the paper's
-/// "node accesses" metric.
+/// # Contract
+///
+/// * [`allocate`](Self::allocate) returns a zeroed page, reusing released
+///   ids first. Allocation itself is **not** counted as I/O; the subsequent
+///   `write` is.
+/// * [`read_into`](Self::read_into) / [`write`](Self::write) are the
+///   counted access paths — one call, one recorded page access. `write`
+///   accepts at most [`PAGE_SIZE`] bytes and zero-fills the page tail, so a
+///   page's content is always fully determined by its last write.
+/// * [`peek_into`](Self::peek_into) is the *uncounted* read used by
+///   in-place page editors and diagnostics: the caller accounts for I/O
+///   itself (e.g. a read-modify-write charged as one read + one write), or
+///   is explicitly outside the cost model (invariant checks, statistics,
+///   persistence snapshots). Caching stores must serve `peek` from the same
+///   coherent view as `read` but must not touch any counter.
+/// * [`release`](Self::release) returns a page to the free list; its
+///   content becomes unspecified until the id is reallocated (then zeroed).
+/// * [`flush`](Self::flush) makes all prior writes durable on backends
+///   with volatile state (buffer pools, OS caches). In-memory stores treat
+///   it as a no-op.
+///
+/// Reading or writing an id that was never allocated is a logic error and
+/// may panic.
+pub trait PageStore {
+    /// Allocates a zeroed page (reusing freed pages first; uncounted).
+    fn allocate(&mut self) -> PageId;
+
+    /// Returns a page to the free list (uncounted).
+    fn release(&mut self, id: PageId);
+
+    /// Reads page `id` into `out` (counted).
+    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]);
+
+    /// Reads page `id` into `out` without touching any counter.
+    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]);
+
+    /// Writes `data` (at most one page) to `id` (counted). Shorter slices
+    /// leave the page tail zeroed.
+    fn write(&mut self, id: PageId, data: &[u8]);
+
+    /// The shared I/O counters of this store.
+    fn stats(&self) -> &Arc<IoStats>;
+
+    /// Number of live (allocated, not freed) pages.
+    fn live_pages(&self) -> usize;
+
+    /// Total allocated pages including freed ones — the extent of the id
+    /// space (`0..capacity_pages()` are all valid page ids).
+    fn capacity_pages(&self) -> usize;
+
+    /// The currently free (released, unallocated) page ids, in the order
+    /// they would be reused (last element first).
+    fn free_list(&self) -> Vec<PageId>;
+
+    /// Makes all prior writes durable. In-memory stores are a no-op.
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// The on-disk file backing this store, when there is one (caches
+    /// report their backend's). Lets persistence layers locate sibling
+    /// metadata next to the page file; `None` for in-memory stores.
+    fn backing_path(&self) -> Option<std::path::PathBuf> {
+        None
+    }
+
+    /// Size of the live portion of the store in bytes — the paper's
+    /// Table 1 metric.
+    fn size_bytes(&self) -> u64 {
+        (self.live_pages() * PAGE_SIZE) as u64
+    }
+
+    /// [`read_into`](Self::read_into) returning a fresh boxed page.
+    fn read_page(&self, id: PageId) -> Box<[u8; PAGE_SIZE]> {
+        let mut out = Box::new([0u8; PAGE_SIZE]);
+        self.read_into(id, &mut out);
+        out
+    }
+
+    /// [`peek_into`](Self::peek_into) returning a fresh boxed page.
+    fn peek_page(&self, id: PageId) -> Box<[u8; PAGE_SIZE]> {
+        let mut out = Box::new([0u8; PAGE_SIZE]);
+        self.peek_into(id, &mut out);
+        out
+    }
+}
+
+/// The in-memory [`PageStore`]: a `Vec` of pages with simulated I/O
+/// accounting — the substrate the paper's "node accesses" experiments run
+/// on, and the default backend of every index.
+///
+/// Experiment harnesses reset the counters around each query to obtain the
+/// paper's metric.
 #[derive(Debug)]
 pub struct PageFile {
     pages: Vec<Box<[u8]>>,
@@ -37,14 +128,22 @@ impl PageFile {
         }
     }
 
-    /// The shared I/O counters.
-    pub fn stats(&self) -> &Arc<IoStats> {
-        &self.stats
+    /// Zero-copy counted read (in-memory only; generic code goes through
+    /// [`PageStore::read_into`]).
+    pub fn read(&self, id: PageId) -> &[u8] {
+        self.stats.record_read();
+        &self.pages[id as usize]
     }
 
-    /// Allocates a zeroed page (reusing freed pages first). Allocation
-    /// itself is not counted as I/O; the subsequent `write` is.
-    pub fn allocate(&mut self) -> PageId {
+    /// Zero-copy uncounted read (see [`PageStore::peek_into`] for the
+    /// counting contract).
+    pub fn peek(&self, id: PageId) -> &[u8] {
+        &self.pages[id as usize]
+    }
+}
+
+impl PageStore for PageFile {
+    fn allocate(&mut self) -> PageId {
         if let Some(id) = self.free.pop() {
             self.pages[id as usize] = vec![0u8; PAGE_SIZE].into_boxed_slice();
             return id;
@@ -54,22 +153,22 @@ impl PageFile {
         id
     }
 
-    /// Returns a page to the free list.
-    pub fn release(&mut self, id: PageId) {
+    fn release(&mut self, id: PageId) {
         debug_assert!((id as usize) < self.pages.len());
         debug_assert!(!self.free.contains(&id), "double free of page {id}");
         self.free.push(id);
     }
 
-    /// Reads a page (counted).
-    pub fn read(&self, id: PageId) -> &[u8] {
+    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
         self.stats.record_read();
-        &self.pages[id as usize]
+        out.copy_from_slice(&self.pages[id as usize]);
     }
 
-    /// Writes `data` (at most one page) to `id` (counted). Shorter slices
-    /// leave the page tail zeroed.
-    pub fn write(&mut self, id: PageId, data: &[u8]) {
+    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+        out.copy_from_slice(&self.pages[id as usize]);
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) {
         assert!(data.len() <= PAGE_SIZE, "page overflow: {}", data.len());
         self.stats.record_write();
         let page = &mut self.pages[id as usize];
@@ -77,26 +176,20 @@ impl PageFile {
         page[data.len()..].fill(0);
     }
 
-    /// Uncounted read used by in-place page editors (the caller accounts
-    /// for I/O itself, e.g. read-modify-write as a single read + write).
-    pub fn peek(&self, id: PageId) -> &[u8] {
-        &self.pages[id as usize]
+    fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
     }
 
-    /// Number of live (allocated, not freed) pages.
-    pub fn live_pages(&self) -> usize {
+    fn live_pages(&self) -> usize {
         self.pages.len() - self.free.len()
     }
 
-    /// Total allocated pages including freed ones.
-    pub fn capacity_pages(&self) -> usize {
+    fn capacity_pages(&self) -> usize {
         self.pages.len()
     }
 
-    /// Size of the live portion of the file in bytes — the paper's Table 1
-    /// metric.
-    pub fn size_bytes(&self) -> u64 {
-        (self.live_pages() * PAGE_SIZE) as u64
+    fn free_list(&self) -> Vec<PageId> {
+        self.free.clone()
     }
 }
 
@@ -120,6 +213,20 @@ mod tests {
     }
 
     #[test]
+    fn trait_read_matches_zero_copy_read() {
+        let mut f = PageFile::new();
+        let a = f.allocate();
+        f.write(a, b"trait");
+        let boxed = f.read_page(a);
+        assert_eq!(&boxed[..5], b"trait");
+        let mut buf = [0u8; PAGE_SIZE];
+        f.peek_into(a, &mut buf);
+        assert_eq!(buf[..], boxed[..]);
+        // One counted read (read_page); peek stays uncounted.
+        assert_eq!(f.stats().reads(), 1);
+    }
+
+    #[test]
     fn shorter_write_zeroes_tail() {
         let mut f = PageFile::new();
         let a = f.allocate();
@@ -138,6 +245,7 @@ mod tests {
         assert_eq!(f.live_pages(), 2);
         f.release(a);
         assert_eq!(f.live_pages(), 1);
+        assert_eq!(f.free_list(), vec![a]);
         let c = f.allocate();
         assert_eq!(c, a);
         assert_eq!(f.live_pages(), 2);

@@ -9,7 +9,8 @@
 //! * [`geom`] — d-dimensional geometry;
 //! * [`pdf`] — pdf models, marginal CDFs, appearance probability;
 //! * [`lp`] — the Simplex solver behind CFB fitting;
-//! * [`store`] — paged storage with I/O accounting;
+//! * [`store`] — paged storage behind the [`store::PageStore`] trait:
+//!   in-memory page file, durable disk file, LRU buffer pool;
 //! * [`rstar`] — the generic R*-tree machinery and the precise-data
 //!   baseline;
 //! * [`index`] — the paper's structures behind one trait
@@ -52,8 +53,12 @@
 //! ```
 //!
 //! The same code runs against [`prelude::UPcrTree`] or
-//! [`prelude::SeqScan`] — or any `&dyn ProbIndex<D>` — unchanged; see
-//! `docs/API.md` for the migration guide from the 0.1 tuple API.
+//! [`prelude::SeqScan`] — or any `&dyn ProbIndex<D>` — unchanged, and
+//! against any storage backend: `tree.save(dir)?` persists an index that
+//! [`prelude::DiskUTree`]`::open(dir, frames)?` reopens cold from disk
+//! through a bounded LRU buffer pool, answering byte-identically. See
+//! `docs/API.md` for the storage-backend guide and the migration table
+//! from the 0.1 tuple API.
 
 pub use datagen as data;
 pub use page_store as store;
@@ -66,13 +71,14 @@ pub use utree as index;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use datagen;
+    pub use page_store::{BufferPool, DiskPageFile, PageFile, PageStore};
     pub use rstar_base::TreeConfig;
     pub use uncertain_geom::{Point, Rect};
     pub use uncertain_pdf::{HistogramPdf, ObjectPdf, Region, UncertainObject};
     pub use utree::{
-        FilterOutcome, IndexBuilder, IndexError, InsertStats, Match, ProbIndex, ProbRangeQuery,
-        Provenance, Query, QueryBuilder, QueryError, QueryOptions, QueryOutcome, QueryStats,
-        Refine, RefineMode, SeqScan, UCatalog, UPcrTree, UTree,
+        DiskUPcrTree, DiskUTree, FilterOutcome, IndexBuilder, IndexError, InsertStats, Match,
+        ProbIndex, ProbRangeQuery, Provenance, Query, QueryBuilder, QueryError, QueryOptions,
+        QueryOutcome, QueryStats, Refine, RefineMode, SeqScan, UCatalog, UPcrTree, UTree,
     };
 }
 
