@@ -49,7 +49,11 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut physical: Vec<u64> = Vec::new();
     for &cap in &CAPACITIES {
-        let reopened = DiskUTree::<2>::open(&dir, cap).expect("open saved index");
+        // One shard pins the exact global-LRU pool: the monotonicity this
+        // experiment asserts is the *stack-algorithm* property of true
+        // LRU, which per-shard striping (the concurrency default for
+        // large pools) deliberately trades away.
+        let reopened = DiskUTree::<2>::open_with_shards(&dir, cap, 1).expect("open saved index");
         for q in &w.queries {
             let _ = reopened.execute(&Query::from_prob_range(*q, mode));
         }

@@ -21,7 +21,7 @@
 //! `docs/API.md` for the migration table.
 
 use crate::catalog::UCatalog;
-use crate::query::{ProbRangeQuery, QueryStats, RefineMode};
+use crate::query::{ProbRangeQuery, QueryCtx, QueryStats, RefineMode};
 use crate::seqscan::SeqScan;
 use crate::tree::{InsertStats, QueryOptions, UTree};
 use crate::upcr::UPcrTree;
@@ -367,23 +367,24 @@ impl IntoIterator for QueryOutcome {
     }
 }
 
-/// Assembles an outcome from the two result streams every backend
-/// produces: validated ids (filter step) then refined `(id, p)` pairs.
-pub(crate) fn outcome_from_parts(
-    validated: Vec<u64>,
-    refined: Vec<(u64, f64)>,
-    stats: QueryStats,
-) -> QueryOutcome {
-    let mut matches = Vec::with_capacity(validated.len() + refined.len());
-    matches.extend(validated.into_iter().map(|id| Match {
+/// Assembles an outcome from the two result streams every backend's
+/// context produces — validated ids (filter step) then refined `(id, p)`
+/// pairs — draining the buffers so their capacity stays with the context
+/// for the next query.
+pub(crate) fn outcome_from_ctx(ctx: &mut QueryCtx) -> QueryOutcome {
+    let mut matches = Vec::with_capacity(ctx.validated.len() + ctx.refined.len());
+    matches.extend(ctx.validated.drain(..).map(|id| Match {
         id,
         provenance: Provenance::Validated,
     }));
-    matches.extend(refined.into_iter().map(|(id, p)| Match {
+    matches.extend(ctx.refined.drain(..).map(|(id, p)| Match {
         id,
         provenance: Provenance::Refined { p },
     }));
-    QueryOutcome { matches, stats }
+    QueryOutcome {
+        matches,
+        stats: ctx.stats,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -429,7 +430,23 @@ pub trait ProbIndex<const D: usize> {
 
     /// Executes a validated query, returning matches with provenance and
     /// the cost counters.
-    fn execute(&self, query: &Query<D>) -> QueryOutcome;
+    ///
+    /// Queries only *read* the index (`&self` end-to-end): a shared
+    /// reference can serve any number of threads at once when the backend
+    /// is `Sync` (all in-repo backends are, on every storage backend).
+    /// This convenience creates a throwaway [`QueryCtx`]; workloads
+    /// running many queries should reuse one per thread via
+    /// [`ProbIndex::execute_with`].
+    fn execute(&self, query: &Query<D>) -> QueryOutcome {
+        self.execute_with(query, &mut QueryCtx::new())
+    }
+
+    /// Executes a validated query using caller-owned per-query scratch
+    /// state (stats, candidate buffers, traversal stack, refinement RNG).
+    /// The context is reset on entry and its buffers are reused across
+    /// calls — one context per worker thread is the intended pattern (see
+    /// [`crate::engine::BatchExecutor`]).
+    fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome;
 
     /// Inserts every object from an iterator, returning the accumulated
     /// [`InsertStats`]. Accepts owned or borrowed objects.

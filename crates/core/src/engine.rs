@@ -1,0 +1,381 @@
+//! The parallel batch query engine.
+//!
+//! A [`BatchExecutor`] fans a workload of validated [`Query`]s across a
+//! scoped worker pool over **one shared index**. This is the serving shape
+//! the paper's structures exist for: filter-step throughput over many
+//! concurrent requests, not single-query latency. It builds directly on
+//! the two guarantees the rest of the crate provides:
+//!
+//! * query execution is read-only on the index (`&self` end-to-end), so a
+//!   `Sync` backend can be shared by reference across threads — the
+//!   in-memory [`crate::UTree`], the disk-backed [`crate::DiskUTree`]
+//!   behind its latched buffer pool, [`crate::UPcrTree`] and
+//!   [`crate::SeqScan`] all qualify;
+//! * all per-query mutable state lives in a [`QueryCtx`], one per worker,
+//!   and the refinement RNG is re-seeded per query — so results (matches,
+//!   provenance, per-query cost counters) are **byte-identical** to a
+//!   sequential run, whatever the thread count or scheduling.
+//!
+//! Workers pull queries off a shared atomic cursor (work stealing by
+//! construction: an expensive query never blocks the rest of the batch
+//! behind one thread), and outcomes are returned in workload order.
+//!
+//! ```
+//! use utree::engine::BatchExecutor;
+//! use utree::{ProbIndex, Query, Refine, UTree};
+//! use uncertain_geom::{Point, Rect};
+//! use uncertain_pdf::{ObjectPdf, UncertainObject};
+//!
+//! let mut tree = UTree::<2>::builder().uniform_catalog(6).build()?;
+//! for id in 0..32 {
+//!     tree.insert(&UncertainObject::new(
+//!         id,
+//!         ObjectPdf::UniformBall {
+//!             center: Point::new([id as f64 * 30.0, 500.0]),
+//!             radius: 20.0,
+//!         },
+//!     ));
+//! }
+//! let queries: Vec<_> = (0..8)
+//!     .map(|i| {
+//!         Query::range(Rect::cube(&Point::new([i as f64 * 120.0, 500.0], ), 200.0))
+//!             .threshold(0.5)
+//!             .refine(Refine::reference(1e-8))
+//!             .build()
+//!     })
+//!     .collect::<Result<_, _>>()?;
+//!
+//! let batch = BatchExecutor::new(4).run(&tree, &queries);
+//! assert_eq!(batch.outcomes.len(), queries.len());
+//! // Identical to the sequential run, in order and in content:
+//! let seq = BatchExecutor::run_sequential(&tree, &queries);
+//! for (p, s) in batch.outcomes.iter().zip(&seq.outcomes) {
+//!     assert_eq!(p.matches, s.matches);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::api::{ProbIndex, Query, QueryOutcome};
+use crate::query::{QueryCtx, QueryStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Executes batches of queries over one shared index with a fixed number
+/// of workers (`std::thread::scope`; no queries outlive the call).
+///
+/// Construction is cheap and the executor is reusable; it holds no state
+/// beyond the worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchExecutor {
+    workers: usize,
+}
+
+impl Default for BatchExecutor {
+    /// One worker per available CPU (at least one).
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(workers)
+    }
+}
+
+impl BatchExecutor {
+    /// An executor with exactly `workers` worker threads (>= 1).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "batch executor needs at least one worker");
+        Self { workers }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `queries` against the shared `index`, returning outcomes in
+    /// workload order plus the merged cost counters.
+    ///
+    /// Requires `I: Sync` — the compiler's proof that sharing `&index`
+    /// across the workers is sound. For a backend that is not `Sync`
+    /// (e.g. a custom thread-bound store), use
+    /// [`BatchExecutor::run_sequential`], which places no such bound.
+    /// With one worker (or fewer than two queries) no threads are spawned.
+    pub fn run<const D: usize, I>(&self, index: &I, queries: &[Query<D>]) -> BatchOutcome
+    where
+        I: ProbIndex<D> + Sync + ?Sized,
+    {
+        let workers = self.workers.min(queries.len().max(1));
+        if workers <= 1 {
+            return Self::run_with_workers(index, queries, workers);
+        }
+
+        let t0 = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let mut by_worker: Vec<Vec<(usize, QueryOutcome)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut ctx = QueryCtx::new();
+                        let mut local = Vec::new();
+                        loop {
+                            // Relaxed suffices: the fetch_add itself hands
+                            // out each index exactly once, and the scope
+                            // join publishes the results.
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(query) = queries.get(i) else {
+                                break;
+                            };
+                            local.push((i, index.execute_with(query, &mut ctx)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+
+        let mut slots: Vec<Option<QueryOutcome>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        for (i, outcome) in by_worker.drain(..).flatten() {
+            debug_assert!(slots[i].is_none(), "query {i} executed twice");
+            slots[i] = Some(outcome);
+        }
+        let outcomes: Vec<QueryOutcome> = slots
+            .into_iter()
+            .map(|s| s.expect("every query claimed exactly once"))
+            .collect();
+        BatchOutcome::assemble(outcomes, workers, t0.elapsed().as_nanos())
+    }
+
+    /// Runs the batch on the calling thread, in order, with one reused
+    /// context — the fallback for non-`Sync` backends and the baseline the
+    /// parallel path is verified against. Available without constructing
+    /// an executor.
+    pub fn run_sequential<const D: usize, I>(index: &I, queries: &[Query<D>]) -> BatchOutcome
+    where
+        I: ProbIndex<D> + ?Sized,
+    {
+        Self::run_with_workers(index, queries, 1)
+    }
+
+    fn run_with_workers<const D: usize, I>(
+        index: &I,
+        queries: &[Query<D>],
+        workers: usize,
+    ) -> BatchOutcome
+    where
+        I: ProbIndex<D> + ?Sized,
+    {
+        let t0 = Instant::now();
+        let mut ctx = QueryCtx::new();
+        let outcomes: Vec<QueryOutcome> = queries
+            .iter()
+            .map(|q| index.execute_with(q, &mut ctx))
+            .collect();
+        BatchOutcome::assemble(outcomes, workers.max(1), t0.elapsed().as_nanos())
+    }
+}
+
+/// Result of one batch run: the per-query outcomes (in workload order) and
+/// the workload-level aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// One [`QueryOutcome`] per input query, in input order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// All per-query [`QueryStats`] merged (`+=`), including the new
+    /// `visited` counter. The timing fields sum *CPU-side* work across
+    /// workers and therefore exceed wall-clock under parallelism; use
+    /// [`BatchOutcome::wall_nanos`] for elapsed time.
+    pub stats: QueryStats,
+    /// Workers the batch actually used.
+    pub workers: usize,
+    /// Wall-clock nanoseconds for the whole batch.
+    pub wall_nanos: u128,
+}
+
+impl BatchOutcome {
+    fn assemble(outcomes: Vec<QueryOutcome>, workers: usize, wall_nanos: u128) -> Self {
+        let mut stats = QueryStats::default();
+        for o in &outcomes {
+            stats += &o.stats;
+        }
+        Self {
+            outcomes,
+            stats,
+            workers,
+            wall_nanos,
+        }
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Aggregate throughput in queries per second.
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 * 1e9 / self.wall_nanos as f64
+    }
+
+    /// True when this batch did exactly the same work as `other` and
+    /// produced exactly the same answers: per-query matches (ids,
+    /// provenance, probabilities) and per-query count statistics all
+    /// equal, wall-clock ignored. The equivalence the executor guarantees
+    /// between parallel and sequential runs of one workload.
+    pub fn same_results(&self, other: &BatchOutcome) -> bool {
+        self.outcomes.len() == other.outcomes.len()
+            && self
+                .outcomes
+                .iter()
+                .zip(&other.outcomes)
+                .all(|(a, b)| a.matches == b.matches && a.stats.same_counts(&b.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Refine;
+    use crate::seqscan::SeqScan;
+    use crate::tree::UTree;
+    use crate::upcr::UPcrTree;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use uncertain_geom::{Point, Rect};
+    use uncertain_pdf::{ObjectPdf, UncertainObject};
+
+    fn dataset(n: usize, seed: u64) -> Vec<UncertainObject<2>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n as u64)
+            .map(|id| {
+                UncertainObject::new(
+                    id,
+                    ObjectPdf::UniformBall {
+                        center: Point::new([
+                            rng.gen_range(300.0..9700.0),
+                            rng.gen_range(300.0..9700.0),
+                        ]),
+                        radius: rng.gen_range(50.0..250.0),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn workload(n: usize, seed: u64, refine: Refine) -> Vec<Query<2>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let c = Point::new([rng.gen_range(500.0..9500.0), rng.gen_range(500.0..9500.0)]);
+                Query::range(Rect::cube(&c, rng.gen_range(300.0..1800.0)))
+                    .threshold(rng.gen_range(0.05..0.95))
+                    .refine(refine)
+                    .build()
+                    .expect("valid query")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn indexes_are_shareable_across_threads() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<UTree<2>>();
+        assert_sync::<UPcrTree<2>>();
+        assert_sync::<SeqScan<2>>();
+        assert_sync::<crate::DiskUTree<2>>();
+        assert_sync::<crate::DiskUPcrTree<2>>();
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_every_backend() {
+        let objs = dataset(300, 5);
+        let queries = workload(24, 9, Refine::reference(1e-8));
+
+        let mut utree = UTree::<2>::builder().uniform_catalog(8).build().unwrap();
+        let mut upcr = UPcrTree::<2>::builder().uniform_catalog(8).build().unwrap();
+        let mut scan = SeqScan::<2>::builder().uniform_catalog(8).build().unwrap();
+        utree.bulk_load(&objs);
+        upcr.bulk_load(&objs);
+        scan.bulk_load(&objs);
+
+        let exec = BatchExecutor::new(4);
+        for index in [
+            &utree as &(dyn ProbIndex<2> + Sync),
+            &upcr as &(dyn ProbIndex<2> + Sync),
+            &scan as &(dyn ProbIndex<2> + Sync),
+        ] {
+            let par = exec.run(index, &queries);
+            let seq = BatchExecutor::run_sequential(index, &queries);
+            assert!(par.same_results(&seq), "parallel diverged from sequential");
+            assert!(par.stats.same_counts(&seq.stats), "merged stats diverged");
+            assert_eq!(par.len(), queries.len());
+        }
+    }
+
+    #[test]
+    fn monte_carlo_refinement_is_schedule_independent() {
+        // The per-query RNG reseed is what makes this hold: identical
+        // estimates whichever worker runs the query.
+        let objs = dataset(120, 21);
+        let mut tree = UTree::<2>::builder().uniform_catalog(6).build().unwrap();
+        tree.bulk_load(&objs);
+        let queries = workload(12, 33, Refine::monte_carlo(20_000, 0xBEEF));
+        let par = BatchExecutor::new(3).run(&tree, &queries);
+        let seq = BatchExecutor::run_sequential(&tree, &queries);
+        assert!(par.same_results(&seq));
+        // Spot-check that refined probabilities (f64s out of the sampler)
+        // are bit-equal, not merely close.
+        for (p, s) in par.outcomes.iter().zip(&seq.outcomes) {
+            assert_eq!(p.matches, s.matches);
+        }
+    }
+
+    #[test]
+    fn merged_stats_sum_the_workload() {
+        let objs = dataset(150, 2);
+        let mut tree = UTree::<2>::builder().uniform_catalog(6).build().unwrap();
+        tree.bulk_load(&objs);
+        let queries = workload(10, 3, Refine::reference(1e-7));
+        let batch = BatchExecutor::new(2).run(&tree, &queries);
+        let mut manual = QueryStats::default();
+        for o in &batch.outcomes {
+            manual += &o.stats;
+        }
+        assert_eq!(batch.stats, manual);
+        assert_eq!(
+            batch.stats.visited,
+            batch.outcomes.iter().map(|o| o.stats.visited).sum::<u64>(),
+            "visited must merge like every other counter"
+        );
+    }
+
+    #[test]
+    fn degenerate_batches_run_without_threads() {
+        let tree = UTree::<2>::builder().uniform_catalog(6).build().unwrap();
+        let empty: Vec<Query<2>> = Vec::new();
+        let out = BatchExecutor::new(8).run(&tree, &empty);
+        assert!(out.is_empty());
+        assert_eq!(out.stats, QueryStats::default());
+        let one = workload(1, 1, Refine::reference(1e-7));
+        let out = BatchExecutor::new(8).run(&tree, &one);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.workers, 1, "a single query needs a single worker");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = BatchExecutor::new(0);
+    }
+}

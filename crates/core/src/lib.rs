@@ -25,8 +25,13 @@
 //! [`ProbIndex`] trait and are built/queried through the fluent [`api`]
 //! surface. The trees are additionally generic over their
 //! [`page_store::PageStore`]: `save(dir)` persists an index on disk and
-//! [`DiskUTree`]`::open(dir, frames)` reopens it cold through an LRU
-//! buffer pool with identical query answers:
+//! [`DiskUTree`]`::open(dir, frames)` reopens it cold through a latched
+//! LRU buffer pool with identical query answers.
+//!
+//! Queries are **read-only** (`&self` end-to-end; per-query state lives in
+//! a [`QueryCtx`]), so one shared index serves concurrent readers — the
+//! [`engine::BatchExecutor`] fans whole workloads across a worker pool
+//! with byte-identical results to a sequential run:
 //!
 //! ```
 //! use utree::{ProbIndex, Query, Refine, UTree};
@@ -49,6 +54,7 @@
 pub mod api;
 pub mod catalog;
 pub mod cfb;
+pub mod engine;
 pub mod entry;
 pub mod filter;
 pub mod key;
@@ -67,12 +73,13 @@ pub use api::{
 };
 pub use catalog::UCatalog;
 pub use cfb::{fit_cfb_pair, Cfb, CfbPair, CfbView};
+pub use engine::{BatchExecutor, BatchOutcome};
 pub use filter::{filter_object, FilterOutcome, PcrAccess};
 pub use key::{PcrKey, PcrMetrics, UKey, UMetrics};
 pub use pcr::PcrSet;
 pub use quadratic::{fit_quad_cfb_pair, QuadCfb, QuadCfbPair, QuadCfbView};
 pub use query::{
-    refine_candidates, refine_candidates_scored, ProbRangeQuery, QueryStats, RefineMode,
+    refine_candidates, refine_candidates_scored, ProbRangeQuery, QueryCtx, QueryStats, RefineMode,
 };
 pub use seqscan::SeqScan;
 pub use tree::{InsertStats, QueryOptions, UTree};

@@ -215,12 +215,14 @@ pub(crate) struct OpenedParts {
 /// Reads and validates a saved-index directory (structure kind,
 /// dimensionality, catalog, and that the root / open heap page actually
 /// lie inside their files), wrapping each page file in a `buffer_pages`
-/// LRU pool. Shared by every tree's `open`.
+/// LRU pool. `shards` pins the pools' latch striping (`None` = automatic;
+/// see `BufferPool::new`). Shared by every tree's `open`.
 pub(crate) fn open_parts(
     dir: &Path,
     kind: u8,
     dims: usize,
     buffer_pages: usize,
+    shards: Option<usize>,
 ) -> io::Result<OpenedParts> {
     if buffer_pages == 0 {
         return Err(io::Error::new(
@@ -228,11 +230,21 @@ pub(crate) fn open_parts(
             "a buffer pool needs at least one frame",
         ));
     }
+    if shards.is_some_and(|s| !(1..=buffer_pages).contains(&s)) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "pool shard count must lie in 1..=buffer_pages",
+        ));
+    }
+    let pool = |file: DiskPageFile| match shards {
+        Some(s) => BufferPool::with_shards(file, buffer_pages, s),
+        None => BufferPool::new(file, buffer_pages),
+    };
     let meta_path = dir.join(META_FILE);
     let meta = read_meta(&meta_path)?;
     expect(&meta, kind, dims, &meta_path)?;
     let catalog = Arc::new(UCatalog::try_new(meta.catalog.clone()).map_err(invalid_data)?);
-    let index = BufferPool::new(DiskPageFile::open(dir.join(INDEX_FILE))?, buffer_pages);
+    let index = pool(DiskPageFile::open(dir.join(INDEX_FILE))?);
     if meta.root as usize >= index.capacity_pages() {
         return Err(invalid_data(format!(
             "{}: root page {} outside the index file",
@@ -240,7 +252,7 @@ pub(crate) fn open_parts(
             meta.root
         )));
     }
-    let heap_store = BufferPool::new(DiskPageFile::open(dir.join(HEAP_FILE))?, buffer_pages);
+    let heap_store = pool(DiskPageFile::open(dir.join(HEAP_FILE))?);
     if let Some(p) = meta.heap_open_page {
         if p as usize >= heap_store.capacity_pages() {
             return Err(invalid_data(format!(

@@ -118,10 +118,20 @@ impl QueryStats {
         self.validated as f64 / self.results as f64
     }
 
-    /// Accumulates another query's stats (workload averaging).
-    #[deprecated(since = "0.2.0", note = "use `stats += &other` instead")]
-    pub fn add(&mut self, other: &QueryStats) {
-        *self += other;
+    /// `true` when every *count* field matches `other` — the timing fields
+    /// (`filter_nanos`, `refine_nanos`) are ignored. This is the right
+    /// equality for comparing a parallel run against a sequential one:
+    /// work done is deterministic, wall-clock is not.
+    pub fn same_counts(&self, other: &QueryStats) -> bool {
+        // Whole-struct equality with the clocks zeroed, so a counter added
+        // to QueryStats later is compared automatically instead of being
+        // silently excluded.
+        let strip = |s: &QueryStats| QueryStats {
+            filter_nanos: 0,
+            refine_nanos: 0,
+            ..*s
+        };
+        strip(self) == strip(other)
     }
 }
 
@@ -146,31 +156,81 @@ impl AddAssign<QueryStats> for QueryStats {
     }
 }
 
-/// The refinement step of Sec 5.2, reporting each qualifying candidate
-/// with the appearance probability computed for it: candidates are grouped
-/// by heap page; each page is loaded once; every candidate's appearance
-/// probability is evaluated and compared with `p_q`.
+/// Reusable per-query scratch state: the cost counters of the query being
+/// executed, the result/candidate buffers the filter step fills, the
+/// traversal stack, and the refinement RNG.
 ///
-/// Returns `(id, p)` for the qualifiers and updates `stats`.
-pub fn refine_candidates_scored<const D: usize, S: PageStore>(
+/// This is the mutable half of query execution. The indexes themselves are
+/// only ever *read* during a query (`&self` end-to-end), so one shared
+/// index can serve any number of concurrent queries — each carrying its
+/// own `QueryCtx`. A context is cheap to create, but reusing one per
+/// worker thread (as [`crate::engine::BatchExecutor`] does) amortises the
+/// buffer allocations across a whole workload.
+///
+/// The Monte-Carlo generator lives here too, but is **re-seeded from the
+/// query's [`RefineMode`] seed on every refinement pass** — that is what
+/// makes results byte-identical however queries are scheduled across
+/// threads.
+#[derive(Debug, Default)]
+pub struct QueryCtx {
+    /// Cost counters of the current query (zeroed when execution begins).
+    pub stats: QueryStats,
+    /// Ids validated for free by the filter step.
+    pub(crate) validated: Vec<u64>,
+    /// Entries the filter could not decide; input to refinement.
+    pub(crate) candidates: Vec<(RecordAddr, u64)>,
+    /// Refinement qualifiers with their computed probabilities.
+    pub(crate) refined: Vec<(u64, f64)>,
+    /// Tree-traversal stack (reused by [`rstar_base::RStarTreeBase::visit_with`]).
+    pub(crate) stack: Vec<(PageId, usize)>,
+    /// Monte-Carlo generator slot (re-seeded per refinement pass).
+    pub(crate) rng: Option<SmallRng>,
+}
+
+impl QueryCtx {
+    /// A fresh context with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets per-query state (stats and buffers) while keeping the buffer
+    /// capacity from earlier queries. Every backend calls this on entry to
+    /// `execute_with`.
+    pub(crate) fn begin(&mut self) {
+        self.stats = QueryStats::default();
+        self.validated.clear();
+        self.candidates.clear();
+        self.refined.clear();
+        self.stack.clear();
+    }
+}
+
+/// Shared refinement core writing qualifiers into `out` (Sec 5.2):
+/// candidates are grouped by heap page; each page is loaded once; every
+/// candidate's appearance probability is evaluated and compared with `p_q`.
+#[allow(clippy::too_many_arguments)]
+fn refine_core<const D: usize, S: PageStore>(
     heap: &ObjectHeap<S>,
     candidates: &[(RecordAddr, u64)],
     rq: &Rect<D>,
     pq: f64,
     mode: RefineMode,
     stats: &mut QueryStats,
-) -> Vec<(u64, f64)> {
+    rng_slot: &mut Option<SmallRng>,
+    out: &mut Vec<(u64, f64)>,
+) {
     let mut by_page: BTreeMap<PageId, Vec<(u16, u64)>> = BTreeMap::new();
     for (addr, id) in candidates {
         by_page.entry(addr.page).or_default().push((addr.slot, *id));
     }
-    let mut results = Vec::new();
-    // One generator for the whole refinement pass, created only when the
-    // mode actually samples.
-    let mut rng = match mode {
+    // One generator for the whole refinement pass, seeded afresh from the
+    // mode (never carried over from a previous query) so that a query's
+    // answer is independent of which thread runs it and in what order.
+    *rng_slot = match mode {
         RefineMode::MonteCarlo { seed, .. } => Some(SmallRng::seed_from_u64(seed)),
         RefineMode::Reference { .. } => None,
     };
+    let qualified0 = out.len();
     for (page, slots) in by_page {
         let records = heap.page_records(page);
         stats.heap_reads += 1;
@@ -183,19 +243,58 @@ pub fn refine_candidates_scored<const D: usize, S: PageStore>(
             debug_assert_eq!(obj.id, id, "heap record id mismatch");
             let p_app = match mode {
                 RefineMode::MonteCarlo { n1, .. } => {
-                    let rng = rng.as_mut().expect("rng exists in Monte-Carlo mode");
+                    let rng = rng_slot.as_mut().expect("rng exists in Monte-Carlo mode");
                     MonteCarlo::new(n1).estimate(&obj.pdf, rq, rng)
                 }
                 RefineMode::Reference { tol } => appearance_reference(&obj.pdf, rq, tol),
             };
             stats.prob_computations += 1;
             if p_app >= pq {
-                results.push((id, p_app));
+                out.push((id, p_app));
             }
         }
     }
-    stats.results += results.len() as u64;
-    results
+    stats.results += (out.len() - qualified0) as u64;
+}
+
+/// Runs the refinement step over the candidates a context's filter step
+/// collected, appending qualifiers to the context's `refined` buffer and
+/// charging its stats.
+pub(crate) fn refine_ctx<const D: usize, S: PageStore>(
+    heap: &ObjectHeap<S>,
+    rq: &Rect<D>,
+    pq: f64,
+    mode: RefineMode,
+    ctx: &mut QueryCtx,
+) {
+    let QueryCtx {
+        stats,
+        candidates,
+        refined,
+        rng,
+        ..
+    } = ctx;
+    refine_core(heap, candidates, rq, pq, mode, stats, rng, refined);
+}
+
+/// The refinement step of Sec 5.2, reporting each qualifying candidate
+/// with the appearance probability computed for it.
+///
+/// Returns `(id, p)` for the qualifiers and updates `stats`. Standalone
+/// surface for direct callers; query execution goes through the
+/// [`QueryCtx`]-based path, which reuses buffers across queries.
+pub fn refine_candidates_scored<const D: usize, S: PageStore>(
+    heap: &ObjectHeap<S>,
+    candidates: &[(RecordAddr, u64)],
+    rq: &Rect<D>,
+    pq: f64,
+    mode: RefineMode,
+    stats: &mut QueryStats,
+) -> Vec<(u64, f64)> {
+    let mut out = Vec::new();
+    let mut rng = None;
+    refine_core(heap, candidates, rq, pq, mode, stats, &mut rng, &mut out);
+    out
 }
 
 /// [`refine_candidates_scored`] without the probabilities (the original
@@ -306,15 +405,54 @@ mod tests {
         assert_eq!(a.node_reads, 8);
         assert_eq!(a.validated, 4);
         assert_eq!(a.total_io(), 9);
-        // By-value accumulation and the deprecated alias stay equivalent.
+        // By-value and by-reference accumulation are the same operation.
         let mut c = QueryStats::default();
         c += b;
-        #[allow(deprecated)]
-        {
-            let mut d = QueryStats::default();
-            d.add(&b);
-            assert_eq!(c, d);
-        }
+        let mut d = QueryStats::default();
+        d += &b;
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn add_assign_merges_every_counter() {
+        // Stamp every field with a distinct value; a future field added to
+        // QueryStats but forgotten in AddAssign will fail the whole-struct
+        // equality below.
+        let unit = QueryStats {
+            node_reads: 1,
+            heap_reads: 2,
+            prob_computations: 3,
+            visited: 4,
+            pruned: 5,
+            validated: 6,
+            candidates: 7,
+            results: 8,
+            filter_nanos: 9,
+            refine_nanos: 10,
+        };
+        let mut acc = unit;
+        acc += &unit;
+        let expect = QueryStats {
+            node_reads: 2,
+            heap_reads: 4,
+            prob_computations: 6,
+            visited: 8,
+            pruned: 10,
+            validated: 12,
+            candidates: 14,
+            results: 16,
+            filter_nanos: 18,
+            refine_nanos: 20,
+        };
+        assert_eq!(acc, expect);
+        assert!(acc.same_counts(&expect));
+        // same_counts ignores wall-clock, nothing else.
+        let mut slower = expect;
+        slower.refine_nanos += 1_000;
+        assert!(acc.same_counts(&slower));
+        let mut busier = expect;
+        busier.visited += 1;
+        assert!(!acc.same_counts(&busier));
     }
 
     #[test]

@@ -7,18 +7,16 @@
 //! baseline. It implements the same [`ProbIndex`] contract as the trees,
 //! so the harness and applications can swap it in transparently.
 
-use crate::api::{outcome_from_parts, IndexBuilder, ProbIndex, Query, QueryOutcome};
+use crate::api::{outcome_from_ctx, IndexBuilder, ProbIndex, Query, QueryOutcome};
 use crate::catalog::UCatalog;
 use crate::cfb::{fit_cfb_pair, CfbView};
 use crate::entry::{UCodec, ULeafEntry};
 use crate::filter::{filter_object, FilterOutcome};
 use crate::object_codec::encode_object;
 use crate::pcr::PcrSet;
-use crate::query::{refine_candidates_scored, QueryStats};
+use crate::query::{refine_ctx, QueryCtx};
 use crate::tree::InsertStats;
-use page_store::{
-    f32_round_down, f32_round_up, ObjectHeap, PageFile, PageId, PageStore, RecordAddr,
-};
+use page_store::{f32_round_down, f32_round_up, ObjectHeap, PageFile, PageId, PageStore};
 use rstar_base::NodeCodec;
 use std::sync::Arc;
 use std::time::Instant;
@@ -177,53 +175,69 @@ impl<const D: usize> SeqScan<D> {
         self.open.clear();
     }
 
-    /// Executes a prob-range query by scanning every page. The
+    /// Executes a prob-range query by scanning every page.
+    ///
+    /// Convenience over [`SeqScan::execute_with`] with a throwaway
+    /// context.
+    pub fn execute(&self, query: &Query<D>) -> QueryOutcome {
+        self.execute_with(query, &mut QueryCtx::new())
+    }
+
+    /// Executes a prob-range query with caller-owned scratch state (the
+    /// scan is only read; see [`crate::UTree::execute_with`] for the
+    /// shared-read contract). The
     /// [`QueryOptions`](crate::tree::QueryOptions) ablation switches are
     /// U-tree-specific and ignored here.
-    pub fn execute(&self, query: &Query<D>) -> QueryOutcome {
-        let mut stats = QueryStats::default();
+    pub fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
+        ctx.begin();
         let rq = query.region();
         let pq = query.threshold();
         let mode = query.refine_mode();
         let t0 = Instant::now();
-        let mut results = Vec::new();
-        let mut candidates: Vec<(RecordAddr, u64)> = Vec::new();
-        let mut classify = |rec: &ULeafEntry<D>| {
-            let view = CfbView {
-                pair: &rec.cfbs,
-                catalog: &self.catalog,
-            };
-            stats.visited += 1;
-            match filter_object(&view, &rec.mbr, &self.catalog, rq, pq) {
-                FilterOutcome::Pruned => stats.pruned += 1,
-                FilterOutcome::Validated => {
-                    stats.validated += 1;
-                    results.push(rec.id);
+        {
+            let QueryCtx {
+                stats,
+                validated,
+                candidates,
+                ..
+            } = &mut *ctx;
+            let mut classify = |rec: &ULeafEntry<D>| {
+                let view = CfbView {
+                    pair: &rec.cfbs,
+                    catalog: &self.catalog,
+                };
+                stats.visited += 1;
+                match filter_object(&view, &rec.mbr, &self.catalog, rq, pq) {
+                    FilterOutcome::Pruned => stats.pruned += 1,
+                    FilterOutcome::Validated => {
+                        stats.validated += 1;
+                        validated.push(rec.id);
+                    }
+                    FilterOutcome::Candidate => candidates.push((rec.addr, rec.id)),
                 }
-                FilterOutcome::Candidate => candidates.push((rec.addr, rec.id)),
+            };
+            for &page in &self.pages {
+                let bytes = self.file.read(page);
+                stats.node_reads += 1;
+                for rec in self.codec.decode_leaf(bytes) {
+                    classify(&rec);
+                }
             }
-        };
-        for &page in &self.pages {
-            let bytes = self.file.read(page);
-            stats.node_reads += 1;
-            for rec in self.codec.decode_leaf(bytes) {
-                classify(&rec);
+            for rec in &self.open {
+                classify(rec);
+            }
+            if !self.open.is_empty() {
+                stats.node_reads += 1; // the partially filled tail page
             }
         }
-        for rec in &self.open {
-            classify(rec);
-        }
-        if !self.open.is_empty() {
-            stats.node_reads += 1; // the partially filled tail page
-        }
-        stats.filter_nanos = t0.elapsed().as_nanos();
-        stats.candidates = candidates.len() as u64;
-        stats.results = results.len() as u64;
+        ctx.stats.filter_nanos = t0.elapsed().as_nanos();
+        ctx.stats.candidates = ctx.candidates.len() as u64;
+        ctx.stats.results = ctx.validated.len() as u64;
 
         let t1 = Instant::now();
-        let refined = refine_candidates_scored(&self.heap, &candidates, rq, pq, mode, &mut stats);
-        stats.refine_nanos = t1.elapsed().as_nanos();
-        outcome_from_parts(results, refined, stats)
+        refine_ctx(&self.heap, rq, pq, mode, ctx);
+        ctx.stats.refine_nanos = t1.elapsed().as_nanos();
+        outcome_from_ctx(ctx)
     }
 }
 
@@ -256,15 +270,15 @@ impl<const D: usize> ProbIndex<D> for SeqScan<D> {
         SeqScan::reset_io(self)
     }
 
-    fn execute(&self, query: &Query<D>) -> QueryOutcome {
-        SeqScan::execute(self, query)
+    fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
+        SeqScan::execute_with(self, query, ctx)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::{ProbRangeQuery, RefineMode};
+    use crate::query::{ProbRangeQuery, QueryStats, RefineMode};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     use uncertain_geom::Point;

@@ -1,7 +1,7 @@
 //! The U-tree (paper Sec 5): a fully dynamic, disk-based index for
 //! multi-dimensional uncertain data with arbitrary pdfs.
 
-use crate::api::{outcome_from_parts, IndexBuilder, ProbIndex, Query, QueryOutcome};
+use crate::api::{outcome_from_ctx, IndexBuilder, ProbIndex, Query, QueryOutcome};
 use crate::catalog::UCatalog;
 use crate::cfb::{fit_cfb_pair, CfbView};
 use crate::entry::{UCodec, ULeafEntry};
@@ -10,10 +10,9 @@ use crate::key::{UKey, UMetrics};
 use crate::object_codec::encode_object;
 use crate::pcr::PcrSet;
 use crate::persist;
-use crate::query::{refine_candidates_scored, QueryStats};
+use crate::query::{refine_ctx, QueryCtx};
 use page_store::{
     f32_round_down, f32_round_up, BufferPool, DiskPageFile, ObjectHeap, PageFile, PageStore,
-    RecordAddr,
 };
 use rstar_base::{LeafRecord, RStarTreeBase, TreeConfig, TreeStats};
 use std::io;
@@ -151,8 +150,33 @@ impl<const D: usize> UTree<D, BufferPool<DiskPageFile>> {
     /// was saved; its logical I/O counters behave exactly like the
     /// in-memory tree's, while the pools' backend counters report the
     /// physical reads that actually hit the disk files.
+    ///
+    /// Pool latching is automatic (small pools exact-LRU, large pools
+    /// striped for concurrent readers); [`UTree::open_with_shards`] pins
+    /// it.
     pub fn open<P: AsRef<Path>>(dir: P, buffer_pages: usize) -> io::Result<Self> {
-        let parts = persist::open_parts(dir.as_ref(), persist::KIND_UTREE, D, buffer_pages)?;
+        Self::open_parts(dir, buffer_pages, None)
+    }
+
+    /// [`UTree::open`] with an explicit buffer-pool shard count: `1` gives
+    /// the exact global-LRU pool (the stack-algorithm baseline the paper's
+    /// buffer experiments assume), larger values trade LRU exactness for
+    /// reader parallelism.
+    pub fn open_with_shards<P: AsRef<Path>>(
+        dir: P,
+        buffer_pages: usize,
+        shards: usize,
+    ) -> io::Result<Self> {
+        Self::open_parts(dir, buffer_pages, Some(shards))
+    }
+
+    fn open_parts<P: AsRef<Path>>(
+        dir: P,
+        buffer_pages: usize,
+        shards: Option<usize>,
+    ) -> io::Result<Self> {
+        let parts =
+            persist::open_parts(dir.as_ref(), persist::KIND_UTREE, D, buffer_pages, shards)?;
         let metrics = UMetrics::new(parts.catalog.clone());
         let codec = UCodec::new(parts.catalog.clone());
         Ok(Self {
@@ -304,16 +328,30 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
 
     /// Executes a prob-range query, returning matches with provenance.
     ///
+    /// Convenience over [`UTree::execute_with`] with a throwaway context.
+    pub fn execute(&self, query: &Query<D>) -> QueryOutcome {
+        self.execute_with(query, &mut QueryCtx::new())
+    }
+
+    /// Executes a prob-range query with caller-owned scratch state.
+    ///
     /// Filter step: subtrees are pruned with Observation 4
     /// (`r_q ∩ e.MBR(p_j) = ∅` for the largest catalog value `p_j <= p_q`);
     /// leaf entries are pruned/validated with Observation 3. Refinement:
     /// the remaining candidates' appearance probabilities are evaluated,
     /// one heap I/O per page (Sec 5.2).
     ///
+    /// Execution is read-only on the tree (`&self` end-to-end); all
+    /// per-query mutable state lives in `ctx`, so a shared tree serves
+    /// concurrent queries — one context per thread. `ctx.stats.node_reads`
+    /// counts this traversal's own page loads (not a delta of the shared
+    /// I/O counters), so per-query stats stay exact however many queries
+    /// run at once.
+    ///
     /// Callers usually reach this through
     /// [`crate::api::QueryBuilder::run`] or [`ProbIndex::execute`].
-    pub fn execute(&self, query: &Query<D>) -> QueryOutcome {
-        let mut stats = QueryStats::default();
+    pub fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
+        ctx.begin();
         let rq = query.region();
         let pq = query.threshold();
         let mode = query.refine_mode();
@@ -329,48 +367,55 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
         };
         let frac = self.catalog.fraction(j);
 
-        let reads0 = self.tree.io_stats().reads();
         let t0 = Instant::now();
-        let mut results = Vec::new();
-        let mut candidates: Vec<(RecordAddr, u64)> = Vec::new();
-        self.tree.visit(
-            |key, _| rq.intersects(&key.interp(frac)),
-            |rec| {
-                let view = CfbView {
-                    pair: &rec.cfbs,
-                    catalog: &self.catalog,
-                };
-                let outcome = if opts.leaf_filter {
-                    filter_object(&view, &rec.mbr, &self.catalog, rq, pq)
-                } else if rec.mbr.intersects(rq) {
-                    FilterOutcome::Candidate
-                } else {
-                    FilterOutcome::Pruned
-                };
-                let outcome = match outcome {
-                    FilterOutcome::Validated if !opts.validation => FilterOutcome::Candidate,
-                    other => other,
-                };
-                stats.visited += 1;
-                match outcome {
-                    FilterOutcome::Pruned => stats.pruned += 1,
-                    FilterOutcome::Validated => {
-                        stats.validated += 1;
-                        results.push(rec.id);
+        let nodes_read = {
+            let QueryCtx {
+                stats,
+                validated,
+                candidates,
+                stack,
+                ..
+            } = &mut *ctx;
+            self.tree.visit_with(
+                stack,
+                |key, _| rq.intersects(&key.interp(frac)),
+                |rec| {
+                    let view = CfbView {
+                        pair: &rec.cfbs,
+                        catalog: &self.catalog,
+                    };
+                    let outcome = if opts.leaf_filter {
+                        filter_object(&view, &rec.mbr, &self.catalog, rq, pq)
+                    } else if rec.mbr.intersects(rq) {
+                        FilterOutcome::Candidate
+                    } else {
+                        FilterOutcome::Pruned
+                    };
+                    let outcome = match outcome {
+                        FilterOutcome::Validated if !opts.validation => FilterOutcome::Candidate,
+                        other => other,
+                    };
+                    stats.visited += 1;
+                    match outcome {
+                        FilterOutcome::Pruned => stats.pruned += 1,
+                        FilterOutcome::Validated => {
+                            stats.validated += 1;
+                            validated.push(rec.id);
+                        }
+                        FilterOutcome::Candidate => candidates.push((rec.addr, rec.id)),
                     }
-                    FilterOutcome::Candidate => candidates.push((rec.addr, rec.id)),
-                }
-            },
-        );
-        stats.filter_nanos = t0.elapsed().as_nanos();
-        stats.node_reads = self.tree.io_stats().reads() - reads0;
-        stats.candidates = candidates.len() as u64;
-        stats.results = results.len() as u64;
+                },
+            )
+        };
+        ctx.stats.filter_nanos = t0.elapsed().as_nanos();
+        ctx.stats.node_reads = nodes_read;
+        ctx.stats.candidates = ctx.candidates.len() as u64;
+        ctx.stats.results = ctx.validated.len() as u64;
 
         let t1 = Instant::now();
-        let refined = refine_candidates_scored(&self.heap, &candidates, rq, pq, mode, &mut stats);
-        stats.refine_nanos = t1.elapsed().as_nanos();
-        outcome_from_parts(results, refined, stats)
+        refine_ctx(&self.heap, rq, pq, mode, ctx);
+        ctx.stats.refine_nanos = t1.elapsed().as_nanos();
+        outcome_from_ctx(ctx)
     }
 
     /// Visits every leaf entry (diagnostics / baselines).
@@ -431,8 +476,8 @@ impl<const D: usize, S: PageStore> ProbIndex<D> for UTree<D, S> {
         UTree::reset_io(self)
     }
 
-    fn execute(&self, query: &Query<D>) -> QueryOutcome {
-        UTree::execute(self, query)
+    fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
+        UTree::execute_with(self, query, ctx)
     }
 }
 
@@ -448,7 +493,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::{ProbRangeQuery, RefineMode};
+    use crate::query::{ProbRangeQuery, QueryStats, RefineMode};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     use uncertain_geom::Point;

@@ -6,7 +6,7 @@
 //! fat entries shrink fanout, so the structure reads more pages — the
 //! trade-off the paper's experiments quantify.
 
-use crate::api::{outcome_from_parts, IndexBuilder, ProbIndex, Query, QueryOutcome};
+use crate::api::{outcome_from_ctx, IndexBuilder, ProbIndex, Query, QueryOutcome};
 use crate::catalog::UCatalog;
 use crate::entry::{UPcrCodec, UPcrLeafEntry};
 use crate::filter::{filter_object, FilterOutcome};
@@ -14,8 +14,8 @@ use crate::key::{PcrKey, PcrMetrics};
 use crate::object_codec::encode_object;
 use crate::pcr::PcrSet;
 use crate::persist;
-use crate::query::{refine_candidates_scored, QueryStats};
-use page_store::{BufferPool, DiskPageFile, ObjectHeap, PageFile, PageStore, RecordAddr};
+use crate::query::{refine_ctx, QueryCtx};
+use page_store::{BufferPool, DiskPageFile, ObjectHeap, PageFile, PageStore};
 use rstar_base::{LeafRecord, RStarTreeBase, TreeConfig, TreeStats};
 use std::io;
 use std::path::Path;
@@ -63,7 +63,25 @@ impl<const D: usize> UPcrTree<D, BufferPool<DiskPageFile>> {
     /// Opens a [`UPcrTree::save`]d index directory through LRU buffer
     /// pools of `buffer_pages` frames (see [`crate::UTree::open`]).
     pub fn open<P: AsRef<Path>>(dir: P, buffer_pages: usize) -> io::Result<Self> {
-        let parts = persist::open_parts(dir.as_ref(), persist::KIND_UPCR, D, buffer_pages)?;
+        Self::open_parts(dir, buffer_pages, None)
+    }
+
+    /// [`UPcrTree::open`] with an explicit buffer-pool shard count (see
+    /// [`crate::UTree::open_with_shards`]).
+    pub fn open_with_shards<P: AsRef<Path>>(
+        dir: P,
+        buffer_pages: usize,
+        shards: usize,
+    ) -> io::Result<Self> {
+        Self::open_parts(dir, buffer_pages, Some(shards))
+    }
+
+    fn open_parts<P: AsRef<Path>>(
+        dir: P,
+        buffer_pages: usize,
+        shards: Option<usize>,
+    ) -> io::Result<Self> {
+        let parts = persist::open_parts(dir.as_ref(), persist::KIND_UPCR, D, buffer_pages, shards)?;
         let metrics = PcrMetrics::new(parts.catalog.clone());
         let codec = UPcrCodec::new(parts.catalog.clone());
         Ok(Self {
@@ -225,13 +243,24 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
 
     /// Executes a prob-range query, returning matches with provenance.
     ///
+    /// Convenience over [`UPcrTree::execute_with`] with a throwaway
+    /// context.
+    pub fn execute(&self, query: &Query<D>) -> QueryOutcome {
+        self.execute_with(query, &mut QueryCtx::new())
+    }
+
+    /// Executes a prob-range query with caller-owned scratch state (see
+    /// [`crate::UTree::execute_with`] — the concurrency contract is
+    /// identical: the tree is only read, `ctx` holds all per-query
+    /// mutation).
+    ///
     /// Intermediate pruning tests `r_q` against the stored rectangle at the
     /// largest catalog value `p_j <= p_q` (the exact-PCR analogue of
     /// Observation 4); leaf entries use Observation 2 directly. The
     /// [`QueryOptions`](crate::tree::QueryOptions) ablation switches are
     /// U-tree-specific and ignored here.
-    pub fn execute(&self, query: &Query<D>) -> QueryOutcome {
-        let mut stats = QueryStats::default();
+    pub fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
+        ctx.begin();
         let rq = query.region();
         let pq = query.threshold();
         let mode = query.refine_mode();
@@ -240,33 +269,40 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
             .largest_leq(pq + crate::filter::PROB_EPS)
             .unwrap_or(0);
 
-        let reads0 = self.tree.io_stats().reads();
         let t0 = Instant::now();
-        let mut results = Vec::new();
-        let mut candidates: Vec<(RecordAddr, u64)> = Vec::new();
-        self.tree.visit(
-            |key, _| rq.intersects(&key.rects[j]),
-            |rec| {
-                stats.visited += 1;
-                match filter_object(&rec.pcrs, &rec.mbr, &self.catalog, rq, pq) {
-                    FilterOutcome::Pruned => stats.pruned += 1,
-                    FilterOutcome::Validated => {
-                        stats.validated += 1;
-                        results.push(rec.id);
+        let nodes_read = {
+            let QueryCtx {
+                stats,
+                validated,
+                candidates,
+                stack,
+                ..
+            } = &mut *ctx;
+            self.tree.visit_with(
+                stack,
+                |key, _| rq.intersects(&key.rects[j]),
+                |rec| {
+                    stats.visited += 1;
+                    match filter_object(&rec.pcrs, &rec.mbr, &self.catalog, rq, pq) {
+                        FilterOutcome::Pruned => stats.pruned += 1,
+                        FilterOutcome::Validated => {
+                            stats.validated += 1;
+                            validated.push(rec.id);
+                        }
+                        FilterOutcome::Candidate => candidates.push((rec.addr, rec.id)),
                     }
-                    FilterOutcome::Candidate => candidates.push((rec.addr, rec.id)),
-                }
-            },
-        );
-        stats.filter_nanos = t0.elapsed().as_nanos();
-        stats.node_reads = self.tree.io_stats().reads() - reads0;
-        stats.candidates = candidates.len() as u64;
-        stats.results = results.len() as u64;
+                },
+            )
+        };
+        ctx.stats.filter_nanos = t0.elapsed().as_nanos();
+        ctx.stats.node_reads = nodes_read;
+        ctx.stats.candidates = ctx.candidates.len() as u64;
+        ctx.stats.results = ctx.validated.len() as u64;
 
         let t1 = Instant::now();
-        let refined = refine_candidates_scored(&self.heap, &candidates, rq, pq, mode, &mut stats);
-        stats.refine_nanos = t1.elapsed().as_nanos();
-        outcome_from_parts(results, refined, stats)
+        refine_ctx(&self.heap, rq, pq, mode, ctx);
+        ctx.stats.refine_nanos = t1.elapsed().as_nanos();
+        outcome_from_ctx(ctx)
     }
 
     /// Visits every leaf entry.
@@ -327,8 +363,8 @@ impl<const D: usize, S: PageStore> ProbIndex<D> for UPcrTree<D, S> {
         UPcrTree::reset_io(self)
     }
 
-    fn execute(&self, query: &Query<D>) -> QueryOutcome {
-        UPcrTree::execute(self, query)
+    fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
+        UPcrTree::execute_with(self, query, ctx)
     }
 }
 
@@ -343,7 +379,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::{ProbRangeQuery, RefineMode};
+    use crate::query::{ProbRangeQuery, QueryStats, RefineMode};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     use uncertain_geom::Point;

@@ -195,7 +195,7 @@ impl<const D: usize> RectRStarTree<D> {
     /// Conventional range query: ids of rectangles intersecting `query`.
     pub fn range(&self, query: &Rect<D>) -> Vec<u64> {
         let mut out = Vec::new();
-        self.tree.visit(
+        let _ = self.tree.visit(
             |key, _| key.intersects(query),
             |rec| {
                 if rec.rect.intersects(query) {

@@ -698,16 +698,41 @@ where
     // ---- traversal ------------------------------------------------------
 
     /// Depth-first traversal. `descend(key, child_level)` decides whether a
-    /// subtree is entered; `on_record` sees every reached leaf record. Node
-    /// reads are counted in [`Self::io_stats`].
-    pub fn visit<FI, FL>(&self, mut descend: FI, mut on_record: FL)
+    /// subtree is entered; `on_record` sees every reached leaf record.
+    /// Returns the number of node pages read — the query's own "node
+    /// accesses" count, independent of any other traversal running
+    /// concurrently (the shared [`Self::io_stats`] counters still record
+    /// every read globally).
+    ///
+    /// Takes `&self`: traversal never mutates the tree, so any number of
+    /// concurrent queries can run over one shared (read-only) tree.
+    pub fn visit<FI, FL>(&self, descend: FI, on_record: FL) -> u64
     where
         FI: FnMut(&M::Key, usize) -> bool,
         FL: FnMut(&L),
     {
-        let mut stack = vec![(self.root, self.height - 1)];
+        self.visit_with(&mut Vec::new(), descend, on_record)
+    }
+
+    /// [`Self::visit`] with a caller-provided traversal stack, so per-query
+    /// contexts can reuse the allocation across queries (one stack per
+    /// worker thread). The stack is cleared on entry.
+    pub fn visit_with<FI, FL>(
+        &self,
+        stack: &mut Vec<(PageId, usize)>,
+        mut descend: FI,
+        mut on_record: FL,
+    ) -> u64
+    where
+        FI: FnMut(&M::Key, usize) -> bool,
+        FL: FnMut(&L),
+    {
+        stack.clear();
+        stack.push((self.root, self.height - 1));
+        let mut nodes_read = 0u64;
         while let Some((page, level)) = stack.pop() {
             let (_, node) = self.load(page);
+            nodes_read += 1;
             match node {
                 Node::Leaf(es) => {
                     for r in &es {
@@ -723,11 +748,12 @@ where
                 }
             }
         }
+        nodes_read
     }
 
     /// Visits every record (uncounted traversal would lie; this one counts).
     pub fn for_each_record<FL: FnMut(&L)>(&self, on_record: FL) {
-        self.visit(|_, _| true, on_record);
+        let _ = self.visit(|_, _| true, on_record);
     }
 
     /// Structure statistics without touching the I/O counters.

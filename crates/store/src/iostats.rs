@@ -2,10 +2,27 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotone counters of page-level I/O, shared by readers via `&self`.
+/// Monotone counters of page-level I/O, shared via `Arc` and incremented
+/// through `&self` — safe under any number of concurrent readers.
 ///
-/// The relaxed atomics make the counters usable from the (single-threaded)
-/// query path and from concurrent benchmark harnesses alike.
+/// # Memory ordering
+///
+/// All operations are `Relaxed`, and that is *sufficient*, not a shortcut:
+/// each counter is an independent monotone event count, `fetch_add` is a
+/// single atomic read-modify-write (no increment can be lost, whatever the
+/// ordering), and no reader derives cross-counter invariants that would
+/// need `Acquire`/`Release` edges. Two caveats follow from this contract
+/// and are part of the API:
+///
+/// * A multi-counter expression evaluated **while writers are running**
+///   (e.g. [`IoStats::total`], or comparing `cache_hits + cache_misses`
+///   with `reads`) is a sum of individually-exact but non-simultaneous
+///   snapshots; it becomes exact as soon as the writers quiesce (each
+///   logical read records exactly one hit *or* miss, so nothing is ever
+///   lost — only transiently skewed).
+/// * [`IoStats::reset`] zeroes the counters one by one and must only be
+///   called while no other thread is recording — the harness pattern of
+///   "reset, run, read" around a measured region.
 ///
 /// Two families of counters live here:
 ///
@@ -15,7 +32,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///   actually reached it.
 /// * `cache_hits` / `cache_misses` — maintained only by caching stores
 ///   ([`crate::BufferPool`]); always zero on plain backends. For counted
-///   reads, `cache_hits + cache_misses == reads` at all times.
+///   reads, `cache_hits + cache_misses == reads` whenever no reader is
+///   mid-flight.
 #[derive(Debug, Default)]
 pub struct IoStats {
     reads: AtomicU64,
@@ -76,12 +94,14 @@ impl IoStats {
     }
 
     /// Total page accesses (reads + writes) — the paper's "node accesses"
-    /// for read-only workloads equals `reads()`.
+    /// for read-only workloads equals `reads()`. Exact once writers have
+    /// quiesced (see the type docs).
     pub fn total(&self) -> u64 {
         self.reads() + self.writes()
     }
 
-    /// Zeroes all counters.
+    /// Zeroes all counters. Must not race with recording (see the type
+    /// docs): quiesce, reset, then measure.
     pub fn reset(&self) {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
@@ -93,6 +113,7 @@ impl IoStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn counters_accumulate_and_reset() {
@@ -120,5 +141,57 @@ mod tests {
         s.reset();
         assert_eq!(s.cache_hits(), 0);
         assert_eq!(s.cache_misses(), 0);
+    }
+
+    #[test]
+    fn no_increment_is_lost_under_concurrent_recording() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        let s = Arc::new(IoStats::new());
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        s.record_read();
+                        if i % 2 == 0 {
+                            s.record_cache_hit();
+                        } else {
+                            s.record_cache_miss();
+                        }
+                        if i % 10 == 0 {
+                            s.record_write();
+                        }
+                    }
+                });
+            }
+        });
+        // Exact totals after quiescence: relaxed fetch_add loses nothing.
+        assert_eq!(s.reads(), THREADS * PER_THREAD);
+        assert_eq!(s.cache_hits() + s.cache_misses(), s.reads());
+        assert_eq!(s.writes(), THREADS * (PER_THREAD / 10));
+        assert_eq!(s.total(), s.reads() + s.writes());
+    }
+
+    #[test]
+    fn readers_may_observe_concurrently_with_writers() {
+        // A reader polling while writers record must only ever see
+        // monotonically non-decreasing values (no tearing, no rollback).
+        let s = Arc::new(IoStats::new());
+        std::thread::scope(|scope| {
+            let writer = Arc::clone(&s);
+            scope.spawn(move || {
+                for _ in 0..50_000 {
+                    writer.record_read();
+                }
+            });
+            let mut last = 0;
+            for _ in 0..1_000 {
+                let now = s.reads();
+                assert!(now >= last, "counter regressed: {last} -> {now}");
+                last = now;
+            }
+        });
+        assert_eq!(s.reads(), 50_000);
     }
 }

@@ -12,9 +12,15 @@
 //!   (positional I/O, free list persisted in a superblock), so indexes can
 //!   be saved and reopened cold;
 //! * [`BufferPool`] — a capacity-bounded LRU cache over any backend with
-//!   dirty-page write-back. Its own [`IoStats`] count *logical* accesses
-//!   (plus cache hits/misses); the wrapped backend keeps counting
-//!   *physical* transfers.
+//!   dirty-page write-back, lock-striped into per-shard latches so
+//!   concurrent readers of a shared index don't serialise on one global
+//!   lock. Its own [`IoStats`] count *logical* accesses (plus cache
+//!   hits/misses); the wrapped backend keeps counting *physical*
+//!   transfers.
+//!
+//! All three backends are `Send + Sync`; the counted/uncounted read paths
+//! take `&self`, so one store can serve many reader threads at once (see
+//! the [`PageStore`] sharing contract).
 //!
 //! ## Counting contract
 //!

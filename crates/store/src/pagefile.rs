@@ -35,6 +35,19 @@ pub type PageId = u64;
 ///
 /// Reading or writing an id that was never allocated is a logic error and
 /// may panic.
+///
+/// # Sharing (`Send`/`Sync`)
+///
+/// The trait deliberately does not require `Send + Sync` — a backend over
+/// a thread-bound resource is legal — but every backend in this crate
+/// ([`PageFile`], [`crate::DiskPageFile`], [`crate::BufferPool`] over
+/// either) is both, and the read-side methods (`read_into`, `peek_into`,
+/// `stats`) take `&self` precisely so a shared store can serve many reader
+/// threads at once. Implementations that are `Sync` must keep those
+/// `&self` paths safe under concurrent callers (the in-memory file reads
+/// immutable pages, the disk file uses positional I/O, the buffer pool
+/// latches per shard). Mutating methods keep `&mut self`, so updates
+/// remain exclusive by construction.
 pub trait PageStore {
     /// Allocates a zeroed page (reusing freed pages first; uncounted).
     fn allocate(&mut self) -> PageId;
@@ -196,6 +209,21 @@ impl PageStore for PageFile {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Every backend in this crate must stay shareable across threads —
+    /// the concurrency contract the query engine builds on. Compile-time
+    /// only; if a field ever loses `Send`/`Sync`, this fails to build.
+    #[test]
+    fn backends_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IoStats>();
+        assert_send_sync::<PageFile>();
+        assert_send_sync::<crate::DiskPageFile>();
+        assert_send_sync::<crate::BufferPool<PageFile>>();
+        assert_send_sync::<crate::BufferPool<crate::DiskPageFile>>();
+        assert_send_sync::<crate::ObjectHeap<PageFile>>();
+        assert_send_sync::<crate::ObjectHeap<crate::BufferPool<crate::DiskPageFile>>>();
+    }
 
     #[test]
     fn allocate_write_read_roundtrip() {

@@ -112,6 +112,60 @@ fn random_ops_respect_invariants_in_memory() {
 }
 
 #[test]
+fn random_ops_respect_invariants_across_shard_counts() {
+    // The same oracle holds whatever the latch striping: sharding changes
+    // *which* frame is evicted, never coherence or the counting contract.
+    for (capacity, shards, seed) in [(4usize, 2usize, 11u64), (8, 4, 12), (16, 8, 13), (9, 3, 14)] {
+        let mut pool = BufferPool::with_shards(PageFile::new(), capacity, shards);
+        drive(&mut pool, capacity, seed, 2_000);
+    }
+}
+
+#[test]
+fn concurrent_readers_observe_flushed_writes_exactly() {
+    // Fill a sharded pool, flush, then hammer it with counted reads from
+    // many threads: every read must return the exact page image, resident
+    // frames must stay bounded, and afterwards hits + misses == reads.
+    let mut pool = BufferPool::with_shards(PageFile::new(), 12, 4);
+    let mut rng = SmallRng::seed_from_u64(41);
+    let mut expected: HashMap<PageId, u64> = HashMap::new();
+    for _ in 0..80 {
+        let id = pool.allocate();
+        let stamp = rng.gen_range(1..u64::MAX);
+        pool.write(id, &stamp.to_le_bytes());
+        expected.insert(id, stamp);
+    }
+    pool.flush().unwrap();
+    pool.stats().reset();
+
+    let pool = &pool;
+    let expected = &expected;
+    std::thread::scope(|s| {
+        for t in 0..6u64 {
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(100 + t);
+                let ids: Vec<PageId> = expected.keys().copied().collect();
+                for _ in 0..500 {
+                    let id = ids[rng.gen_range(0..ids.len())];
+                    let page = pool.read_page(id);
+                    let got = u64::from_le_bytes(page[..8].try_into().unwrap());
+                    assert_eq!(got, expected[&id], "torn or stale read of page {id}");
+                    assert!(page[8..].iter().all(|&b| b == 0));
+                    assert!(pool.resident_pages() <= 12);
+                }
+            });
+        }
+    });
+    let stats = pool.stats();
+    assert_eq!(stats.reads(), 6 * 500);
+    assert_eq!(
+        stats.cache_hits() + stats.cache_misses(),
+        stats.reads(),
+        "each counted read records exactly one hit or miss"
+    );
+}
+
+#[test]
 fn random_ops_respect_invariants_on_disk() {
     let mut path = std::env::temp_dir();
     path.push(format!("utree-pool-invariants-{}.pg", std::process::id()));

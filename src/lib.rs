@@ -76,9 +76,10 @@ pub mod prelude {
     pub use uncertain_geom::{Point, Rect};
     pub use uncertain_pdf::{HistogramPdf, ObjectPdf, Region, UncertainObject};
     pub use utree::{
-        DiskUPcrTree, DiskUTree, FilterOutcome, IndexBuilder, IndexError, InsertStats, Match,
-        ProbIndex, ProbRangeQuery, Provenance, Query, QueryBuilder, QueryError, QueryOptions,
-        QueryOutcome, QueryStats, Refine, RefineMode, SeqScan, UCatalog, UPcrTree, UTree,
+        BatchExecutor, BatchOutcome, DiskUPcrTree, DiskUTree, FilterOutcome, IndexBuilder,
+        IndexError, InsertStats, Match, ProbIndex, ProbRangeQuery, Provenance, Query, QueryBuilder,
+        QueryCtx, QueryError, QueryOptions, QueryOutcome, QueryStats, Refine, RefineMode, SeqScan,
+        UCatalog, UPcrTree, UTree,
     };
 }
 

@@ -1,0 +1,272 @@
+//! Shared-read concurrency: many threads querying one index must produce
+//! exactly what one thread does.
+//!
+//! Three layers are exercised over one shared `DiskUTree` (disk pages
+//! behind the latched buffer pool) and the in-memory backends:
+//!
+//! * raw `std::thread::scope` readers over `&tree` — the `&self` query
+//!   path itself;
+//! * the `BatchExecutor` engine — scheduling must not change any answer;
+//! * a randomized stress mix — N threads × M queries with randomized
+//!   regions/thresholds/refine modes, every outcome compared field by
+//!   field (matches, provenance, per-query count stats) against the
+//!   sequential ground truth, plus the summed logical I/O.
+
+use std::path::PathBuf;
+use utree_repro::prelude::*;
+
+const N_OBJECTS: usize = 400;
+const THREADS: usize = 4;
+const QUERIES_PER_THREAD: usize = 25;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("utree-concurrency-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn build_tree(seed: u64) -> UTree<2> {
+    let mut tree = UTree::<2>::builder()
+        .uniform_catalog(10)
+        .build()
+        .expect("valid catalog");
+    tree.bulk_load(datagen::lb_dataset(N_OBJECTS, seed));
+    tree
+}
+
+/// A deterministic per-thread workload: thread `t` gets queries
+/// `t * QUERIES_PER_THREAD ..` of one seeded stream, so the sequential
+/// ground truth and the threaded run see identical queries.
+fn workloads(seed: u64) -> Vec<Vec<Query<2>>> {
+    let centers = datagen::lb_points(N_OBJECTS, seed);
+    let probes = datagen::workload(
+        &centers,
+        1_200.0,
+        0.0,
+        THREADS * QUERIES_PER_THREAD,
+        seed + 1,
+    );
+    probes
+        .queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            // Vary thresholds and refine modes across the stream:
+            // Monte-Carlo every third query so schedule-independent
+            // sampling is stressed too.
+            let pq = 0.05 + 0.9 * ((i * 37 % 100) as f64 / 100.0);
+            let refine = if i % 3 == 0 {
+                Refine::monte_carlo(10_000, 0xC0FFEE ^ i as u64)
+            } else {
+                Refine::reference(1e-7)
+            };
+            Query::range(q.region)
+                .threshold(pq)
+                .refine(refine)
+                .build()
+                .expect("valid query")
+        })
+        .collect::<Vec<_>>()
+        .chunks(QUERIES_PER_THREAD)
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+/// Outcomes must agree on everything deterministic: ids, provenance,
+/// refined probabilities (bit-equal), and every count statistic.
+fn assert_outcomes_identical(got: &QueryOutcome, want: &QueryOutcome, what: &str) {
+    assert_eq!(got.matches, want.matches, "{what}: matches diverged");
+    assert!(
+        got.stats.same_counts(&want.stats),
+        "{what}: stats diverged: {:?} vs {:?}",
+        got.stats,
+        want.stats
+    );
+}
+
+#[test]
+fn raw_threads_over_shared_in_memory_tree_match_sequential() {
+    let tree = build_tree(11);
+    let loads = workloads(13);
+
+    // Sequential ground truth, one reused context.
+    let mut ctx = QueryCtx::new();
+    let expected: Vec<Vec<QueryOutcome>> = loads
+        .iter()
+        .map(|qs| qs.iter().map(|q| tree.execute_with(q, &mut ctx)).collect())
+        .collect();
+    let seq_logical: u64 = expected
+        .iter()
+        .flatten()
+        .map(|o| o.stats.node_reads + o.stats.heap_reads)
+        .sum();
+
+    // The same workloads, one thread per chunk, sharing `&tree`.
+    tree.reset_io();
+    tree.heap().file().stats().reset();
+    let results: Vec<Vec<QueryOutcome>> = std::thread::scope(|s| {
+        let handles: Vec<_> = loads
+            .iter()
+            .map(|qs| {
+                s.spawn(|| {
+                    let mut ctx = QueryCtx::new();
+                    qs.iter()
+                        .map(|q| tree.execute_with(q, &mut ctx))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut par_logical = 0u64;
+    for (t, (got_chunk, want_chunk)) in results.iter().zip(&expected).enumerate() {
+        assert_eq!(got_chunk.len(), want_chunk.len());
+        for (i, (got, want)) in got_chunk.iter().zip(want_chunk).enumerate() {
+            assert_outcomes_identical(got, want, &format!("thread {t} query {i}"));
+            par_logical += got.stats.node_reads + got.stats.heap_reads;
+        }
+    }
+    // Per-query logical I/O is counted inside the query (not a shared
+    // counter delta), so the sums must be exactly equal …
+    assert_eq!(par_logical, seq_logical, "summed logical I/O diverged");
+    // … and the shared store counters saw exactly that many node reads.
+    assert_eq!(
+        tree.node_store().stats().reads(),
+        results
+            .iter()
+            .flatten()
+            .map(|o| o.stats.node_reads)
+            .sum::<u64>(),
+        "shared counters must record every thread's reads exactly once"
+    );
+}
+
+#[test]
+fn stress_shared_disk_tree_behind_latched_pool() {
+    let tree = build_tree(29);
+    let dir = temp_dir("disk-stress");
+    tree.save(&dir).expect("save index");
+    let loads = workloads(31);
+    let flat: Vec<Query<2>> = loads.iter().flatten().copied().collect();
+
+    // Sequential ground truth from its own cold copy (so cache state
+    // cannot leak between the runs being compared).
+    let seq_tree = DiskUTree::<2>::open(&dir, 64).expect("open saved index");
+    let mut ctx = QueryCtx::new();
+    let expected: Vec<QueryOutcome> = flat
+        .iter()
+        .map(|q| seq_tree.execute_with(q, &mut ctx))
+        .collect();
+    let seq_node_reads: u64 = expected.iter().map(|o| o.stats.node_reads).sum();
+    let seq_heap_reads: u64 = expected.iter().map(|o| o.stats.heap_reads).sum();
+    drop(seq_tree);
+
+    // 64 frames stripe the pool across multiple latches (this is the
+    // configuration the whole PR exists for).
+    let shared = DiskUTree::<2>::open(&dir, 64).expect("open saved index");
+    assert!(
+        shared.node_store().shard_count() > 1,
+        "64-frame pool must be latch-striped"
+    );
+    let results: Vec<Vec<QueryOutcome>> = std::thread::scope(|s| {
+        let shared = &shared;
+        let handles: Vec<_> = loads
+            .iter()
+            .map(|qs| {
+                s.spawn(move || {
+                    let mut ctx = QueryCtx::new();
+                    qs.iter()
+                        .map(|q| shared.execute_with(q, &mut ctx))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let got: Vec<&QueryOutcome> = results.iter().flatten().collect();
+    assert_eq!(got.len(), expected.len());
+    for (i, (g, w)) in got.iter().zip(&expected).enumerate() {
+        assert_outcomes_identical(g, w, &format!("disk query {i}"));
+    }
+    assert_eq!(
+        got.iter().map(|o| o.stats.node_reads).sum::<u64>(),
+        seq_node_reads,
+        "summed logical node I/O diverged"
+    );
+    assert_eq!(
+        got.iter().map(|o| o.stats.heap_reads).sum::<u64>(),
+        seq_heap_reads,
+        "summed logical heap I/O diverged"
+    );
+    // Pool counting contract after quiescence: every counted logical read
+    // recorded exactly one hit or miss, and residency stayed bounded.
+    let pool = shared.node_store();
+    assert_eq!(
+        pool.stats().cache_hits() + pool.stats().cache_misses(),
+        pool.stats().reads()
+    );
+    assert!(pool.resident_pages() <= pool.capacity());
+
+    drop(shared);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_executor_equals_sequential_on_disk_backend() {
+    let tree = build_tree(47);
+    let dir = temp_dir("batch-engine");
+    tree.save(&dir).expect("save index");
+    let queries: Vec<Query<2>> = workloads(53).into_iter().flatten().collect();
+
+    let shared = DiskUTree::<2>::open(&dir, 96).expect("open saved index");
+    let par = BatchExecutor::new(THREADS).run(&shared, &queries);
+    let seq = BatchExecutor::run_sequential(&shared, &queries);
+    assert!(
+        par.same_results(&seq),
+        "4-thread batch over the shared buffered disk index diverged"
+    );
+    assert!(par.stats.same_counts(&seq.stats));
+    assert_eq!(par.workers, THREADS);
+    assert_eq!(par.len(), queries.len());
+
+    drop(shared);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_executor_agrees_across_backends() {
+    let objs = datagen::lb_dataset(250, 61);
+    let mut utree = UTree::<2>::builder().uniform_catalog(8).build().unwrap();
+    let mut upcr = UPcrTree::<2>::builder().uniform_catalog(8).build().unwrap();
+    let mut scan = SeqScan::<2>::builder().uniform_catalog(8).build().unwrap();
+    utree.bulk_load(&objs);
+    upcr.bulk_load(&objs);
+    scan.bulk_load(&objs);
+
+    let queries: Vec<Query<2>> = workloads(67)
+        .into_iter()
+        .flatten()
+        // Reference mode only: exact quadrature is backend-independent,
+        // so all three structures must return the same id sets.
+        .map(|q| {
+            Query::range(*q.region())
+                .threshold(q.threshold())
+                .refine(Refine::reference(1e-8))
+                .build()
+                .unwrap()
+        })
+        .collect();
+
+    let exec = BatchExecutor::new(THREADS);
+    let a = exec.run(&utree, &queries);
+    let b = exec.run(&upcr, &queries);
+    let c = exec.run(&scan, &queries);
+    for i in 0..queries.len() {
+        let ids_a = a.outcomes[i].sorted_ids();
+        assert_eq!(ids_a, b.outcomes[i].sorted_ids(), "query {i}: u-pcr");
+        assert_eq!(ids_a, c.outcomes[i].sorted_ids(), "query {i}: seq-scan");
+    }
+}
