@@ -1,0 +1,145 @@
+//! Top-k ranking cost: the PCR-bounded best-first traversal vs the
+//! refine-everything sequential oracle, swept over k.
+//!
+//! For every k the two backends must return *identical* ranked answers
+//! (hard assert — deterministic quadrature refinement), and the bounded
+//! traversal must compute strictly fewer appearance probabilities than
+//! the oracle on the bench dataset — the acceptance gate of the ranking
+//! workload.
+//!
+//! Emits one machine-readable `TOPK_SCALING_JSON:` line so future PRs can
+//! track the pruning power from CI logs.
+//!
+//! Knobs: `UTREE_SCALE`, `UTREE_QUERIES` (queries per k).
+
+use bench::{fmt, print_table, HarnessConfig};
+use utree::{ProbIndex, Query, QueryCtx, QueryStats, RankQuery, Refine, SeqScan, UTree};
+
+const K_SWEEP: [usize; 5] = [1, 5, 10, 25, 50];
+const QS: f64 = 2_000.0;
+
+struct Sample {
+    k: usize,
+    utree: QueryStats,
+    scan: QueryStats,
+    queries: usize,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let n = cfg.sized(datagen::LB_SIZE);
+    println!(
+        "scale {} | {} objects | {} queries per k | reference refinement",
+        cfg.scale, n, cfg.queries
+    );
+
+    let objs = datagen::lb_dataset(n, 1);
+    let mut tree = UTree::<2>::builder().build().expect("paper catalog");
+    let mut scan = SeqScan::<2>::builder().build().expect("paper catalog");
+    tree.bulk_load(&objs);
+    scan.bulk_load(&objs);
+    let centers: Vec<_> = objs.iter().map(|o| o.mbr().center()).collect();
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut ctx_tree = QueryCtx::new();
+    let mut ctx_scan = QueryCtx::new();
+    for &k in &K_SWEEP {
+        let queries: Vec<RankQuery<2>> =
+            datagen::workload(&centers, QS, 0.0, cfg.queries, k as u64)
+                .queries
+                .iter()
+                .map(|q| {
+                    Query::range(q.region)
+                        .top(k)
+                        // Deterministic quadrature: byte-comparable answers.
+                        .refine(Refine::reference(1e-8))
+                        .build()
+                        .expect("valid ranking query")
+                })
+                .collect();
+        let mut acc_tree = QueryStats::default();
+        let mut acc_scan = QueryStats::default();
+        for (qi, q) in queries.iter().enumerate() {
+            let a = tree.rank_topk_with(q, &mut ctx_tree);
+            let b = scan.rank_topk_with(q, &mut ctx_scan);
+            assert_eq!(
+                a.matches, b.matches,
+                "k={k} query {qi}: bounded traversal diverged from the oracle"
+            );
+            acc_tree += &a.stats;
+            acc_scan += &b.stats;
+        }
+        samples.push(Sample {
+            k,
+            utree: acc_tree,
+            scan: acc_scan,
+            queries: queries.len(),
+        });
+    }
+
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            let nq = s.queries as f64;
+            vec![
+                s.k.to_string(),
+                fmt(s.utree.prob_computations as f64 / nq),
+                fmt(s.scan.prob_computations as f64 / nq),
+                fmt(s.utree.node_reads as f64 / nq),
+                fmt(s.scan.node_reads as f64 / nq),
+                format!(
+                    "{:.0}%",
+                    100.0
+                        * (1.0
+                            - s.utree.prob_computations as f64
+                                / s.scan.prob_computations.max(1) as f64)
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        "top-k ranking: avg cost per query (identical answers verified per query)",
+        &[
+            "k",
+            "probes U-tree",
+            "probes scan",
+            "nodes U-tree",
+            "nodes scan",
+            "probes saved",
+        ],
+        &rows,
+    );
+
+    let json_results: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                r#"{{"k":{},"utree_probes":{},"scan_probes":{},"utree_nodes":{},"scan_nodes":{}}}"#,
+                s.k,
+                s.utree.prob_computations,
+                s.scan.prob_computations,
+                s.utree.node_reads,
+                s.scan.node_reads
+            )
+        })
+        .collect();
+    println!(
+        r#"TOPK_SCALING_JSON: {{"bench":"topk_scaling","objects":{},"queries_per_k":{},"results":[{}]}}"#,
+        n,
+        cfg.queries,
+        json_results.join(",")
+    );
+
+    // Acceptance gate: the whole point of the bounded traversal is to
+    // skip probability computations. Fewer per sweep point, strictly.
+    for s in &samples {
+        assert!(
+            s.utree.prob_computations < s.scan.prob_computations,
+            "k={}: bounded traversal computed {} probabilities, oracle {}",
+            s.k,
+            s.utree.prob_computations,
+            s.scan.prob_computations
+        );
+    }
+    println!("pruning gate: OK — bounded traversal refined strictly less at every k");
+}

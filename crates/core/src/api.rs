@@ -111,6 +111,8 @@ pub enum QueryError {
         /// First dimension with a non-finite bound.
         dim: usize,
     },
+    /// A ranking query was built with `k = 0`.
+    ZeroK,
 }
 
 impl fmt::Display for QueryError {
@@ -131,11 +133,30 @@ impl fmt::Display for QueryError {
             QueryError::NonFiniteRegion { dim } => {
                 write!(f, "search region has a non-finite bound in dimension {dim}")
             }
+            QueryError::ZeroK => {
+                write!(f, "a top-k ranking query needs k >= 1")
+            }
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+/// The one region check every construction route shares: finite bounds
+/// first (NaN would make the `min > max` comparison lie), then
+/// orientation. Used by [`ProbRangeQuery::try_new`], [`QueryBuilder::build`]
+/// and [`RankBuilder::build`].
+pub(crate) fn validate_region<const D: usize>(region: &Rect<D>) -> Result<(), QueryError> {
+    for dim in 0..D {
+        if !region.min[dim].is_finite() || !region.max[dim].is_finite() {
+            return Err(QueryError::NonFiniteRegion { dim });
+        }
+        if region.min[dim] > region.max[dim] {
+            return Err(QueryError::EmptyRegion { dim });
+        }
+    }
+    Ok(())
+}
 
 // ---------------------------------------------------------------------------
 // Query description
@@ -240,23 +261,30 @@ impl<const D: usize> QueryBuilder<D> {
         self
     }
 
+    /// Turns the range query into a **top-k ranking query**: instead of a
+    /// probability threshold, report the `k` objects with the highest
+    /// appearance probability in the region, ordered. Only the region and
+    /// the refinement mode carry over: a threshold set so far is dropped
+    /// (ranking has none), and so are [`QueryOptions`] — the ablation
+    /// switches configure the threshold filter rules, which the bounded
+    /// best-first traversal does not run.
+    pub fn top(self, k: usize) -> RankBuilder<D> {
+        RankBuilder {
+            region: self.region,
+            k,
+            refine: self.refine,
+        }
+    }
+
     /// Validates the description into a [`Query`].
     pub fn build(self) -> Result<Query<D>, QueryError> {
-        for dim in 0..D {
-            if !self.region.min[dim].is_finite() || !self.region.max[dim].is_finite() {
-                return Err(QueryError::NonFiniteRegion { dim });
-            }
-            if self.region.min[dim] > self.region.max[dim] {
-                return Err(QueryError::EmptyRegion { dim });
-            }
-        }
         let threshold = self.threshold.ok_or(QueryError::MissingThreshold)?;
-        if !(0.0..=1.0).contains(&threshold) {
-            return Err(QueryError::ThresholdOutOfRange { threshold });
-        }
+        // Region + threshold validation is shared with direct
+        // `ProbRangeQuery::try_new` construction — one path, one rulebook.
+        let q = ProbRangeQuery::try_new(self.region, threshold)?;
         Ok(Query {
-            region: self.region,
-            threshold,
+            region: q.region,
+            threshold: q.threshold,
             refine: self.refine,
             options: self.options,
         })
@@ -265,6 +293,149 @@ impl<const D: usize> QueryBuilder<D> {
     /// Builds and executes against any [`ProbIndex`].
     pub fn run<I: ProbIndex<D> + ?Sized>(self, index: &I) -> Result<QueryOutcome, QueryError> {
         Ok(index.execute(&self.build()?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranking queries
+// ---------------------------------------------------------------------------
+
+/// A validated probabilistic **top-k ranking query**: report the `k`
+/// objects with the highest appearance probability in `region`, ordered by
+/// probability (descending, ties by ascending id).
+///
+/// Built with [`Query::range`]`(..).top(k)`; executed with
+/// [`RankBuilder::run`] or [`ProbIndex::rank_topk`]. Objects whose
+/// appearance probability is 0 never rank, so the answer may hold fewer
+/// than `k` matches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankQuery<const D: usize> {
+    region: Rect<D>,
+    k: usize,
+    refine: RefineMode,
+}
+
+impl<const D: usize> RankQuery<D> {
+    /// The search region `r_q`.
+    pub fn region(&self) -> &Rect<D> {
+        &self.region
+    }
+
+    /// How many objects to report.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// How candidate probabilities are evaluated during refinement.
+    pub fn refine_mode(&self) -> RefineMode {
+        self.refine
+    }
+}
+
+/// Fluent builder returned by [`QueryBuilder::top`].
+#[derive(Debug, Clone, Copy)]
+pub struct RankBuilder<const D: usize> {
+    region: Rect<D>,
+    k: usize,
+    refine: RefineMode,
+}
+
+impl<const D: usize> RankBuilder<D> {
+    /// Sets the refinement mode (default: the paper's Monte-Carlo
+    /// estimator with n₁ = 10⁶; ranking seeds it **per object**, see
+    /// `docs/API.md` "Ranking queries").
+    pub fn refine(mut self, refine: RefineMode) -> Self {
+        self.refine = refine;
+        self
+    }
+
+    /// Validates the description into a [`RankQuery`].
+    pub fn build(self) -> Result<RankQuery<D>, QueryError> {
+        validate_region(&self.region)?;
+        if self.k == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        Ok(RankQuery {
+            region: self.region,
+            k: self.k,
+            refine: self.refine,
+        })
+    }
+
+    /// Builds and executes against any [`ProbIndex`].
+    pub fn run<I: ProbIndex<D> + ?Sized>(self, index: &I) -> Result<RankOutcome, QueryError> {
+        Ok(index.rank_topk(&self.build()?))
+    }
+}
+
+/// One ranked object: its id, appearance probability, and how the
+/// probability was certified.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedMatch {
+    /// The object's application-level identifier.
+    pub id: u64,
+    /// The appearance probability the match is ranked by.
+    /// `Provenance::Validated` matches carry an exact `1.0`.
+    pub p: f64,
+    /// [`Provenance::Validated`] when the probability was pinned by the
+    /// filter bounds (`r_q ⊇ mbr` ⇒ `p = 1`), [`Provenance::Refined`]
+    /// when it was computed.
+    pub provenance: Provenance,
+}
+
+/// Structured result of one ranking query: at most `k` matches ordered by
+/// probability (descending, ties by ascending id) plus the cost counters.
+///
+/// In the stats, `candidates` counts objects whose bounds could not decide
+/// them (they entered the ranking frontier); `prob_computations` counts
+/// how many of those were actually refined — the gap is what the
+/// PCR-bounded traversal saved over a refine-everything scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankOutcome {
+    /// The ranked matches, best first.
+    pub matches: Vec<RankedMatch>,
+    /// The paper's cost metrics for this query.
+    pub stats: QueryStats,
+}
+
+impl RankOutcome {
+    /// The ranked ids, best first.
+    pub fn ids(&self) -> Vec<u64> {
+        self.matches.iter().map(|m| m.id).collect()
+    }
+
+    /// Number of ranked objects (≤ k).
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// True when nothing in the region has positive probability.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// True when `id` ranked.
+    pub fn contains(&self, id: u64) -> bool {
+        self.matches.iter().any(|m| m.id == id)
+    }
+
+    /// The lowest probability that still ranked (the implicit threshold
+    /// this answer corresponds to).
+    pub fn min_probability(&self) -> Option<f64> {
+        self.matches.last().map(|m| m.p)
+    }
+
+    /// Iterates over the matches, best first.
+    pub fn iter(&self) -> std::slice::Iter<'_, RankedMatch> {
+        self.matches.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a RankOutcome {
+    type Item = &'a RankedMatch;
+    type IntoIter = std::slice::Iter<'a, RankedMatch>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.matches.iter()
     }
 }
 
@@ -447,6 +618,29 @@ pub trait ProbIndex<const D: usize> {
     /// calls — one context per worker thread is the intended pattern (see
     /// [`crate::engine::BatchExecutor`]).
     fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome;
+
+    /// Executes a validated **top-k ranking query**: the `k` objects with
+    /// the highest appearance probability in the region, ordered
+    /// (descending probability, ties by ascending id).
+    ///
+    /// The tree backends run a best-first traversal over PCR-derived
+    /// upper probability bounds with lazy refinement — a candidate's
+    /// probability is only computed while its upper bound still beats the
+    /// current k-th lower bound; [`crate::SeqScan`] is the
+    /// refine-everything oracle. All backends return identical matches
+    /// under a deterministic refinement mode.
+    ///
+    /// Same concurrency contract as [`ProbIndex::execute`]: `&self`
+    /// end-to-end, per-query state in a throwaway [`QueryCtx`].
+    fn rank_topk(&self, query: &RankQuery<D>) -> RankOutcome {
+        self.rank_topk_with(query, &mut QueryCtx::new())
+    }
+
+    /// [`ProbIndex::rank_topk`] with caller-owned scratch state (the
+    /// ranking frontier, bound buffers and result heap live in the
+    /// context, so one context per worker thread serves batches of
+    /// ranking queries without reallocation).
+    fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome;
 
     /// Inserts every object from an iterator, returning the accumulated
     /// [`InsertStats`]. Accepts owned or borrowed objects.

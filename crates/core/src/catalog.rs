@@ -91,9 +91,12 @@ impl UCatalog {
     }
 
     /// Index of the median value `p_{⌈m/2⌉}` used by the split algorithm
-    /// (Sec 5.3).
+    /// (Sec 5.3). The paper's subscript is 1-based, so the 0-based index
+    /// is `⌈m/2⌉ − 1`: m = 5 ⇒ p₃ (index 2), m = 6 ⇒ p₃ (index 2). The
+    /// earlier `m/2` sat one step high for even m, biasing the split
+    /// rectangle toward the small-probability end of the catalog.
     pub fn median_index(&self) -> usize {
-        self.values.len() / 2
+        self.values.len().div_ceil(2) - 1
     }
 
     /// Sum of all values (the constant `P` of the CFB objective,
@@ -167,9 +170,14 @@ mod tests {
     }
 
     #[test]
-    fn median_index() {
+    fn median_index_is_one_based_ceil_halved() {
+        // Sec 5.3 splits at p_{⌈m/2⌉} (1-based) ⇒ 0-based ⌈m/2⌉ − 1.
+        assert_eq!(UCatalog::uniform(2).median_index(), 0);
+        assert_eq!(UCatalog::uniform(3).median_index(), 1);
+        assert_eq!(UCatalog::uniform(4).median_index(), 1);
         assert_eq!(UCatalog::uniform(5).median_index(), 2);
-        assert_eq!(UCatalog::uniform(6).median_index(), 3);
+        assert_eq!(UCatalog::uniform(6).median_index(), 2);
+        assert_eq!(UCatalog::uniform(15).median_index(), 7);
     }
 
     #[test]

@@ -55,10 +55,58 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::api::{ProbIndex, Query, QueryOutcome};
+use crate::api::{ProbIndex, Query, QueryOutcome, RankOutcome, RankQuery};
 use crate::query::{QueryCtx, QueryStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Fans `items` across `workers` scoped threads (shared atomic cursor,
+/// one reused [`QueryCtx`] per worker) and returns the outputs in input
+/// order. The generic core behind both the range-query and the ranking
+/// batch paths.
+fn fan_out<Q, T, F>(workers: usize, items: &[Q], f: F) -> Vec<T>
+where
+    Q: Sync,
+    T: Send,
+    F: Fn(&Q, &mut QueryCtx) -> T + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let mut by_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ctx = QueryCtx::new();
+                    let mut local = Vec::new();
+                    loop {
+                        // Relaxed suffices: the fetch_add itself hands
+                        // out each index exactly once, and the scope
+                        // join publishes the results.
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else {
+                            break;
+                        };
+                        local.push((i, f(item, &mut ctx)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    for (i, outcome) in by_worker.drain(..).flatten() {
+        debug_assert!(slots[i].is_none(), "item {i} executed twice");
+        slots[i] = Some(outcome);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item claimed exactly once"))
+        .collect()
+}
 
 /// Executes batches of queries over one shared index with a fixed number
 /// of workers (`std::thread::scope`; no queries outlive the call).
@@ -110,44 +158,55 @@ impl BatchExecutor {
         }
 
         let t0 = Instant::now();
-        let cursor = AtomicUsize::new(0);
-        let mut by_worker: Vec<Vec<(usize, QueryOutcome)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut ctx = QueryCtx::new();
-                        let mut local = Vec::new();
-                        loop {
-                            // Relaxed suffices: the fetch_add itself hands
-                            // out each index exactly once, and the scope
-                            // join publishes the results.
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(query) = queries.get(i) else {
-                                break;
-                            };
-                            local.push((i, index.execute_with(query, &mut ctx)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("batch worker panicked"))
-                .collect()
-        });
-
-        let mut slots: Vec<Option<QueryOutcome>> = Vec::new();
-        slots.resize_with(queries.len(), || None);
-        for (i, outcome) in by_worker.drain(..).flatten() {
-            debug_assert!(slots[i].is_none(), "query {i} executed twice");
-            slots[i] = Some(outcome);
-        }
-        let outcomes: Vec<QueryOutcome> = slots
-            .into_iter()
-            .map(|s| s.expect("every query claimed exactly once"))
-            .collect();
+        let outcomes = fan_out(workers, queries, |q, ctx| index.execute_with(q, ctx));
         BatchOutcome::assemble(outcomes, workers, t0.elapsed().as_nanos())
+    }
+
+    /// Runs a batch of **top-k ranking queries** against the shared
+    /// `index`, returning outcomes in workload order plus the merged cost
+    /// counters — the ranking twin of [`BatchExecutor::run`], with the
+    /// same guarantees: per-worker contexts carry all mutable state, and
+    /// the per-object refinement seeding makes every answer independent
+    /// of scheduling.
+    pub fn run_ranked<const D: usize, I>(
+        &self,
+        index: &I,
+        queries: &[RankQuery<D>],
+    ) -> RankBatchOutcome
+    where
+        I: ProbIndex<D> + Sync + ?Sized,
+    {
+        let workers = self.workers.min(queries.len().max(1));
+        let t0 = Instant::now();
+        let outcomes = if workers <= 1 {
+            let mut ctx = QueryCtx::new();
+            queries
+                .iter()
+                .map(|q| index.rank_topk_with(q, &mut ctx))
+                .collect()
+        } else {
+            fan_out(workers, queries, |q, ctx| index.rank_topk_with(q, ctx))
+        };
+        RankBatchOutcome::assemble(outcomes, workers.max(1), t0.elapsed().as_nanos())
+    }
+
+    /// Runs a ranking batch on the calling thread, in order, with one
+    /// reused context — the baseline [`BatchExecutor::run_ranked`] is
+    /// verified against, available for non-`Sync` backends.
+    pub fn run_ranked_sequential<const D: usize, I>(
+        index: &I,
+        queries: &[RankQuery<D>],
+    ) -> RankBatchOutcome
+    where
+        I: ProbIndex<D> + ?Sized,
+    {
+        let t0 = Instant::now();
+        let mut ctx = QueryCtx::new();
+        let outcomes: Vec<RankOutcome> = queries
+            .iter()
+            .map(|q| index.rank_topk_with(q, &mut ctx))
+            .collect();
+        RankBatchOutcome::assemble(outcomes, 1, t0.elapsed().as_nanos())
     }
 
     /// Runs the batch on the calling thread, in order, with one reused
@@ -234,6 +293,65 @@ impl BatchOutcome {
     /// equal, wall-clock ignored. The equivalence the executor guarantees
     /// between parallel and sequential runs of one workload.
     pub fn same_results(&self, other: &BatchOutcome) -> bool {
+        self.outcomes.len() == other.outcomes.len()
+            && self
+                .outcomes
+                .iter()
+                .zip(&other.outcomes)
+                .all(|(a, b)| a.matches == b.matches && a.stats.same_counts(&b.stats))
+    }
+}
+
+/// Result of one ranking batch: per-query [`RankOutcome`]s in workload
+/// order and the workload-level aggregates (see [`BatchOutcome`] for the
+/// field semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankBatchOutcome {
+    /// One [`RankOutcome`] per input query, in input order.
+    pub outcomes: Vec<RankOutcome>,
+    /// All per-query [`QueryStats`] merged (`+=`).
+    pub stats: QueryStats,
+    /// Workers the batch actually used.
+    pub workers: usize,
+    /// Wall-clock nanoseconds for the whole batch.
+    pub wall_nanos: u128,
+}
+
+impl RankBatchOutcome {
+    fn assemble(outcomes: Vec<RankOutcome>, workers: usize, wall_nanos: u128) -> Self {
+        let mut stats = QueryStats::default();
+        for o in &outcomes {
+            stats += &o.stats;
+        }
+        Self {
+            outcomes,
+            stats,
+            workers,
+            wall_nanos,
+        }
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Aggregate throughput in queries per second.
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 * 1e9 / self.wall_nanos as f64
+    }
+
+    /// True when both batches produced identical ranked answers and did
+    /// the same counted work (wall-clock ignored).
+    pub fn same_results(&self, other: &RankBatchOutcome) -> bool {
         self.outcomes.len() == other.outcomes.len()
             && self
                 .outcomes

@@ -60,14 +60,20 @@ pub fn filter_object<const D: usize, A: PcrAccess<D>>(
     let pm = catalog.last();
 
     // ---- pruning --------------------------------------------------------
-    if pq > 1.0 - pm {
+    // The gate carries the same PROB_EPS slack as every catalog lookup:
+    // for p_q mathematically equal to 1 − p_m, the float subtraction can
+    // land a few ulps to either side, and the ulp-below case would
+    // otherwise silently demote the query to rule 2 — much weaker at high
+    // thresholds (disjointness from the smallest PCR instead of
+    // containment of it).
+    if pq > 1.0 - pm - PROB_EPS {
         // Rule 1: p_j = smallest catalog value >= 1 - p_q. Object fails if
         // r_q does not fully contain (the inner approximation of) pcr(p_j):
         // some face of pcr(p_j) sticks out, so at least p_j >= 1 - p_q mass
         // escapes r_q and P_app < p_q.
         let j = catalog
             .smallest_geq(1.0 - pq - PROB_EPS)
-            .expect("pq > 1 - pm implies 1 - pq < pm <= catalog.last()");
+            .expect("pq > 1 - pm - eps implies 1 - pq - eps <= pm = catalog.last()");
         if !rq.contains_rect(&acc.inner(j)) {
             return FilterOutcome::Pruned;
         }
@@ -138,6 +144,121 @@ fn covers_slab<const D: usize>(rq: &Rect<D>, mbr: &Rect<D>, dim: usize, lo: f64,
     let lo = lo.max(mbr.min[dim]);
     let hi = hi.min(mbr.max[dim]);
     rq.min[dim] <= lo && rq.max[dim] >= hi
+}
+
+/// Conservative bounds `(lo, hi)` on an object's appearance probability
+/// `P(o ∈ r_q)`, derived from the same PCR information the filter rules
+/// consume — no integration.
+///
+/// Contract: `lo <= P <= hi`, up to the `PROB_EPS` boundary widening every
+/// catalog-driven rule accepts. The bounds are the graded form of the
+/// prune/validate rules and power probabilistic *ranking*: a top-k
+/// traversal only refines an object while `hi` still beats the current
+/// k-th lower bound.
+///
+/// How each side is obtained (faces of `pcr(p_j)` carry exactly `p_j`
+/// mass on their outside):
+///
+/// * **upper** — mass provably *escaping* `r_q`: per dimension, the lower
+///   and upper tails cut off by inner-approximation faces outside `r_q`
+///   are disjoint, so their `p_j`s add (`hi = 1 − p_lo − p_hi`); and when
+///   `r_q` lies entirely beyond an outer face, the mass inside `r_q` is at
+///   most that face's `p_j` (rule-2 logic). Disjoint from the MBR ⇒ 0.
+/// * **lower** — mass provably *captured*: in a dimension whose
+///   complement `r_q` fully covers (the paper's O(d) slab precondition),
+///   either both cut-off tails are bounded by outer faces inside `r_q`
+///   (`lo = 1 − p_j − p_j'`, generalising rules 3/4), or `r_q` covers one
+///   side of the MBR up to an inner face (`lo = p_j`, rule-5 logic).
+///
+/// `lo == hi == 1` exactly when `r_q ⊇ mbr` — the only case a ranking
+/// backend may report without refinement, because it is decided by the
+/// (backend-identical) MBR alone rather than by the tightness of the PCR
+/// approximation at hand.
+pub fn prob_bounds<const D: usize, A: PcrAccess<D>>(
+    acc: &A,
+    mbr: &Rect<D>,
+    catalog: &UCatalog,
+    rq: &Rect<D>,
+) -> (f64, f64) {
+    if !rq.intersects(mbr) {
+        return (0.0, 0.0);
+    }
+    let m = catalog.len();
+
+    // ---- upper bound ----------------------------------------------------
+    let mut hi = 1.0f64;
+    for i in 0..D {
+        // Tails guaranteed to escape r_q in dimension i: pcr_lo(p_j) <=
+        // inner(j).min < rq.min puts p_j mass strictly below r_q (and
+        // symmetrically above). The two tails of one dimension are
+        // disjoint, so their masses add.
+        let mut escape_lo = 0.0f64;
+        let mut escape_hi = 0.0f64;
+        // Mass *inside* r_q when it sits entirely beyond an outer face:
+        // everything in r_q lies outside pcr(p_j), where at most p_j mass
+        // lives (rule-2 logic, per face).
+        let mut beyond = 1.0f64;
+        for j in 0..m {
+            let pj = catalog.value(j);
+            let inner = acc.inner(j);
+            if inner.min[i] < rq.min[i] {
+                escape_lo = escape_lo.max(pj);
+            }
+            if inner.max[i] > rq.max[i] {
+                escape_hi = escape_hi.max(pj);
+            }
+            let outer = acc.outer(j);
+            if rq.max[i] < outer.min[i] || rq.min[i] > outer.max[i] {
+                beyond = beyond.min(pj);
+            }
+        }
+        hi = hi.min(1.0 - escape_lo - escape_hi).min(beyond);
+    }
+    hi = hi.clamp(0.0, 1.0);
+
+    // ---- lower bound ----------------------------------------------------
+    let mut lo = 0.0f64;
+    for i in 0..D {
+        // The slab precondition: every other dimension fully covered.
+        let others_covered = (0..D)
+            .filter(|&k| k != i)
+            .all(|k| rq.min[k] <= mbr.min[k] && rq.max[k] >= mbr.max[k]);
+        if !others_covered {
+            continue;
+        }
+        let covers_lo = rq.min[i] <= mbr.min[i];
+        let covers_hi = rq.max[i] >= mbr.max[i];
+        // Two-sided: mass cut off below r_q is at most p_j once
+        // rq.min <= outer(j).min <= pcr_lo(p_j) (and symmetrically above).
+        let mut cut_lo = if covers_lo { Some(0.0f64) } else { None };
+        let mut cut_hi = if covers_hi { Some(0.0f64) } else { None };
+        // One-sided strips (rule-5 logic): covering the MBR side up to an
+        // inner face captures at least that face's p_j.
+        let mut strip = 0.0f64;
+        for j in 0..m {
+            let pj = catalog.value(j);
+            let outer = acc.outer(j);
+            if outer.min[i] >= rq.min[i] {
+                cut_lo = Some(cut_lo.map_or(pj, |c: f64| c.min(pj)));
+            }
+            if outer.max[i] <= rq.max[i] {
+                cut_hi = Some(cut_hi.map_or(pj, |c: f64| c.min(pj)));
+            }
+            let inner = acc.inner(j);
+            if covers_lo && inner.min[i] <= rq.max[i] {
+                strip = strip.max(pj);
+            }
+            if covers_hi && inner.max[i] >= rq.min[i] {
+                strip = strip.max(pj);
+            }
+        }
+        if let (Some(cl), Some(ch)) = (cut_lo, cut_hi) {
+            lo = lo.max(1.0 - cl - ch);
+        }
+        lo = lo.max(strip);
+    }
+    lo = lo.clamp(0.0, 1.0).min(hi);
+    (lo, hi)
 }
 
 #[cfg(test)]
@@ -263,6 +384,156 @@ mod tests {
                 FilterOutcome::Pruned,
                 "pq={pq}"
             );
+        }
+    }
+
+    #[test]
+    fn gate_carries_prob_eps_slack_at_one_minus_pm() {
+        // Catalog with p_m = 0.4: the rule-1/rule-2 gate sits at
+        // p_q = 1 − p_m = 0.6. A query that intersects pcr(0.4) without
+        // containing it is prunable by rule 1 only — rule 2 (disjointness)
+        // cannot fire. Before the gate carried the PROB_EPS slack,
+        // p_q at or one ulp below the float value of `1.0 - 0.4` silently
+        // fell into the weaker rule-2 branch and leaked a candidate.
+        let pdf = ObjectPdf::UniformBox {
+            rect: Rect::new([0.0, 0.0], [10.0, 10.0]),
+        };
+        let cat = UCatalog::new(vec![0.0, 0.2, 0.4]);
+        let pcrs = PcrSet::compute(&pdf, &cat);
+        let mbr = pdf.mbr();
+        // pcr(0.4) = [4,6]²; rq cuts into it from the right but leaves its
+        // left strip uncovered ⇒ at least 0.4 mass escapes ⇒ P <= 0.6 - ε'
+        // (true P = 0.55 here).
+        let rq = Rect::new([4.5, -1.0], [12.0, 11.0]);
+        let gate = 1.0 - cat.last();
+        for pq in [
+            f64::from_bits(gate.to_bits() - 1), // one ulp below
+            gate,
+            f64::from_bits(gate.to_bits() + 1), // one ulp above
+        ] {
+            assert_eq!(
+                filter_object(&pcrs, &mbr, &cat, &rq, pq),
+                FilterOutcome::Pruned,
+                "pq = {pq:.17} around 1 - p_m must take rule 1 and prune"
+            );
+        }
+        // Well below the gate the query is a legitimate candidate for the
+        // rule-2 branch (P = 0.55 >= pq is plausible): the slack must not
+        // drag far-away thresholds into rule 1.
+        assert_eq!(
+            filter_object(&pcrs, &mbr, &cat, &rq, 0.5),
+            FilterOutcome::Candidate
+        );
+    }
+
+    #[test]
+    fn prob_bounds_analytic_square() {
+        let (_, pcrs, cat, mbr) = square();
+        // Fully containing: pinned to 1 on both sides.
+        let all = Rect::new([-1.0, -1.0], [11.0, 11.0]);
+        assert_eq!(prob_bounds(&pcrs, &mbr, &cat, &all), (1.0, 1.0));
+        // Disjoint: pinned to 0.
+        let none = Rect::new([20.0, 20.0], [30.0, 30.0]);
+        assert_eq!(prob_bounds(&pcrs, &mbr, &cat, &none), (0.0, 0.0));
+        // Left half (true P = 0.5): catalog resolution brackets it.
+        let half = Rect::new([-1.0, -1.0], [5.0, 11.0]);
+        let (lo, hi) = prob_bounds(&pcrs, &mbr, &cat, &half);
+        assert!(lo <= 0.5 + 1e-9 && 0.5 <= hi + 1e-9, "({lo}, {hi})");
+        assert!((lo - 0.5).abs() < 1e-6, "exact PCR face at 5 ⇒ tight lower");
+        // Interior slab [4,6] × full (true P = 0.2): the two-sided cut
+        // bound is exact at catalog faces.
+        let slab = Rect::new([4.0, -1.0], [6.0, 11.0]);
+        let (lo, hi) = prob_bounds(&pcrs, &mbr, &cat, &slab);
+        assert!((lo - 0.2).abs() < 1e-6, "lo = {lo}");
+        assert!(lo <= 0.2 + 1e-9 && 0.2 <= hi + 1e-9);
+        // Small corner box (true P = 0.01): the beyond-a-face rule caps
+        // the upper bound at a small catalog value.
+        let corner = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        let (lo, hi) = prob_bounds(&pcrs, &mbr, &cat, &corner);
+        assert_eq!(lo, 0.0);
+        assert!(hi <= 0.2 + 1e-9, "hi = {hi}");
+    }
+
+    #[test]
+    fn prob_bounds_bracket_reference_probability() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use uncertain_geom::Point;
+
+        let mut rng = SmallRng::seed_from_u64(2024);
+        let cat = UCatalog::uniform(8);
+        for case in 0..60 {
+            let pdf: ObjectPdf<2> = ObjectPdf::UniformBall {
+                center: Point::new([rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)]),
+                radius: rng.gen_range(5.0..40.0),
+            };
+            let pcrs = PcrSet::compute(&pdf, &cat);
+            let mbr = pdf.mbr();
+            let min = [rng.gen_range(-90.0..50.0), rng.gen_range(-90.0..50.0)];
+            let rq = Rect::new(
+                min,
+                [
+                    min[0] + rng.gen_range(5.0..120.0),
+                    min[1] + rng.gen_range(5.0..120.0),
+                ],
+            );
+            let (lo, hi) = prob_bounds(&pcrs, &mbr, &cat, &rq);
+            assert!(lo <= hi + 1e-12, "case {case}: inverted bounds");
+            let p = uncertain_pdf::appearance_reference(&pdf, &rq, 1e-9);
+            assert!(
+                lo - 1e-6 <= p && p <= hi + 1e-6,
+                "case {case}: P = {p} outside [{lo}, {hi}] (rq = {rq:?})"
+            );
+            // The bounds must cohere with the threshold filter: a pruned
+            // object can never have lo >= pq, a validated one never hi < pq.
+            for pq in [0.15, 0.5, 0.85] {
+                match filter_object(&pcrs, &mbr, &cat, &rq, pq) {
+                    FilterOutcome::Pruned => {
+                        assert!(lo < pq + 1e-9, "case {case}: pruned but lo = {lo} >= {pq}")
+                    }
+                    FilterOutcome::Validated => {
+                        assert!(
+                            hi >= pq - 1e-9,
+                            "case {case}: validated but hi = {hi} < {pq}"
+                        )
+                    }
+                    FilterOutcome::Candidate => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prob_bounds_through_cfb_view_stay_sound() {
+        use crate::cfb::{fit_cfb_pair, CfbView};
+        use uncertain_geom::Point;
+
+        let cat = UCatalog::uniform(8);
+        let pdf: ObjectPdf<2> = ObjectPdf::UniformBall {
+            center: Point::new([50.0, 50.0]),
+            radius: 20.0,
+        };
+        let pcrs = PcrSet::compute(&pdf, &cat);
+        let pair = fit_cfb_pair(&pcrs, &cat);
+        let view = CfbView {
+            pair: &pair,
+            catalog: &cat,
+        };
+        let mbr = pdf.mbr();
+        for rq in [
+            Rect::new([20.0, 20.0], [80.0, 80.0]),
+            Rect::new([20.0, 20.0], [50.0, 80.0]),
+            Rect::new([45.0, 20.0], [55.0, 80.0]),
+            Rect::new([62.0, 40.0], [90.0, 60.0]),
+        ] {
+            let p = uncertain_pdf::appearance_reference(&pdf, &rq, 1e-9);
+            let (lo_cfb, hi_cfb) = prob_bounds(&view, &mbr, &cat, &rq);
+            let (lo_pcr, hi_pcr) = prob_bounds(&pcrs, &mbr, &cat, &rq);
+            assert!(lo_cfb - 1e-6 <= p && p <= hi_cfb + 1e-6, "{rq:?}");
+            // CFBs are the lossy compression of the PCRs: their bounds can
+            // only be (weakly) looser.
+            assert!(lo_cfb <= lo_pcr + 1e-9, "{rq:?}");
+            assert!(hi_cfb >= hi_pcr - 1e-9, "{rq:?}");
         }
     }
 

@@ -23,7 +23,14 @@
 //! [`UPcrTree`] (PCRs stored verbatim) and [`SeqScan`] (no index) are the
 //! paper's comparison points. All three implement the backend-agnostic
 //! [`ProbIndex`] trait and are built/queried through the fluent [`api`]
-//! surface. The trees are additionally generic over their
+//! surface.
+//!
+//! Besides threshold queries, the same machinery answers **probabilistic
+//! top-k ranking** (`Query::range(..).top(k)` /
+//! [`ProbIndex::rank_topk`]): [`filter::prob_bounds`] grades the filter
+//! rules into per-object probability bounds, and the trees run a
+//! best-first, lazily-refining traversal that computes only a fraction of
+//! the appearance probabilities a scan would. The trees are additionally generic over their
 //! [`page_store::PageStore`]: `save(dir)` persists an index on disk and
 //! [`DiskUTree`]`::open(dir, frames)` reopens it cold through a latched
 //! LRU buffer pool with identical query answers.
@@ -63,18 +70,19 @@ pub mod pcr;
 mod persist;
 pub mod quadratic;
 pub mod query;
+mod rank;
 pub mod seqscan;
 pub mod tree;
 pub mod upcr;
 
 pub use api::{
     IndexBackend, IndexBuilder, IndexError, Match, ProbIndex, Provenance, Query, QueryBuilder,
-    QueryError, QueryOutcome, Refine,
+    QueryError, QueryOutcome, RankBuilder, RankOutcome, RankQuery, RankedMatch, Refine,
 };
 pub use catalog::UCatalog;
 pub use cfb::{fit_cfb_pair, Cfb, CfbPair, CfbView};
-pub use engine::{BatchExecutor, BatchOutcome};
-pub use filter::{filter_object, FilterOutcome, PcrAccess};
+pub use engine::{BatchExecutor, BatchOutcome, RankBatchOutcome};
+pub use filter::{filter_object, prob_bounds, FilterOutcome, PcrAccess};
 pub use key::{PcrKey, PcrMetrics, UKey, UMetrics};
 pub use pcr::PcrSet;
 pub use quadratic::{fit_quad_cfb_pair, QuadCfb, QuadCfbPair, QuadCfbView};

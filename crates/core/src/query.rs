@@ -21,8 +21,15 @@ pub struct ProbRangeQuery<const D: usize> {
 
 impl<const D: usize> ProbRangeQuery<D> {
     /// Creates a query, returning a typed error when `threshold` is
-    /// outside `[0, 1]`.
+    /// outside `[0, 1]` or the region has a non-finite or inverted bound.
+    ///
+    /// This is the single validation path: the fluent builder
+    /// ([`crate::api::QueryBuilder::build`]) delegates here, so a query
+    /// constructed directly from a pre-generated workload is held to
+    /// exactly the same rules — a NaN/∞ region can no longer slip into a
+    /// traversal as a silently empty (or garbage) search box.
     pub fn try_new(region: Rect<D>, threshold: f64) -> Result<Self, QueryError> {
+        crate::api::validate_region(&region)?;
         if !(0.0..=1.0).contains(&threshold) {
             return Err(QueryError::ThresholdOutOfRange { threshold });
         }
@@ -185,6 +192,16 @@ pub struct QueryCtx {
     pub(crate) stack: Vec<(PageId, usize)>,
     /// Monte-Carlo generator slot (re-seeded per refinement pass).
     pub(crate) rng: Option<SmallRng>,
+    /// Best-first ranking frontier (nodes and undecided objects, keyed by
+    /// upper probability bound).
+    pub(crate) frontier: std::collections::BinaryHeap<crate::rank::RankItem>,
+    /// Lower bounds of objects currently in the frontier, keyed
+    /// `(lb_bits, id)` so the k-th best bound is an ordered lookup.
+    pub(crate) pending: std::collections::BTreeSet<(u64, u64)>,
+    /// Exact ranking results so far (sorted descending, capped at k).
+    pub(crate) ranked: Vec<crate::rank::RankedHit>,
+    /// Distinct heap pages touched by one-at-a-time refinement (sorted).
+    pub(crate) heap_pages: Vec<PageId>,
 }
 
 impl QueryCtx {
@@ -195,14 +212,77 @@ impl QueryCtx {
 
     /// Resets per-query state (stats and buffers) while keeping the buffer
     /// capacity from earlier queries. Every backend calls this on entry to
-    /// `execute_with`.
+    /// `execute_with` / `rank_topk_with`.
     pub(crate) fn begin(&mut self) {
         self.stats = QueryStats::default();
         self.validated.clear();
         self.candidates.clear();
         self.refined.clear();
         self.stack.clear();
+        self.frontier.clear();
+        self.pending.clear();
+        self.ranked.clear();
+        self.heap_pages.clear();
     }
+}
+
+/// The per-object Monte-Carlo seed used by ranking refinement.
+///
+/// Range refinement seeds one generator per *pass* (candidates are
+/// evaluated in one deterministic sweep), but a best-first ranking refines
+/// objects one at a time in a bound-dependent order that legitimately
+/// differs between backends. Deriving the stream from `(seed, id)` makes
+/// every object's estimate a pure function of the query — identical on
+/// every backend, in any traversal order, on any thread.
+pub(crate) fn rank_refine_seed(seed: u64, id: u64) -> u64 {
+    // SplitMix64-style finalizer over the id, xored into the query seed.
+    let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    seed ^ (z ^ (z >> 31))
+}
+
+/// Refines a single candidate: loads its heap record, computes the
+/// appearance probability under `mode`, and charges the ranking cost
+/// model (`prob_computations` per call; `heap_reads` counts *distinct*
+/// pages touched this query, tracked in `ctx.heap_pages`).
+pub(crate) fn refine_one<const D: usize, S: PageStore>(
+    heap: &ObjectHeap<S>,
+    addr: RecordAddr,
+    id: u64,
+    rq: &Rect<D>,
+    mode: RefineMode,
+    ctx: &mut QueryCtx,
+) -> f64 {
+    let t0 = std::time::Instant::now();
+    if let Err(at) = ctx.heap_pages.binary_search(&addr.page) {
+        ctx.heap_pages.insert(at, addr.page);
+        ctx.stats.heap_reads += 1;
+    }
+    let p = match heap.get(addr) {
+        Some(bytes) => {
+            let obj = decode_object::<D>(&bytes);
+            debug_assert_eq!(obj.id, id, "heap record id mismatch");
+            match mode {
+                RefineMode::MonteCarlo { n1, seed } => {
+                    let mut rng = SmallRng::seed_from_u64(rank_refine_seed(seed, id));
+                    MonteCarlo::new(n1).estimate(&obj.pdf, rq, &mut rng)
+                }
+                RefineMode::Reference { tol } => appearance_reference(&obj.pdf, rq, tol),
+            }
+        }
+        None => {
+            debug_assert!(
+                false,
+                "candidate addr {}/{} missing from heap",
+                addr.page, addr.slot
+            );
+            0.0
+        }
+    };
+    ctx.stats.prob_computations += 1;
+    ctx.stats.refine_nanos += t0.elapsed().as_nanos();
+    p
 }
 
 /// Shared refinement core writing qualifiers into `out` (Sec 5.2):
@@ -486,5 +566,56 @@ mod tests {
             QueryError::ThresholdOutOfRange { threshold: 1.01 }
         );
         assert!(ProbRangeQuery::try_new(r, -0.2).is_err());
+    }
+
+    #[test]
+    fn try_new_rejects_bad_regions_like_the_builder() {
+        use crate::api::Query;
+        // Regression: the NaN/∞ checks used to live only in the fluent
+        // builder, so direct construction (pre-generated workloads)
+        // silently produced garbage traversal boxes.
+        let nan = Rect {
+            min: [0.0, f64::NAN],
+            max: [10.0, 10.0],
+        };
+        assert_eq!(
+            ProbRangeQuery::try_new(nan, 0.5).unwrap_err(),
+            QueryError::NonFiniteRegion { dim: 1 }
+        );
+        let inf = Rect {
+            min: [0.0, 0.0],
+            max: [f64::INFINITY, 10.0],
+        };
+        assert_eq!(
+            ProbRangeQuery::try_new(inf, 0.5).unwrap_err(),
+            QueryError::NonFiniteRegion { dim: 0 }
+        );
+        let inverted = Rect {
+            min: [5.0, 0.0],
+            max: [0.0, 10.0],
+        };
+        assert_eq!(
+            ProbRangeQuery::try_new(inverted, 0.5).unwrap_err(),
+            QueryError::EmptyRegion { dim: 0 }
+        );
+        // Both construction routes go through the same validation path.
+        assert_eq!(
+            Query::range(nan).threshold(0.5).build().unwrap_err(),
+            ProbRangeQuery::try_new(nan, 0.5).unwrap_err()
+        );
+        assert_eq!(
+            Query::range(inverted).threshold(0.5).build().unwrap_err(),
+            ProbRangeQuery::try_new(inverted, 0.5).unwrap_err()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn new_panics_on_nan_region() {
+        let nan = Rect {
+            min: [f64::NAN, 0.0],
+            max: [10.0, 10.0],
+        };
+        let _ = ProbRangeQuery::new(nan, 0.5);
     }
 }

@@ -7,7 +7,9 @@
 //! baseline. It implements the same [`ProbIndex`] contract as the trees,
 //! so the harness and applications can swap it in transparently.
 
-use crate::api::{outcome_from_ctx, IndexBuilder, ProbIndex, Query, QueryOutcome};
+use crate::api::{
+    outcome_from_ctx, IndexBuilder, ProbIndex, Query, QueryOutcome, RankOutcome, RankQuery,
+};
 use crate::catalog::UCatalog;
 use crate::cfb::{fit_cfb_pair, CfbView};
 use crate::entry::{UCodec, ULeafEntry};
@@ -239,6 +241,84 @@ impl<const D: usize> SeqScan<D> {
         ctx.stats.refine_nanos = t1.elapsed().as_nanos();
         outcome_from_ctx(ctx)
     }
+
+    /// Executes a top-k ranking query as the **refine-everything oracle**:
+    /// every object whose MBR intersects `r_q` has its appearance
+    /// probability computed (objects fully contained are pinned to 1, as
+    /// on the trees), then the k best are reported. This is the baseline
+    /// the bounded best-first traversals are measured against — identical
+    /// answers, maximal `prob_computations`.
+    pub fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
+        ctx.begin();
+        let t0 = Instant::now();
+        let rq = query.region();
+        let k = query.k();
+        let mode = query.refine_mode();
+        {
+            let QueryCtx {
+                stats,
+                candidates,
+                ranked,
+                ..
+            } = &mut *ctx;
+            let mut classify = |rec: &ULeafEntry<D>| {
+                stats.visited += 1;
+                if rq.contains_rect(&rec.mbr) {
+                    stats.validated += 1;
+                    crate::rank::push_hit(
+                        ranked,
+                        k,
+                        crate::rank::RankedHit {
+                            p: 1.0,
+                            id: rec.id,
+                            validated: true,
+                        },
+                    );
+                } else if rec.mbr.intersects(rq) {
+                    stats.candidates += 1;
+                    candidates.push((rec.addr, rec.id));
+                } else {
+                    stats.pruned += 1;
+                }
+            };
+            for &page in &self.pages {
+                let bytes = self.file.read(page);
+                stats.node_reads += 1;
+                for rec in self.codec.decode_leaf(bytes) {
+                    classify(&rec);
+                }
+            }
+            for rec in &self.open {
+                classify(rec);
+            }
+            if !self.open.is_empty() {
+                stats.node_reads += 1;
+            }
+        }
+        let cands = std::mem::take(&mut ctx.candidates);
+        for &(addr, id) in &cands {
+            let p = crate::query::refine_one(&self.heap, addr, id, rq, mode, ctx);
+            if p > 0.0 {
+                crate::rank::push_hit(
+                    &mut ctx.ranked,
+                    k,
+                    crate::rank::RankedHit {
+                        p,
+                        id,
+                        validated: false,
+                    },
+                );
+            }
+        }
+        // Hand the buffer back so its capacity stays with the context.
+        ctx.candidates = cands;
+        crate::rank::finish(ctx, t0)
+    }
+
+    /// [`SeqScan::rank_topk_with`] with a throwaway context.
+    pub fn rank_topk(&self, query: &RankQuery<D>) -> RankOutcome {
+        self.rank_topk_with(query, &mut QueryCtx::new())
+    }
 }
 
 impl<const D: usize> ProbIndex<D> for SeqScan<D> {
@@ -272,6 +352,10 @@ impl<const D: usize> ProbIndex<D> for SeqScan<D> {
 
     fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
         SeqScan::execute_with(self, query, ctx)
+    }
+
+    fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
+        SeqScan::rank_topk_with(self, query, ctx)
     }
 }
 

@@ -6,7 +6,9 @@
 //! fat entries shrink fanout, so the structure reads more pages — the
 //! trade-off the paper's experiments quantify.
 
-use crate::api::{outcome_from_ctx, IndexBuilder, ProbIndex, Query, QueryOutcome};
+use crate::api::{
+    outcome_from_ctx, IndexBuilder, ProbIndex, Query, QueryOutcome, RankOutcome, RankQuery,
+};
 use crate::catalog::UCatalog;
 use crate::entry::{UPcrCodec, UPcrLeafEntry};
 use crate::filter::{filter_object, FilterOutcome};
@@ -305,6 +307,40 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
         outcome_from_ctx(ctx)
     }
 
+    /// Executes a probabilistic top-k ranking query with caller-owned
+    /// scratch state (see [`ProbIndex::rank_topk`]): the exact-PCR
+    /// analogue of [`crate::UTree::rank_topk_with`] — intermediate
+    /// entries bound by the smallest catalog value whose stored rectangle
+    /// misses `r_q`, leaf entries by [`crate::filter::prob_bounds`] over
+    /// the verbatim PCRs.
+    pub fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
+        let rq = *query.region();
+        let m = self.catalog.len();
+        crate::rank::rank_best_first(
+            &self.tree,
+            &self.heap,
+            query,
+            ctx,
+            |key: &PcrKey<D>| {
+                let mut bound = 1.0f64;
+                for j in 0..m {
+                    if !rq.intersects(&key.rects[j]) {
+                        bound = bound.min(self.catalog.value(j));
+                    }
+                }
+                bound
+            },
+            |rec: &UPcrLeafEntry<D>| {
+                crate::filter::prob_bounds(&rec.pcrs, &rec.mbr, &self.catalog, &rq)
+            },
+        )
+    }
+
+    /// [`UPcrTree::rank_topk_with`] with a throwaway context.
+    pub fn rank_topk(&self, query: &RankQuery<D>) -> RankOutcome {
+        self.rank_topk_with(query, &mut QueryCtx::new())
+    }
+
     /// Visits every leaf entry.
     pub fn for_each_entry<F: FnMut(&UPcrLeafEntry<D>)>(&self, mut f: F) {
         self.tree.for_each_record(|r| f(r));
@@ -365,6 +401,10 @@ impl<const D: usize, S: PageStore> ProbIndex<D> for UPcrTree<D, S> {
 
     fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
         UPcrTree::execute_with(self, query, ctx)
+    }
+
+    fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
+        UPcrTree::rank_topk_with(self, query, ctx)
     }
 }
 

@@ -756,6 +756,38 @@ where
         let _ = self.visit(|_, _| true, on_record);
     }
 
+    /// Loads **one** node page and streams its contents to the caller:
+    /// inner entries as `(key, child_page)` pairs, leaf records by
+    /// reference. Returns the node's level (0 = leaf).
+    ///
+    /// This is the primitive behind best-first traversals: unlike
+    /// [`Self::visit_with`] (depth-first, tree-owned stack), the frontier
+    /// — priority queue, bounds, stopping rule — lives with the caller,
+    /// who decides *when* each child is expanded, not only whether. One
+    /// call costs exactly one counted node read; callers charge their own
+    /// per-query counters. Entry point for the descent is
+    /// [`Self::root_page`].
+    pub fn read_node<FI, FL>(&self, page: PageId, mut on_child: FI, mut on_record: FL) -> usize
+    where
+        FI: FnMut(&M::Key, PageId),
+        FL: FnMut(&L),
+    {
+        let (level, node) = self.load(page);
+        match node {
+            Node::Leaf(es) => {
+                for r in &es {
+                    on_record(r);
+                }
+            }
+            Node::Inner(es) => {
+                for e in &es {
+                    on_child(&e.key, e.child);
+                }
+            }
+        }
+        level
+    }
+
     /// Structure statistics without touching the I/O counters.
     pub fn stats(&self) -> TreeStats {
         let mut stats = TreeStats {

@@ -78,8 +78,9 @@ pub mod prelude {
     pub use utree::{
         BatchExecutor, BatchOutcome, DiskUPcrTree, DiskUTree, FilterOutcome, IndexBuilder,
         IndexError, InsertStats, Match, ProbIndex, ProbRangeQuery, Provenance, Query, QueryBuilder,
-        QueryCtx, QueryError, QueryOptions, QueryOutcome, QueryStats, Refine, RefineMode, SeqScan,
-        UCatalog, UPcrTree, UTree,
+        QueryCtx, QueryError, QueryOptions, QueryOutcome, QueryStats, RankBatchOutcome,
+        RankOutcome, RankQuery, RankedMatch, Refine, RefineMode, SeqScan, UCatalog, UPcrTree,
+        UTree,
     };
 }
 
