@@ -63,6 +63,7 @@ pub mod catalog;
 pub mod cfb;
 pub mod engine;
 pub mod entry;
+pub mod epoch;
 pub mod filter;
 pub mod key;
 pub mod object_codec;
@@ -82,6 +83,7 @@ pub use api::{
 pub use catalog::UCatalog;
 pub use cfb::{fit_cfb_pair, Cfb, CfbPair, CfbView};
 pub use engine::{BatchExecutor, BatchOutcome, RankBatchOutcome};
+pub use epoch::{EpochIndex, EpochSnapshot};
 pub use filter::{filter_object, prob_bounds, FilterOutcome, PcrAccess};
 pub use key::{PcrKey, PcrMetrics, UKey, UMetrics};
 pub use pcr::PcrSet;
@@ -93,11 +95,15 @@ pub use seqscan::SeqScan;
 pub use tree::{InsertStats, QueryOptions, UTree};
 pub use upcr::UPcrTree;
 
-/// A [`UTree`] reopened from disk through an LRU buffer pool — what
-/// [`UTree::open`] returns.
-pub type DiskUTree<const D: usize> = UTree<D, page_store::BufferPool<page_store::DiskPageFile>>;
+/// The page store of a disk-backed tree: an LRU buffer pool over a
+/// journaling [`page_store::WalStore`] over the snapshot file. Commits go
+/// to the write-ahead log first; `open` replays the log over the snapshot.
+pub type DiskStore = page_store::BufferPool<page_store::WalStore<page_store::DiskPageFile>>;
 
-/// A [`UPcrTree`] reopened from disk through an LRU buffer pool — what
-/// [`UPcrTree::open`] returns.
-pub type DiskUPcrTree<const D: usize> =
-    UPcrTree<D, page_store::BufferPool<page_store::DiskPageFile>>;
+/// A [`UTree`] reopened from disk through a crash-safe write path — what
+/// [`UTree::open`] returns.
+pub type DiskUTree<const D: usize> = UTree<D, DiskStore>;
+
+/// A [`UPcrTree`] reopened from disk through a crash-safe write path —
+/// what [`UPcrTree::open`] returns.
+pub type DiskUPcrTree<const D: usize> = UPcrTree<D, DiskStore>;

@@ -1,5 +1,5 @@
-//! On-disk index persistence: page-image snapshots + a small metadata
-//! file.
+//! On-disk index persistence: page-image snapshots + a write-ahead log +
+//! a small metadata file.
 //!
 //! [`crate::UTree::save`] / [`crate::UPcrTree::save`] write a directory of
 //! three files:
@@ -12,23 +12,47 @@
 //!   kind, dimensionality, the U-catalog, R* tuning, root page, height,
 //!   record count, and the heap's open page.
 //!
-//! `open` reverses the process, wrapping each page file in a
-//! [`page_store::BufferPool`] so a reopened index reads cold pages from
-//! disk through a bounded cache.
+//! A directory that has seen post-open commits additionally holds
+//!
+//! * `wal.log` — the write-ahead log ([`page_store::wal`]): every commit
+//!   since the last snapshot/checkpoint as CRC-framed page images,
+//!   allocation records and a metadata blob, sealed by commit markers.
+//!
+//! `open` reverses the process — **with crash recovery**. The log is
+//! scanned, a torn or uncommitted tail is discarded, and every committed
+//! batch is replayed onto the snapshot files (full page images make the
+//! replay idempotent over any partially-applied base, so a crash at any
+//! point — mid-append, mid-apply, even mid-checkpoint — lands on some
+//! committed prefix). The authoritative superstructure is the log's last
+//! committed metadata record when the log is non-empty, `meta.bin`
+//! otherwise; the page files are then wrapped in
+//! [`WalStore`]s sharing one log (so an index+heap commit is a single
+//! atomic batch) behind [`page_store::BufferPool`]s.
+//!
+//! All replacement writes here are crash-ordered: temp file → fsync →
+//! rename → **fsync the parent directory** (a rename is atomic but not
+//! durable until the directory entry itself is synced).
 
 use crate::catalog::UCatalog;
+use page_store::wal::{self, Wal, WalStore};
 use page_store::{
-    BufferPool, ByteReader, ByteWriter, DiskPageFile, ObjectHeap, PageId, PageStore, PAGE_SIZE,
+    fsync_dir, BufferPool, ByteReader, ByteWriter, DiskPageFile, ObjectHeap, PageId, PageStore,
+    PAGE_SIZE,
 };
 use rstar_base::TreeConfig;
 use std::io;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// File names inside a saved-index directory.
 pub(crate) const META_FILE: &str = "meta.bin";
 pub(crate) const INDEX_FILE: &str = "index.pg";
 pub(crate) const HEAP_FILE: &str = "heap.pg";
+pub(crate) const WAL_FILE: &str = "wal.log";
+
+/// WAL store tags: which [`WalStore`] a log record belongs to.
+pub(crate) const WAL_TAG_INDEX: u8 = 0;
+pub(crate) const WAL_TAG_HEAP: u8 = 1;
 
 /// Structure tags stored in the metadata.
 pub(crate) const KIND_UTREE: u8 = 0;
@@ -36,6 +60,10 @@ pub(crate) const KIND_UPCR: u8 = 1;
 
 const MAGIC: [u8; 4] = *b"UIDX";
 const VERSION: u16 = 1;
+
+/// The node store every disk-backed tree runs on: an LRU pool over a
+/// journaling wrapper over the snapshot file.
+pub(crate) type DiskStore = BufferPool<WalStore<DiskPageFile>>;
 
 /// The superstructure a saved index needs besides its page images.
 pub(crate) struct SavedMeta {
@@ -60,6 +88,14 @@ fn tmp_path(path: &Path) -> std::path::PathBuf {
     path.with_file_name(name)
 }
 
+/// Makes a just-renamed directory entry durable.
+fn fsync_parent(path: &Path) -> io::Result<()> {
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => fsync_dir(dir),
+        _ => Ok(()),
+    }
+}
+
 /// Copies every page of `src` (live and freed alike, so page ids are
 /// preserved verbatim) into a fresh [`DiskPageFile`] at `path`, replicating
 /// the free list, and flushes.
@@ -69,7 +105,8 @@ fn tmp_path(path: &Path) -> std::path::PathBuf {
 /// index was opened from never truncates the file that index is still
 /// reading (the open store keeps its pre-save inode; reopen to pick up
 /// the new snapshot), and a crash mid-save never leaves a torn file
-/// behind.
+/// behind. The parent directory is fsynced after the rename — without it
+/// the rename itself is not crash-durable.
 pub(crate) fn dump_store<S: PageStore>(src: &S, path: &Path) -> io::Result<()> {
     let tmp = tmp_path(path);
     {
@@ -88,10 +125,12 @@ pub(crate) fn dump_store<S: PageStore>(src: &S, path: &Path) -> io::Result<()> {
         }
         dst.flush()?;
     }
-    std::fs::rename(&tmp, path)
+    std::fs::rename(&tmp, path)?;
+    fsync_parent(path)
 }
 
-pub(crate) fn write_meta(path: &Path, meta: &SavedMeta) -> io::Result<()> {
+/// Serializes the metadata to its on-disk/WAL byte form.
+pub(crate) fn encode_meta(meta: &SavedMeta) -> Vec<u8> {
     let mut w = ByteWriter::new();
     for b in MAGIC {
         w.put_u8(b);
@@ -110,33 +149,24 @@ pub(crate) fn write_meta(path: &Path, meta: &SavedMeta) -> io::Result<()> {
     for &p in &meta.catalog {
         w.put_f64(p);
     }
-    // Write-then-rename, like the page snapshots: the metadata file is
-    // rewritten by every flush of a disk-backed tree and must never be
-    // observable half-written.
-    let tmp = tmp_path(path);
-    std::fs::write(&tmp, w.as_slice())?;
-    std::fs::rename(&tmp, path)
+    w.into_bytes()
 }
 
-pub(crate) fn read_meta(path: &Path) -> io::Result<SavedMeta> {
-    let bytes = std::fs::read(path)?;
+/// Parses [`encode_meta`] bytes; `origin` labels error messages.
+pub(crate) fn decode_meta(bytes: &[u8], origin: &dyn std::fmt::Display) -> io::Result<SavedMeta> {
     // Fixed header + the catalog length field.
     const FIXED: usize = 4 + 2 + 1 + 1 + 3 * 8 + 4 * 8 + 2;
     if bytes.len() < FIXED {
-        return Err(invalid_data(format!(
-            "{}: truncated metadata",
-            path.display()
-        )));
+        return Err(invalid_data(format!("{origin}: truncated metadata")));
     }
     if bytes[..4] != MAGIC {
-        return Err(invalid_data(format!("{}: bad magic", path.display())));
+        return Err(invalid_data(format!("{origin}: bad magic")));
     }
     let mut r = ByteReader::new(&bytes[4..]);
     let version = r.get_u16();
     if version != VERSION {
         return Err(invalid_data(format!(
-            "{}: unsupported metadata version {version}",
-            path.display()
+            "{origin}: unsupported metadata version {version}"
         )));
     }
     let kind = r.get_u8();
@@ -155,10 +185,7 @@ pub(crate) fn read_meta(path: &Path) -> io::Result<SavedMeta> {
     };
     let m = r.get_u16() as usize;
     if r.remaining() != m * 8 {
-        return Err(invalid_data(format!(
-            "{}: catalog length mismatch",
-            path.display()
-        )));
+        return Err(invalid_data(format!("{origin}: catalog length mismatch")));
     }
     let catalog = (0..m).map(|_| r.get_f64()).collect();
     Ok(SavedMeta {
@@ -173,8 +200,28 @@ pub(crate) fn read_meta(path: &Path) -> io::Result<SavedMeta> {
     })
 }
 
+pub(crate) fn write_meta(path: &Path, meta: &SavedMeta) -> io::Result<()> {
+    // Write-then-rename, like the page snapshots: the metadata file is
+    // rewritten by every checkpoint and must never be observable
+    // half-written. The temp file is fsynced before the rename and the
+    // directory after it — the full crash-durable replacement sequence.
+    let tmp = tmp_path(path);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        io::Write::write_all(&mut f, &encode_meta(meta))?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    fsync_parent(path)
+}
+
+pub(crate) fn read_meta(path: &Path) -> io::Result<SavedMeta> {
+    let bytes = std::fs::read(path)?;
+    decode_meta(&bytes, &path.display())
+}
+
 /// Writes a complete saved-index directory: both page-image snapshots plus
-/// the metadata file. Shared by every tree's `save`.
+/// the metadata file. Shared by every tree's `save` and `checkpoint`.
 pub(crate) fn save_index<SI: PageStore, SH: PageStore>(
     dir: &Path,
     meta: &SavedMeta,
@@ -187,36 +234,99 @@ pub(crate) fn save_index<SI: PageStore, SH: PageStore>(
     write_meta(&dir.join(META_FILE), meta)
 }
 
-/// Rewrites the metadata file sitting next to a disk-backed node store
-/// (located via [`PageStore::backing_path`]), so the superstructure a
-/// reopened index mutated (root, height, len, open heap page) stays
-/// consistent with its flushed pages. A no-op for stores with no backing
-/// file (the in-memory backend).
-pub(crate) fn refresh_meta<S: PageStore>(index_store: &S, meta: &SavedMeta) -> io::Result<()> {
-    let Some(index_path) = index_store.backing_path() else {
+/// Guards [`crate::UTree::save`]-style snapshots against the directory a
+/// disk-backed tree is live on: a fresh snapshot there would disagree with
+/// the (possibly non-empty) WAL sitting next to it, so self-saves must go
+/// through `checkpoint()`, which commits and truncates the log around the
+/// snapshot.
+pub(crate) fn reject_live_dir<S: PageStore>(store: &S, dir: &Path) -> io::Result<()> {
+    let Some(backing) = store.backing_path() else {
         return Ok(());
     };
-    let Some(dir) = index_path.parent() else {
+    let Some(live) = backing.parent() else {
         return Ok(());
     };
-    write_meta(&dir.join(META_FILE), meta)
+    let same = live == dir
+        || match (live.canonicalize(), dir.canonicalize()) {
+            (Ok(a), Ok(b)) => a == b,
+            _ => false,
+        };
+    if same {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "{}: this tree is live on that directory; use checkpoint() instead of save()",
+                dir.display()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// A snapshot file being brought forward by WAL replay: the page file plus
+/// the allocation state the log reconstructs on top of it.
+struct ReplayFile {
+    file: DiskPageFile,
+    n_pages: u64,
+    free: Vec<PageId>,
+}
+
+impl ReplayFile {
+    fn new(file: DiskPageFile) -> Self {
+        let n_pages = file.capacity_pages() as u64;
+        let free = file.free_list();
+        Self {
+            file,
+            n_pages,
+            free,
+        }
+    }
+}
+
+impl wal::ReplayTarget for ReplayFile {
+    fn apply_image(&mut self, page: PageId, data: &[u8; PAGE_SIZE]) {
+        self.file.write(page, data);
+        if page >= self.n_pages {
+            self.n_pages = page + 1;
+        }
+    }
+
+    fn apply_alloc(&mut self, page: PageId) {
+        // Replay can re-allocate a page the snapshot already holds (a
+        // crash between snapshot and log truncation): converge, don't
+        // assume. The zeroing write also extends the file extent; the
+        // batch's paired page image follows and installs the content.
+        self.free.retain(|&f| f != page);
+        if page >= self.n_pages {
+            self.n_pages = page + 1;
+        }
+        self.file.write(page, &[]);
+    }
+
+    fn apply_release(&mut self, page: PageId) {
+        if !self.free.contains(&page) {
+            self.free.push(page);
+        }
+    }
 }
 
 /// Everything `open` reconstructs before the tree-specific metrics/codec
-/// are attached: validated metadata, the shared catalog, and the two
-/// pool-wrapped page files.
+/// are attached: validated (possibly log-recovered) metadata, the shared
+/// catalog, and the two journaled, pool-wrapped page files.
 pub(crate) struct OpenedParts {
     pub meta: SavedMeta,
     pub catalog: Arc<UCatalog>,
-    pub index: BufferPool<DiskPageFile>,
-    pub heap: ObjectHeap<BufferPool<DiskPageFile>>,
+    pub index: DiskStore,
+    pub heap: ObjectHeap<DiskStore>,
 }
 
 /// Reads and validates a saved-index directory (structure kind,
 /// dimensionality, catalog, and that the root / open heap page actually
-/// lie inside their files), wrapping each page file in a `buffer_pages`
-/// LRU pool. `shards` pins the pools' latch striping (`None` = automatic;
-/// see `BufferPool::new`). Shared by every tree's `open`.
+/// lie inside their files), **recovering any write-ahead log first**, then
+/// wrapping each page file in a journaling [`WalStore`] (both sharing one
+/// log, so index+heap commits stay atomic) behind a `buffer_pages` LRU
+/// pool. `shards` pins the pools' latch striping (`None` = automatic; see
+/// `BufferPool::new`). Shared by every tree's `open`.
 pub(crate) fn open_parts(
     dir: &Path,
     kind: u8,
@@ -236,15 +346,36 @@ pub(crate) fn open_parts(
             "pool shard count must lie in 1..=buffer_pages",
         ));
     }
-    let pool = |file: DiskPageFile| match shards {
-        Some(s) => BufferPool::with_shards(file, buffer_pages, s),
-        None => BufferPool::new(file, buffer_pages),
-    };
+
+    // Crash recovery: scan the log (discarding a torn/uncommitted tail)
+    // and replay every committed batch onto the snapshot files. Full page
+    // images make this idempotent whatever prefix of the batches a
+    // pre-crash apply already flushed.
+    let recovery = Wal::recover(dir.join(WAL_FILE))?;
+    let mut index_rf = ReplayFile::new(DiskPageFile::open(dir.join(INDEX_FILE))?);
+    let mut heap_rf = ReplayFile::new(DiskPageFile::open(dir.join(HEAP_FILE))?);
+    let wal_meta = wal::replay(&recovery.batches, &mut [&mut index_rf, &mut heap_rf]);
+
+    // The log's last committed metadata is authoritative (it belongs to
+    // the replayed page state); `meta.bin` covers the snapshot-only case.
     let meta_path = dir.join(META_FILE);
-    let meta = read_meta(&meta_path)?;
+    let meta = match wal_meta {
+        Some(bytes) => decode_meta(&bytes, &format!("{} (wal)", dir.display()))?,
+        None => read_meta(&meta_path)?,
+    };
     expect(&meta, kind, dims, &meta_path)?;
     let catalog = Arc::new(UCatalog::try_new(meta.catalog.clone()).map_err(invalid_data)?);
-    let index = pool(DiskPageFile::open(dir.join(INDEX_FILE))?);
+
+    let wal = Arc::new(Mutex::new(recovery.wal));
+    let journal = |rf: ReplayFile, tag: u8| {
+        WalStore::attach(rf.file, Arc::clone(&wal), tag, rf.n_pages, rf.free)
+    };
+    let pool = |store: WalStore<DiskPageFile>| match shards {
+        Some(s) => BufferPool::with_shards(store, buffer_pages, s),
+        None => BufferPool::new(store, buffer_pages),
+    };
+
+    let index = pool(journal(index_rf, WAL_TAG_INDEX));
     if meta.root as usize >= index.capacity_pages() {
         return Err(invalid_data(format!(
             "{}: root page {} outside the index file",
@@ -252,7 +383,7 @@ pub(crate) fn open_parts(
             meta.root
         )));
     }
-    let heap_store = pool(DiskPageFile::open(dir.join(HEAP_FILE))?);
+    let heap_store = pool(journal(heap_rf, WAL_TAG_HEAP));
     if let Some(p) = meta.heap_open_page {
         if p as usize >= heap_store.capacity_pages() {
             return Err(invalid_data(format!(
@@ -336,6 +467,10 @@ mod tests {
         assert!(expect(&back, KIND_UPCR, 3, &path).is_ok());
         assert!(expect(&back, KIND_UTREE, 3, &path).is_err());
         assert!(expect(&back, KIND_UPCR, 2, &path).is_err());
+        // The WAL carries the identical byte form.
+        let via_wal = decode_meta(&encode_meta(&meta), &"wal").unwrap();
+        assert_eq!(via_wal.root, meta.root);
+        assert_eq!(via_wal.catalog, meta.catalog);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -366,6 +501,38 @@ mod tests {
         for &id in &[ids[0], ids[1], ids[3], ids[5]] {
             assert_eq!(dst.peek_page(id)[..], src.peek(id)[..]);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_converges_over_a_fresh_snapshot() {
+        // A log replayed over a snapshot that already contains its effects
+        // (crash between snapshot rename and log truncation) must land on
+        // the same state as replaying over the pre-snapshot base.
+        let dir = temp_dir("converge");
+        let path = dir.join(INDEX_FILE);
+        let mut base = DiskPageFile::create(&path).unwrap();
+        let p0 = base.allocate();
+        base.write(p0, b"pre-existing");
+        base.flush().unwrap();
+
+        let mut rf = ReplayFile::new(base);
+        use wal::ReplayTarget;
+        let img = {
+            let mut b = [0u8; PAGE_SIZE];
+            b[..5].copy_from_slice(b"fresh");
+            b
+        };
+        // alloc p1 + image, release p0, then the snapshot-included replay
+        // of the same ops again.
+        for _ in 0..2 {
+            rf.apply_alloc(1);
+            rf.apply_image(1, &img);
+            rf.apply_release(0);
+        }
+        assert_eq!(rf.n_pages, 2);
+        assert_eq!(rf.free, vec![0]);
+        assert_eq!(&rf.file.peek_page(1)[..5], b"fresh");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

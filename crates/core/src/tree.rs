@@ -13,9 +13,7 @@ use crate::object_codec::encode_object;
 use crate::pcr::PcrSet;
 use crate::persist;
 use crate::query::{refine_ctx, QueryCtx};
-use page_store::{
-    f32_round_down, f32_round_up, BufferPool, DiskPageFile, ObjectHeap, PageFile, PageStore,
-};
+use page_store::{f32_round_down, f32_round_up, CommitReceipt, ObjectHeap, PageFile, PageStore};
 use rstar_base::{LeafRecord, RStarTreeBase, TreeConfig, TreeStats};
 use std::io;
 use std::ops::AddAssign;
@@ -87,9 +85,11 @@ impl AddAssign<&InsertStats> for InsertStats {
 /// generically via the [`ProbIndex`] trait.
 ///
 /// The tree is generic over its [`PageStore`] `S`: the default is the
-/// in-memory [`PageFile`]; [`UTree::open`] yields a
-/// `UTree<D, BufferPool<DiskPageFile>>` reading a [`UTree::save`]d index
-/// cold from disk through a bounded LRU cache. Query results are
+/// in-memory [`PageFile`]; [`UTree::open`] yields a disk-backed tree
+/// (alias `DiskUTree`) reading a [`UTree::save`]d index cold from disk
+/// through a bounded LRU cache over a crash-safe write-ahead log —
+/// updates become durable via [`UTree::commit`]/`flush`, and reopening
+/// after a crash recovers a committed prefix. Query results are
 /// byte-identical across backends — only the I/O cost model changes.
 ///
 /// ```
@@ -143,7 +143,36 @@ impl<const D: usize> UTree<D> {
     }
 }
 
-impl<const D: usize> UTree<D, BufferPool<DiskPageFile>> {
+impl<const D: usize, S: PageStore> UTree<D, S> {
+    /// An empty U-tree over caller-supplied node and heap stores (the
+    /// epoch layer builds its copy-on-write trees through this).
+    pub fn with_stores(catalog: UCatalog, cfg: TreeConfig, node_store: S, heap_store: S) -> Self {
+        let catalog = Arc::new(catalog);
+        let metrics = UMetrics::new(catalog.clone());
+        let codec = UCodec::new(catalog.clone());
+        Self {
+            tree: RStarTreeBase::with_store(node_store, metrics, codec, cfg),
+            heap: ObjectHeap::with_store(heap_store),
+            catalog,
+        }
+    }
+}
+
+impl<const D: usize, S: PageStore + Clone> Clone for UTree<D, S> {
+    /// Clones the tree *structure and pages*; on a copy-on-write store
+    /// (`ShadowPageFile`) this is the cheap epoch fork — shared pages,
+    /// private superstructure. I/O counters of the clone's stores follow
+    /// the store's own `Clone` semantics.
+    fn clone(&self) -> Self {
+        Self {
+            tree: self.tree.clone(),
+            heap: self.heap.clone(),
+            catalog: Arc::clone(&self.catalog),
+        }
+    }
+}
+
+impl<const D: usize> UTree<D, persist::DiskStore> {
     /// Opens a [`UTree::save`]d index directory, reading node and heap
     /// pages from disk through two LRU buffer pools of `buffer_pages`
     /// frames each.
@@ -195,6 +224,96 @@ impl<const D: usize> UTree<D, BufferPool<DiskPageFile>> {
             catalog: parts.catalog,
         })
     }
+
+    /// Commits every update since the last commit as **one atomic WAL
+    /// batch**: dirty index and heap pages, allocation changes and the
+    /// tree metadata, sealed by a single commit marker — after a crash,
+    /// recovery lands on a batch boundary, never between the index and its
+    /// heap. Under a group-commit window ([`Self::set_group_commit`]) the
+    /// fsync may be deferred; the receipt says whether this batch is
+    /// durable yet. Uncommitted updates of a dropped tree roll back.
+    pub fn commit(&mut self) -> io::Result<CommitReceipt> {
+        self.commit_inner(false)
+    }
+
+    /// [`Self::commit`] with a forced fsync: on return the batch is
+    /// durable regardless of the group-commit window.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.commit_inner(true).map(|_| ())
+    }
+
+    fn commit_inner(&mut self, force_sync: bool) -> io::Result<CommitReceipt> {
+        let meta = persist::encode_meta(&self.saved_meta());
+        // Pool frames → journaling stores (nothing reaches the backing
+        // files here), then one log batch covering both stores + meta.
+        self.tree.store_mut().write_back()?;
+        self.heap.file_mut().write_back()?;
+        let wal = self.tree.store_mut().backend_mut().wal_handle();
+        let (receipt, durable) = {
+            let mut w = wal.lock().map_err(|_| io::Error::other("wal poisoned"))?;
+            self.tree.store_mut().backend_mut().stage(&mut w);
+            self.heap.file_mut().backend_mut().stage(&mut w);
+            w.append_meta(&meta);
+            let receipt = w.commit()?;
+            if force_sync && !receipt.durable {
+                w.sync()?;
+            }
+            (receipt, w.durable_lsn())
+        };
+        // Only durable batches may touch the snapshot files (write-ahead
+        // rule); deferred ones apply when a later sync covers them.
+        let index = self.tree.store_mut().backend_mut();
+        index.note_commit(receipt.lsn);
+        index.apply_through(durable);
+        let heap = self.heap.file_mut().backend_mut();
+        heap.note_commit(receipt.lsn);
+        heap.apply_through(durable);
+        Ok(CommitReceipt {
+            lsn: receipt.lsn,
+            durable: durable >= receipt.lsn,
+        })
+    }
+
+    /// Durably commits, rewrites the full snapshot (`index.pg`, `heap.pg`,
+    /// `meta.bin`) of this tree's own directory, and truncates the log —
+    /// bounding recovery time and log growth. Readers of the old snapshot
+    /// files keep their inodes; this tree continues on the log as usual.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        self.flush()?;
+        let dir = self
+            .tree
+            .store()
+            .backing_path()
+            .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "tree has no backing directory")
+            })?;
+        persist::save_index(
+            &dir,
+            &self.saved_meta(),
+            self.tree.store(),
+            self.heap.file(),
+        )?;
+        let wal = self.tree.store_mut().backend_mut().wal_handle();
+        let mut w = wal.lock().map_err(|_| io::Error::other("wal poisoned"))?;
+        w.truncate()
+    }
+
+    /// Sets the group-commit window: fsync every `every`-th commit
+    /// (`1`, the default, syncs every commit). Larger windows batch the
+    /// fsync cost across commits; a crash can lose the unsynced tail of
+    /// whole batches, never tear one.
+    pub fn set_group_commit(&mut self, every: u64) {
+        let wal = self.tree.store_mut().backend_mut().wal_handle();
+        wal.lock().expect("wal poisoned").set_group_commit(every);
+    }
+
+    /// Number of log fsyncs since open (group-commit diagnostics).
+    pub fn wal_sync_count(&mut self) -> u64 {
+        let wal = self.tree.store_mut().backend_mut().wal_handle();
+        let guard = wal.lock().expect("wal poisoned");
+        guard.sync_count()
+    }
 }
 
 impl<const D: usize, S: PageStore> UTree<D, S> {
@@ -217,23 +336,16 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
     }
 
     pub fn save<P: AsRef<Path>>(&self, dir: P) -> io::Result<()> {
+        // A disk-backed tree must not snapshot over its own live directory
+        // (the snapshot would disagree with the WAL next to it); that's
+        // what `checkpoint()` is for.
+        persist::reject_live_dir(self.tree.store(), dir.as_ref())?;
         persist::save_index(
             dir.as_ref(),
             &self.saved_meta(),
             self.tree.store(),
             self.heap.file(),
         )
-    }
-
-    /// Flushes both stores (write-back pools, disk files) and — when the
-    /// node store is backed by a saved-index file — rewrites the sibling
-    /// metadata, so updates made after [`UTree::open`] (new root, height,
-    /// record count, open heap page) survive a cold reopen. A no-op on
-    /// the in-memory backend.
-    pub fn flush(&mut self) -> io::Result<()> {
-        self.tree.store_mut().flush()?;
-        self.heap.file_mut().flush()?;
-        persist::refresh_meta(self.tree.store(), &self.saved_meta())
     }
 
     /// The shared catalog.

@@ -17,7 +17,7 @@ use crate::object_codec::encode_object;
 use crate::pcr::PcrSet;
 use crate::persist;
 use crate::query::{refine_ctx, QueryCtx};
-use page_store::{BufferPool, DiskPageFile, ObjectHeap, PageFile, PageStore};
+use page_store::{CommitReceipt, ObjectHeap, PageFile, PageStore};
 use rstar_base::{LeafRecord, RStarTreeBase, TreeConfig, TreeStats};
 use std::io;
 use std::path::Path;
@@ -61,7 +61,7 @@ impl<const D: usize> UPcrTree<D> {
     }
 }
 
-impl<const D: usize> UPcrTree<D, BufferPool<DiskPageFile>> {
+impl<const D: usize> UPcrTree<D, persist::DiskStore> {
     /// Opens a [`UPcrTree::save`]d index directory through LRU buffer
     /// pools of `buffer_pages` frames (see [`crate::UTree::open`]).
     pub fn open<P: AsRef<Path>>(dir: P, buffer_pages: usize) -> io::Result<Self> {
@@ -100,6 +100,68 @@ impl<const D: usize> UPcrTree<D, BufferPool<DiskPageFile>> {
             catalog: parts.catalog,
         })
     }
+
+    /// Commits every update since the last commit as one atomic WAL batch
+    /// (see [`crate::UTree::commit`]).
+    pub fn commit(&mut self) -> io::Result<CommitReceipt> {
+        self.commit_inner(false)
+    }
+
+    /// [`Self::commit`] with a forced fsync (see [`crate::UTree::flush`]).
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.commit_inner(true).map(|_| ())
+    }
+
+    fn commit_inner(&mut self, force_sync: bool) -> io::Result<CommitReceipt> {
+        let meta = persist::encode_meta(&self.saved_meta());
+        self.tree.store_mut().write_back()?;
+        self.heap.file_mut().write_back()?;
+        let wal = self.tree.store_mut().backend_mut().wal_handle();
+        let (receipt, durable) = {
+            let mut w = wal.lock().map_err(|_| io::Error::other("wal poisoned"))?;
+            self.tree.store_mut().backend_mut().stage(&mut w);
+            self.heap.file_mut().backend_mut().stage(&mut w);
+            w.append_meta(&meta);
+            let receipt = w.commit()?;
+            if force_sync && !receipt.durable {
+                w.sync()?;
+            }
+            (receipt, w.durable_lsn())
+        };
+        let index = self.tree.store_mut().backend_mut();
+        index.note_commit(receipt.lsn);
+        index.apply_through(durable);
+        let heap = self.heap.file_mut().backend_mut();
+        heap.note_commit(receipt.lsn);
+        heap.apply_through(durable);
+        Ok(CommitReceipt {
+            lsn: receipt.lsn,
+            durable: durable >= receipt.lsn,
+        })
+    }
+
+    /// Durably commits, rewrites the snapshot of this tree's own
+    /// directory, and truncates the log (see [`crate::UTree::checkpoint`]).
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        self.flush()?;
+        let dir = self
+            .tree
+            .store()
+            .backing_path()
+            .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "tree has no backing directory")
+            })?;
+        persist::save_index(
+            &dir,
+            &self.saved_meta(),
+            self.tree.store(),
+            self.heap.file(),
+        )?;
+        let wal = self.tree.store_mut().backend_mut().wal_handle();
+        let mut w = wal.lock().map_err(|_| io::Error::other("wal poisoned"))?;
+        w.truncate()
+    }
 }
 
 impl<const D: usize, S: PageStore> UPcrTree<D, S> {
@@ -119,20 +181,15 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
     }
 
     pub fn save<P: AsRef<Path>>(&self, dir: P) -> io::Result<()> {
+        // Self-saves over the live directory go through `checkpoint()`
+        // (see [`crate::UTree::save`]).
+        persist::reject_live_dir(self.tree.store(), dir.as_ref())?;
         persist::save_index(
             dir.as_ref(),
             &self.saved_meta(),
             self.tree.store(),
             self.heap.file(),
         )
-    }
-
-    /// Flushes both stores and rewrites the saved-index metadata when one
-    /// exists (see [`crate::UTree::flush`]).
-    pub fn flush(&mut self) -> io::Result<()> {
-        self.tree.store_mut().flush()?;
-        self.heap.file_mut().flush()?;
-        persist::refresh_meta(self.tree.store(), &self.saved_meta())
     }
 
     /// The shared catalog.

@@ -180,6 +180,46 @@ impl<S: PageStore> BufferPool<S> {
         &self.backend_stats
     }
 
+    /// Exclusive access to the wrapped backend. `&mut self` guarantees no
+    /// latch or backend lock is contended — commit protocols use this to
+    /// drive the backend directly after a [`write_back`](Self::write_back).
+    pub fn backend_mut(&mut self) -> &mut S {
+        self.backend
+            .get_mut()
+            .expect("buffer pool backend poisoned")
+    }
+
+    /// Writes every dirty frame back to the backend **without** flushing
+    /// it — the first half of `flush`, split out so a journaling backend
+    /// can interleave its own commit protocol between write-back and
+    /// durability. Errors if part of the pool was poisoned by an earlier
+    /// panic (those frames are suspect and skipped).
+    pub fn write_back(&mut self) -> io::Result<()> {
+        let backend = self
+            .backend
+            .get_mut()
+            .map_err(|_| io::Error::other("buffer pool backend poisoned"))?;
+        let mut complete = true;
+        for shard in self.shards.iter_mut() {
+            let Ok(shard) = shard.get_mut() else {
+                complete = false;
+                continue;
+            };
+            for (&id, frame) in shard.frames.iter_mut() {
+                if frame.dirty {
+                    backend.write(id, &frame.data[..]);
+                    frame.dirty = false;
+                }
+            }
+        }
+        if !complete {
+            return Err(io::Error::other(
+                "buffer pool partially poisoned by an earlier panic; dirty frames lost",
+            ));
+        }
+        Ok(())
+    }
+
     fn shard(&self, id: PageId) -> &Mutex<Shard> {
         &self.shards[(id % self.shards.len() as u64) as usize]
     }

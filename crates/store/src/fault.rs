@@ -1,0 +1,235 @@
+//! Fault injection for crash tests: a [`PageStore`] wrapper that kills the
+//! backend write path on command.
+//!
+//! [`FaultStore`] passes everything through to the wrapped store until its
+//! trigger fires — on the Nth write (1-based) it injects the configured
+//! [`FaultMode`] and from then on behaves like a device that dropped off
+//! the bus: writes are black-holed and `flush` fails. Reads keep serving
+//! whatever the backend holds, which is exactly the view a post-crash
+//! recovery sees.
+
+use crate::pagefile::{PageId, PageStore, PAGE_SIZE};
+use crate::IoStats;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What happens to the write that trips the fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The tripping write is dropped entirely (power loss before the
+    /// sector reached the platter).
+    Fail,
+    /// The tripping write lands torn: only the first `n` bytes are
+    /// applied, the tail of the page is zero-filled (a partial sector
+    /// write).
+    ShortWrite(usize),
+}
+
+/// Per-operation counters, shared so tests can watch them while the store
+/// is owned elsewhere.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocs: AtomicU64,
+    releases: AtomicU64,
+    flushes: AtomicU64,
+}
+
+impl FaultCounters {
+    /// Counted reads observed (peeks excluded, matching the I/O model).
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+    /// Writes observed, including the tripping one and black-holed ones.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+    /// Allocations observed.
+    pub fn allocs(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+    /// Releases observed.
+    pub fn releases(&self) -> u64 {
+        self.releases.load(Ordering::Relaxed)
+    }
+    /// Flush attempts observed.
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`PageStore`] that injects a write fault on the Nth write.
+///
+/// Until the trigger: full pass-through. On the tripping write: the
+/// injected [`FaultMode`] applies. After it: every write is silently
+/// dropped and [`PageStore::flush`] returns the injection error — the
+/// wrapped store is frozen at its crash image, ready to be handed to
+/// recovery.
+pub struct FaultStore<S: PageStore> {
+    inner: S,
+    /// Trip on this write ordinal (1-based); `0` disarms.
+    trip_on_write: u64,
+    mode: FaultMode,
+    counters: Arc<FaultCounters>,
+    tripped: bool,
+}
+
+impl<S: PageStore> FaultStore<S> {
+    /// Wraps `inner`, tripping `mode` on the `nth_write`-th write
+    /// (1-based; `0` never trips).
+    pub fn new(inner: S, nth_write: u64, mode: FaultMode) -> Self {
+        Self {
+            inner,
+            trip_on_write: nth_write,
+            mode,
+            counters: Arc::new(FaultCounters::default()),
+            tripped: false,
+        }
+    }
+
+    /// The shared operation counters.
+    pub fn counters(&self) -> Arc<FaultCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Whether the fault has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// The wrapped store (the "disk image" a recovery would see).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the wrapped store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn injected_error() -> io::Error {
+        io::Error::other("injected fault: device gone")
+    }
+}
+
+impl<S: PageStore> PageStore for FaultStore<S> {
+    fn allocate(&mut self) -> PageId {
+        self.counters.allocs.fetch_add(1, Ordering::Relaxed);
+        self.inner.allocate()
+    }
+
+    fn release(&mut self, id: PageId) {
+        self.counters.releases.fetch_add(1, Ordering::Relaxed);
+        self.inner.release(id);
+    }
+
+    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.read_into(id, out);
+    }
+
+    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+        self.inner.peek_into(id, out);
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) {
+        let n = self.counters.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.tripped {
+            return; // device is gone: black hole
+        }
+        if self.trip_on_write != 0 && n >= self.trip_on_write {
+            self.tripped = true;
+            match self.mode {
+                FaultMode::Fail => {}
+                FaultMode::ShortWrite(keep) => {
+                    // A torn page: the written prefix survives, the rest of
+                    // the page is whatever `write`'s zero-fill left — i.e.
+                    // we apply a truncated slice through the normal path.
+                    let keep = keep.min(data.len());
+                    self.inner.write(id, &data[..keep]);
+                }
+            }
+            return;
+        }
+        self.inner.write(id, data);
+    }
+
+    fn stats(&self) -> &Arc<IoStats> {
+        self.inner.stats()
+    }
+
+    fn live_pages(&self) -> usize {
+        self.inner.live_pages()
+    }
+
+    fn capacity_pages(&self) -> usize {
+        self.inner.capacity_pages()
+    }
+
+    fn free_list(&self) -> Vec<PageId> {
+        self.inner.free_list()
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        if self.tripped {
+            return Err(Self::injected_error());
+        }
+        self.inner.flush()
+    }
+
+    fn backing_path(&self) -> Option<std::path::PathBuf> {
+        self.inner.backing_path()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PageFile;
+
+    #[test]
+    fn passes_through_until_armed_count() {
+        let mut s = FaultStore::new(PageFile::new(), 3, FaultMode::Fail);
+        let a = s.allocate();
+        let b = s.allocate();
+        s.write(a, b"one");
+        s.write(b, b"two");
+        assert!(!s.tripped());
+        s.write(a, b"three"); // trips: dropped
+        assert!(s.tripped());
+        s.write(b, b"four"); // black-holed
+        assert_eq!(&s.read_page(a)[..3], b"one");
+        assert_eq!(&s.read_page(b)[..3], b"two");
+        assert!(s.flush().is_err());
+        let c = s.counters();
+        assert_eq!(c.writes(), 4);
+        assert_eq!(c.allocs(), 2);
+        assert_eq!(c.reads(), 2);
+        assert_eq!(c.flushes(), 1);
+    }
+
+    #[test]
+    fn short_write_tears_the_page() {
+        let mut s = FaultStore::new(PageFile::new(), 2, FaultMode::ShortWrite(4));
+        let a = s.allocate();
+        s.write(a, b"full page content");
+        s.write(a, b"REPLACEMENT"); // torn: only "REPL" lands
+        let page = s.read_page(a);
+        assert_eq!(&page[..4], b"REPL");
+        assert_eq!(page[4], 0, "the torn tail reads as zeros");
+    }
+
+    #[test]
+    fn disarmed_store_never_trips() {
+        let mut s = FaultStore::new(PageFile::new(), 0, FaultMode::Fail);
+        let a = s.allocate();
+        for i in 0..100u8 {
+            s.write(a, &[i]);
+        }
+        assert!(!s.tripped());
+        assert!(s.flush().is_ok());
+    }
+}

@@ -46,16 +46,22 @@
 //!   coordinate data.
 
 pub mod codec;
+pub mod wal;
 
 mod buffer;
 mod disk;
+mod fault;
 mod heap;
 mod iostats;
 mod pagefile;
+mod shadow;
 
 pub use buffer::BufferPool;
 pub use codec::{f32_round_down, f32_round_up, ByteReader, ByteWriter};
 pub use disk::DiskPageFile;
+pub use fault::{FaultCounters, FaultMode, FaultStore};
 pub use heap::{ObjectHeap, RecordAddr};
 pub use iostats::IoStats;
 pub use pagefile::{PageFile, PageId, PageStore, PAGE_SIZE};
+pub use shadow::ShadowPageFile;
+pub use wal::{fsync_dir, CommitReceipt, ReplayTarget, Wal, WalRecord, WalStore};

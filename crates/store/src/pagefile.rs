@@ -223,6 +223,10 @@ mod tests {
         assert_send_sync::<crate::BufferPool<crate::DiskPageFile>>();
         assert_send_sync::<crate::ObjectHeap<PageFile>>();
         assert_send_sync::<crate::ObjectHeap<crate::BufferPool<crate::DiskPageFile>>>();
+        assert_send_sync::<crate::ShadowPageFile>();
+        assert_send_sync::<crate::FaultStore<PageFile>>();
+        assert_send_sync::<crate::WalStore<crate::DiskPageFile>>();
+        assert_send_sync::<crate::BufferPool<crate::WalStore<crate::DiskPageFile>>>();
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! A copy-on-write in-memory [`PageStore`] whose clones share pages.
+//!
+//! [`ShadowPageFile`] stores every page behind an `Arc`; cloning the store
+//! is O(pages) pointer bumps, and a write after a clone copies just that
+//! one page (`Arc::make_mut`). This is the substrate of the epoch-swap
+//! write path: a writer clones the published tree, mutates its private
+//! copy page-by-page, and publishes the clone — readers of the old epoch
+//! keep their pages alive through the shared `Arc`s, at a memory cost of
+//! only the pages that actually changed.
+//!
+//! Counting matches [`PageFile`](crate::PageFile): reads/writes are
+//! counted, peeks are not. A clone starts with **fresh** counters — epochs
+//! account for their own I/O.
+
+use crate::pagefile::{PageId, PageStore, PAGE_SIZE};
+use crate::IoStats;
+use std::sync::Arc;
+
+/// An in-memory page store with O(1)-per-page copy-on-write cloning.
+#[derive(Debug)]
+pub struct ShadowPageFile {
+    pages: Vec<Arc<[u8; PAGE_SIZE]>>,
+    free: Vec<PageId>,
+    stats: Arc<IoStats>,
+}
+
+impl Default for ShadowPageFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for ShadowPageFile {
+    /// Shares every page with the original (copy-on-write) and starts
+    /// fresh I/O counters.
+    fn clone(&self) -> Self {
+        Self {
+            pages: self.pages.clone(),
+            free: self.free.clone(),
+            stats: Arc::new(IoStats::new()),
+        }
+    }
+}
+
+impl ShadowPageFile {
+    /// An empty store with fresh counters.
+    pub fn new() -> Self {
+        Self {
+            pages: Vec::new(),
+            free: Vec::new(),
+            stats: Arc::new(IoStats::new()),
+        }
+    }
+}
+
+static ZERO_PAGE: [u8; PAGE_SIZE] = [0u8; PAGE_SIZE];
+
+impl PageStore for ShadowPageFile {
+    fn allocate(&mut self) -> PageId {
+        if let Some(id) = self.free.pop() {
+            self.pages[id as usize] = Arc::new(ZERO_PAGE);
+            return id;
+        }
+        let id = self.pages.len() as PageId;
+        self.pages.push(Arc::new(ZERO_PAGE));
+        id
+    }
+
+    fn release(&mut self, id: PageId) {
+        debug_assert!((id as usize) < self.pages.len());
+        debug_assert!(!self.free.contains(&id), "double free of page {id}");
+        self.free.push(id);
+    }
+
+    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+        self.stats.record_read();
+        out.copy_from_slice(&self.pages[id as usize][..]);
+    }
+
+    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+        out.copy_from_slice(&self.pages[id as usize][..]);
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) {
+        assert!(data.len() <= PAGE_SIZE, "page overflow: {}", data.len());
+        self.stats.record_write();
+        // Copy-on-write: a page still shared with an older epoch is
+        // replaced, an unshared one is edited in place.
+        let page = Arc::make_mut(&mut self.pages[id as usize]);
+        page[..data.len()].copy_from_slice(data);
+        page[data.len()..].fill(0);
+    }
+
+    fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    fn live_pages(&self) -> usize {
+        self.pages.len() - self.free.len()
+    }
+
+    fn capacity_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn free_list(&self) -> Vec<PageId> {
+        self.free.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_until_written() {
+        let mut a = ShadowPageFile::new();
+        let p = a.allocate();
+        let q = a.allocate();
+        a.write(p, b"epoch zero p");
+        a.write(q, b"epoch zero q");
+
+        let mut b = a.clone();
+        assert!(
+            Arc::ptr_eq(&a.pages[p as usize], &b.pages[p as usize]),
+            "clone shares pages"
+        );
+        b.write(p, b"epoch one p");
+        assert!(
+            !Arc::ptr_eq(&a.pages[p as usize], &b.pages[p as usize]),
+            "write detaches the page"
+        );
+        assert!(
+            Arc::ptr_eq(&a.pages[q as usize], &b.pages[q as usize]),
+            "untouched pages stay shared"
+        );
+        // The old epoch is unperturbed.
+        assert_eq!(&a.peek_page(p)[..12], b"epoch zero p");
+        assert_eq!(&b.peek_page(p)[..11], b"epoch one p");
+    }
+
+    #[test]
+    fn clone_counters_start_fresh() {
+        let mut a = ShadowPageFile::new();
+        let p = a.allocate();
+        a.write(p, b"x");
+        let b = a.clone();
+        assert_eq!(b.stats().writes(), 0);
+        let _ = b.read_page(p);
+        assert_eq!(b.stats().reads(), 1);
+        assert_eq!(a.stats().reads(), 0, "epochs account separately");
+    }
+
+    #[test]
+    fn reuse_and_zeroing_match_the_reference_backend() {
+        let mut f = ShadowPageFile::new();
+        let a = f.allocate();
+        let clone = f.clone();
+        f.release(a);
+        let b = f.allocate();
+        assert_eq!(b, a);
+        assert!(f.peek_page(b).iter().all(|&x| x == 0));
+        assert_eq!(f.free_list(), Vec::<PageId>::new());
+        drop(clone);
+    }
+}

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare a bench run against its committed baseline.
+
+Usage:
+    check_bench.py BENCH_throughput.json bench_output.log
+    check_bench.py BENCH_topk.json bench_output.log
+
+The log is scanned for the machine-readable ``*_SCALING_JSON:`` line the
+bench bins emit; the baseline names which bench it belongs to via its
+``bench`` field.
+
+Two kinds of checks:
+
+* **Integrity** (hard): the run covers the same sweep as the baseline
+  (backends x worker counts, or the k sweep), every figure is positive,
+  and for top-k the pruning gate holds (the U-tree computes strictly
+  fewer appearance probabilities than the scan at every k).
+
+* **Regression** (thresholded): wall-clock throughput must stay within a
+  generous factor of the baseline — CI runners throttle, so the default
+  floor is ``0.4x`` per backend (override with ``BENCH_MIN_RATIO``).
+  Logical top-k counters are machine-independent, so they get a tighter
+  ceiling: at most ``1.25x`` the baseline's probability computations per
+  k (override with ``BENCH_MAX_COUNT_RATIO``).
+
+Exit status 0 = pass, 1 = regression/integrity failure, 2 = bad invocation.
+"""
+
+import json
+import os
+import re
+import sys
+
+JSON_LINE = re.compile(r"^[A-Z_]+_SCALING_JSON: (\{.*\})\s*$")
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench: FAIL — {msg}")
+    sys.exit(1)
+
+
+def extract_run(log_path: str, bench: str) -> dict:
+    with open(log_path, encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            m = JSON_LINE.match(line.strip())
+            if not m:
+                continue
+            obj = json.loads(m.group(1))
+            if obj.get("bench") == bench:
+                return obj
+    fail(f"no *_SCALING_JSON line for bench {bench!r} found in {log_path}")
+    raise AssertionError  # unreachable
+
+
+def check_throughput(base: dict, run: dict) -> None:
+    min_ratio = float(os.environ.get("BENCH_MIN_RATIO", "0.4"))
+    base_pts = {(r["backend"], r["workers"]): r for r in base["results"]}
+    run_pts = {(r["backend"], r["workers"]): r for r in run["results"]}
+    missing = sorted(set(base_pts) - set(run_pts))
+    if missing:
+        fail(f"run is missing sweep points {missing}")
+    for key, r in run_pts.items():
+        if not (r["qps"] > 0 and r["wall_nanos"] > 0):
+            fail(f"non-positive figures at {key}: {r}")
+    for backend in {b for b, _ in base_pts}:
+        base_best = max(r["qps"] for (b, _), r in base_pts.items() if b == backend)
+        run_best = max(r["qps"] for (b, _), r in run_pts.items() if b == backend)
+        floor = min_ratio * base_best
+        status = "ok" if run_best >= floor else "REGRESSION"
+        print(
+            f"  {backend}: best {run_best:.1f} q/s vs baseline "
+            f"{base_best:.1f} q/s (floor {floor:.1f}) — {status}"
+        )
+        if run_best < floor:
+            fail(
+                f"{backend} throughput regressed below {min_ratio:.2f}x of "
+                f"the committed baseline"
+            )
+
+
+def check_topk(base: dict, run: dict) -> None:
+    max_ratio = float(os.environ.get("BENCH_MAX_COUNT_RATIO", "1.25"))
+    base_pts = {r["k"]: r for r in base["results"]}
+    run_pts = {r["k"]: r for r in run["results"]}
+    missing = sorted(set(base_pts) - set(run_pts))
+    if missing:
+        fail(f"run is missing k values {missing}")
+    for k, r in sorted(run_pts.items()):
+        for field in ("utree_probes", "scan_probes", "utree_nodes", "scan_nodes"):
+            if r[field] <= 0:
+                fail(f"non-positive {field} at k={k}: {r}")
+        if r["utree_probes"] >= r["scan_probes"]:
+            fail(
+                f"pruning gate broken at k={k}: U-tree computed "
+                f"{r['utree_probes']} probabilities vs the scan's {r['scan_probes']}"
+            )
+        if k in base_pts:
+            ceiling = max_ratio * base_pts[k]["utree_probes"]
+            status = "ok" if r["utree_probes"] <= ceiling else "REGRESSION"
+            print(
+                f"  k={k}: {r['utree_probes']} probability computations vs "
+                f"baseline {base_pts[k]['utree_probes']} (ceiling {ceiling:.0f}) — {status}"
+            )
+            if r["utree_probes"] > ceiling:
+                fail(
+                    f"top-k probe count at k={k} regressed beyond "
+                    f"{max_ratio:.2f}x of the committed baseline"
+                )
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        sys.exit(2)
+    baseline_path, log_path = sys.argv[1], sys.argv[2]
+    with open(baseline_path, encoding="utf-8") as fh:
+        base = json.load(fh)
+    bench = base.get("bench")
+    if bench not in ("throughput_scaling", "topk_scaling"):
+        print(f"check_bench: unknown bench {bench!r} in {baseline_path}")
+        sys.exit(2)
+    run = extract_run(log_path, bench)
+    for knob in ("objects", "queries", "queries_per_k", "n1"):
+        if knob in base and base[knob] != run.get(knob):
+            fail(
+                f"workload mismatch on {knob}: baseline {base[knob]} vs run "
+                f"{run.get(knob)} — regenerate the baseline or fix the CI knobs"
+            )
+    print(f"check_bench: {bench} vs {baseline_path}")
+    if bench == "throughput_scaling":
+        check_throughput(base, run)
+    else:
+        check_topk(base, run)
+    print("check_bench: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -56,9 +56,16 @@
 //! [`prelude::SeqScan`] — or any `&dyn ProbIndex<D>` — unchanged, and
 //! against any storage backend: `tree.save(dir)?` persists an index that
 //! [`prelude::DiskUTree`]`::open(dir, frames)?` reopens cold from disk
-//! through a bounded LRU buffer pool, answering byte-identically. See
-//! `docs/API.md` for the storage-backend guide and the migration table
-//! from the 0.1 tuple API.
+//! through a bounded LRU buffer pool, answering byte-identically. Disk
+//! trees write ahead: `commit()` journals each update batch to a
+//! CRC-framed log before any page reaches the backing file, `open`
+//! replays committed batches after a crash, and `checkpoint()` folds the
+//! log back into the snapshot. In-memory serving gets the same
+//! readers-during-writes story from [`prelude::EpochIndex`], which
+//! publishes copy-on-write epochs that concurrent readers hold while a
+//! writer commits the next one. See `docs/API.md` for the
+//! storage-backend and durability guides and the migration table from
+//! the 0.1 tuple API.
 
 pub use datagen as data;
 pub use page_store as store;
@@ -71,16 +78,19 @@ pub use utree as index;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use datagen;
-    pub use page_store::{BufferPool, DiskPageFile, PageFile, PageStore};
+    pub use page_store::{
+        BufferPool, CommitReceipt, DiskPageFile, FaultMode, FaultStore, PageFile, PageStore,
+        ShadowPageFile, WalStore,
+    };
     pub use rstar_base::TreeConfig;
     pub use uncertain_geom::{Point, Rect};
     pub use uncertain_pdf::{HistogramPdf, ObjectPdf, Region, UncertainObject};
     pub use utree::{
-        BatchExecutor, BatchOutcome, DiskUPcrTree, DiskUTree, FilterOutcome, IndexBuilder,
-        IndexError, InsertStats, Match, ProbIndex, ProbRangeQuery, Provenance, Query, QueryBuilder,
-        QueryCtx, QueryError, QueryOptions, QueryOutcome, QueryStats, RankBatchOutcome,
-        RankOutcome, RankQuery, RankedMatch, Refine, RefineMode, SeqScan, UCatalog, UPcrTree,
-        UTree,
+        BatchExecutor, BatchOutcome, DiskUPcrTree, DiskUTree, EpochIndex, EpochSnapshot,
+        FilterOutcome, IndexBuilder, IndexError, InsertStats, Match, ProbIndex, ProbRangeQuery,
+        Provenance, Query, QueryBuilder, QueryCtx, QueryError, QueryOptions, QueryOutcome,
+        QueryStats, RankBatchOutcome, RankOutcome, RankQuery, RankedMatch, Refine, RefineMode,
+        SeqScan, UCatalog, UPcrTree, UTree,
     };
 }
 

@@ -172,7 +172,7 @@ fn reopened_tree_supports_further_updates() {
 }
 
 #[test]
-fn saving_over_the_directory_an_index_was_opened_from_is_safe() {
+fn checkpointing_the_directory_an_index_was_opened_from_is_safe() {
     let (tree, _) = build_utree(300, 61);
     let dir = temp_dir("self-save");
     tree.save(&dir).unwrap();
@@ -182,10 +182,14 @@ fn saving_over_the_directory_an_index_was_opened_from_is_safe() {
     for (i, o) in extra.iter().enumerate() {
         reopened.insert(&UncertainObject::new(20_000 + i as u64, o.pdf.clone()));
     }
-    // Snapshot back over the same directory the pools are reading from:
-    // the temp-file-and-rename dance must neither truncate the live
-    // backing files nor tear the snapshot.
-    reopened.save(&dir).unwrap();
+    // `save` into the live directory would race the WAL the pools are
+    // replaying from, so it is rejected outright...
+    let err = reopened.save(&dir).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    // ...and `checkpoint` is the supported way to fold the log back into
+    // the snapshot in place: temp-file-and-rename must neither truncate
+    // the live backing files nor tear the snapshot.
+    reopened.checkpoint().unwrap();
     assert_eq!(reopened.len(), 320, "the open tree keeps working");
 
     let fresh = DiskUTree::<2>::open(&dir, 16).unwrap();

@@ -1,0 +1,446 @@
+//! Crash recovery: a disk-backed tree must reopen to *some committed
+//! prefix* of its update batches no matter where the crash lands — at any
+//! WAL frame boundary, mid-frame, or mid-apply under an injected backend
+//! fault — and answer byte-identically to an in-memory oracle replaying
+//! that prefix.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use utree_repro::prelude::*;
+use utree_repro::store::wal::replay;
+use utree_repro::store::{
+    DiskPageFile, FaultMode, FaultStore, PageId, ReplayTarget, Wal, WalStore, PAGE_SIZE,
+};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("utree-recovery-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+#[derive(Clone)]
+enum Op {
+    Insert(UncertainObject<2>),
+    Delete(UncertainObject<2>),
+}
+
+fn apply_ops<S: PageStore>(tree: &mut UTree<2, S>, batch: &[Op]) {
+    for op in batch {
+        match op {
+            Op::Insert(o) => {
+                tree.insert(o);
+            }
+            Op::Delete(o) => {
+                assert!(tree.delete(o), "scripted delete must find its object");
+            }
+        }
+    }
+}
+
+/// The scripted workload: a bulk-loaded base plus `BATCHES` update batches
+/// mixing inserts of new objects with deletes of base objects.
+const BASE_N: usize = 150;
+const BATCHES: usize = 5;
+
+fn base_objects() -> Vec<UncertainObject<2>> {
+    datagen::lb_dataset(BASE_N, 101)
+}
+
+fn scripted_batches(base: &[UncertainObject<2>]) -> Vec<Vec<Op>> {
+    let extra = datagen::lb_dataset(BATCHES * 6, 103);
+    (0..BATCHES)
+        .map(|b| {
+            let mut batch: Vec<Op> = extra[b * 6..(b + 1) * 6]
+                .iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    Op::Insert(UncertainObject::new(
+                        50_000 + (b * 6 + i) as u64,
+                        o.pdf.clone(),
+                    ))
+                })
+                .collect();
+            // Two deletes per batch, from disjoint slices of the base.
+            batch.push(Op::Delete(base[b * 2].clone()));
+            batch.push(Op::Delete(base[b * 2 + 1].clone()));
+            batch
+        })
+        .collect()
+}
+
+fn fresh_tree(base: &[UncertainObject<2>]) -> UTree<2> {
+    let mut tree = UTree::<2>::builder()
+        .uniform_catalog(8)
+        .build()
+        .expect("valid catalog");
+    tree.bulk_load(base);
+    tree
+}
+
+fn probe_queries() -> Vec<Query<2>> {
+    let mode = Refine::reference(1e-6);
+    vec![
+        Query::range(Rect::new([1500.0, 1500.0], [5200.0, 5200.0]))
+            .threshold(0.5)
+            .refine(mode)
+            .build()
+            .unwrap(),
+        Query::range(Rect::new([4800.0, 4800.0], [9000.0, 9000.0]))
+            .threshold(0.3)
+            .refine(mode)
+            .build()
+            .unwrap(),
+    ]
+}
+
+type Oracle = (usize, Vec<QueryOutcome>);
+
+/// Opens `scratch` (a fabricated crash state) and demands it answer
+/// byte-identically to the oracle for `k` committed batches.
+fn assert_recovers_prefix(
+    scratch: &Path,
+    cut: u64,
+    k: usize,
+    oracles: &[Oracle],
+    queries: &[Query<2>],
+) {
+    let (want_len, want_outcomes) = &oracles[k];
+    let recovered = DiskUTree::<2>::open(scratch, 32)
+        .unwrap_or_else(|e| panic!("open after crash at byte {cut} failed: {e}"));
+    assert_eq!(
+        recovered.len(),
+        *want_len,
+        "crash at byte {cut} must recover exactly {k} committed batches"
+    );
+    recovered
+        .check_invariants()
+        .unwrap_or_else(|e| panic!("crash at byte {cut}: recovered tree unsound: {e}"));
+    for (q, want) in queries.iter().zip(want_outcomes) {
+        let got = recovered.execute(q);
+        assert_eq!(got.matches, want.matches, "crash at byte {cut}");
+        assert_eq!(
+            got.stats.node_reads, want.stats.node_reads,
+            "crash at byte {cut}: recovered structure must equal the oracle's"
+        );
+    }
+}
+
+/// The tentpole property: crash anywhere, recover a committed prefix.
+///
+/// A crash state is a WAL prefix plus whatever the backend had absorbed
+/// when the crash hit. Write-ahead ordering (pages apply only after their
+/// commit is durable) means every reachable state pairs a WAL cut with a
+/// backend holding the applies of `j ≤ k` committed batches, where `k` is
+/// the number of commit markers under the cut. This test fabricates both
+/// extremes and a mixed middle:
+///
+/// * every frame boundary AND a torn tail 3 bytes short of it, over the
+///   pristine (`j = 0`) backend — pure log replay;
+/// * each intermediate backend capture (`j` batches applied, stale
+///   superblock and all) under cuts with `k ≥ j` — replay converging
+///   over a half-applied base.
+#[test]
+fn recovery_equals_a_committed_prefix_at_every_crash_point() {
+    let base = base_objects();
+    let batches = scripted_batches(&base);
+    let dir = temp_dir("prefix");
+    fresh_tree(&base).save(&dir).unwrap();
+
+    // The backend as it was before any batch applied.
+    let pristine = temp_dir("prefix-pristine");
+    copy_dir(&dir, &pristine);
+
+    // Write the batches through the WAL, committing each; capture the
+    // live page files after every commit (the `j`-batches-applied
+    // backends, mid-run superblocks included).
+    let captures: Vec<PathBuf> = (1..=BATCHES)
+        .map(|j| temp_dir(&format!("prefix-applied-{j}")))
+        .collect();
+    {
+        let mut disk = DiskUTree::<2>::open(&dir, 32).unwrap();
+        for (j, batch) in batches.iter().enumerate() {
+            apply_ops(&mut disk, batch);
+            let receipt = disk.commit().unwrap();
+            assert!(receipt.durable, "default policy syncs every commit");
+            std::fs::create_dir_all(&captures[j]).unwrap();
+            for f in ["index.pg", "heap.pg"] {
+                std::fs::copy(dir.join(f), captures[j].join(f)).unwrap();
+            }
+        }
+    }
+
+    // Oracles: the committed prefixes k = 0..=BATCHES, with their answers.
+    let queries = probe_queries();
+    let oracles: Vec<Oracle> = (0..=BATCHES)
+        .map(|k| {
+            let mut t = fresh_tree(&base);
+            for batch in &batches[..k] {
+                apply_ops(&mut t, batch);
+            }
+            let outcomes: Vec<_> = queries.iter().map(|q| t.execute(q)).collect();
+            (t.len(), outcomes)
+        })
+        .collect();
+
+    let frames = Wal::scan(dir.join("wal.log")).unwrap();
+    let commit_ends: Vec<u64> = frames
+        .iter()
+        .filter(|f| f.is_commit())
+        .map(|f| f.end)
+        .collect();
+    assert!(
+        commit_ends.len() >= BATCHES,
+        "every batch leaves a commit marker"
+    );
+    let committed_under = |cut: u64| commit_ends.iter().filter(|&&e| e <= cut).count();
+
+    // Crash offsets: the empty log, every frame boundary, and a torn tail
+    // 3 bytes short of each boundary.
+    let mut crash_points = vec![8u64];
+    for f in &frames {
+        crash_points.push(f.end - 3);
+        crash_points.push(f.end);
+    }
+
+    let scratch = temp_dir("prefix-scratch");
+    let fabricate = |backend: &Path, cut: u64| {
+        let _ = std::fs::remove_dir_all(&scratch);
+        copy_dir(&pristine, &scratch);
+        for f in ["index.pg", "heap.pg"] {
+            let src = backend.join(f);
+            if src.exists() {
+                std::fs::copy(src, scratch.join(f)).unwrap();
+            }
+        }
+        std::fs::copy(dir.join("wal.log"), scratch.join("wal.log")).unwrap();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(scratch.join("wal.log"))
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+    };
+
+    // Extreme 1: nothing applied, every possible log length.
+    for &cut in &crash_points {
+        fabricate(&pristine, cut);
+        assert_recovers_prefix(&scratch, cut, committed_under(cut), &oracles, &queries);
+    }
+
+    // Mixed: j batches applied, log cut at the j-th commit, at the next
+    // commit (if any), and at the full log.
+    let full = frames.last().unwrap().end;
+    for j in 1..=BATCHES {
+        let mut cuts = vec![commit_ends[j - 1], full];
+        if j < commit_ends.len() {
+            cuts.push(commit_ends[j]);
+        }
+        for cut in cuts {
+            fabricate(&captures[j - 1], cut);
+            assert_recovers_prefix(&scratch, cut, committed_under(cut), &oracles, &queries);
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&pristine);
+    let _ = std::fs::remove_dir_all(&scratch);
+    for c in &captures {
+        let _ = std::fs::remove_dir_all(c);
+    }
+}
+
+/// Updates that were never committed roll back on reopen: dropping the
+/// tree stages them into the log (no marker), and recovery discards the
+/// uncommitted tail.
+#[test]
+fn uncommitted_tail_rolls_back_to_the_last_commit() {
+    let base = base_objects();
+    let dir = temp_dir("rollback");
+    fresh_tree(&base).save(&dir).unwrap();
+
+    {
+        let mut disk = DiskUTree::<2>::open(&dir, 32).unwrap();
+        let extra = datagen::lb_dataset(10, 107);
+        for (i, o) in extra.iter().take(5).enumerate() {
+            disk.insert(&UncertainObject::new(60_000 + i as u64, o.pdf.clone()));
+        }
+        disk.commit().unwrap();
+        // Five more inserts that never see a commit marker.
+        for (i, o) in extra.iter().skip(5).enumerate() {
+            disk.insert(&UncertainObject::new(61_000 + i as u64, o.pdf.clone()));
+        }
+    }
+
+    let reopened = DiskUTree::<2>::open(&dir, 32).unwrap();
+    assert_eq!(
+        reopened.len(),
+        BASE_N + 5,
+        "the uncommitted second half must roll back"
+    );
+    reopened.check_invariants().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpoint folds the log into the snapshot (truncating it to its
+/// header), and commits after the checkpoint keep recovering.
+#[test]
+fn checkpoint_truncates_the_log_and_later_commits_survive() {
+    let base = base_objects();
+    let batches = scripted_batches(&base);
+    let dir = temp_dir("checkpoint");
+    fresh_tree(&base).save(&dir).unwrap();
+
+    let mut oracle = fresh_tree(&base);
+    {
+        let mut disk = DiskUTree::<2>::open(&dir, 32).unwrap();
+        for batch in &batches[..2] {
+            apply_ops(&mut disk, batch);
+            disk.commit().unwrap();
+        }
+        disk.checkpoint().unwrap();
+        assert_eq!(
+            std::fs::metadata(dir.join("wal.log")).unwrap().len(),
+            8,
+            "checkpoint leaves only the log header"
+        );
+        for batch in &batches[2..] {
+            apply_ops(&mut disk, batch);
+            disk.commit().unwrap();
+        }
+    }
+    for batch in &batches {
+        apply_ops(&mut oracle, batch);
+    }
+
+    let reopened = DiskUTree::<2>::open(&dir, 32).unwrap();
+    assert_eq!(reopened.len(), oracle.len());
+    reopened.check_invariants().unwrap();
+    for q in &probe_queries() {
+        assert_eq!(reopened.execute(q).matches, oracle.execute(q).matches);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Group commit defers the fsync to every Nth commit; receipts say so, and
+/// an explicit `flush` forces durability early.
+#[test]
+fn group_commit_defers_syncs_and_flush_forces_them() {
+    let base = base_objects();
+    let dir = temp_dir("group");
+    fresh_tree(&base).save(&dir).unwrap();
+
+    let mut disk = DiskUTree::<2>::open(&dir, 32).unwrap();
+    disk.set_group_commit(4);
+    let extra = datagen::lb_dataset(8, 109);
+
+    let syncs_before = disk.wal_sync_count();
+    let mut receipts = Vec::new();
+    for (i, o) in extra.iter().take(4).enumerate() {
+        disk.insert(&UncertainObject::new(70_000 + i as u64, o.pdf.clone()));
+        receipts.push(disk.commit().unwrap());
+    }
+    assert_eq!(
+        receipts.iter().map(|r| r.durable).collect::<Vec<_>>(),
+        vec![false, false, false, true],
+        "only the 4th commit of the group syncs"
+    );
+    assert_eq!(
+        disk.wal_sync_count() - syncs_before,
+        1,
+        "one fsync covers the whole group"
+    );
+
+    // A lone commit mid-group stays volatile until flush() forces it down.
+    disk.insert(&UncertainObject::new(71_000, extra[4].pdf.clone()));
+    let r = disk.commit().unwrap();
+    assert!(!r.durable);
+    disk.flush().unwrap();
+
+    drop(disk);
+    let reopened = DiskUTree::<2>::open(&dir, 32).unwrap();
+    assert_eq!(reopened.len(), BASE_N + 5);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// In-memory replay target mirroring what recovery rebuilds, for
+/// store-level fault tests.
+#[derive(Default)]
+struct MemTarget {
+    pages: HashMap<PageId, [u8; PAGE_SIZE]>,
+}
+
+impl ReplayTarget for MemTarget {
+    fn apply_image(&mut self, page: PageId, data: &[u8; PAGE_SIZE]) {
+        self.pages.insert(page, *data);
+    }
+    fn apply_alloc(&mut self, page: PageId) {
+        self.pages.insert(page, [0u8; PAGE_SIZE]);
+    }
+    fn apply_release(&mut self, page: PageId) {
+        self.pages.remove(&page);
+    }
+}
+
+/// Injected backend faults during the apply phase cannot lose committed
+/// data: whatever the backend managed to absorb, replaying the log onto a
+/// fresh target reconstructs every committed page image.
+#[test]
+fn committed_batches_survive_backend_write_faults() {
+    for trip_at in 1..=6u64 {
+        for mode in [FaultMode::Fail, FaultMode::ShortWrite(100)] {
+            let dir = temp_dir(&format!("fault-{trip_at}-{mode:?}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let wal = std::sync::Arc::new(std::sync::Mutex::new(
+                Wal::create(dir.join("wal.log")).unwrap(),
+            ));
+            let backend = FaultStore::new(
+                DiskPageFile::create(dir.join("data.pg")).unwrap(),
+                trip_at,
+                mode,
+            );
+            let mut store = WalStore::wrap(backend, wal, 0);
+
+            // Two committed batches of page writes; remember what each
+            // page must hold afterwards.
+            let mut expected: HashMap<PageId, [u8; PAGE_SIZE]> = HashMap::new();
+            for batch in 0..2u8 {
+                for i in 0..3u8 {
+                    let id = store.allocate();
+                    let mut img = [0u8; PAGE_SIZE];
+                    img[..2].copy_from_slice(&[batch + 1, i + 1]);
+                    store.write(id, &img[..]);
+                    expected.insert(id, img);
+                }
+                // The apply phase behind this commit is where the fault
+                // trips; the log write itself is unaffected.
+                store.commit(true).unwrap();
+            }
+
+            // "Crash": drop everything, then recover from the log alone.
+            drop(store);
+            let recovery = Wal::recover(dir.join("wal.log")).unwrap();
+            assert_eq!(recovery.batches.len(), 2);
+            let mut target = MemTarget::default();
+            replay(&recovery.batches, &mut [&mut target]);
+            assert_eq!(target.pages.len(), expected.len());
+            for (id, img) in &expected {
+                assert_eq!(
+                    target.pages.get(id),
+                    Some(img),
+                    "page {id} lost under fault at write {trip_at} ({mode:?})"
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
