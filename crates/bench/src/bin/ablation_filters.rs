@@ -18,7 +18,7 @@
 use bench::{fmt, print_table, run_workload_with_options, timed, HarnessConfig};
 use datagen::workload;
 use uncertain_geom::Point;
-use utree::{ProbIndex, Query, QueryOptions, Refine, UTree};
+use utree::{Query, QueryOptions, Refine, UTree};
 
 fn main() {
     let cfg = HarnessConfig::from_env();

@@ -1,0 +1,162 @@
+//! STR bulk load vs repeated insert (the Table-1-style build experiment
+//! for the packed serving tier): build the same dataset both ways, save
+//! both, and serve an identical workload cold through the same buffer
+//! pool.
+//!
+//! Two figures must favour the packed build, and both are hard-asserted:
+//!
+//! * **build wall-clock** — one payload pass + an O(n log n) STR sort
+//!   beats n root-to-leaf descents with R* splits/reinsertions;
+//! * **physical node reads per workload** — full fan-out packing means
+//!   fewer node pages overall and a level-contiguous layout on disk, so
+//!   the same queries pull fewer pages off the file.
+//!
+//! Emits a `BULKLOAD_SCALING_JSON:` line; CI compares it against the
+//! committed `BENCH_bulkload.json` via `scripts/check_bench.py`.
+
+use bench::{fmt, fmt_mb, print_table, timed, HarnessConfig};
+use datagen::workload;
+use utree::{DiskUTree, ProbRangeQuery, Query, Refine, UTree};
+
+const QS: f64 = 1_000.0;
+const PQ: f64 = 0.6;
+const POOL_FRAMES: usize = 256;
+
+struct BuildSample {
+    build: &'static str,
+    build_secs: f64,
+    index_bytes: u64,
+    node_pages: u64,
+    phys_node_reads: u64,
+    phys_heap_reads: u64,
+}
+
+fn serve(tree: &UTree<2>, tag: &str, queries: &[ProbRangeQuery<2>]) -> (u64, u64) {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("utree-bulkbench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    tree.save(&dir).expect("save index");
+    let reopened = DiskUTree::<2>::open(&dir, POOL_FRAMES).expect("open saved index");
+    // Quadrature refinement: pure CPU, identical for both builds — only
+    // the I/O being measured differs.
+    let mode = Refine::reference(1e-6);
+    for q in queries {
+        let _ = reopened.execute(&Query::from_prob_range(*q, mode));
+    }
+    let node = reopened.node_store().backend_stats().reads();
+    let heap = reopened.heap().file().backend_stats().reads();
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+    (node, heap)
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let n = cfg.sized(datagen::AIRCRAFT_SIZE);
+    println!(
+        "scale {} | {} objects | {} queries | {}-frame pool",
+        cfg.scale, n, cfg.queries, POOL_FRAMES
+    );
+
+    let objs = datagen::lb_dataset(n, 1);
+    let centers: Vec<_> = objs.iter().map(|o| o.mbr().center()).collect();
+    let w = workload(&centers, QS, PQ, cfg.queries, 17);
+
+    let mut bulk = UTree::<2>::builder()
+        .build()
+        .expect("paper default catalog");
+    let (_, bulk_secs) = timed(|| bulk.bulk_load(&objs));
+
+    let mut incr = UTree::<2>::builder()
+        .build()
+        .expect("paper default catalog");
+    let (_, incr_secs) = timed(|| {
+        for o in &objs {
+            incr.insert(o);
+        }
+    });
+
+    let mut samples = Vec::new();
+    for (build, tree, secs) in [("bulk", &bulk, bulk_secs), ("insert", &incr, incr_secs)] {
+        let (phys_node_reads, phys_heap_reads) = serve(tree, build, &w.queries);
+        samples.push(BuildSample {
+            build,
+            build_secs: secs,
+            index_bytes: tree.index_size_bytes(),
+            node_pages: tree.tree_stats().total_nodes() as u64,
+            phys_node_reads,
+            phys_heap_reads,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.build.to_string(),
+                format!("{:.3}", s.build_secs),
+                fmt_mb(s.index_bytes),
+                s.node_pages.to_string(),
+                fmt(s.phys_node_reads as f64 / w.len() as f64),
+                fmt(s.phys_heap_reads as f64 / w.len() as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        "STR bulk load vs repeated insert (same data, same cold workload)",
+        &[
+            "build",
+            "build s",
+            "index",
+            "nodes",
+            "disk node/q",
+            "disk heap/q",
+        ],
+        &rows,
+    );
+
+    let json_results: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                r#"{{"build":"{}","build_secs":{:.4},"index_bytes":{},"node_pages":{},"phys_node_reads":{},"phys_heap_reads":{}}}"#,
+                s.build, s.build_secs, s.index_bytes, s.node_pages, s.phys_node_reads, s.phys_heap_reads
+            )
+        })
+        .collect();
+    println!(
+        r#"BULKLOAD_SCALING_JSON: {{"bench":"bulk_vs_incremental","objects":{},"queries":{},"pool_frames":{},"results":[{}]}}"#,
+        n,
+        cfg.queries,
+        POOL_FRAMES,
+        json_results.join(",")
+    );
+
+    let (b, i) = (&samples[0], &samples[1]);
+    println!(
+        "\nbuild speedup {:.1}x | node pages {} vs {} | physical node reads {} vs {}",
+        i.build_secs / b.build_secs.max(1e-9),
+        b.node_pages,
+        i.node_pages,
+        b.phys_node_reads,
+        i.phys_node_reads
+    );
+    assert!(
+        b.build_secs < i.build_secs,
+        "bulk build ({:.3}s) must beat repeated insert ({:.3}s)",
+        b.build_secs,
+        i.build_secs
+    );
+    assert!(
+        b.index_bytes < i.index_bytes,
+        "packed index must be smaller: {} vs {} bytes",
+        b.index_bytes,
+        i.index_bytes
+    );
+    assert!(
+        b.phys_node_reads < i.phys_node_reads,
+        "packed layout must cost fewer physical node reads: {} vs {}",
+        b.phys_node_reads,
+        i.phys_node_reads
+    );
+}

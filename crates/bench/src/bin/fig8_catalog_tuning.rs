@@ -12,7 +12,7 @@
 use bench::{print_table, run_workload, HarnessConfig};
 use datagen::workload;
 use uncertain_geom::Point;
-use utree::{ProbIndex, UPcrTree};
+use utree::UPcrTree;
 
 fn avg_cost_2d(objs: &[uncertain_pdf::UncertainObject<2>], m: usize, cfg: &HarnessConfig) -> f64 {
     let mut tree = UPcrTree::<2>::builder()

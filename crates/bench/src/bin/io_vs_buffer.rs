@@ -10,7 +10,7 @@
 use bench::{fmt, print_table, HarnessConfig};
 use datagen::workload;
 use page_store::PageStore;
-use utree::{DiskUTree, ProbIndex, Query, Refine, UTree};
+use utree::{DiskUTree, Query, Refine, UTree};
 
 const CAPACITIES: [usize; 7] = [8, 16, 32, 64, 128, 256, 512];
 const QS: f64 = 1_000.0;

@@ -1,7 +1,7 @@
 //! Quick throughput probe used to calibrate experiment scales (not a
 //! paper figure).
 use bench::timed;
-use utree::{ProbIndex, UPcrTree, UTree};
+use utree::{UPcrTree, UTree};
 
 fn main() {
     let lb = datagen::lb_dataset(5_000, 1);

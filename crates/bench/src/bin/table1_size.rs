@@ -11,7 +11,7 @@
 //! extrapolation (sizes are linear in N).
 
 use bench::{fmt_mb, print_table, timed, HarnessConfig};
-use utree::{ProbIndex, UPcrTree, UTree};
+use utree::{UPcrTree, UTree};
 
 fn main() {
     let cfg = HarnessConfig::from_env();

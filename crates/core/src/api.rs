@@ -64,6 +64,24 @@ pub enum IndexError {
         /// The offending value.
         value: f64,
     },
+    /// The storage medium failed (a pread/pwrite error surfaced through
+    /// the page-store layer during construction or bulk loading).
+    ///
+    /// Carries the rendered [`std::io::Error`]; the enum stays `Clone +
+    /// PartialEq` for test ergonomics, which a raw `io::Error` would
+    /// forbid.
+    Io {
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+}
+
+impl From<std::io::Error> for IndexError {
+    fn from(e: std::io::Error) -> Self {
+        IndexError::Io {
+            message: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for IndexError {
@@ -83,6 +101,9 @@ impl fmt::Display for IndexError {
                     f,
                     "catalog values must lie in [0, 0.5] (value {value} at index {index})"
                 )
+            }
+            IndexError::Io { message } => {
+                write!(f, "index storage I/O failed: {message}")
             }
         }
     }
@@ -113,6 +134,23 @@ pub enum QueryError {
     },
     /// A ranking query was built with `k = 0`.
     ZeroK,
+    /// The storage medium failed while the query was executing (a node or
+    /// heap pread surfaced an error through the page-store layer).
+    ///
+    /// Carries the rendered [`std::io::Error`] so the enum stays `Clone +
+    /// PartialEq`.
+    Io {
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+}
+
+impl From<std::io::Error> for QueryError {
+    fn from(e: std::io::Error) -> Self {
+        QueryError::Io {
+            message: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -135,6 +173,9 @@ impl fmt::Display for QueryError {
             }
             QueryError::ZeroK => {
                 write!(f, "a top-k ranking query needs k >= 1")
+            }
+            QueryError::Io { message } => {
+                write!(f, "query storage I/O failed: {message}")
             }
         }
     }
@@ -290,9 +331,11 @@ impl<const D: usize> QueryBuilder<D> {
         })
     }
 
-    /// Builds and executes against any [`ProbIndex`].
+    /// Builds and executes against any [`ProbIndex`]. Both validation
+    /// failures and storage I/O failures surface here as [`QueryError`]
+    /// (the fluent path never panics on a sick disk).
     pub fn run<I: ProbIndex<D> + ?Sized>(self, index: &I) -> Result<QueryOutcome, QueryError> {
-        Ok(index.execute(&self.build()?))
+        index.try_execute(&self.build()?)
     }
 }
 
@@ -362,9 +405,10 @@ impl<const D: usize> RankBuilder<D> {
         })
     }
 
-    /// Builds and executes against any [`ProbIndex`].
+    /// Builds and executes against any [`ProbIndex`]. Both validation
+    /// failures and storage I/O failures surface here as [`QueryError`].
     pub fn run<I: ProbIndex<D> + ?Sized>(self, index: &I) -> Result<RankOutcome, QueryError> {
-        Ok(index.rank_topk(&self.build()?))
+        index.try_rank_topk(&self.build()?)
     }
 }
 
@@ -600,28 +644,53 @@ pub trait ProbIndex<const D: usize> {
     fn reset_io(&self);
 
     /// Executes a validated query, returning matches with provenance and
-    /// the cost counters.
+    /// the cost counters, or a typed [`QueryError::Io`] when the storage
+    /// medium fails mid-query.
+    ///
+    /// This is the **fallible primitive** every backend implements;
+    /// [`ProbIndex::execute`] / [`ProbIndex::execute_with`] are
+    /// panic-on-I/O-error conveniences over it (an in-memory backend
+    /// cannot fail, so the panic is unreachable there).
     ///
     /// Queries only *read* the index (`&self` end-to-end): a shared
     /// reference can serve any number of threads at once when the backend
     /// is `Sync` (all in-repo backends are, on every storage backend).
-    /// This convenience creates a throwaway [`QueryCtx`]; workloads
-    /// running many queries should reuse one per thread via
+    /// The context is reset on entry and its buffers are reused across
+    /// calls — one context per worker thread is the intended pattern (see
+    /// [`crate::engine::BatchExecutor`]).
+    fn try_execute_with(
+        &self,
+        query: &Query<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<QueryOutcome, QueryError>;
+
+    /// [`ProbIndex::try_execute_with`] with a throwaway [`QueryCtx`].
+    fn try_execute(&self, query: &Query<D>) -> Result<QueryOutcome, QueryError> {
+        self.try_execute_with(query, &mut QueryCtx::new())
+    }
+
+    /// Executes a validated query, panicking if the storage medium fails
+    /// (see [`ProbIndex::try_execute`] for the fallible surface). This
+    /// convenience creates a throwaway [`QueryCtx`]; workloads running
+    /// many queries should reuse one per thread via
     /// [`ProbIndex::execute_with`].
     fn execute(&self, query: &Query<D>) -> QueryOutcome {
         self.execute_with(query, &mut QueryCtx::new())
     }
 
     /// Executes a validated query using caller-owned per-query scratch
-    /// state (stats, candidate buffers, traversal stack, refinement RNG).
-    /// The context is reset on entry and its buffers are reused across
-    /// calls — one context per worker thread is the intended pattern (see
-    /// [`crate::engine::BatchExecutor`]).
-    fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome;
+    /// state (stats, candidate buffers, traversal stack, refinement RNG),
+    /// panicking if the storage medium fails (see
+    /// [`ProbIndex::try_execute_with`] for the fallible surface).
+    fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
+        self.try_execute_with(query, ctx)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 
     /// Executes a validated **top-k ranking query**: the `k` objects with
     /// the highest appearance probability in the region, ordered
-    /// (descending probability, ties by ascending id).
+    /// (descending probability, ties by ascending id). Returns a typed
+    /// [`QueryError::Io`] when the storage medium fails mid-query.
     ///
     /// The tree backends run a best-first traversal over PCR-derived
     /// upper probability bounds with lazy refinement — a candidate's
@@ -630,8 +699,22 @@ pub trait ProbIndex<const D: usize> {
     /// refine-everything oracle. All backends return identical matches
     /// under a deterministic refinement mode.
     ///
-    /// Same concurrency contract as [`ProbIndex::execute`]: `&self`
-    /// end-to-end, per-query state in a throwaway [`QueryCtx`].
+    /// Same concurrency contract as [`ProbIndex::try_execute_with`]:
+    /// `&self` end-to-end, per-query state in the caller's [`QueryCtx`].
+    fn try_rank_topk_with(
+        &self,
+        query: &RankQuery<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<RankOutcome, QueryError>;
+
+    /// [`ProbIndex::try_rank_topk_with`] with a throwaway [`QueryCtx`].
+    fn try_rank_topk(&self, query: &RankQuery<D>) -> Result<RankOutcome, QueryError> {
+        self.try_rank_topk_with(query, &mut QueryCtx::new())
+    }
+
+    /// Executes a validated top-k ranking query, panicking if the storage
+    /// medium fails (see [`ProbIndex::try_rank_topk`] for the fallible
+    /// surface).
     fn rank_topk(&self, query: &RankQuery<D>) -> RankOutcome {
         self.rank_topk_with(query, &mut QueryCtx::new())
     }
@@ -640,10 +723,22 @@ pub trait ProbIndex<const D: usize> {
     /// ranking frontier, bound buffers and result heap live in the
     /// context, so one context per worker thread serves batches of
     /// ranking queries without reallocation).
-    fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome;
+    fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
+        self.try_rank_topk_with(query, ctx)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 
-    /// Inserts every object from an iterator, returning the accumulated
-    /// [`InsertStats`]. Accepts owned or borrowed objects.
+    /// Loads every object from an iterator into the index, returning the
+    /// accumulated [`InsertStats`]. Accepts owned or borrowed objects.
+    ///
+    /// The default is the plain insert loop; per-phase wall-clock
+    /// (`pcr_nanos`, `lp_nanos`) and I/O counters accumulate each insert's
+    /// breakdown **exactly once** — the aggregate equals the sum of the
+    /// individual [`ProbIndex::insert`] stats, with no build-level clock
+    /// layered on top of the per-insert clocks. [`crate::UTree`] and
+    /// [`crate::UPcrTree`] override this with a Sort-Tile-Recursive bulk
+    /// build when the index is empty (packed leaves, bottom-up levels,
+    /// build-level timing measured once per phase).
     fn bulk_load<It>(&mut self, objs: It) -> InsertStats
     where
         It: IntoIterator,
@@ -803,6 +898,20 @@ impl<const D: usize, B: IndexBackend<D>> IndexBuilder<D, B> {
             Some(CatalogSpec::Uniform(m)) => UCatalog::try_uniform(m)?,
         };
         Ok(B::from_parts(catalog, self.cfg))
+    }
+
+    /// Validates, constructs, and **bulk-loads** the backend in one step:
+    /// `UTree::builder().uniform_catalog(8).bulk(&objs)?`. On the tree
+    /// backends the freshly built (empty) index takes the packed STR
+    /// build; on [`crate::SeqScan`] the default insert loop runs.
+    pub fn bulk<It>(self, objs: It) -> Result<B, IndexError>
+    where
+        It: IntoIterator,
+        It::Item: Borrow<UncertainObject<D>>,
+    {
+        let mut backend = self.build()?;
+        backend.bulk_load(objs);
+        Ok(backend)
     }
 }
 

@@ -113,10 +113,10 @@ pub(crate) fn dump_store<S: PageStore>(src: &S, path: &Path) -> io::Result<()> {
         let mut dst = DiskPageFile::create(&tmp)?;
         let mut buf = [0u8; PAGE_SIZE];
         for id in 0..src.capacity_pages() as PageId {
-            let did = dst.allocate();
+            let did = dst.allocate()?;
             debug_assert_eq!(did, id, "snapshot ids must mirror the source");
-            src.peek_into(id, &mut buf);
-            dst.write(did, &buf);
+            src.peek_into(id, &mut buf)?;
+            dst.write(did, &buf)?;
         }
         // Replaying releases in free-list order reproduces the exact
         // stack, so reallocation order survives the round trip too.
@@ -284,14 +284,15 @@ impl ReplayFile {
 }
 
 impl wal::ReplayTarget for ReplayFile {
-    fn apply_image(&mut self, page: PageId, data: &[u8; PAGE_SIZE]) {
-        self.file.write(page, data);
+    fn apply_image(&mut self, page: PageId, data: &[u8; PAGE_SIZE]) -> io::Result<()> {
+        self.file.write(page, data)?;
         if page >= self.n_pages {
             self.n_pages = page + 1;
         }
+        Ok(())
     }
 
-    fn apply_alloc(&mut self, page: PageId) {
+    fn apply_alloc(&mut self, page: PageId) -> io::Result<()> {
         // Replay can re-allocate a page the snapshot already holds (a
         // crash between snapshot and log truncation): converge, don't
         // assume. The zeroing write also extends the file extent; the
@@ -300,13 +301,14 @@ impl wal::ReplayTarget for ReplayFile {
         if page >= self.n_pages {
             self.n_pages = page + 1;
         }
-        self.file.write(page, &[]);
+        self.file.write(page, &[])
     }
 
-    fn apply_release(&mut self, page: PageId) {
+    fn apply_release(&mut self, page: PageId) -> io::Result<()> {
         if !self.free.contains(&page) {
             self.free.push(page);
         }
+        Ok(())
     }
 }
 
@@ -354,7 +356,7 @@ pub(crate) fn open_parts(
     let recovery = Wal::recover(dir.join(WAL_FILE))?;
     let mut index_rf = ReplayFile::new(DiskPageFile::open(dir.join(INDEX_FILE))?);
     let mut heap_rf = ReplayFile::new(DiskPageFile::open(dir.join(HEAP_FILE))?);
-    let wal_meta = wal::replay(&recovery.batches, &mut [&mut index_rf, &mut heap_rf]);
+    let wal_meta = wal::replay(&recovery.batches, &mut [&mut index_rf, &mut heap_rf])?;
 
     // The log's last committed metadata is authoritative (it belongs to
     // the replayed page state); `meta.bin` covers the snapshot-only case.
@@ -487,9 +489,9 @@ mod tests {
     fn dump_replicates_pages_and_free_list() {
         let dir = temp_dir("dump");
         let mut src = PageFile::new();
-        let ids: Vec<_> = (0..6).map(|_| src.allocate()).collect();
+        let ids: Vec<_> = (0..6).map(|_| src.allocate().unwrap()).collect();
         for (i, &id) in ids.iter().enumerate() {
-            src.write(id, &[i as u8 + 10; 32]);
+            src.write(id, &[i as u8 + 10; 32]).unwrap();
         }
         src.release(ids[2]);
         src.release(ids[4]);
@@ -499,7 +501,7 @@ mod tests {
         assert_eq!(dst.capacity_pages(), 6);
         assert_eq!(dst.free_list(), src.free_list());
         for &id in &[ids[0], ids[1], ids[3], ids[5]] {
-            assert_eq!(dst.peek_page(id)[..], src.peek(id)[..]);
+            assert_eq!(dst.peek_page(id).unwrap()[..], src.peek(id)[..]);
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -512,8 +514,8 @@ mod tests {
         let dir = temp_dir("converge");
         let path = dir.join(INDEX_FILE);
         let mut base = DiskPageFile::create(&path).unwrap();
-        let p0 = base.allocate();
-        base.write(p0, b"pre-existing");
+        let p0 = base.allocate().unwrap();
+        base.write(p0, b"pre-existing").unwrap();
         base.flush().unwrap();
 
         let mut rf = ReplayFile::new(base);
@@ -526,13 +528,13 @@ mod tests {
         // alloc p1 + image, release p0, then the snapshot-included replay
         // of the same ops again.
         for _ in 0..2 {
-            rf.apply_alloc(1);
-            rf.apply_image(1, &img);
-            rf.apply_release(0);
+            rf.apply_alloc(1).unwrap();
+            rf.apply_image(1, &img).unwrap();
+            rf.apply_release(0).unwrap();
         }
         assert_eq!(rf.n_pages, 2);
         assert_eq!(rf.free, vec![0]);
-        assert_eq!(&rf.file.peek_page(1)[..5], b"fresh");
+        assert_eq!(&rf.file.peek_page(1).unwrap()[..5], b"fresh");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

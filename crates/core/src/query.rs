@@ -6,6 +6,7 @@ use page_store::{ObjectHeap, PageId, PageStore, RecordAddr};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::io;
 use std::ops::AddAssign;
 use uncertain_geom::Rect;
 use uncertain_pdf::{appearance_reference, MonteCarlo};
@@ -253,13 +254,13 @@ pub(crate) fn refine_one<const D: usize, S: PageStore>(
     rq: &Rect<D>,
     mode: RefineMode,
     ctx: &mut QueryCtx,
-) -> f64 {
+) -> io::Result<f64> {
     let t0 = std::time::Instant::now();
     if let Err(at) = ctx.heap_pages.binary_search(&addr.page) {
         ctx.heap_pages.insert(at, addr.page);
         ctx.stats.heap_reads += 1;
     }
-    let p = match heap.get(addr) {
+    let p = match heap.get(addr)? {
         Some(bytes) => {
             let obj = decode_object::<D>(&bytes);
             debug_assert_eq!(obj.id, id, "heap record id mismatch");
@@ -282,7 +283,7 @@ pub(crate) fn refine_one<const D: usize, S: PageStore>(
     };
     ctx.stats.prob_computations += 1;
     ctx.stats.refine_nanos += t0.elapsed().as_nanos();
-    p
+    Ok(p)
 }
 
 /// Shared refinement core writing qualifiers into `out` (Sec 5.2):
@@ -298,7 +299,7 @@ fn refine_core<const D: usize, S: PageStore>(
     stats: &mut QueryStats,
     rng_slot: &mut Option<SmallRng>,
     out: &mut Vec<(u64, f64)>,
-) {
+) -> io::Result<()> {
     let mut by_page: BTreeMap<PageId, Vec<(u16, u64)>> = BTreeMap::new();
     for (addr, id) in candidates {
         by_page.entry(addr.page).or_default().push((addr.slot, *id));
@@ -312,7 +313,7 @@ fn refine_core<const D: usize, S: PageStore>(
     };
     let qualified0 = out.len();
     for (page, slots) in by_page {
-        let records = heap.page_records(page);
+        let records = heap.page_records(page)?;
         stats.heap_reads += 1;
         for (slot, id) in slots {
             let Some((_, bytes)) = records.iter().find(|(s, _)| *s == slot) else {
@@ -335,6 +336,7 @@ fn refine_core<const D: usize, S: PageStore>(
         }
     }
     stats.results += (out.len() - qualified0) as u64;
+    Ok(())
 }
 
 /// Runs the refinement step over the candidates a context's filter step
@@ -346,7 +348,7 @@ pub(crate) fn refine_ctx<const D: usize, S: PageStore>(
     pq: f64,
     mode: RefineMode,
     ctx: &mut QueryCtx,
-) {
+) -> io::Result<()> {
     let QueryCtx {
         stats,
         candidates,
@@ -354,7 +356,7 @@ pub(crate) fn refine_ctx<const D: usize, S: PageStore>(
         rng,
         ..
     } = ctx;
-    refine_core(heap, candidates, rq, pq, mode, stats, rng, refined);
+    refine_core(heap, candidates, rq, pq, mode, stats, rng, refined)
 }
 
 /// The refinement step of Sec 5.2, reporting each qualifying candidate
@@ -370,11 +372,11 @@ pub fn refine_candidates_scored<const D: usize, S: PageStore>(
     pq: f64,
     mode: RefineMode,
     stats: &mut QueryStats,
-) -> Vec<(u64, f64)> {
+) -> io::Result<Vec<(u64, f64)>> {
     let mut out = Vec::new();
     let mut rng = None;
-    refine_core(heap, candidates, rq, pq, mode, stats, &mut rng, &mut out);
-    out
+    refine_core(heap, candidates, rq, pq, mode, stats, &mut rng, &mut out)?;
+    Ok(out)
 }
 
 /// [`refine_candidates_scored`] without the probabilities (the original
@@ -386,11 +388,13 @@ pub fn refine_candidates<const D: usize, S: PageStore>(
     pq: f64,
     mode: RefineMode,
     stats: &mut QueryStats,
-) -> Vec<u64> {
-    refine_candidates_scored(heap, candidates, rq, pq, mode, stats)
-        .into_iter()
-        .map(|(id, _)| id)
-        .collect()
+) -> io::Result<Vec<u64>> {
+    Ok(
+        refine_candidates_scored(heap, candidates, rq, pq, mode, stats)?
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -416,8 +420,8 @@ mod tests {
                 rect: Rect::new([90.0, 90.0], [110.0, 110.0]),
             },
         );
-        let a1 = heap.insert(&encode_object(&inside));
-        let a2 = heap.insert(&encode_object(&outside));
+        let a1 = heap.insert(&encode_object(&inside)).unwrap();
+        let a2 = heap.insert(&encode_object(&outside)).unwrap();
         assert_eq!(a1.page, a2.page, "small records share a page");
 
         let rq = Rect::new([-1.0, -1.0], [9.0, 11.0]); // 90% of obj 1, 0% of 2
@@ -429,7 +433,8 @@ mod tests {
             0.5,
             RefineMode::Reference { tol: 1e-9 },
             &mut stats,
-        );
+        )
+        .unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0, 1);
         assert!((got[0].1 - 0.9).abs() < 1e-6, "reported p {}", got[0].1);
@@ -448,7 +453,7 @@ mod tests {
                 radius: 10.0,
             },
         );
-        let a = heap.insert(&encode_object(&obj));
+        let a = heap.insert(&encode_object(&obj)).unwrap();
         let rq = Rect::new([40.0, 40.0], [50.0, 60.0]); // left half: P = 0.5
         for (pq, expect_hit) in [(0.45, true), (0.55, false)] {
             let mut stats = QueryStats::default();
@@ -462,7 +467,8 @@ mod tests {
                     seed: 7,
                 },
                 &mut stats,
-            );
+            )
+            .unwrap();
             assert_eq!(got.len() == 1, expect_hit, "pq={pq}");
         }
     }

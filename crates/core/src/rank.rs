@@ -31,6 +31,7 @@ use page_store::{ObjectHeap, PageId, PageStore, RecordAddr};
 use rstar_base::{KeyMetrics, LeafRecord, NodeCodec, RStarTreeBase};
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
+use std::io;
 use std::time::Instant;
 use uncertain_geom::Rect;
 
@@ -196,7 +197,7 @@ pub(crate) fn rank_best_first<const D: usize, M, L, C, S, NB, EB>(
     ctx: &mut QueryCtx,
     node_upper: NB,
     entry_bounds: EB,
-) -> RankOutcome
+) -> io::Result<RankOutcome>
 where
     M: KeyMetrics<D>,
     L: LeafRecord<M::Key> + RankLeaf<D>,
@@ -293,12 +294,12 @@ where
                             },
                         });
                     },
-                );
+                )?;
                 frontier.extend(staged_nodes.drain(..));
                 frontier.extend(staged_objs.drain(..));
             }
             RankTarget::Object { addr, id, .. } => {
-                let p = refine_one(heap, addr, id, rq, mode, ctx);
+                let p = refine_one(heap, addr, id, rq, mode, ctx)?;
                 if p > 0.0 {
                     push_hit(
                         &mut ctx.ranked,
@@ -314,7 +315,7 @@ where
         }
     }
 
-    finish(ctx, t_total)
+    Ok(finish(ctx, t_total))
 }
 
 /// Assembles the outcome from a context's ranked hits (shared with the

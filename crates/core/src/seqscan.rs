@@ -8,7 +8,8 @@
 //! so the harness and applications can swap it in transparently.
 
 use crate::api::{
-    outcome_from_ctx, IndexBuilder, ProbIndex, Query, QueryOutcome, RankOutcome, RankQuery,
+    outcome_from_ctx, IndexBuilder, ProbIndex, Query, QueryError, QueryOutcome, RankOutcome,
+    RankQuery,
 };
 use crate::catalog::UCatalog;
 use crate::cfb::{fit_cfb_pair, CfbView};
@@ -110,7 +111,10 @@ impl<const D: usize> SeqScan<D> {
             mbr.min[i] = f32_round_down(raw.min[i]);
             mbr.max[i] = f32_round_up(raw.max[i]);
         }
-        let addr = self.heap.insert(&encode_object(obj));
+        let addr = self
+            .heap
+            .insert(&encode_object(obj))
+            .expect("in-memory heap cannot fail");
         let entry = ULeafEntry::new(cfbs, mbr, addr, obj.id, &self.catalog);
         let reads0 = self.file.stats().reads();
         let writes0 = self.file.stats().writes();
@@ -142,7 +146,9 @@ impl<const D: usize> SeqScan<D> {
             return false;
         };
         let removed = all.remove(pos);
-        self.heap.remove(removed.addr);
+        self.heap
+            .remove(removed.addr)
+            .expect("in-memory heap cannot fail");
         self.rebuild_from(all);
         true
     }
@@ -157,10 +163,12 @@ impl<const D: usize> SeqScan<D> {
         self.open = Vec::new();
         for chunk in entries.chunks(cap) {
             if chunk.len() == cap {
-                let page = self.file.allocate();
+                let page = self.file.allocate().expect("in-memory file cannot fail");
                 let mut bytes = Vec::with_capacity(page_store::PAGE_SIZE);
                 self.codec.encode_leaf(chunk, &mut bytes);
-                self.file.write(page, &bytes);
+                self.file
+                    .write(page, &bytes)
+                    .expect("in-memory file cannot fail");
                 self.pages.push(page);
             } else {
                 self.open = chunk.to_vec();
@@ -169,10 +177,12 @@ impl<const D: usize> SeqScan<D> {
     }
 
     fn flush_page(&mut self) {
-        let page = self.file.allocate();
+        let page = self.file.allocate().expect("in-memory file cannot fail");
         let mut bytes = Vec::with_capacity(page_store::PAGE_SIZE);
         self.codec.encode_leaf(&self.open, &mut bytes);
-        self.file.write(page, &bytes);
+        self.file
+            .write(page, &bytes)
+            .expect("in-memory file cannot fail");
         self.pages.push(page);
         self.open.clear();
     }
@@ -185,12 +195,23 @@ impl<const D: usize> SeqScan<D> {
         self.execute_with(query, &mut QueryCtx::new())
     }
 
+    /// [`SeqScan::try_execute_with`], panicking on storage failure (the
+    /// scan file itself is in-memory; only the heap can fail).
+    pub fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
+        self.try_execute_with(query, ctx)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Executes a prob-range query with caller-owned scratch state (the
     /// scan is only read; see [`crate::UTree::execute_with`] for the
     /// shared-read contract). The
     /// [`QueryOptions`](crate::tree::QueryOptions) ablation switches are
     /// U-tree-specific and ignored here.
-    pub fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
+    pub fn try_execute_with(
+        &self,
+        query: &Query<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<QueryOutcome, QueryError> {
         ctx.begin();
         let rq = query.region();
         let pq = query.threshold();
@@ -237,9 +258,9 @@ impl<const D: usize> SeqScan<D> {
         ctx.stats.results = ctx.validated.len() as u64;
 
         let t1 = Instant::now();
-        refine_ctx(&self.heap, rq, pq, mode, ctx);
+        refine_ctx(&self.heap, rq, pq, mode, ctx)?;
         ctx.stats.refine_nanos = t1.elapsed().as_nanos();
-        outcome_from_ctx(ctx)
+        Ok(outcome_from_ctx(ctx))
     }
 
     /// Executes a top-k ranking query as the **refine-everything oracle**:
@@ -248,7 +269,11 @@ impl<const D: usize> SeqScan<D> {
     /// on the trees), then the k best are reported. This is the baseline
     /// the bounded best-first traversals are measured against — identical
     /// answers, maximal `prob_computations`.
-    pub fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
+    pub fn try_rank_topk_with(
+        &self,
+        query: &RankQuery<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<RankOutcome, QueryError> {
         ctx.begin();
         let t0 = Instant::now();
         let rq = query.region();
@@ -297,7 +322,7 @@ impl<const D: usize> SeqScan<D> {
         }
         let cands = std::mem::take(&mut ctx.candidates);
         for &(addr, id) in &cands {
-            let p = crate::query::refine_one(&self.heap, addr, id, rq, mode, ctx);
+            let p = crate::query::refine_one(&self.heap, addr, id, rq, mode, ctx)?;
             if p > 0.0 {
                 crate::rank::push_hit(
                     &mut ctx.ranked,
@@ -312,7 +337,13 @@ impl<const D: usize> SeqScan<D> {
         }
         // Hand the buffer back so its capacity stays with the context.
         ctx.candidates = cands;
-        crate::rank::finish(ctx, t0)
+        Ok(crate::rank::finish(ctx, t0))
+    }
+
+    /// [`SeqScan::try_rank_topk_with`], panicking on storage failure.
+    pub fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
+        self.try_rank_topk_with(query, ctx)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// [`SeqScan::rank_topk_with`] with a throwaway context.
@@ -350,12 +381,20 @@ impl<const D: usize> ProbIndex<D> for SeqScan<D> {
         SeqScan::reset_io(self)
     }
 
-    fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
-        SeqScan::execute_with(self, query, ctx)
+    fn try_execute_with(
+        &self,
+        query: &Query<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<QueryOutcome, QueryError> {
+        SeqScan::try_execute_with(self, query, ctx)
     }
 
-    fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
-        SeqScan::rank_topk_with(self, query, ctx)
+    fn try_rank_topk_with(
+        &self,
+        query: &RankQuery<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<RankOutcome, QueryError> {
+        SeqScan::try_rank_topk_with(self, query, ctx)
     }
 }
 

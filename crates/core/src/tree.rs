@@ -2,7 +2,8 @@
 //! multi-dimensional uncertain data with arbitrary pdfs.
 
 use crate::api::{
-    outcome_from_ctx, IndexBuilder, ProbIndex, Query, QueryOutcome, RankOutcome, RankQuery,
+    outcome_from_ctx, IndexBuilder, ProbIndex, Query, QueryError, QueryOutcome, RankOutcome,
+    RankQuery,
 };
 use crate::catalog::UCatalog;
 use crate::cfb::{fit_cfb_pair, CfbView};
@@ -14,7 +15,8 @@ use crate::pcr::PcrSet;
 use crate::persist;
 use crate::query::{refine_ctx, QueryCtx};
 use page_store::{f32_round_down, f32_round_up, CommitReceipt, ObjectHeap, PageFile, PageStore};
-use rstar_base::{LeafRecord, RStarTreeBase, TreeConfig, TreeStats};
+use rstar_base::{str_order_by, LeafRecord, NodeCodec, RStarTreeBase, TreeConfig, TreeStats};
+use std::borrow::Borrow;
 use std::io;
 use std::ops::AddAssign;
 use std::path::Path;
@@ -151,7 +153,8 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
         let metrics = UMetrics::new(catalog.clone());
         let codec = UCodec::new(catalog.clone());
         Self {
-            tree: RStarTreeBase::with_store(node_store, metrics, codec, cfg),
+            tree: RStarTreeBase::with_store(node_store, metrics, codec, cfg)
+                .expect("node store failed while formatting an empty tree"),
             heap: ObjectHeap::with_store(heap_store),
             catalog,
         }
@@ -264,10 +267,10 @@ impl<const D: usize> UTree<D, persist::DiskStore> {
         // rule); deferred ones apply when a later sync covers them.
         let index = self.tree.store_mut().backend_mut();
         index.note_commit(receipt.lsn);
-        index.apply_through(durable);
+        index.apply_through(durable)?;
         let heap = self.heap.file_mut().backend_mut();
         heap.note_commit(receipt.lsn);
-        heap.apply_through(durable);
+        heap.apply_through(durable)?;
         Ok(CommitReceipt {
             lsn: receipt.lsn,
             durable: durable >= receipt.lsn,
@@ -280,6 +283,18 @@ impl<const D: usize> UTree<D, persist::DiskStore> {
     /// files keep their inodes; this tree continues on the log as usual.
     pub fn checkpoint(&mut self) -> io::Result<()> {
         self.flush()?;
+        // Write-ahead audit: under a group-commit window, commits may have
+        // returned `durable: false`; the snapshot rename below must never
+        // overtake them. `flush()` just forced the fsync, so a deferred
+        // commit surviving to this point is a protocol bug — refuse to
+        // snapshot rather than publish a snapshot ahead of the log.
+        if self.tree.store_mut().backend_mut().has_deferred_commits()
+            || self.heap.file_mut().backend_mut().has_deferred_commits()
+        {
+            return Err(io::Error::other(
+                "checkpoint: deferred group commits survived the forced sync",
+            ));
+        }
         let dir = self
             .tree
             .store()
@@ -409,11 +424,16 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
     /// metrics). Object ids must be unique.
     pub fn insert(&mut self, obj: &UncertainObject<D>) -> InsertStats {
         let (cfbs, mbr, pcr_nanos, lp_nanos) = self.build_filter_payload(&obj.pdf);
-        let addr = self.heap.insert(&encode_object(obj));
+        let addr = self
+            .heap
+            .insert(&encode_object(obj))
+            .expect("heap store failed during insert");
         let entry = ULeafEntry::new(cfbs, mbr, addr, obj.id, &self.catalog);
         let reads0 = self.tree.io_stats().reads();
         let writes0 = self.tree.io_stats().writes();
-        self.tree.insert(entry);
+        self.tree
+            .insert(entry)
+            .expect("index store failed during insert");
         InsertStats {
             pcr_nanos,
             lp_nanos,
@@ -431,20 +451,108 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
             lo: cfbs.outer.eval(self.catalog.first()),
             hi: cfbs.outer.eval(self.catalog.last()),
         };
-        match self.tree.delete(&probe, obj.id) {
+        match self
+            .tree
+            .delete(&probe, obj.id)
+            .expect("index store failed during delete")
+        {
             Some(entry) => {
-                self.heap.remove(entry.addr);
+                self.heap
+                    .remove(entry.addr)
+                    .expect("heap store failed during delete");
                 true
             }
             None => false,
         }
     }
 
+    /// Bulk-loads an empty tree with **Sort-Tile-Recursive packing**: one
+    /// pass computes every object's filter payload (PCRs → CFB pair), the
+    /// objects are STR-ordered by MBR centre, heap records are appended in
+    /// exactly that order (leaf-adjacent objects share heap pages), and
+    /// the index is built bottom-up with leaves at full fan-out — no
+    /// R*-splits, no re-insertions, and a level-contiguous page layout
+    /// that [`UTree::save`]/[`UTree::open`] serve read-optimised.
+    ///
+    /// On a non-empty tree this falls back to the plain insert loop (the
+    /// packed build assumes it owns the page file). Either way the
+    /// returned [`InsertStats`] reports **build-level totals measured once
+    /// per phase** — PCR and CFB wall-clock accumulate each object's
+    /// breakdown exactly once, and the I/O counters are a single delta
+    /// around the whole build.
+    pub fn bulk_load<It>(&mut self, objs: It) -> InsertStats
+    where
+        It: IntoIterator,
+        It::Item: Borrow<UncertainObject<D>>,
+    {
+        if !self.is_empty() {
+            let mut acc = InsertStats::default();
+            for obj in objs {
+                acc += &self.insert(obj.borrow());
+            }
+            return acc;
+        }
+        // Payload phase: PCRs and CFBs for every object, phase clocks
+        // summed across the build.
+        let mut pcr_nanos = 0u128;
+        let mut lp_nanos = 0u128;
+        let mut staged: Vec<(crate::cfb::CfbPair<D>, Rect<D>, Vec<u8>, u64)> = Vec::new();
+        for obj in objs {
+            let obj = obj.borrow();
+            let (cfbs, mbr, p, l) = self.build_filter_payload(&obj.pdf);
+            pcr_nanos += p;
+            lp_nanos += l;
+            staged.push((cfbs, mbr, encode_object(obj), obj.id));
+        }
+        if staged.is_empty() {
+            return InsertStats {
+                pcr_nanos,
+                lp_nanos,
+                ..InsertStats::default()
+            };
+        }
+        let leaf_cap = self.tree.codec().leaf_capacity();
+        str_order_by(&mut staged, leaf_cap, &|t: &(
+            crate::cfb::CfbPair<D>,
+            Rect<D>,
+            Vec<u8>,
+            u64,
+        )| t.1.center().coords);
+        let reads0 = self.tree.io_stats().reads();
+        let writes0 = self.tree.io_stats().writes();
+        let records: Vec<ULeafEntry<D>> = staged
+            .into_iter()
+            .map(|(cfbs, mbr, bytes, id)| {
+                let addr = self
+                    .heap
+                    .insert(&bytes)
+                    .expect("heap store failed during bulk load");
+                ULeafEntry::new(cfbs, mbr, addr, id, &self.catalog)
+            })
+            .collect();
+        self.tree
+            .bulk_rebuild_ordered(records)
+            .expect("index store failed during bulk load");
+        InsertStats {
+            pcr_nanos,
+            lp_nanos,
+            io_reads: self.tree.io_stats().reads() - reads0,
+            io_writes: self.tree.io_stats().writes() - writes0,
+        }
+    }
+
     /// Executes a prob-range query, returning matches with provenance.
     ///
     /// Convenience over [`UTree::execute_with`] with a throwaway context.
+    /// Panics if the storage medium fails; see [`UTree::try_execute_with`].
     pub fn execute(&self, query: &Query<D>) -> QueryOutcome {
         self.execute_with(query, &mut QueryCtx::new())
+    }
+
+    /// [`UTree::try_execute_with`], panicking on storage failure.
+    pub fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
+        self.try_execute_with(query, ctx)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Executes a prob-range query with caller-owned scratch state.
@@ -463,8 +571,13 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
     /// run at once.
     ///
     /// Callers usually reach this through
-    /// [`crate::api::QueryBuilder::run`] or [`ProbIndex::execute`].
-    pub fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
+    /// [`crate::api::QueryBuilder::run`] or [`ProbIndex::execute`]; a
+    /// storage failure mid-traversal surfaces as [`QueryError::Io`].
+    pub fn try_execute_with(
+        &self,
+        query: &Query<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<QueryOutcome, QueryError> {
         ctx.begin();
         let rq = query.region();
         let pq = query.threshold();
@@ -519,7 +632,7 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
                         FilterOutcome::Candidate => candidates.push((rec.addr, rec.id)),
                     }
                 },
-            )
+            )?
         };
         ctx.stats.filter_nanos = t0.elapsed().as_nanos();
         ctx.stats.node_reads = nodes_read;
@@ -527,9 +640,9 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
         ctx.stats.results = ctx.validated.len() as u64;
 
         let t1 = Instant::now();
-        refine_ctx(&self.heap, rq, pq, mode, ctx);
+        refine_ctx(&self.heap, rq, pq, mode, ctx)?;
         ctx.stats.refine_nanos = t1.elapsed().as_nanos();
-        outcome_from_ctx(ctx)
+        Ok(outcome_from_ctx(ctx))
     }
 
     /// Executes a probabilistic top-k ranking query with caller-owned
@@ -542,12 +655,16 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
     /// CFB-derived [`crate::filter::prob_bounds`]. A candidate is only
     /// refined while its upper bound still beats the current k-th lower
     /// bound, so most probability computations are skipped.
-    pub fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
+    pub fn try_rank_topk_with(
+        &self,
+        query: &RankQuery<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<RankOutcome, QueryError> {
         let rq = *query.region();
         let levels: Vec<(f64, f64)> = (0..self.catalog.len())
             .map(|j| (self.catalog.value(j), self.catalog.fraction(j)))
             .collect();
-        crate::rank::rank_best_first(
+        Ok(crate::rank::rank_best_first(
             &self.tree,
             &self.heap,
             query,
@@ -568,7 +685,13 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
                 };
                 crate::filter::prob_bounds(&view, &rec.mbr, &self.catalog, &rq)
             },
-        )
+        )?)
+    }
+
+    /// [`UTree::try_rank_topk_with`], panicking on storage failure.
+    pub fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
+        self.try_rank_topk_with(query, ctx)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// [`UTree::rank_topk_with`] with a throwaway context.
@@ -578,7 +701,9 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
 
     /// Visits every leaf entry (diagnostics / baselines).
     pub fn for_each_entry<F: FnMut(&ULeafEntry<D>)>(&self, f: F) {
-        self.tree.for_each_record(f);
+        self.tree
+            .for_each_record(f)
+            .expect("index store failed during scan");
     }
 
     /// Total index-file page accesses (reads + writes) since the last
@@ -634,12 +759,28 @@ impl<const D: usize, S: PageStore> ProbIndex<D> for UTree<D, S> {
         UTree::reset_io(self)
     }
 
-    fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
-        UTree::execute_with(self, query, ctx)
+    fn try_execute_with(
+        &self,
+        query: &Query<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<QueryOutcome, QueryError> {
+        UTree::try_execute_with(self, query, ctx)
     }
 
-    fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
-        UTree::rank_topk_with(self, query, ctx)
+    fn try_rank_topk_with(
+        &self,
+        query: &RankQuery<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<RankOutcome, QueryError> {
+        UTree::try_rank_topk_with(self, query, ctx)
+    }
+
+    fn bulk_load<It>(&mut self, objs: It) -> InsertStats
+    where
+        It: IntoIterator,
+        It::Item: Borrow<UncertainObject<D>>,
+    {
+        UTree::bulk_load(self, objs)
     }
 }
 
@@ -1049,7 +1190,7 @@ mod tests {
                 TreeConfig::default(),
             );
             for e in &entries {
-                tree.insert(e.clone());
+                tree.insert(e.clone()).unwrap();
             }
             tree.check_invariants().unwrap();
             tree
@@ -1071,7 +1212,9 @@ mod tests {
                     ]);
                     let rq = Rect::cube(&c, rng.gen_range(300.0..2000.0));
                     for frac in [0.0, 0.4, 1.0] {
-                        total += tree.visit(|key, _| rq.intersects(&key.interp(frac)), |_| {});
+                        total += tree
+                            .visit(|key, _| rq.intersects(&key.interp(frac)), |_| {})
+                            .unwrap();
                     }
                 }
                 total

@@ -7,7 +7,8 @@
 //! trade-off the paper's experiments quantify.
 
 use crate::api::{
-    outcome_from_ctx, IndexBuilder, ProbIndex, Query, QueryOutcome, RankOutcome, RankQuery,
+    outcome_from_ctx, IndexBuilder, ProbIndex, Query, QueryError, QueryOutcome, RankOutcome,
+    RankQuery,
 };
 use crate::catalog::UCatalog;
 use crate::entry::{UPcrCodec, UPcrLeafEntry};
@@ -18,7 +19,8 @@ use crate::pcr::PcrSet;
 use crate::persist;
 use crate::query::{refine_ctx, QueryCtx};
 use page_store::{CommitReceipt, ObjectHeap, PageFile, PageStore};
-use rstar_base::{LeafRecord, RStarTreeBase, TreeConfig, TreeStats};
+use rstar_base::{str_order_by, LeafRecord, NodeCodec, RStarTreeBase, TreeConfig, TreeStats};
+use std::borrow::Borrow;
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
@@ -130,10 +132,10 @@ impl<const D: usize> UPcrTree<D, persist::DiskStore> {
         };
         let index = self.tree.store_mut().backend_mut();
         index.note_commit(receipt.lsn);
-        index.apply_through(durable);
+        index.apply_through(durable)?;
         let heap = self.heap.file_mut().backend_mut();
         heap.note_commit(receipt.lsn);
-        heap.apply_through(durable);
+        heap.apply_through(durable)?;
         Ok(CommitReceipt {
             lsn: receipt.lsn,
             durable: durable >= receipt.lsn,
@@ -144,6 +146,15 @@ impl<const D: usize> UPcrTree<D, persist::DiskStore> {
     /// directory, and truncates the log (see [`crate::UTree::checkpoint`]).
     pub fn checkpoint(&mut self) -> io::Result<()> {
         self.flush()?;
+        // Write-ahead audit (see [`crate::UTree::checkpoint`]): the
+        // snapshot rename must never overtake a deferred group commit.
+        if self.tree.store_mut().backend_mut().has_deferred_commits()
+            || self.heap.file_mut().backend_mut().has_deferred_commits()
+        {
+            return Err(io::Error::other(
+                "checkpoint: deferred group commits survived the forced sync",
+            ));
+        }
         let dir = self
             .tree
             .store()
@@ -267,7 +278,10 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
     pub fn insert(&mut self, obj: &UncertainObject<D>) -> InsertStats {
         let (pcrs, pcr_nanos) = self.storable_pcrs(&obj.pdf);
         let mbr = self.storable_mbr(&obj.pdf);
-        let addr = self.heap.insert(&encode_object(obj));
+        let addr = self
+            .heap
+            .insert(&encode_object(obj))
+            .expect("heap store failed during insert");
         let entry = UPcrLeafEntry {
             pcrs,
             mbr,
@@ -276,7 +290,9 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
         };
         let reads0 = self.tree.io_stats().reads();
         let writes0 = self.tree.io_stats().writes();
-        self.tree.insert(entry);
+        self.tree
+            .insert(entry)
+            .expect("index store failed during insert");
         InsertStats {
             pcr_nanos,
             lp_nanos: 0, // U-PCR skips the CFB fitting entirely
@@ -291,21 +307,104 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
         let probe = PcrKey {
             rects: pcrs.rects().to_vec(),
         };
-        match self.tree.delete(&probe, obj.id) {
+        match self
+            .tree
+            .delete(&probe, obj.id)
+            .expect("index store failed during delete")
+        {
             Some(entry) => {
-                self.heap.remove(entry.addr);
+                self.heap
+                    .remove(entry.addr)
+                    .expect("heap store failed during delete");
                 true
             }
             None => false,
         }
     }
 
+    /// Bulk-loads an empty tree with STR packing — the exact-PCR analogue
+    /// of [`crate::UTree::bulk_load`]: payloads in one timed pass, STR
+    /// order by MBR centre, heap records appended in leaf order, bottom-up
+    /// packed build. Falls back to the insert loop on a non-empty tree.
+    pub fn bulk_load<It>(&mut self, objs: It) -> InsertStats
+    where
+        It: IntoIterator,
+        It::Item: Borrow<UncertainObject<D>>,
+    {
+        if !self.is_empty() {
+            let mut acc = InsertStats::default();
+            for obj in objs {
+                acc += &self.insert(obj.borrow());
+            }
+            return acc;
+        }
+        let mut pcr_nanos = 0u128;
+        let mut staged: Vec<(PcrSet<D>, Rect<D>, Vec<u8>, u64)> = Vec::new();
+        for obj in objs {
+            let obj = obj.borrow();
+            let (pcrs, nanos) = self.storable_pcrs(&obj.pdf);
+            pcr_nanos += nanos;
+            staged.push((
+                pcrs,
+                self.storable_mbr(&obj.pdf),
+                encode_object(obj),
+                obj.id,
+            ));
+        }
+        if staged.is_empty() {
+            return InsertStats {
+                pcr_nanos,
+                ..InsertStats::default()
+            };
+        }
+        let leaf_cap = self.tree.codec().leaf_capacity();
+        str_order_by(&mut staged, leaf_cap, &|t: &(
+            PcrSet<D>,
+            Rect<D>,
+            Vec<u8>,
+            u64,
+        )| t.1.center().coords);
+        let reads0 = self.tree.io_stats().reads();
+        let writes0 = self.tree.io_stats().writes();
+        let records: Vec<UPcrLeafEntry<D>> = staged
+            .into_iter()
+            .map(|(pcrs, mbr, bytes, id)| {
+                let addr = self
+                    .heap
+                    .insert(&bytes)
+                    .expect("heap store failed during bulk load");
+                UPcrLeafEntry {
+                    pcrs,
+                    mbr,
+                    addr,
+                    id,
+                }
+            })
+            .collect();
+        self.tree
+            .bulk_rebuild_ordered(records)
+            .expect("index store failed during bulk load");
+        InsertStats {
+            pcr_nanos,
+            lp_nanos: 0, // U-PCR skips the CFB fitting entirely
+            io_reads: self.tree.io_stats().reads() - reads0,
+            io_writes: self.tree.io_stats().writes() - writes0,
+        }
+    }
+
     /// Executes a prob-range query, returning matches with provenance.
     ///
     /// Convenience over [`UPcrTree::execute_with`] with a throwaway
-    /// context.
+    /// context. Panics on storage failure; see
+    /// [`UPcrTree::try_execute_with`].
     pub fn execute(&self, query: &Query<D>) -> QueryOutcome {
         self.execute_with(query, &mut QueryCtx::new())
+    }
+
+    /// [`UPcrTree::try_execute_with`], panicking on storage failure.
+    pub fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
+        self.try_execute_with(query, ctx)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Executes a prob-range query with caller-owned scratch state (see
@@ -317,8 +416,13 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
     /// largest catalog value `p_j <= p_q` (the exact-PCR analogue of
     /// Observation 4); leaf entries use Observation 2 directly. The
     /// [`QueryOptions`](crate::tree::QueryOptions) ablation switches are
-    /// U-tree-specific and ignored here.
-    pub fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
+    /// U-tree-specific and ignored here. A storage failure mid-traversal
+    /// surfaces as [`QueryError::Io`].
+    pub fn try_execute_with(
+        &self,
+        query: &Query<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<QueryOutcome, QueryError> {
         ctx.begin();
         let rq = query.region();
         let pq = query.threshold();
@@ -351,7 +455,7 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
                         FilterOutcome::Candidate => candidates.push((rec.addr, rec.id)),
                     }
                 },
-            )
+            )?
         };
         ctx.stats.filter_nanos = t0.elapsed().as_nanos();
         ctx.stats.node_reads = nodes_read;
@@ -359,9 +463,9 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
         ctx.stats.results = ctx.validated.len() as u64;
 
         let t1 = Instant::now();
-        refine_ctx(&self.heap, rq, pq, mode, ctx);
+        refine_ctx(&self.heap, rq, pq, mode, ctx)?;
         ctx.stats.refine_nanos = t1.elapsed().as_nanos();
-        outcome_from_ctx(ctx)
+        Ok(outcome_from_ctx(ctx))
     }
 
     /// Executes a probabilistic top-k ranking query with caller-owned
@@ -370,10 +474,14 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
     /// entries bound by the smallest catalog value whose stored rectangle
     /// misses `r_q`, leaf entries by [`crate::filter::prob_bounds`] over
     /// the verbatim PCRs.
-    pub fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
+    pub fn try_rank_topk_with(
+        &self,
+        query: &RankQuery<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<RankOutcome, QueryError> {
         let rq = *query.region();
         let m = self.catalog.len();
-        crate::rank::rank_best_first(
+        Ok(crate::rank::rank_best_first(
             &self.tree,
             &self.heap,
             query,
@@ -390,7 +498,13 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
             |rec: &UPcrLeafEntry<D>| {
                 crate::filter::prob_bounds(&rec.pcrs, &rec.mbr, &self.catalog, &rq)
             },
-        )
+        )?)
+    }
+
+    /// [`UPcrTree::try_rank_topk_with`], panicking on storage failure.
+    pub fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
+        self.try_rank_topk_with(query, ctx)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// [`UPcrTree::rank_topk_with`] with a throwaway context.
@@ -400,7 +514,9 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
 
     /// Visits every leaf entry.
     pub fn for_each_entry<F: FnMut(&UPcrLeafEntry<D>)>(&self, mut f: F) {
-        self.tree.for_each_record(|r| f(r));
+        self.tree
+            .for_each_record(|r| f(r))
+            .expect("index store failed during scan");
     }
 
     /// Total index-file page accesses (reads + writes) since the last
@@ -456,12 +572,28 @@ impl<const D: usize, S: PageStore> ProbIndex<D> for UPcrTree<D, S> {
         UPcrTree::reset_io(self)
     }
 
-    fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
-        UPcrTree::execute_with(self, query, ctx)
+    fn try_execute_with(
+        &self,
+        query: &Query<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<QueryOutcome, QueryError> {
+        UPcrTree::try_execute_with(self, query, ctx)
     }
 
-    fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
-        UPcrTree::rank_topk_with(self, query, ctx)
+    fn try_rank_topk_with(
+        &self,
+        query: &RankQuery<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<RankOutcome, QueryError> {
+        UPcrTree::try_rank_topk_with(self, query, ctx)
+    }
+
+    fn bulk_load<It>(&mut self, objs: It) -> InsertStats
+    where
+        It: IntoIterator,
+        It::Item: Borrow<UncertainObject<D>>,
+    {
+        UPcrTree::bulk_load(self, objs)
     }
 }
 

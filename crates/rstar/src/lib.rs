@@ -20,12 +20,14 @@
 //! The concrete rectangle R*-tree ([`RectRStarTree`]) doubles as the
 //! conventional "precise data" baseline and as the substrate's test rig.
 
+mod bulk;
 mod codec;
 mod metrics;
 mod rect_tree;
 mod split;
 mod tree;
 
+pub use bulk::str_order_by;
 pub use codec::{InnerEntry, NodeCodec};
 pub use metrics::{rect_covers_eps, KeyMetrics, LeafRecord};
 pub use rect_tree::{RectCodec, RectLeaf, RectMetrics, RectRStarTree};

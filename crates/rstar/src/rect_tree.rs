@@ -182,27 +182,53 @@ impl<const D: usize> RectRStarTree<D> {
         }
     }
 
+    /// Builds a tree from a flat record set by STR packing
+    /// ([`crate::str_order_by`] + bottom-up level construction) instead of
+    /// repeated insertion.
+    pub fn bulk_load(mut data: Vec<RectLeaf<D>>) -> Self {
+        let codec = RectCodec::<D>;
+        let cap = NodeCodec::<Rect<D>, RectLeaf<D>>::leaf_capacity(&codec);
+        crate::str_order_by(&mut data, cap, &|e: &RectLeaf<D>| e.rect.center().coords);
+        Self {
+            tree: RStarTreeBase::bulk_build_ordered(
+                page_store::PageFile::new(),
+                data,
+                RectMetrics,
+                codec,
+                TreeConfig::default(),
+            )
+            .expect("in-memory page store cannot fail"),
+        }
+    }
+
     /// Inserts a rectangle with an identifier.
     pub fn insert(&mut self, rect: Rect<D>, id: u64) {
-        self.tree.insert(RectLeaf { rect, id });
+        self.tree
+            .insert(RectLeaf { rect, id })
+            .expect("in-memory page store cannot fail");
     }
 
     /// Deletes by (rect, id); returns `true` when found.
     pub fn delete(&mut self, rect: Rect<D>, id: u64) -> bool {
-        self.tree.delete(&rect, id).is_some()
+        self.tree
+            .delete(&rect, id)
+            .expect("in-memory page store cannot fail")
+            .is_some()
     }
 
     /// Conventional range query: ids of rectangles intersecting `query`.
     pub fn range(&self, query: &Rect<D>) -> Vec<u64> {
         let mut out = Vec::new();
-        let _ = self.tree.visit(
-            |key, _| key.intersects(query),
-            |rec| {
-                if rec.rect.intersects(query) {
-                    out.push(rec.id);
-                }
-            },
-        );
+        self.tree
+            .visit(
+                |key, _| key.intersects(query),
+                |rec| {
+                    if rec.rect.intersects(query) {
+                        out.push(rec.id);
+                    }
+                },
+            )
+            .expect("in-memory page store cannot fail");
         out
     }
 
@@ -398,6 +424,68 @@ mod tests {
             .collect();
         expect.sort_unstable();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bulk_load_matches_insert_build_and_packs_tight() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut incremental = RectRStarTree::<2>::new();
+        let mut records = Vec::new();
+        for id in 0..5000u64 {
+            let r = random_rect(&mut rng, 60.0);
+            incremental.insert(r, id);
+            records.push(RectLeaf { rect: r, id });
+        }
+        let probe = f32_round(&records[123].rect);
+        let bulk = RectRStarTree::bulk_load(records);
+        bulk.inner().check_invariants().unwrap();
+        assert_eq!(bulk.len(), 5000);
+
+        // Same answers on every query.
+        for _ in 0..40 {
+            let q = random_rect(&mut rng, 900.0);
+            let mut a = bulk.range(&q);
+            let mut b = incremental.range(&q);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+
+        // Zero-waste packing: the bulk tree uses no more nodes than the
+        // theoretical minimum plus the per-level remainder node.
+        let cap = RectCodec::<2>::capacity();
+        let min_leaves = 5000usize.div_ceil(cap);
+        let stats = bulk.inner().stats();
+        assert!(
+            stats.nodes_per_level[0] <= min_leaves + 1,
+            "bulk leaves not packed: {} vs {min_leaves}",
+            stats.nodes_per_level[0]
+        );
+        assert!(
+            stats.total_nodes() < incremental.inner().stats().total_nodes(),
+            "bulk tree must be denser than the insert-built tree"
+        );
+
+        // Deletes and further inserts keep working on a bulk-built tree.
+        let mut bulk = bulk;
+        assert!(bulk.delete(probe, 123), "bulk-built record must delete");
+        bulk.insert(Rect::new([1.0, 1.0], [2.0, 2.0]), 999_999);
+        bulk.inner().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_empty_and_tiny_inputs() {
+        let empty = RectRStarTree::<2>::bulk_load(Vec::new());
+        assert!(empty.is_empty());
+        empty.inner().check_invariants().unwrap();
+
+        let one = RectRStarTree::<2>::bulk_load(vec![RectLeaf {
+            rect: Rect::new([0.0, 0.0], [1.0, 1.0]),
+            id: 7,
+        }]);
+        assert_eq!(one.len(), 1);
+        one.inner().check_invariants().unwrap();
+        assert_eq!(one.range(&Rect::new([0.0, 0.0], [2.0, 2.0])), vec![7]);
     }
 
     #[test]

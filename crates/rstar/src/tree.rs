@@ -9,6 +9,7 @@ use crate::codec::{InnerEntry, NodeCodec};
 use crate::metrics::{KeyMetrics, LeafRecord};
 use crate::split::rstar_split;
 use page_store::{IoStats, PageFile, PageId, PageStore, PAGE_SIZE};
+use std::io;
 use std::sync::Arc;
 
 /// ChooseSubtree examines at most this many candidates with the overlap
@@ -127,18 +128,20 @@ where
     S: PageStore,
 {
     /// Creates an empty tree (one empty leaf page) on a default store.
+    /// Default stores are in-memory and cannot fail.
     pub fn new(metrics: M, codec: C, cfg: TreeConfig) -> Self
     where
         S: Default,
     {
         Self::with_store(S::default(), metrics, codec, cfg)
+            .expect("in-memory page store cannot fail")
     }
 
     /// Creates an empty tree on the given store.
-    pub fn with_store(mut file: S, metrics: M, codec: C, cfg: TreeConfig) -> Self {
+    pub fn with_store(mut file: S, metrics: M, codec: C, cfg: TreeConfig) -> io::Result<Self> {
         assert!(codec.leaf_capacity() >= 4, "leaf fanout too small");
         assert!(codec.inner_capacity() >= 4, "inner fanout too small");
-        let root = file.allocate();
+        let root = file.allocate()?;
         let mut tree = Self {
             file,
             root,
@@ -149,8 +152,90 @@ where
             cfg,
             _leaf: std::marker::PhantomData,
         };
-        tree.store_node(root, 0, &Node::Leaf(Vec::new()));
-        tree
+        tree.store_node(root, 0, &Node::Leaf(Vec::new()))?;
+        Ok(tree)
+    }
+
+    /// Builds a tree from pre-ordered records by bottom-up packing
+    /// (Sort-Tile-Recursive bulk loading; see [`crate::str_order_by`] for
+    /// the ordering step). `records` are packed into leaves at full
+    /// fan-out in the order given, then each internal level is packed the
+    /// same way over the level below, so sibling records land in sibling
+    /// pages and every bounding key is computed exactly once.
+    ///
+    /// Two structural guarantees the insert path cannot give:
+    ///
+    /// * **Zero-waste packing** — every node except at most the last two
+    ///   per level is at full fan-out (the trailing pair is rebalanced so
+    ///   both meet the R* minimum fill).
+    /// * **Level-contiguous layout** — on a fresh store, pages are
+    ///   allocated leaves-first in record order, then each internal level,
+    ///   root last; traversals of nearby records touch nearby pages.
+    pub fn bulk_build_ordered(
+        file: S,
+        records: Vec<L>,
+        metrics: M,
+        codec: C,
+        cfg: TreeConfig,
+    ) -> io::Result<Self> {
+        let mut tree = Self::with_store(file, metrics, codec, cfg)?;
+        tree.bulk_rebuild_ordered(records)?;
+        Ok(tree)
+    }
+
+    /// In-place [`Self::bulk_build_ordered`] over this tree's own (empty)
+    /// store — the store-generic entry point for index types that own a
+    /// tree and cannot construct a fresh `S`. The seed root page is
+    /// released first, so on a fresh store the pop of the free list makes
+    /// the packed layout start at page 0 exactly as the static builder's.
+    pub fn bulk_rebuild_ordered(&mut self, records: Vec<L>) -> io::Result<()> {
+        assert!(
+            self.is_empty(),
+            "bulk_rebuild_ordered requires an empty tree"
+        );
+        if records.is_empty() {
+            return Ok(());
+        }
+        self.file.release(self.root);
+        self.len = records.len();
+        // Leaves, in record order.
+        let sizes = pack_sizes(self.len, self.codec.leaf_capacity(), self.min_fill_count(0));
+        let mut level_entries: Vec<InnerEntry<M::Key>> = Vec::with_capacity(sizes.len());
+        let mut it = records.into_iter();
+        for sz in sizes {
+            let node = Node::Leaf(it.by_ref().take(sz).collect());
+            let page = self.file.allocate()?;
+            self.store_node(page, 0, &node)?;
+            level_entries.push(InnerEntry {
+                key: self.node_key(&node).expect("packed chunk is non-empty"),
+                child: page,
+            });
+        }
+        // Internal levels, bottom-up, until one node bounds everything.
+        let mut level = 0;
+        while level_entries.len() > 1 {
+            level += 1;
+            let sizes = pack_sizes(
+                level_entries.len(),
+                self.codec.inner_capacity(),
+                self.min_fill_count(level),
+            );
+            let mut next = Vec::with_capacity(sizes.len());
+            let mut it = level_entries.into_iter();
+            for sz in sizes {
+                let node = Node::Inner(it.by_ref().take(sz).collect());
+                let page = self.file.allocate()?;
+                self.store_node(page, level, &node)?;
+                next.push(InnerEntry {
+                    key: self.node_key(&node).expect("packed chunk is non-empty"),
+                    child: page,
+                });
+            }
+            level_entries = next;
+        }
+        self.root = level_entries[0].child;
+        self.height = level + 1;
+        Ok(())
     }
 
     /// Reattaches a tree whose pages already live in `file` (persistence):
@@ -241,19 +326,19 @@ where
 
     // ---- node I/O -------------------------------------------------------
 
-    fn load(&self, page: PageId) -> (usize, Node<M::Key, L>) {
+    fn load(&self, page: PageId) -> io::Result<(usize, Node<M::Key, L>)> {
         let mut bytes = [0u8; PAGE_SIZE];
-        self.file.read_into(page, &mut bytes);
+        self.file.read_into(page, &mut bytes)?;
         let level = bytes[0] as usize;
         let node = if level == 0 {
             Node::Leaf(self.codec.decode_leaf(&bytes[1..]))
         } else {
             Node::Inner(self.codec.decode_inner(&bytes[1..]))
         };
-        (level, node)
+        Ok((level, node))
     }
 
-    fn store_node(&mut self, page: PageId, level: usize, node: &Node<M::Key, L>) {
+    fn store_node(&mut self, page: PageId, level: usize, node: &Node<M::Key, L>) -> io::Result<()> {
         let mut out = Vec::with_capacity(page_store::PAGE_SIZE);
         out.push(level as u8);
         match node {
@@ -268,7 +353,7 @@ where
                 self.codec.encode_inner(es, &mut out);
             }
         }
-        self.file.write(page, &out);
+        self.file.write(page, &out)
     }
 
     fn node_len(node: &Node<M::Key, L>) -> usize {
@@ -314,25 +399,25 @@ where
     }
 
     /// The bounding key of the whole tree (`None` when empty).
-    pub fn root_key(&self) -> Option<M::Key> {
-        let (_, node) = self.load(self.root);
-        self.node_key(&node)
+    pub fn root_key(&self) -> io::Result<Option<M::Key>> {
+        let (_, node) = self.load(self.root)?;
+        Ok(self.node_key(&node))
     }
 
     // ---- insertion ------------------------------------------------------
 
     /// Inserts a record (R* insertion with forced reinsertion).
-    pub fn insert(&mut self, record: L) {
+    pub fn insert(&mut self, record: L) -> io::Result<()> {
         self.len += 1;
         let mut reinserted = vec![false; self.height];
-        self.run_inserts(vec![(0usize, Entry::Leaf(record))], &mut reinserted);
+        self.run_inserts(vec![(0usize, Entry::Leaf(record))], &mut reinserted)
     }
 
     fn run_inserts(
         &mut self,
         mut pending: Vec<(usize, Entry<M::Key, L>)>,
         reinserted: &mut Vec<bool>,
-    ) {
+    ) -> io::Result<()> {
         while let Some((level, entry)) = pending.pop() {
             debug_assert!(level < self.height);
             let res = self.insert_rec(
@@ -342,10 +427,10 @@ where
                 level,
                 reinserted,
                 &mut pending,
-            );
+            )?;
             if let Some(sibling) = res.split {
                 // Root split: grow the tree by one level.
-                let new_root = self.file.allocate();
+                let new_root = self.file.allocate()?;
                 let entries = vec![
                     InnerEntry {
                         key: res.key,
@@ -354,12 +439,13 @@ where
                     sibling,
                 ];
                 let new_level = self.height;
-                self.store_node(new_root, new_level, &Node::Inner(entries));
+                self.store_node(new_root, new_level, &Node::Inner(entries))?;
                 self.root = new_root;
                 self.height += 1;
                 reinserted.push(true); // no forced reinsert at a brand-new root level
             }
         }
+        Ok(())
     }
 
     fn entry_key(&self, e: &Entry<M::Key, L>) -> M::Key {
@@ -378,8 +464,8 @@ where
         target_level: usize,
         reinserted: &mut [bool],
         pending: &mut Vec<(usize, Entry<M::Key, L>)>,
-    ) -> InsertResult<M::Key> {
-        let (lvl, mut node) = self.load(page);
+    ) -> io::Result<InsertResult<M::Key>> {
+        let (lvl, mut node) = self.load(page)?;
         debug_assert_eq!(lvl, level, "page level mismatch");
 
         if level > target_level {
@@ -392,7 +478,7 @@ where
             // Recurse with `node` set aside; reload cost avoided by keeping
             // the decoded entries and patching them afterwards.
             let child_res =
-                self.insert_rec(child, level - 1, entry, target_level, reinserted, pending);
+                self.insert_rec(child, level - 1, entry, target_level, reinserted, pending)?;
             entries[idx].key = child_res.key;
             if let Some(sib) = child_res.split {
                 entries.push(sib);
@@ -417,14 +503,14 @@ where
         mut node: Node<M::Key, L>,
         reinserted: &mut [bool],
         pending: &mut Vec<(usize, Entry<M::Key, L>)>,
-    ) -> InsertResult<M::Key> {
+    ) -> io::Result<InsertResult<M::Key>> {
         let cap = self.node_capacity(level);
         if Self::node_len(&node) <= cap {
-            self.store_node(page, level, &node);
-            return InsertResult {
+            self.store_node(page, level, &node)?;
+            return Ok(InsertResult {
                 key: self.node_key(&node).expect("non-empty after insert"),
                 split: None,
-            };
+            });
         }
 
         // Overflow treatment (R* §4.3): first overflow at each level per
@@ -432,32 +518,32 @@ where
         if page != self.root && !reinserted[level] {
             reinserted[level] = true;
             let victims = self.pick_reinsert_victims(&mut node, cap);
-            self.store_node(page, level, &node);
+            self.store_node(page, level, &node)?;
             // Push in far-to-near order so the LIFO pending stack performs
             // "close reinsert" (nearest first), the variant R* recommends.
             for v in victims {
                 pending.push((level, v));
             }
-            return InsertResult {
+            return Ok(InsertResult {
                 key: self
                     .node_key(&node)
                     .expect("reinsertion leaves entries behind"),
                 split: None,
-            };
+            });
         }
 
         // Split (paper Sec 5.3: R*-split over the split rectangles).
         let (a, b) = self.split_node(node);
-        self.store_node(page, level, &a);
-        let sib_page = self.file.allocate();
-        self.store_node(sib_page, level, &b);
-        InsertResult {
+        self.store_node(page, level, &a)?;
+        let sib_page = self.file.allocate()?;
+        self.store_node(sib_page, level, &b)?;
+        Ok(InsertResult {
             key: self.node_key(&a).expect("split group A non-empty"),
             split: Some(InnerEntry {
                 key: self.node_key(&b).expect("split group B non-empty"),
                 child: sib_page,
             }),
-        }
+        })
     }
 
     /// Removes the `reinsert_frac` entries whose keys are farthest (summed
@@ -587,9 +673,9 @@ where
     /// on-page codec). Returns the removed record when found. Dissolved
     /// under-full nodes are condensed and their entries reinserted (R-tree
     /// CondenseTree).
-    pub fn delete(&mut self, probe_key: &M::Key, id: u64) -> Option<L> {
+    pub fn delete(&mut self, probe_key: &M::Key, id: u64) -> io::Result<Option<L>> {
         if self.len == 0 {
-            return None;
+            return Ok(None);
         }
         let mut orphans: Vec<(usize, Entry<M::Key, L>)> = Vec::new();
         let mut removed: Option<L> = None;
@@ -600,13 +686,13 @@ where
             id,
             &mut orphans,
             &mut removed,
-        );
+        )?;
         debug_assert!(
             !matches!(outcome, DeleteOutcome::Dropped),
             "root must never report Dropped"
         );
         if matches!(outcome, DeleteOutcome::NotFound) {
-            return None;
+            return Ok(None);
         }
         self.len -= 1;
         // Reinsert orphans (highest level first so inner subtrees are
@@ -614,10 +700,10 @@ where
         orphans.sort_by_key(|(lvl, _)| std::cmp::Reverse(*lvl));
         for (lvl, entry) in orphans {
             let mut flags = vec![false; self.height];
-            self.run_inserts(vec![(lvl, entry)], &mut flags);
+            self.run_inserts(vec![(lvl, entry)], &mut flags)?;
         }
-        self.shrink_root();
-        removed
+        self.shrink_root()?;
+        Ok(removed)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -629,12 +715,12 @@ where
         id: u64,
         orphans: &mut Vec<(usize, Entry<M::Key, L>)>,
         removed: &mut Option<L>,
-    ) -> DeleteOutcome<M::Key> {
-        let (_, mut node) = self.load(page);
+    ) -> io::Result<DeleteOutcome<M::Key>> {
+        let (_, mut node) = self.load(page)?;
         match node {
             Node::Leaf(ref mut es) => {
                 let Some(pos) = es.iter().position(|e| e.id() == id) else {
-                    return DeleteOutcome::NotFound;
+                    return Ok(DeleteOutcome::NotFound);
                 };
                 *removed = Some(es.remove(pos));
                 if page != self.root && es.len() < self.min_fill_count(0) {
@@ -642,11 +728,11 @@ where
                         orphans.push((0, Entry::Leaf(e)));
                     }
                     self.file.release(page);
-                    return DeleteOutcome::Dropped;
+                    return Ok(DeleteOutcome::Dropped);
                 }
                 let key = self.node_key(&node);
-                self.store_node(page, 0, &node);
-                DeleteOutcome::Kept(key)
+                self.store_node(page, 0, &node)?;
+                Ok(DeleteOutcome::Kept(key))
             }
             Node::Inner(ref mut es) => {
                 let mut hit: Option<usize> = None;
@@ -658,7 +744,7 @@ where
                     {
                         continue;
                     }
-                    match self.delete_rec(es[i].child, level - 1, probe, id, orphans, removed) {
+                    match self.delete_rec(es[i].child, level - 1, probe, id, orphans, removed)? {
                         DeleteOutcome::NotFound => continue,
                         DeleteOutcome::Kept(Some(k)) => {
                             es[i].key = k;
@@ -679,26 +765,26 @@ where
                     }
                 }
                 if hit.is_none() {
-                    return DeleteOutcome::NotFound;
+                    return Ok(DeleteOutcome::NotFound);
                 }
                 if dropped && page != self.root && es.len() < self.min_fill_count(level) {
                     for e in es.drain(..) {
                         orphans.push((level, Entry::Inner(e)));
                     }
                     self.file.release(page);
-                    return DeleteOutcome::Dropped;
+                    return Ok(DeleteOutcome::Dropped);
                 }
                 let key = self.node_key(&node);
-                self.store_node(page, level, &node);
-                DeleteOutcome::Kept(key)
+                self.store_node(page, level, &node)?;
+                Ok(DeleteOutcome::Kept(key))
             }
         }
     }
 
     /// Collapses trivial roots after deletions.
-    fn shrink_root(&mut self) {
+    fn shrink_root(&mut self) -> io::Result<()> {
         loop {
-            let (level, node) = self.load(self.root);
+            let (level, node) = self.load(self.root)?;
             match node {
                 Node::Inner(es) if es.len() == 1 => {
                     let child = es[0].child;
@@ -710,10 +796,10 @@ where
                     // Everything deleted through condensation: reset to an
                     // empty leaf root.
                     self.height = 1;
-                    self.store_node(self.root, 0, &Node::Leaf(Vec::new()));
-                    return;
+                    self.store_node(self.root, 0, &Node::Leaf(Vec::new()))?;
+                    return Ok(());
                 }
-                _ => return,
+                _ => return Ok(()),
             }
         }
     }
@@ -729,7 +815,7 @@ where
     ///
     /// Takes `&self`: traversal never mutates the tree, so any number of
     /// concurrent queries can run over one shared (read-only) tree.
-    pub fn visit<FI, FL>(&self, descend: FI, on_record: FL) -> u64
+    pub fn visit<FI, FL>(&self, descend: FI, on_record: FL) -> io::Result<u64>
     where
         FI: FnMut(&M::Key, usize) -> bool,
         FL: FnMut(&L),
@@ -745,7 +831,7 @@ where
         stack: &mut Vec<(PageId, usize)>,
         mut descend: FI,
         mut on_record: FL,
-    ) -> u64
+    ) -> io::Result<u64>
     where
         FI: FnMut(&M::Key, usize) -> bool,
         FL: FnMut(&L),
@@ -754,7 +840,7 @@ where
         stack.push((self.root, self.height - 1));
         let mut nodes_read = 0u64;
         while let Some((page, level)) = stack.pop() {
-            let (_, node) = self.load(page);
+            let (_, node) = self.load(page)?;
             nodes_read += 1;
             match node {
                 Node::Leaf(es) => {
@@ -771,12 +857,12 @@ where
                 }
             }
         }
-        nodes_read
+        Ok(nodes_read)
     }
 
     /// Visits every record (uncounted traversal would lie; this one counts).
-    pub fn for_each_record<FL: FnMut(&L)>(&self, on_record: FL) {
-        let _ = self.visit(|_, _| true, on_record);
+    pub fn for_each_record<FL: FnMut(&L)>(&self, on_record: FL) -> io::Result<()> {
+        self.visit(|_, _| true, on_record).map(|_| ())
     }
 
     /// Loads **one** node page and streams its contents to the caller:
@@ -790,12 +876,17 @@ where
     /// call costs exactly one counted node read; callers charge their own
     /// per-query counters. Entry point for the descent is
     /// [`Self::root_page`].
-    pub fn read_node<FI, FL>(&self, page: PageId, mut on_child: FI, mut on_record: FL) -> usize
+    pub fn read_node<FI, FL>(
+        &self,
+        page: PageId,
+        mut on_child: FI,
+        mut on_record: FL,
+    ) -> io::Result<usize>
     where
         FI: FnMut(&M::Key, PageId),
         FL: FnMut(&L),
     {
-        let (level, node) = self.load(page);
+        let (level, node) = self.load(page)?;
         match node {
             Node::Leaf(es) => {
                 for r in &es {
@@ -808,7 +899,7 @@ where
                 }
             }
         }
-        level
+        Ok(level)
     }
 
     /// Structure statistics without touching the I/O counters.
@@ -820,7 +911,9 @@ where
         let mut stack = vec![(self.root, self.height - 1)];
         let mut bytes = [0u8; PAGE_SIZE];
         while let Some((page, level)) = stack.pop() {
-            self.file.peek_into(page, &mut bytes);
+            self.file
+                .peek_into(page, &mut bytes)
+                .expect("stats: node page unreadable");
             let lvl = bytes[0] as usize;
             debug_assert_eq!(lvl, level);
             stats.nodes_per_level[level] += 1;
@@ -845,7 +938,9 @@ where
         let mut bytes = [0u8; PAGE_SIZE];
         let mut child_bytes = [0u8; PAGE_SIZE];
         while let Some((page, level)) = stack.pop() {
-            self.file.peek_into(page, &mut bytes);
+            self.file
+                .peek_into(page, &mut bytes)
+                .map_err(|e| format!("page {page} unreadable: {e}"))?;
             let lvl = bytes[0] as usize;
             if lvl != level {
                 return Err(format!("page {page} level {lvl}, expected {level}"));
@@ -862,7 +957,9 @@ where
                     return Err(format!("inner {page} underfull: {}", es.len()));
                 }
                 for e in &es {
-                    self.file.peek_into(e.child, &mut child_bytes);
+                    self.file
+                        .peek_into(e.child, &mut child_bytes)
+                        .map_err(|err| format!("page {} unreadable: {err}", e.child))?;
                     let child_key = if child_bytes[0] == 0 {
                         let ces = self.codec.decode_leaf(&child_bytes[1..]);
                         self.node_key(&Node::Leaf(ces))
@@ -887,6 +984,32 @@ where
         }
         Ok(())
     }
+}
+
+/// Node sizes for packing `n` entries into nodes of capacity `cap` at full
+/// fan-out. Every node but the last is full; a trailing remainder below
+/// `min` is fixed by rebalancing the final two nodes evenly, so every
+/// non-root node satisfies the R* minimum fill (`cap ≥ 4` and
+/// `min ≤ 0.4·cap` guarantee the even split clears `min` on both sides).
+fn pack_sizes(n: usize, cap: usize, min: usize) -> Vec<usize> {
+    debug_assert!(n > 0 && cap >= 4 && min <= cap);
+    let full = n / cap;
+    let rem = n % cap;
+    if rem == 0 {
+        return vec![cap; full];
+    }
+    if full == 0 {
+        return vec![rem]; // a single (root) node; min fill does not apply
+    }
+    let mut sizes = vec![cap; full];
+    if rem >= min {
+        sizes.push(rem);
+    } else {
+        let total = cap + rem;
+        *sizes.last_mut().expect("full > 0") = total / 2;
+        sizes.push(total - total / 2);
+    }
+    sizes
 }
 
 /// Removes the elements at `victims` (any order) from `v`, returning them.
@@ -935,5 +1058,23 @@ mod tests {
         let (x, y) = partition(v, &[2, 0], &[1, 3]);
         assert_eq!(x, vec!["c", "a"]);
         assert_eq!(y, vec!["b", "d"]);
+    }
+
+    #[test]
+    fn pack_sizes_fill_everything_and_respect_min_fill() {
+        for cap in [4usize, 10, 50, 113] {
+            let min = ((cap as f64 * 0.4) as usize).max(1);
+            for n in 1..=(4 * cap + 3) {
+                let sizes = pack_sizes(n, cap, min);
+                assert_eq!(sizes.iter().sum::<usize>(), n, "n={n} cap={cap}");
+                assert!(sizes.iter().all(|&s| s <= cap), "n={n} cap={cap}");
+                if sizes.len() > 1 {
+                    assert!(
+                        sizes.iter().all(|&s| s >= min),
+                        "n={n} cap={cap}: underfull node in {sizes:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -70,8 +70,10 @@ struct Shard {
 impl Shard {
     /// Evicts least-recently-used frames until one slot is free, writing
     /// dirty victims back. Called with the shard latch held; takes the
-    /// backend lock exclusively per victim (shard → backend order).
-    fn make_room<S: PageStore>(&mut self, backend: &RwLock<S>) {
+    /// backend lock exclusively per victim (shard → backend order). A
+    /// failed write-back reinstates the victim frame (nothing is lost)
+    /// and surfaces the backend error.
+    fn make_room<S: PageStore>(&mut self, backend: &RwLock<S>) -> io::Result<()> {
         while self.frames.len() >= self.capacity {
             let victim = self
                 .frames
@@ -81,9 +83,13 @@ impl Shard {
                 .expect("non-empty shard at capacity");
             let frame = self.frames.remove(&victim).expect("victim resident");
             if frame.dirty {
-                write_lock(backend).write(victim, &frame.data[..]);
+                if let Err(e) = write_lock(backend).write(victim, &frame.data[..]) {
+                    self.frames.insert(victim, frame);
+                    return Err(e);
+                }
             }
         }
+        Ok(())
     }
 }
 
@@ -207,7 +213,7 @@ impl<S: PageStore> BufferPool<S> {
             };
             for (&id, frame) in shard.frames.iter_mut() {
                 if frame.dirty {
-                    backend.write(id, &frame.data[..]);
+                    backend.write(id, &frame.data[..])?;
                     frame.dirty = false;
                 }
             }
@@ -249,7 +255,9 @@ impl<S: PageStore> BufferPool<S> {
             };
             for (&id, frame) in shard.frames.iter_mut() {
                 if frame.dirty {
-                    backend.write(id, &frame.data[..]);
+                    if let Err(e) = backend.write(id, &frame.data[..]) {
+                        return (complete, Err(e));
+                    }
                     frame.dirty = false;
                 }
             }
@@ -259,7 +267,7 @@ impl<S: PageStore> BufferPool<S> {
 }
 
 impl<S: PageStore> PageStore for BufferPool<S> {
-    fn allocate(&mut self) -> PageId {
+    fn allocate(&mut self) -> io::Result<PageId> {
         write_lock(&self.backend).allocate()
     }
 
@@ -269,7 +277,7 @@ impl<S: PageStore> PageStore for BufferPool<S> {
         write_lock(&self.backend).release(id);
     }
 
-    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
         self.stats.record_read();
         let tick = self.next_tick();
         {
@@ -278,7 +286,7 @@ impl<S: PageStore> PageStore for BufferPool<S> {
                 self.stats.record_cache_hit();
                 frame.last_used = tick;
                 out.copy_from_slice(&frame.data[..]);
-                return;
+                return Ok(());
             }
         }
         // Miss: fetch with the shard latch *released* (same-shard hits
@@ -289,15 +297,16 @@ impl<S: PageStore> PageStore for BufferPool<S> {
         // page reads identical data.
         self.stats.record_cache_miss();
         let mut data = Box::new([0u8; PAGE_SIZE]);
-        read_lock(&self.backend).read_into(id, &mut data);
+        read_lock(&self.backend).read_into(id, &mut data)?;
         out.copy_from_slice(&data[..]);
         let mut shard = lock(self.shard(id));
         if let Some(frame) = shard.frames.get_mut(&id) {
             // Another reader cached the page while we fetched: keep its
             // (identical) frame, just refresh recency.
             frame.last_used = tick;
-        } else {
-            shard.make_room(&self.backend);
+        } else if shard.make_room(&self.backend).is_ok() {
+            // A failed eviction write-back only means the fetched page is
+            // not cached; the read itself already succeeded.
             shard.frames.insert(
                 id,
                 Frame {
@@ -307,6 +316,7 @@ impl<S: PageStore> PageStore for BufferPool<S> {
                 },
             );
         }
+        Ok(())
     }
 
     /// Peeks never disturb the pool: a resident (possibly dirty) frame is
@@ -314,28 +324,28 @@ impl<S: PageStore> PageStore for BufferPool<S> {
     /// without inserting a frame — so out-of-model scans (invariant
     /// checks, statistics, persistence snapshots) cannot evict the hot
     /// working set, and no counter moves anywhere.
-    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
         {
             let shard = lock(self.shard(id));
             if let Some(frame) = shard.frames.get(&id) {
                 out.copy_from_slice(&frame.data[..]);
-                return;
+                return Ok(());
             }
         }
         // Not resident: uncached backend peek outside the shard latch
         // (shared lock — peeks of different pages run concurrently). The
         // same `&mut self`-mutation argument as in `read_into` makes the
         // latch-free window coherent.
-        read_lock(&self.backend).peek_into(id, out);
+        read_lock(&self.backend).peek_into(id, out)
     }
 
-    fn write(&mut self, id: PageId, data: &[u8]) {
+    fn write(&mut self, id: PageId, data: &[u8]) -> io::Result<()> {
         assert!(data.len() <= PAGE_SIZE, "page overflow: {}", data.len());
         self.stats.record_write();
         let tick = self.next_tick();
         let mut shard = lock(self.shard(id));
         if !shard.frames.contains_key(&id) {
-            shard.make_room(&self.backend);
+            shard.make_room(&self.backend)?;
             // A write covers the whole page (shorter data zero-fills), so a
             // miss needs no backend read.
             shard.frames.insert(
@@ -352,6 +362,7 @@ impl<S: PageStore> PageStore for BufferPool<S> {
         frame.data[data.len()..].fill(0);
         frame.dirty = true;
         frame.last_used = tick;
+        Ok(())
     }
 
     fn stats(&self) -> &Arc<IoStats> {
@@ -432,10 +443,10 @@ mod tests {
     #[test]
     fn read_through_and_hit_on_repeat() {
         let mut p = pool(4);
-        let a = p.allocate();
-        p.write(a, b"cached");
-        assert_eq!(&p.read_page(a)[..6], b"cached");
-        assert_eq!(&p.read_page(a)[..6], b"cached");
+        let a = p.allocate().unwrap();
+        p.write(a, b"cached").unwrap();
+        assert_eq!(&p.read_page(a).unwrap()[..6], b"cached");
+        assert_eq!(&p.read_page(a).unwrap()[..6], b"cached");
         // Both logical reads hit the frame created by the write.
         assert_eq!(p.stats().reads(), 2);
         assert_eq!(p.stats().cache_hits(), 2);
@@ -447,49 +458,53 @@ mod tests {
     #[test]
     fn eviction_writes_back_dirty_pages() {
         let mut p = pool(2);
-        let ids: Vec<PageId> = (0..4).map(|_| p.allocate()).collect();
+        let ids: Vec<PageId> = (0..4).map(|_| p.allocate().unwrap()).collect();
         for (i, &id) in ids.iter().enumerate() {
-            p.write(id, &[i as u8 + 1; 8]);
+            p.write(id, &[i as u8 + 1; 8]).unwrap();
         }
         // Capacity 2: writing 4 pages evicted the first two to the backend.
         assert!(p.resident_pages() <= 2);
         assert!(p.backend_stats().writes() >= 2);
         // Read-after-evict returns the last written content (via a miss).
-        assert_eq!(p.read_page(ids[0])[0], 1);
+        assert_eq!(p.read_page(ids[0]).unwrap()[0], 1);
         assert_eq!(p.stats().cache_misses(), 1);
     }
 
     #[test]
     fn lru_keeps_the_recently_used_page() {
         let mut p = pool(2);
-        let a = p.allocate();
-        let b = p.allocate();
-        let c = p.allocate();
-        p.write(a, b"a");
-        p.write(b, b"b");
-        let _ = p.read_page(a); // a is now more recent than b
-        p.write(c, b"c"); // evicts b, not a
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        let c = p.allocate().unwrap();
+        p.write(a, b"a").unwrap();
+        p.write(b, b"b").unwrap();
+        let _ = p.read_page(a).unwrap(); // a is now more recent than b
+        p.write(c, b"c").unwrap(); // evicts b, not a
         let misses0 = p.stats().cache_misses();
-        let _ = p.read_page(a);
+        let _ = p.read_page(a).unwrap();
         assert_eq!(
             p.stats().cache_misses(),
             misses0,
             "a must still be resident"
         );
-        let _ = p.read_page(b);
+        let _ = p.read_page(b).unwrap();
         assert_eq!(p.stats().cache_misses(), misses0 + 1, "b was evicted");
     }
 
     #[test]
     fn sharded_pool_keeps_reads_and_writes_coherent() {
         let mut p = BufferPool::with_shards(PageFile::new(), 8, 4);
-        let ids: Vec<PageId> = (0..24).map(|_| p.allocate()).collect();
+        let ids: Vec<PageId> = (0..24).map(|_| p.allocate().unwrap()).collect();
         for (i, &id) in ids.iter().enumerate() {
-            p.write(id, &[i as u8 + 1; 16]);
+            p.write(id, &[i as u8 + 1; 16]).unwrap();
         }
         assert!(p.resident_pages() <= 8);
         for (i, &id) in ids.iter().enumerate() {
-            assert_eq!(p.read_page(id)[7], i as u8 + 1, "page {id} lost its write");
+            assert_eq!(
+                p.read_page(id).unwrap()[7],
+                i as u8 + 1,
+                "page {id} lost its write"
+            );
         }
         assert_eq!(
             p.stats().cache_hits() + p.stats().cache_misses(),
@@ -500,14 +515,14 @@ mod tests {
     #[test]
     fn peek_bypasses_all_counting() {
         let mut p = pool(2);
-        let a = p.allocate();
-        p.write(a, b"quiet");
+        let a = p.allocate().unwrap();
+        p.write(a, b"quiet").unwrap();
         p.flush().unwrap();
         let before = (
             p.stats().reads(),
             p.stats().cache_hits() + p.stats().cache_misses(),
         );
-        let page = p.peek_page(a);
+        let page = p.peek_page(a).unwrap();
         assert_eq!(&page[..5], b"quiet");
         assert_eq!(
             (
@@ -521,36 +536,36 @@ mod tests {
     #[test]
     fn peek_misses_do_not_disturb_the_cache() {
         let mut p = pool(2);
-        let a = p.allocate();
-        let b = p.allocate();
-        let cold = p.allocate();
-        p.write(a, b"hot-a");
-        p.write(b, b"hot-b");
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        let cold = p.allocate().unwrap();
+        p.write(a, b"hot-a").unwrap();
+        p.write(b, b"hot-b").unwrap();
         p.flush().unwrap();
         // `cold` was zero-allocated and never touched since: not resident.
         assert_eq!(p.resident_pages(), 2);
-        let page = p.peek_page(cold);
+        let page = p.peek_page(cold).unwrap();
         assert!(page.iter().all(|&x| x == 0));
         // The peek neither cached `cold` nor evicted the hot frames …
         assert_eq!(p.resident_pages(), 2);
         let misses0 = p.stats().cache_misses();
-        let _ = p.read_page(a);
-        let _ = p.read_page(b);
+        let _ = p.read_page(a).unwrap();
+        let _ = p.read_page(b).unwrap();
         assert_eq!(
             p.stats().cache_misses(),
             misses0,
             "hot set must survive peeks"
         );
         // … and a peek of a dirty resident frame still sees the new bytes.
-        p.write(a, b"dirty");
-        assert_eq!(&p.peek_page(a)[..5], b"dirty");
+        p.write(a, b"dirty").unwrap();
+        assert_eq!(&p.peek_page(a).unwrap()[..5], b"dirty");
     }
 
     #[test]
     fn flush_propagates_to_backend_and_clears_dirt() {
         let mut p = pool(4);
-        let a = p.allocate();
-        p.write(a, b"durable");
+        let a = p.allocate().unwrap();
+        p.write(a, b"durable").unwrap();
         p.flush().unwrap();
         let w = p.backend_stats().writes();
         assert!(w >= 1);
@@ -565,14 +580,14 @@ mod tests {
     #[test]
     fn release_discards_the_frame() {
         let mut p = pool(4);
-        let a = p.allocate();
-        p.write(a, b"dead");
+        let a = p.allocate().unwrap();
+        p.write(a, b"dead").unwrap();
         p.release(a);
         assert_eq!(p.resident_pages(), 0);
         // Reallocation hands the id back zeroed.
-        let b = p.allocate();
+        let b = p.allocate().unwrap();
         assert_eq!(b, a);
-        assert!(p.read_page(b).iter().all(|&x| x == 0));
+        assert!(p.read_page(b).unwrap().iter().all(|&x| x == 0));
     }
 
     #[test]
@@ -596,9 +611,10 @@ mod tests {
         // and dropping the pool must stay best-effort — not abort via
         // panic-in-drop.
         let mut p = BufferPool::with_shards(PageFile::new(), 1, 1);
-        p.write(9_999, b"bogus: no such backend page");
+        p.write(9_999, b"bogus: no such backend page").unwrap();
         let evict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            p.write(8_888, b"forces eviction of the bogus frame");
+            p.write(8_888, b"forces eviction of the bogus frame")
+                .unwrap();
         }));
         assert!(evict.is_err(), "evicting the bogus frame must panic");
         let flushed = p.flush();
@@ -609,9 +625,9 @@ mod tests {
     #[test]
     fn concurrent_readers_see_coherent_pages() {
         let mut p = BufferPool::with_shards(PageFile::new(), 16, 4);
-        let ids: Vec<PageId> = (0..64).map(|_| p.allocate()).collect();
+        let ids: Vec<PageId> = (0..64).map(|_| p.allocate().unwrap()).collect();
         for (i, &id) in ids.iter().enumerate() {
-            p.write(id, &(i as u64).to_le_bytes());
+            p.write(id, &(i as u64).to_le_bytes()).unwrap();
         }
         let p = &p;
         std::thread::scope(|s| {
@@ -621,7 +637,7 @@ mod tests {
                     for round in 0..50 {
                         for (i, &id) in ids.iter().enumerate() {
                             if (i + t + round) % 3 == 0 {
-                                let page = p.read_page(id);
+                                let page = p.read_page(id).unwrap();
                                 let got = u64::from_le_bytes(page[..8].try_into().unwrap());
                                 assert_eq!(got, i as u64, "thread {t} read torn page {id}");
                             }

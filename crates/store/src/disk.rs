@@ -126,37 +126,35 @@ fn corrupt(path: &Path, msg: &str) -> io::Error {
 }
 
 impl PageStore for DiskPageFile {
-    fn allocate(&mut self) -> PageId {
-        let id = match self.free.pop() {
+    fn allocate(&mut self) -> io::Result<PageId> {
+        let reused = self.free.last().copied();
+        let id = match reused {
             Some(id) => id,
-            None => {
-                let id = self.n_pages;
-                self.n_pages += 1;
-                id
-            }
+            None => self.n_pages,
         };
         // Reads of a fresh allocation must see zeros and the file extent
         // must cover the page. Where the file does not yet reach the page,
         // set_len extends with (sparse) zeros for free; only pages whose
         // region already holds bytes — reused free-list pages, regions
         // previously occupied by free-list spill — need an explicit
-        // zeroing write.
+        // zeroing write. The free list / page count are updated only after
+        // the file operations succeed, so a failed allocation leaves the
+        // allocation state untouched.
         let end = Self::data_offset(id) + PAGE_SIZE as u64;
-        let cur = self
-            .file
-            .metadata()
-            .expect("disk page store: stat failed")
-            .len();
+        let cur = self.file.metadata()?.len();
         if cur <= Self::data_offset(id) {
-            self.file
-                .set_len(end)
-                .expect("disk page store: extending file failed");
+            self.file.set_len(end)?;
         } else {
             self.file
-                .write_all_at(&[0u8; PAGE_SIZE], Self::data_offset(id))
-                .expect("disk page store: zeroing allocated page failed");
+                .write_all_at(&[0u8; PAGE_SIZE], Self::data_offset(id))?;
         }
-        id
+        match reused {
+            Some(_) => {
+                self.free.pop();
+            }
+            None => self.n_pages += 1,
+        }
+        Ok(id)
     }
 
     fn release(&mut self, id: PageId) {
@@ -165,27 +163,21 @@ impl PageStore for DiskPageFile {
         self.free.push(id);
     }
 
-    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
         self.stats.record_read();
-        self.file
-            .read_exact_at(out, Self::data_offset(id))
-            .expect("disk page store: page read failed");
+        self.file.read_exact_at(out, Self::data_offset(id))
     }
 
-    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
-        self.file
-            .read_exact_at(out, Self::data_offset(id))
-            .expect("disk page store: page peek failed");
+    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
+        self.file.read_exact_at(out, Self::data_offset(id))
     }
 
-    fn write(&mut self, id: PageId, data: &[u8]) {
+    fn write(&mut self, id: PageId, data: &[u8]) -> io::Result<()> {
         assert!(data.len() <= PAGE_SIZE, "page overflow: {}", data.len());
         self.stats.record_write();
         let mut page = [0u8; PAGE_SIZE];
         page[..data.len()].copy_from_slice(data);
-        self.file
-            .write_all_at(&page, Self::data_offset(id))
-            .expect("disk page store: page write failed");
+        self.file.write_all_at(&page, Self::data_offset(id))
     }
 
     fn stats(&self) -> &Arc<IoStats> {
@@ -259,14 +251,14 @@ mod tests {
     fn write_read_roundtrip_on_disk() {
         let path = temp_path("roundtrip");
         let mut f = DiskPageFile::create(&path).unwrap();
-        let a = f.allocate();
-        let b = f.allocate();
-        f.write(a, b"hello disk");
-        f.write(b, &[7u8; PAGE_SIZE]);
-        let pa = f.read_page(a);
+        let a = f.allocate().unwrap();
+        let b = f.allocate().unwrap();
+        f.write(a, b"hello disk").unwrap();
+        f.write(b, &[7u8; PAGE_SIZE]).unwrap();
+        let pa = f.read_page(a).unwrap();
         assert_eq!(&pa[..10], b"hello disk");
         assert_eq!(pa[10], 0, "tail must be zeroed");
-        assert_eq!(f.read_page(b)[PAGE_SIZE - 1], 7);
+        assert_eq!(f.read_page(b).unwrap()[PAGE_SIZE - 1], 7);
         assert_eq!(f.stats().reads(), 2);
         assert_eq!(f.stats().writes(), 2);
         drop(f);
@@ -277,9 +269,9 @@ mod tests {
     fn reopen_restores_pages_and_free_list() {
         let path = temp_path("reopen");
         let mut f = DiskPageFile::create(&path).unwrap();
-        let ids: Vec<PageId> = (0..5).map(|_| f.allocate()).collect();
+        let ids: Vec<PageId> = (0..5).map(|_| f.allocate().unwrap()).collect();
         for (i, &id) in ids.iter().enumerate() {
-            f.write(id, &[i as u8 + 1; 16]);
+            f.write(id, &[i as u8 + 1; 16]).unwrap();
         }
         f.release(ids[1]);
         f.release(ids[3]);
@@ -290,10 +282,10 @@ mod tests {
         assert_eq!(g.capacity_pages(), 5);
         assert_eq!(g.live_pages(), 3);
         assert_eq!(g.free_list(), vec![ids[1], ids[3]]);
-        assert_eq!(g.read_page(ids[4])[0], 5);
+        assert_eq!(g.read_page(ids[4]).unwrap()[0], 5);
         // Reallocation pops the stack like the in-memory store.
-        assert_eq!(g.allocate(), ids[3]);
-        assert!(g.read_page(ids[3]).iter().all(|&b| b == 0));
+        assert_eq!(g.allocate().unwrap(), ids[3]);
+        assert!(g.read_page(ids[3]).unwrap().iter().all(|&b| b == 0));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -302,7 +294,7 @@ mod tests {
         let path = temp_path("spill");
         let mut f = DiskPageFile::create(&path).unwrap();
         let n = SB_INLINE + 700; // forces two spill pages
-        let ids: Vec<PageId> = (0..n).map(|_| f.allocate()).collect();
+        let ids: Vec<PageId> = (0..n).map(|_| f.allocate().unwrap()).collect();
         for &id in &ids {
             f.release(id);
         }
@@ -327,9 +319,9 @@ mod tests {
     fn peek_is_uncounted() {
         let path = temp_path("peek");
         let mut f = DiskPageFile::create(&path).unwrap();
-        let a = f.allocate();
-        f.write(a, b"x");
-        let _ = f.peek_page(a);
+        let a = f.allocate().unwrap();
+        f.write(a, b"x").unwrap();
+        let _ = f.peek_page(a).unwrap();
         assert_eq!(f.stats().reads(), 0);
         let _ = std::fs::remove_file(&path);
     }

@@ -4,9 +4,9 @@
 //! [`FaultStore`] passes everything through to the wrapped store until its
 //! trigger fires — on the Nth write (1-based) it injects the configured
 //! [`FaultMode`] and from then on behaves like a device that dropped off
-//! the bus: writes are black-holed and `flush` fails. Reads keep serving
-//! whatever the backend holds, which is exactly the view a post-crash
-//! recovery sees.
+//! the bus: writes fail (nothing reaches the backend) and `flush` fails.
+//! Reads keep serving whatever the backend holds, which is exactly the
+//! view a post-crash recovery sees.
 
 use crate::pagefile::{PageId, PageStore, PAGE_SIZE};
 use crate::IoStats;
@@ -63,10 +63,10 @@ impl FaultCounters {
 /// A [`PageStore`] that injects a write fault on the Nth write.
 ///
 /// Until the trigger: full pass-through. On the tripping write: the
-/// injected [`FaultMode`] applies. After it: every write is silently
-/// dropped and [`PageStore::flush`] returns the injection error — the
-/// wrapped store is frozen at its crash image, ready to be handed to
-/// recovery.
+/// injected [`FaultMode`] applies and the call returns the injection
+/// error. After it: every write and [`PageStore::flush`] keep failing
+/// without touching the backend — the wrapped store is frozen at its
+/// crash image, ready to be handed to recovery.
 pub struct FaultStore<S: PageStore> {
     inner: S,
     /// Trip on this write ordinal (1-based); `0` disarms.
@@ -115,7 +115,7 @@ impl<S: PageStore> FaultStore<S> {
 }
 
 impl<S: PageStore> PageStore for FaultStore<S> {
-    fn allocate(&mut self) -> PageId {
+    fn allocate(&mut self) -> io::Result<PageId> {
         self.counters.allocs.fetch_add(1, Ordering::Relaxed);
         self.inner.allocate()
     }
@@ -125,35 +125,32 @@ impl<S: PageStore> PageStore for FaultStore<S> {
         self.inner.release(id);
     }
 
-    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
         self.counters.reads.fetch_add(1, Ordering::Relaxed);
-        self.inner.read_into(id, out);
+        self.inner.read_into(id, out)
     }
 
-    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
-        self.inner.peek_into(id, out);
+    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
+        self.inner.peek_into(id, out)
     }
 
-    fn write(&mut self, id: PageId, data: &[u8]) {
+    fn write(&mut self, id: PageId, data: &[u8]) -> io::Result<()> {
         let n = self.counters.writes.fetch_add(1, Ordering::Relaxed) + 1;
         if self.tripped {
-            return; // device is gone: black hole
+            return Err(Self::injected_error()); // device is gone
         }
         if self.trip_on_write != 0 && n >= self.trip_on_write {
             self.tripped = true;
-            match self.mode {
-                FaultMode::Fail => {}
-                FaultMode::ShortWrite(keep) => {
-                    // A torn page: the written prefix survives, the rest of
-                    // the page is whatever `write`'s zero-fill left — i.e.
-                    // we apply a truncated slice through the normal path.
-                    let keep = keep.min(data.len());
-                    self.inner.write(id, &data[..keep]);
-                }
+            if let FaultMode::ShortWrite(keep) = self.mode {
+                // A torn page: the written prefix survives, the rest of
+                // the page is whatever `write`'s zero-fill left — i.e.
+                // we apply a truncated slice through the normal path.
+                let keep = keep.min(data.len());
+                self.inner.write(id, &data[..keep])?;
             }
-            return;
+            return Err(Self::injected_error());
         }
-        self.inner.write(id, data);
+        self.inner.write(id, data)
     }
 
     fn stats(&self) -> &Arc<IoStats> {
@@ -193,16 +190,16 @@ mod tests {
     #[test]
     fn passes_through_until_armed_count() {
         let mut s = FaultStore::new(PageFile::new(), 3, FaultMode::Fail);
-        let a = s.allocate();
-        let b = s.allocate();
-        s.write(a, b"one");
-        s.write(b, b"two");
+        let a = s.allocate().unwrap();
+        let b = s.allocate().unwrap();
+        s.write(a, b"one").unwrap();
+        s.write(b, b"two").unwrap();
         assert!(!s.tripped());
-        s.write(a, b"three"); // trips: dropped
+        assert!(s.write(a, b"three").is_err()); // trips: dropped + surfaced
         assert!(s.tripped());
-        s.write(b, b"four"); // black-holed
-        assert_eq!(&s.read_page(a)[..3], b"one");
-        assert_eq!(&s.read_page(b)[..3], b"two");
+        assert!(s.write(b, b"four").is_err()); // device stays gone
+        assert_eq!(&s.read_page(a).unwrap()[..3], b"one");
+        assert_eq!(&s.read_page(b).unwrap()[..3], b"two");
         assert!(s.flush().is_err());
         let c = s.counters();
         assert_eq!(c.writes(), 4);
@@ -212,12 +209,13 @@ mod tests {
     }
 
     #[test]
-    fn short_write_tears_the_page() {
+    fn short_write_tears_the_page_and_reports_the_fault() {
         let mut s = FaultStore::new(PageFile::new(), 2, FaultMode::ShortWrite(4));
-        let a = s.allocate();
-        s.write(a, b"full page content");
-        s.write(a, b"REPLACEMENT"); // torn: only "REPL" lands
-        let page = s.read_page(a);
+        let a = s.allocate().unwrap();
+        s.write(a, b"full page content").unwrap();
+        // Torn: only "REPL" lands, and the caller hears about it.
+        assert!(s.write(a, b"REPLACEMENT").is_err());
+        let page = s.read_page(a).unwrap();
         assert_eq!(&page[..4], b"REPL");
         assert_eq!(page[4], 0, "the torn tail reads as zeros");
     }
@@ -225,9 +223,9 @@ mod tests {
     #[test]
     fn disarmed_store_never_trips() {
         let mut s = FaultStore::new(PageFile::new(), 0, FaultMode::Fail);
-        let a = s.allocate();
+        let a = s.allocate().unwrap();
         for i in 0..100u8 {
-            s.write(a, &[i]);
+            s.write(a, &[i]).unwrap();
         }
         assert!(!s.tripped());
         assert!(s.flush().is_ok());

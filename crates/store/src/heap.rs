@@ -11,6 +11,7 @@
 //! or a [`crate::BufferPool`] — only the I/O cost changes.
 
 use crate::{PageFile, PageId, PageStore, PAGE_SIZE};
+use std::io;
 
 /// Page layout:
 /// `[n_slots: u16][data_start: u16]` then `n_slots` descriptors of
@@ -79,35 +80,36 @@ impl<S: PageStore> ObjectHeap<S> {
     ///
     /// Records must fit a page (`len + 8 <= PAGE_SIZE`); the object records
     /// of the paper's datasets are well under 100 bytes.
-    pub fn insert(&mut self, record: &[u8]) -> RecordAddr {
+    pub fn insert(&mut self, record: &[u8]) -> io::Result<RecordAddr> {
         assert!(
             record.len() + HEADER + SLOT <= PAGE_SIZE,
             "record of {} bytes cannot fit a page",
             record.len()
         );
         if let Some(page) = self.open_page {
-            if let Some(addr) = self.try_append(page, record) {
-                return addr;
+            if let Some(addr) = self.try_append(page, record)? {
+                return Ok(addr);
             }
         }
-        let page = self.file.allocate();
+        let page = self.file.allocate()?;
         // Fresh page: initialise header (n=0, data_start=PAGE_SIZE).
         let mut buf = [0u8; PAGE_SIZE];
         buf[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
-        self.file.write(page, &buf);
+        self.file.write(page, &buf)?;
         self.open_page = Some(page);
-        self.try_append(page, record)
-            .expect("fresh page must accept the record")
+        Ok(self
+            .try_append(page, record)?
+            .expect("fresh page must accept the record"))
     }
 
     /// Appends to `page` if space allows; one read + one write when it does.
-    fn try_append(&mut self, page: PageId, record: &[u8]) -> Option<RecordAddr> {
-        let mut buf = self.file.peek_page(page);
+    fn try_append(&mut self, page: PageId, record: &[u8]) -> io::Result<Option<RecordAddr>> {
+        let mut buf = self.file.peek_page(page)?;
         let n_slots = u16::from_le_bytes([buf[0], buf[1]]) as usize;
         let data_start = u16::from_le_bytes([buf[2], buf[3]]) as usize;
         let slot_table_end = HEADER + (n_slots + 1) * SLOT;
         if slot_table_end + record.len() > data_start {
-            return None;
+            return Ok(None);
         }
         self.file.stats().record_read();
         let new_start = data_start - record.len();
@@ -117,23 +119,23 @@ impl<S: PageStore> ObjectHeap<S> {
         buf[slot_off + 2..slot_off + 4].copy_from_slice(&(record.len() as u16).to_le_bytes());
         buf[0..2].copy_from_slice(&((n_slots + 1) as u16).to_le_bytes());
         buf[2..4].copy_from_slice(&(new_start as u16).to_le_bytes());
-        self.file.write(page, &buf[..]);
-        Some(RecordAddr {
+        self.file.write(page, &buf[..])?;
+        Ok(Some(RecordAddr {
             page,
             slot: n_slots as u16,
-        })
+        }))
     }
 
     /// Reads one record (counted as one page read).
-    pub fn get(&self, addr: RecordAddr) -> Option<Vec<u8>> {
-        let buf = self.file.read_page(addr.page);
-        Self::record_in(&buf[..], addr.slot)
+    pub fn get(&self, addr: RecordAddr) -> io::Result<Option<Vec<u8>>> {
+        let buf = self.file.read_page(addr.page)?;
+        Ok(Self::record_in(&buf[..], addr.slot))
     }
 
     /// Reads a whole page and returns every live record with its slot —
     /// the refinement step's one-I/O-per-page access path.
-    pub fn page_records(&self, page: PageId) -> Vec<(u16, Vec<u8>)> {
-        let buf = self.file.read_page(page);
+    pub fn page_records(&self, page: PageId) -> io::Result<Vec<(u16, Vec<u8>)>> {
+        let buf = self.file.read_page(page)?;
         let n_slots = u16::from_le_bytes([buf[0], buf[1]]) as usize;
         let mut out = Vec::with_capacity(n_slots);
         for slot in 0..n_slots {
@@ -141,7 +143,7 @@ impl<S: PageStore> ObjectHeap<S> {
                 out.push((slot as u16, rec));
             }
         }
-        out
+        Ok(out)
     }
 
     fn record_in(buf: &[u8], slot: u16) -> Option<Vec<u8>> {
@@ -160,13 +162,13 @@ impl<S: PageStore> ObjectHeap<S> {
 
     /// Tombstones a record (read + write of its page). Space is not
     /// compacted — deletions in the paper's workload are index-side.
-    pub fn remove(&mut self, addr: RecordAddr) {
-        let mut buf = self.file.read_page(addr.page);
+    pub fn remove(&mut self, addr: RecordAddr) -> io::Result<()> {
+        let mut buf = self.file.read_page(addr.page)?;
         let n_slots = u16::from_le_bytes([buf[0], buf[1]]);
         assert!(addr.slot < n_slots, "remove of unknown slot");
         let off = HEADER + addr.slot as usize * SLOT;
         buf[off + 2..off + 4].copy_from_slice(&0u16.to_le_bytes());
-        self.file.write(addr.page, &buf[..]);
+        self.file.write(addr.page, &buf[..])
     }
 
     /// Size of the heap in bytes.
@@ -182,17 +184,17 @@ mod tests {
     #[test]
     fn insert_get_roundtrip() {
         let mut h = ObjectHeap::new();
-        let a = h.insert(b"alpha");
-        let b = h.insert(b"beta");
-        assert_eq!(h.get(a).unwrap(), b"alpha");
-        assert_eq!(h.get(b).unwrap(), b"beta");
+        let a = h.insert(b"alpha").unwrap();
+        let b = h.insert(b"beta").unwrap();
+        assert_eq!(h.get(a).unwrap().unwrap(), b"alpha");
+        assert_eq!(h.get(b).unwrap().unwrap(), b"beta");
     }
 
     #[test]
     fn records_pack_into_shared_pages() {
         let mut h = ObjectHeap::new();
-        let a = h.insert(&[1u8; 100]);
-        let b = h.insert(&[2u8; 100]);
+        let a = h.insert(&[1u8; 100]).unwrap();
+        let b = h.insert(&[2u8; 100]).unwrap();
         assert_eq!(a.page, b.page, "small records should share a page");
         assert_ne!(a.slot, b.slot);
     }
@@ -201,9 +203,9 @@ mod tests {
     fn page_overflows_to_next() {
         let mut h = ObjectHeap::new();
         let big = vec![7u8; 1500];
-        let a = h.insert(&big);
-        let b = h.insert(&big);
-        let c = h.insert(&big);
+        let a = h.insert(&big).unwrap();
+        let b = h.insert(&big).unwrap();
+        let c = h.insert(&big).unwrap();
         assert_eq!(a.page, b.page);
         assert_ne!(a.page, c.page, "third 1500B record cannot fit the page");
     }
@@ -211,11 +213,11 @@ mod tests {
     #[test]
     fn page_records_returns_all_live() {
         let mut h = ObjectHeap::new();
-        let a = h.insert(b"one");
-        let _b = h.insert(b"two");
-        let _c = h.insert(b"three");
-        h.remove(a);
-        let recs = h.page_records(a.page);
+        let a = h.insert(b"one").unwrap();
+        let _b = h.insert(b"two").unwrap();
+        let _c = h.insert(b"three").unwrap();
+        h.remove(a).unwrap();
+        let recs = h.page_records(a.page).unwrap();
         assert_eq!(recs.len(), 2);
         assert!(recs.iter().any(|(_, r)| r == b"two"));
         assert!(recs.iter().any(|(_, r)| r == b"three"));
@@ -224,9 +226,9 @@ mod tests {
     #[test]
     fn removed_record_is_gone() {
         let mut h = ObjectHeap::new();
-        let a = h.insert(b"dead");
-        h.remove(a);
-        assert!(h.get(a).is_none());
+        let a = h.insert(b"dead").unwrap();
+        h.remove(a).unwrap();
+        assert!(h.get(a).unwrap().is_none());
     }
 
     #[test]
@@ -236,11 +238,11 @@ mod tests {
             .map(|i| {
                 let mut rec = vec![0u8; 40];
                 rec[..4].copy_from_slice(&i.to_le_bytes());
-                h.insert(&rec)
+                h.insert(&rec).unwrap()
             })
             .collect();
         for (i, addr) in addrs.iter().enumerate() {
-            let rec = h.get(*addr).unwrap();
+            let rec = h.get(*addr).unwrap().unwrap();
             assert_eq!(u32::from_le_bytes(rec[..4].try_into().unwrap()), i as u32);
         }
         assert!(
@@ -253,9 +255,11 @@ mod tests {
     fn heap_works_over_a_buffer_pool() {
         let pool = crate::BufferPool::new(PageFile::new(), 2);
         let mut h = ObjectHeap::with_store(pool);
-        let addrs: Vec<_> = (0..300u32).map(|i| h.insert(&i.to_le_bytes())).collect();
+        let addrs: Vec<_> = (0..300u32)
+            .map(|i| h.insert(&i.to_le_bytes()).unwrap())
+            .collect();
         for (i, addr) in addrs.iter().enumerate() {
-            let rec = h.get(*addr).unwrap();
+            let rec = h.get(*addr).unwrap().unwrap();
             assert_eq!(u32::from_le_bytes(rec[..4].try_into().unwrap()), i as u32);
         }
         assert!(h.file().resident_pages() <= 2);

@@ -1,6 +1,7 @@
 //! The [`PageStore`] contract and the in-memory reference backend.
 
 use crate::IoStats;
+use std::io;
 use std::sync::Arc;
 
 /// Page size in bytes; the paper fixes this to 4096 (Sec 6).
@@ -33,8 +34,15 @@ pub type PageId = u64;
 ///   with volatile state (buffer pools, OS caches). In-memory stores treat
 ///   it as a no-op.
 ///
-/// Reading or writing an id that was never allocated is a logic error and
-/// may panic.
+/// # Fallibility
+///
+/// `allocate`, `read_into`, `peek_into` and `write` return `io::Result`:
+/// a backend over real storage surfaces a failed pread/pwrite as a typed
+/// error instead of aborting the process, and every wrapper (buffer pool,
+/// journaling store, fault injector) propagates it. In-memory backends
+/// never fail and always return `Ok`. Reading or writing an id that was
+/// never allocated remains a logic error and may panic — fallibility is
+/// for the storage medium, not for misuse.
 ///
 /// # Sharing (`Send`/`Sync`)
 ///
@@ -50,20 +58,20 @@ pub type PageId = u64;
 /// remain exclusive by construction.
 pub trait PageStore {
     /// Allocates a zeroed page (reusing freed pages first; uncounted).
-    fn allocate(&mut self) -> PageId;
+    fn allocate(&mut self) -> io::Result<PageId>;
 
     /// Returns a page to the free list (uncounted).
     fn release(&mut self, id: PageId);
 
     /// Reads page `id` into `out` (counted).
-    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]);
+    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()>;
 
     /// Reads page `id` into `out` without touching any counter.
-    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]);
+    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()>;
 
     /// Writes `data` (at most one page) to `id` (counted). Shorter slices
     /// leave the page tail zeroed.
-    fn write(&mut self, id: PageId, data: &[u8]);
+    fn write(&mut self, id: PageId, data: &[u8]) -> io::Result<()>;
 
     /// The shared I/O counters of this store.
     fn stats(&self) -> &Arc<IoStats>;
@@ -80,7 +88,7 @@ pub trait PageStore {
     fn free_list(&self) -> Vec<PageId>;
 
     /// Makes all prior writes durable. In-memory stores are a no-op.
-    fn flush(&mut self) -> std::io::Result<()> {
+    fn flush(&mut self) -> io::Result<()> {
         Ok(())
     }
 
@@ -98,17 +106,17 @@ pub trait PageStore {
     }
 
     /// [`read_into`](Self::read_into) returning a fresh boxed page.
-    fn read_page(&self, id: PageId) -> Box<[u8; PAGE_SIZE]> {
+    fn read_page(&self, id: PageId) -> io::Result<Box<[u8; PAGE_SIZE]>> {
         let mut out = Box::new([0u8; PAGE_SIZE]);
-        self.read_into(id, &mut out);
-        out
+        self.read_into(id, &mut out)?;
+        Ok(out)
     }
 
     /// [`peek_into`](Self::peek_into) returning a fresh boxed page.
-    fn peek_page(&self, id: PageId) -> Box<[u8; PAGE_SIZE]> {
+    fn peek_page(&self, id: PageId) -> io::Result<Box<[u8; PAGE_SIZE]>> {
         let mut out = Box::new([0u8; PAGE_SIZE]);
-        self.peek_into(id, &mut out);
-        out
+        self.peek_into(id, &mut out)?;
+        Ok(out)
     }
 }
 
@@ -156,14 +164,14 @@ impl PageFile {
 }
 
 impl PageStore for PageFile {
-    fn allocate(&mut self) -> PageId {
+    fn allocate(&mut self) -> io::Result<PageId> {
         if let Some(id) = self.free.pop() {
             self.pages[id as usize] = vec![0u8; PAGE_SIZE].into_boxed_slice();
-            return id;
+            return Ok(id);
         }
         let id = self.pages.len() as PageId;
         self.pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
-        id
+        Ok(id)
     }
 
     fn release(&mut self, id: PageId) {
@@ -172,21 +180,24 @@ impl PageStore for PageFile {
         self.free.push(id);
     }
 
-    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
         self.stats.record_read();
         out.copy_from_slice(&self.pages[id as usize]);
+        Ok(())
     }
 
-    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
         out.copy_from_slice(&self.pages[id as usize]);
+        Ok(())
     }
 
-    fn write(&mut self, id: PageId, data: &[u8]) {
+    fn write(&mut self, id: PageId, data: &[u8]) -> io::Result<()> {
         assert!(data.len() <= PAGE_SIZE, "page overflow: {}", data.len());
         self.stats.record_write();
         let page = &mut self.pages[id as usize];
         page[..data.len()].copy_from_slice(data);
         page[data.len()..].fill(0);
+        Ok(())
     }
 
     fn stats(&self) -> &Arc<IoStats> {
@@ -232,10 +243,10 @@ mod tests {
     #[test]
     fn allocate_write_read_roundtrip() {
         let mut f = PageFile::new();
-        let a = f.allocate();
-        let b = f.allocate();
-        f.write(a, b"hello");
-        f.write(b, &[9u8; PAGE_SIZE]);
+        let a = f.allocate().unwrap();
+        let b = f.allocate().unwrap();
+        f.write(a, b"hello").unwrap();
+        f.write(b, &[9u8; PAGE_SIZE]).unwrap();
         let pa = f.read(a);
         assert_eq!(&pa[..5], b"hello");
         assert_eq!(pa[5], 0);
@@ -247,12 +258,12 @@ mod tests {
     #[test]
     fn trait_read_matches_zero_copy_read() {
         let mut f = PageFile::new();
-        let a = f.allocate();
-        f.write(a, b"trait");
-        let boxed = f.read_page(a);
+        let a = f.allocate().unwrap();
+        f.write(a, b"trait").unwrap();
+        let boxed = f.read_page(a).unwrap();
         assert_eq!(&boxed[..5], b"trait");
         let mut buf = [0u8; PAGE_SIZE];
-        f.peek_into(a, &mut buf);
+        f.peek_into(a, &mut buf).unwrap();
         assert_eq!(buf[..], boxed[..]);
         // One counted read (read_page); peek stays uncounted.
         assert_eq!(f.stats().reads(), 1);
@@ -261,9 +272,9 @@ mod tests {
     #[test]
     fn shorter_write_zeroes_tail() {
         let mut f = PageFile::new();
-        let a = f.allocate();
-        f.write(a, &[1u8; 100]);
-        f.write(a, &[2u8; 10]);
+        let a = f.allocate().unwrap();
+        f.write(a, &[1u8; 100]).unwrap();
+        f.write(a, &[2u8; 10]).unwrap();
         let page = f.read(a);
         assert_eq!(page[9], 2);
         assert_eq!(page[10], 0);
@@ -272,13 +283,13 @@ mod tests {
     #[test]
     fn release_reuses_pages() {
         let mut f = PageFile::new();
-        let a = f.allocate();
-        let _b = f.allocate();
+        let a = f.allocate().unwrap();
+        let _b = f.allocate().unwrap();
         assert_eq!(f.live_pages(), 2);
         f.release(a);
         assert_eq!(f.live_pages(), 1);
         assert_eq!(f.free_list(), vec![a]);
-        let c = f.allocate();
+        let c = f.allocate().unwrap();
         assert_eq!(c, a);
         assert_eq!(f.live_pages(), 2);
         assert_eq!(f.capacity_pages(), 2);
@@ -290,7 +301,7 @@ mod tests {
     fn size_accounting() {
         let mut f = PageFile::new();
         for _ in 0..3 {
-            f.allocate();
+            f.allocate().unwrap();
         }
         assert_eq!(f.size_bytes(), 3 * PAGE_SIZE as u64);
     }
@@ -299,7 +310,7 @@ mod tests {
     #[should_panic(expected = "page overflow")]
     fn oversized_write_panics() {
         let mut f = PageFile::new();
-        let a = f.allocate();
-        f.write(a, &[0u8; PAGE_SIZE + 1]);
+        let a = f.allocate().unwrap();
+        let _ = f.write(a, &[0u8; PAGE_SIZE + 1]);
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::pagefile::{PageId, PageStore, PAGE_SIZE};
 use crate::IoStats;
+use std::io;
 use std::sync::Arc;
 
 /// An in-memory page store with O(1)-per-page copy-on-write cloning.
@@ -56,14 +57,14 @@ impl ShadowPageFile {
 static ZERO_PAGE: [u8; PAGE_SIZE] = [0u8; PAGE_SIZE];
 
 impl PageStore for ShadowPageFile {
-    fn allocate(&mut self) -> PageId {
+    fn allocate(&mut self) -> io::Result<PageId> {
         if let Some(id) = self.free.pop() {
             self.pages[id as usize] = Arc::new(ZERO_PAGE);
-            return id;
+            return Ok(id);
         }
         let id = self.pages.len() as PageId;
         self.pages.push(Arc::new(ZERO_PAGE));
-        id
+        Ok(id)
     }
 
     fn release(&mut self, id: PageId) {
@@ -72,16 +73,18 @@ impl PageStore for ShadowPageFile {
         self.free.push(id);
     }
 
-    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
         self.stats.record_read();
         out.copy_from_slice(&self.pages[id as usize][..]);
+        Ok(())
     }
 
-    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
         out.copy_from_slice(&self.pages[id as usize][..]);
+        Ok(())
     }
 
-    fn write(&mut self, id: PageId, data: &[u8]) {
+    fn write(&mut self, id: PageId, data: &[u8]) -> io::Result<()> {
         assert!(data.len() <= PAGE_SIZE, "page overflow: {}", data.len());
         self.stats.record_write();
         // Copy-on-write: a page still shared with an older epoch is
@@ -89,6 +92,7 @@ impl PageStore for ShadowPageFile {
         let page = Arc::make_mut(&mut self.pages[id as usize]);
         page[..data.len()].copy_from_slice(data);
         page[data.len()..].fill(0);
+        Ok(())
     }
 
     fn stats(&self) -> &Arc<IoStats> {
@@ -115,17 +119,17 @@ mod tests {
     #[test]
     fn clone_shares_until_written() {
         let mut a = ShadowPageFile::new();
-        let p = a.allocate();
-        let q = a.allocate();
-        a.write(p, b"epoch zero p");
-        a.write(q, b"epoch zero q");
+        let p = a.allocate().unwrap();
+        let q = a.allocate().unwrap();
+        a.write(p, b"epoch zero p").unwrap();
+        a.write(q, b"epoch zero q").unwrap();
 
         let mut b = a.clone();
         assert!(
             Arc::ptr_eq(&a.pages[p as usize], &b.pages[p as usize]),
             "clone shares pages"
         );
-        b.write(p, b"epoch one p");
+        b.write(p, b"epoch one p").unwrap();
         assert!(
             !Arc::ptr_eq(&a.pages[p as usize], &b.pages[p as usize]),
             "write detaches the page"
@@ -135,18 +139,18 @@ mod tests {
             "untouched pages stay shared"
         );
         // The old epoch is unperturbed.
-        assert_eq!(&a.peek_page(p)[..12], b"epoch zero p");
-        assert_eq!(&b.peek_page(p)[..11], b"epoch one p");
+        assert_eq!(&a.peek_page(p).unwrap()[..12], b"epoch zero p");
+        assert_eq!(&b.peek_page(p).unwrap()[..11], b"epoch one p");
     }
 
     #[test]
     fn clone_counters_start_fresh() {
         let mut a = ShadowPageFile::new();
-        let p = a.allocate();
-        a.write(p, b"x");
+        let p = a.allocate().unwrap();
+        a.write(p, b"x").unwrap();
         let b = a.clone();
         assert_eq!(b.stats().writes(), 0);
-        let _ = b.read_page(p);
+        let _ = b.read_page(p).unwrap();
         assert_eq!(b.stats().reads(), 1);
         assert_eq!(a.stats().reads(), 0, "epochs account separately");
     }
@@ -154,12 +158,12 @@ mod tests {
     #[test]
     fn reuse_and_zeroing_match_the_reference_backend() {
         let mut f = ShadowPageFile::new();
-        let a = f.allocate();
+        let a = f.allocate().unwrap();
         let clone = f.clone();
         f.release(a);
-        let b = f.allocate();
+        let b = f.allocate().unwrap();
         assert_eq!(b, a);
-        assert!(f.peek_page(b).iter().all(|&x| x == 0));
+        assert!(f.peek_page(b).unwrap().iter().all(|&x| x == 0));
         assert_eq!(f.free_list(), Vec::<PageId>::new());
         drop(clone);
     }

@@ -336,6 +336,13 @@ impl Wal {
         self.last_commit_lsn
     }
 
+    /// True when a commit marker has been appended whose fsync the
+    /// group-commit window deferred — state a crash would lose until the
+    /// next [`sync`](Self::sync).
+    pub fn has_deferred_commits(&self) -> bool {
+        self.durable_lsn < self.last_commit_lsn
+    }
+
     /// Sets the group-commit window: fsync every `every`-th commit
     /// (`1` = every commit, the durable default).
     pub fn set_group_commit(&mut self, every: u64) {
@@ -504,38 +511,39 @@ fn decode_frame(bytes: &[u8], off: usize) -> Option<(WalRecord, u64, usize)> {
 /// over any partially-applied base.
 pub trait ReplayTarget {
     /// Installs a full page image (extending the page space if needed).
-    fn apply_image(&mut self, page: PageId, data: &[u8; PAGE_SIZE]);
+    fn apply_image(&mut self, page: PageId, data: &[u8; PAGE_SIZE]) -> io::Result<()>;
     /// Re-applies an allocation: the page leaves the free list, the extent
     /// grows to cover it, and its content resets to zero.
-    fn apply_alloc(&mut self, page: PageId);
+    fn apply_alloc(&mut self, page: PageId) -> io::Result<()>;
     /// Re-applies a release: the page joins the free list (idempotently).
-    fn apply_release(&mut self, page: PageId);
+    fn apply_release(&mut self, page: PageId) -> io::Result<()>;
 }
 
 /// Replays committed batches onto per-store targets (`targets[store
 /// tag]`); records for tags without a target are ignored. Returns the last
-/// committed metadata blob, if any.
+/// committed metadata blob, if any; a target's I/O failure aborts the
+/// replay (recovery must not report success over a half-applied base).
 pub fn replay(
     batches: &[Vec<WalRecord>],
     targets: &mut [&mut dyn ReplayTarget],
-) -> Option<Vec<u8>> {
+) -> io::Result<Option<Vec<u8>>> {
     let mut meta = None;
     for batch in batches {
         for rec in batch {
             match rec {
                 WalRecord::PageImage { store, page, data } => {
                     if let Some(t) = targets.get_mut(*store as usize) {
-                        t.apply_image(*page, data);
+                        t.apply_image(*page, data)?;
                     }
                 }
                 WalRecord::Alloc { store, page } => {
                     if let Some(t) = targets.get_mut(*store as usize) {
-                        t.apply_alloc(*page);
+                        t.apply_alloc(*page)?;
                     }
                 }
                 WalRecord::Release { store, page } => {
                     if let Some(t) = targets.get_mut(*store as usize) {
-                        t.apply_release(*page);
+                        t.apply_release(*page)?;
                     }
                 }
                 WalRecord::Meta(bytes) => meta = Some(bytes.clone()),
@@ -543,7 +551,7 @@ pub fn replay(
             }
         }
     }
-    meta
+    Ok(meta)
 }
 
 enum PendingOp {
@@ -704,21 +712,33 @@ impl<S: PageStore> WalStore<S> {
 
     /// Applies every committed batch with LSN `<= durable_lsn` to the
     /// backend, retiring shadow entries that the apply made current.
-    pub fn apply_through(&mut self, durable_lsn: u64) {
+    ///
+    /// On a backend write failure the not-yet-applied images stay queued
+    /// (full page images are idempotent, so a later retry — or crash
+    /// recovery replaying the durable log — lands the same state) and the
+    /// error surfaces to the caller. Reads remain coherent meanwhile: any
+    /// unretired page is still served from the shadow table.
+    pub fn apply_through(&mut self, durable_lsn: u64) -> io::Result<()> {
         while let Some(&(lsn, _)) = self.unapplied.front() {
             if lsn > durable_lsn {
                 break;
             }
-            let (_, images) = self.unapplied.pop_front().expect("front just probed");
-            for (id, data) in images {
-                self.inner.write(id, &data[..]);
-                if let Some(cur) = self.shadow.get(&id) {
-                    if Arc::ptr_eq(cur, &data) {
-                        self.shadow.remove(&id);
+            let (lsn, images) = self.unapplied.pop_front().expect("front just probed");
+            for (i, (id, data)) in images.iter().enumerate() {
+                if let Err(e) = self.inner.write(*id, &data[..]) {
+                    // Re-queue the unapplied suffix (this image included)
+                    // so the batch can be retried or recovered.
+                    self.unapplied.push_front((lsn, images[i..].to_vec()));
+                    return Err(e);
+                }
+                if let Some(cur) = self.shadow.get(id) {
+                    if Arc::ptr_eq(cur, data) {
+                        self.shadow.remove(id);
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Stage + commit + apply for a store that owns its log alone (the
@@ -736,16 +756,44 @@ impl<S: PageStore> WalStore<S> {
         let durable = w.durable_lsn();
         drop(w);
         self.note_commit(receipt.lsn);
-        self.apply_through(durable);
+        // The commit is in the durable log even if the backend apply
+        // fails here — recovery replays it — but the caller must hear
+        // about the sick backend.
+        self.apply_through(durable)?;
         Ok(CommitReceipt {
             lsn: receipt.lsn,
             durable: durable >= receipt.lsn,
         })
     }
+
+    /// Whether commits have been appended whose fsync was deferred by the
+    /// group-commit window — state a crash would lose.
+    pub fn has_deferred_commits(&self) -> bool {
+        match self.wal.lock() {
+            Ok(w) => w.durable_lsn() < w.last_commit_lsn(),
+            Err(_) => true,
+        }
+    }
+}
+
+impl<S: PageStore> Drop for WalStore<S> {
+    /// A commit that returned `CommitReceipt { durable: false }` promised
+    /// the caller its batch would reach disk by the *next* fsync — letting
+    /// the store die with that fsync still owed would silently break the
+    /// promise. Best-effort close the group-commit window; a clean process
+    /// exit then loses nothing, and an actual crash still only loses what
+    /// the receipt already declared volatile.
+    fn drop(&mut self) {
+        if let Ok(mut w) = self.wal.lock() {
+            if w.durable_lsn() < w.last_commit_lsn() {
+                let _ = w.sync();
+            }
+        }
+    }
 }
 
 impl<S: PageStore> PageStore for WalStore<S> {
-    fn allocate(&mut self) -> PageId {
+    fn allocate(&mut self) -> io::Result<PageId> {
         let id = match self.free.pop() {
             Some(id) => id,
             None => {
@@ -764,7 +812,7 @@ impl<S: PageStore> PageStore for WalStore<S> {
         self.shadow.insert(id, Arc::new([0u8; PAGE_SIZE]));
         self.pending.push(PendingOp::Write(id));
         self.dirty.insert(id);
-        id
+        Ok(id)
     }
 
     fn release(&mut self, id: PageId) {
@@ -774,24 +822,26 @@ impl<S: PageStore> PageStore for WalStore<S> {
         self.pending.push(PendingOp::Release(id));
     }
 
-    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+    fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
         self.stats.record_read();
         if let Some(page) = self.shadow.get(&id) {
             out.copy_from_slice(&page[..]);
+            Ok(())
         } else {
-            self.inner.read_into(id, out);
+            self.inner.read_into(id, out)
         }
     }
 
-    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) {
+    fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
         if let Some(page) = self.shadow.get(&id) {
             out.copy_from_slice(&page[..]);
+            Ok(())
         } else {
-            self.inner.peek_into(id, out);
+            self.inner.peek_into(id, out)
         }
     }
 
-    fn write(&mut self, id: PageId, data: &[u8]) {
+    fn write(&mut self, id: PageId, data: &[u8]) -> io::Result<()> {
         assert!(data.len() <= PAGE_SIZE, "page overflow: {}", data.len());
         self.stats.record_write();
         let mut page = [0u8; PAGE_SIZE];
@@ -800,6 +850,7 @@ impl<S: PageStore> PageStore for WalStore<S> {
         if self.dirty.insert(id) {
             self.pending.push(PendingOp::Write(id));
         }
+        Ok(())
     }
 
     fn stats(&self) -> &Arc<IoStats> {
@@ -823,11 +874,20 @@ impl<S: PageStore> PageStore for WalStore<S> {
     /// records back: durability with recovery needs a commit (see the
     /// type docs). This is what makes dropping an uncommitted store a
     /// clean rollback instead of a torn half-batch.
+    ///
+    /// The sync also closes any open group-commit window, so batches the
+    /// window had deferred become durable here and are applied to the
+    /// backend — a store going through `flush` (e.g. from a dropping
+    /// buffer pool) leaves no committed batch stranded in memory.
     fn flush(&mut self) -> io::Result<()> {
         let wal = Arc::clone(&self.wal);
         let mut w = wal.lock().map_err(|_| io::Error::other("wal poisoned"))?;
         self.stage(&mut w);
-        w.sync()
+        w.sync()?;
+        let durable = w.durable_lsn();
+        drop(w);
+        self.apply_through(durable)?;
+        self.inner.flush()
     }
 
     fn backing_path(&self) -> Option<PathBuf> {
@@ -1025,20 +1085,20 @@ mod tests {
             let inner = DiskPageFile::create(&data_path).unwrap();
             let wal = Arc::new(Mutex::new(Wal::create(&wal_path).unwrap()));
             let mut store = WalStore::wrap(inner, wal, 0);
-            let a = store.allocate();
-            store.write(a, b"committed");
+            let a = store.allocate().unwrap();
+            store.write(a, b"committed").unwrap();
             expected_a = a;
             // Before commit: backend file does not see the page content.
             assert_eq!(store.unapplied_batches(), 0);
             let r = store.commit(true).unwrap();
             assert!(r.durable);
             assert_eq!(store.unapplied_batches(), 0, "durable commit applies");
-            assert_eq!(&store.inner().peek_page(a)[..9], b"committed");
+            assert_eq!(&store.inner().peek_page(a).unwrap()[..9], b"committed");
 
             // A second, uncommitted mutation: flush (stage+sync, no
             // marker) then drop — recovery must roll it back.
-            let b = store.allocate();
-            store.write(b, b"uncommitted");
+            let b = store.allocate().unwrap();
+            store.write(b, b"uncommitted").unwrap();
             store.flush().unwrap();
         }
         let rec = Wal::recover(&wal_path).unwrap();
@@ -1049,24 +1109,28 @@ mod tests {
             free: Vec<PageId>,
         }
         impl ReplayTarget for Sink {
-            fn apply_image(&mut self, _page: PageId, _data: &[u8; PAGE_SIZE]) {}
-            fn apply_alloc(&mut self, page: PageId) {
+            fn apply_image(&mut self, _page: PageId, _data: &[u8; PAGE_SIZE]) -> io::Result<()> {
+                Ok(())
+            }
+            fn apply_alloc(&mut self, page: PageId) -> io::Result<()> {
                 self.free.retain(|&f| f != page);
                 if page >= self.n_pages {
                     self.n_pages = page + 1;
                 }
+                Ok(())
             }
-            fn apply_release(&mut self, page: PageId) {
+            fn apply_release(&mut self, page: PageId) -> io::Result<()> {
                 if !self.free.contains(&page) {
                     self.free.push(page);
                 }
+                Ok(())
             }
         }
         let mut sink = Sink {
             n_pages: 0,
             free: Vec::new(),
         };
-        replay(&rec.batches, &mut [&mut sink]);
+        replay(&rec.batches, &mut [&mut sink]).unwrap();
         assert_eq!(sink.n_pages, expected_a + 1, "only the committed page");
         let _ = std::fs::remove_file(&data_path);
         let _ = std::fs::remove_file(&wal_path);
@@ -1082,14 +1146,14 @@ mod tests {
         let inner = DiskPageFile::create(&data_path).unwrap();
         let wal = Arc::new(Mutex::new(wal));
         let mut store = WalStore::wrap(inner, wal, 0);
-        let a = store.allocate();
-        store.write(a, b"first life");
+        let a = store.allocate().unwrap();
+        store.write(a, b"first life").unwrap();
         store.commit(true).unwrap();
         // One batch: release a, reallocate it (same id), write new bytes.
         store.release(a);
-        let b = store.allocate();
+        let b = store.allocate().unwrap();
         assert_eq!(b, a, "free list must hand the id back");
-        store.write(b, b"second life");
+        store.write(b, b"second life").unwrap();
         store.commit(true).unwrap();
         drop(store);
 
@@ -1097,21 +1161,24 @@ mod tests {
         // Replay into a byte-level target and check the final content.
         struct Pages(HashMap<PageId, [u8; PAGE_SIZE]>, Vec<PageId>);
         impl ReplayTarget for Pages {
-            fn apply_image(&mut self, page: PageId, data: &[u8; PAGE_SIZE]) {
+            fn apply_image(&mut self, page: PageId, data: &[u8; PAGE_SIZE]) -> io::Result<()> {
                 self.0.insert(page, *data);
+                Ok(())
             }
-            fn apply_alloc(&mut self, page: PageId) {
+            fn apply_alloc(&mut self, page: PageId) -> io::Result<()> {
                 self.1.retain(|&f| f != page);
                 self.0.insert(page, [0u8; PAGE_SIZE]);
+                Ok(())
             }
-            fn apply_release(&mut self, page: PageId) {
+            fn apply_release(&mut self, page: PageId) -> io::Result<()> {
                 if !self.1.contains(&page) {
                     self.1.push(page);
                 }
+                Ok(())
             }
         }
         let mut pages = Pages(HashMap::new(), Vec::new());
-        replay(&rec.batches, &mut [&mut pages]);
+        replay(&rec.batches, &mut [&mut pages]).unwrap();
         assert_eq!(&pages.0[&a][..11], b"second life");
         assert!(pages.1.is_empty(), "the page ends the log allocated");
         let _ = std::fs::remove_file(&path);
@@ -1130,19 +1197,24 @@ mod tests {
         wal.lock().unwrap().set_group_commit(2);
         let mut store = WalStore::wrap(inner, wal, 0);
 
-        let a = store.allocate();
-        store.write(a, b"deferred");
+        let a = store.allocate().unwrap();
+        store.write(a, b"deferred").unwrap();
         let r1 = store.commit(false).unwrap();
         assert!(!r1.durable, "first commit of the window is deferred");
         assert_eq!(store.unapplied_batches(), 1, "apply waits for the sync");
+        assert!(
+            store.has_deferred_commits(),
+            "window left a commit unsynced"
+        );
         // The shadow still serves reads coherently meanwhile.
-        assert_eq!(&store.read_page(a)[..8], b"deferred");
+        assert_eq!(&store.read_page(a).unwrap()[..8], b"deferred");
 
-        store.write(a, b"second");
+        store.write(a, b"second").unwrap();
         let r2 = store.commit(false).unwrap();
         assert!(r2.durable, "second commit closes the group window");
         assert_eq!(store.unapplied_batches(), 0);
-        assert_eq!(&store.inner().peek_page(a)[..6], b"second");
+        assert!(!store.has_deferred_commits());
+        assert_eq!(&store.inner().peek_page(a).unwrap()[..6], b"second");
         let _ = std::fs::remove_file(&data_path);
         let _ = std::fs::remove_file(&wal_path);
     }

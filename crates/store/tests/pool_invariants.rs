@@ -36,7 +36,7 @@ fn drive<S: PageStore>(pool: &mut BufferPool<S>, capacity: usize, seed: u64, ste
         match rng.gen_range(0..10u32) {
             // Allocate (biased so the page population grows past capacity).
             0..=2 => {
-                let id = pool.allocate();
+                let id = pool.allocate().unwrap();
                 assert!(
                     model.live.insert(id, 0).is_none(),
                     "allocate returned a live id {id}"
@@ -46,13 +46,13 @@ fn drive<S: PageStore>(pool: &mut BufferPool<S>, capacity: usize, seed: u64, ste
             3..=5 if !ids.is_empty() => {
                 let id = ids[rng.gen_range(0..ids.len())];
                 model.stamp += 1;
-                pool.write(id, &stamped(model.stamp));
+                pool.write(id, &stamped(model.stamp)).unwrap();
                 model.live.insert(id, model.stamp);
             }
             // Counted read of a random live page.
             6..=7 if !ids.is_empty() => {
                 let id = ids[rng.gen_range(0..ids.len())];
-                let page = pool.read_page(id);
+                let page = pool.read_page(id).unwrap();
                 let want = stamped(model.live[&id]);
                 assert_eq!(&page[..8], &want, "step {step}: read lost a write");
                 assert!(page[8..].iter().all(|&b| b == 0));
@@ -60,7 +60,7 @@ fn drive<S: PageStore>(pool: &mut BufferPool<S>, capacity: usize, seed: u64, ste
             // Uncounted peek.
             8 if !ids.is_empty() => {
                 let id = ids[rng.gen_range(0..ids.len())];
-                let page = pool.peek_page(id);
+                let page = pool.peek_page(id).unwrap();
                 assert_eq!(&page[..8], &stamped(model.live[&id]), "step {step}: peek");
             }
             // Release.
@@ -95,7 +95,7 @@ fn drive<S: PageStore>(pool: &mut BufferPool<S>, capacity: usize, seed: u64, ste
 
     // Every surviving page still carries its last write.
     for (&id, &stamp) in &model.live {
-        assert_eq!(&pool.read_page(id)[..8], &stamped(stamp));
+        assert_eq!(&pool.read_page(id).unwrap()[..8], &stamped(stamp));
     }
     assert_eq!(
         pool.stats().cache_hits() + pool.stats().cache_misses(),
@@ -130,9 +130,9 @@ fn concurrent_readers_observe_flushed_writes_exactly() {
     let mut rng = SmallRng::seed_from_u64(41);
     let mut expected: HashMap<PageId, u64> = HashMap::new();
     for _ in 0..80 {
-        let id = pool.allocate();
+        let id = pool.allocate().unwrap();
         let stamp = rng.gen_range(1..u64::MAX);
-        pool.write(id, &stamp.to_le_bytes());
+        pool.write(id, &stamp.to_le_bytes()).unwrap();
         expected.insert(id, stamp);
     }
     pool.flush().unwrap();
@@ -147,7 +147,7 @@ fn concurrent_readers_observe_flushed_writes_exactly() {
                 let ids: Vec<PageId> = expected.keys().copied().collect();
                 for _ in 0..500 {
                     let id = ids[rng.gen_range(0..ids.len())];
-                    let page = pool.read_page(id);
+                    let page = pool.read_page(id).unwrap();
                     let got = u64::from_le_bytes(page[..8].try_into().unwrap());
                     assert_eq!(got, expected[&id], "torn or stale read of page {id}");
                     assert!(page[8..].iter().all(|&b| b == 0));
@@ -190,8 +190,8 @@ fn flush_then_cold_reopen_returns_every_write() {
         let disk = DiskPageFile::create(&path).unwrap();
         let mut pool = BufferPool::new(disk, 4);
         for i in 0..64u8 {
-            let id = pool.allocate();
-            pool.write(id, &[i; 100]);
+            let id = pool.allocate().unwrap();
+            pool.write(id, &[i; 100]).unwrap();
             expected.insert(id, i);
         }
         // Rewrite a random subset so dirty re-writes are exercised too.
@@ -199,7 +199,7 @@ fn flush_then_cold_reopen_returns_every_write() {
         for _ in 0..32 {
             let id = ids[rng.gen_range(0..ids.len())];
             let v = rng.gen_range(100..200u8);
-            pool.write(id, &[v; 100]);
+            pool.write(id, &[v; 100]).unwrap();
             expected.insert(id, v);
         }
         pool.flush().unwrap();
@@ -208,7 +208,7 @@ fn flush_then_cold_reopen_returns_every_write() {
     // Cold reopen without any pool: the bytes must all be on disk.
     let disk = DiskPageFile::open(&path).unwrap();
     for (&id, &v) in &expected {
-        let page = disk.peek_page(id);
+        let page = disk.peek_page(id).unwrap();
         assert!(page[..100].iter().all(|&b| b == v), "page {id} lost data");
         assert!(page[100..PAGE_SIZE].iter().all(|&b| b == 0));
     }

@@ -4,6 +4,7 @@
 Usage:
     check_bench.py BENCH_throughput.json bench_output.log
     check_bench.py BENCH_topk.json bench_output.log
+    check_bench.py BENCH_bulkload.json bench_output.log
 
 The log is scanned for the machine-readable ``*_SCALING_JSON:`` line the
 bench bins emit; the baseline names which bench it belongs to via its
@@ -108,6 +109,60 @@ def check_topk(base: dict, run: dict) -> None:
                 )
 
 
+def check_bulkload(base: dict, run: dict) -> None:
+    max_ratio = float(os.environ.get("BENCH_MAX_COUNT_RATIO", "1.25"))
+    base_pts = {r["build"]: r for r in base["results"]}
+    run_pts = {r["build"]: r for r in run["results"]}
+    missing = sorted(set(base_pts) - set(run_pts))
+    if missing:
+        fail(f"run is missing builds {missing}")
+    for build, r in sorted(run_pts.items()):
+        for field in (
+            "build_secs",
+            "index_bytes",
+            "node_pages",
+            "phys_node_reads",
+            "phys_heap_reads",
+        ):
+            if r[field] <= 0:
+                fail(f"non-positive {field} for {build} build: {r}")
+    bulk, incr = run_pts["bulk"], run_pts["insert"]
+    # Hard gates (the bench bin asserts these too; re-check from the JSON
+    # so a doctored log cannot slip through): the packed build must beat
+    # repeated insert on build time AND on physical reads served cold.
+    if bulk["build_secs"] >= incr["build_secs"]:
+        fail(
+            f"bulk build ({bulk['build_secs']}s) not faster than repeated "
+            f"insert ({incr['build_secs']}s)"
+        )
+    if bulk["phys_node_reads"] >= incr["phys_node_reads"]:
+        fail(
+            f"bulk-built tree costs {bulk['phys_node_reads']} physical node "
+            f"reads vs the insert-built {incr['phys_node_reads']}"
+        )
+    if bulk["index_bytes"] >= incr["index_bytes"]:
+        fail(
+            f"packed index ({bulk['index_bytes']} B) not smaller than "
+            f"insert-built ({incr['index_bytes']} B)"
+        )
+    # Layout counters are machine-independent, so they get the tight
+    # ceiling; wall-clock never gates here (the speedup ratio above does).
+    for field in ("node_pages", "phys_node_reads"):
+        ceiling = max_ratio * base_pts["bulk"][field]
+        status = "ok" if bulk[field] <= ceiling else "REGRESSION"
+        print(
+            f"  bulk {field}: {bulk[field]} vs baseline "
+            f"{base_pts['bulk'][field]} (ceiling {ceiling:.0f}) — {status}"
+        )
+        if bulk[field] > ceiling:
+            fail(
+                f"packed-build {field} regressed beyond {max_ratio:.2f}x of "
+                f"the committed baseline"
+            )
+    speedup = incr["build_secs"] / bulk["build_secs"]
+    print(f"  build speedup: {speedup:.2f}x (insert/bulk wall-clock)")
+
+
 def main() -> None:
     if len(sys.argv) != 3:
         print(__doc__)
@@ -116,11 +171,11 @@ def main() -> None:
     with open(baseline_path, encoding="utf-8") as fh:
         base = json.load(fh)
     bench = base.get("bench")
-    if bench not in ("throughput_scaling", "topk_scaling"):
+    if bench not in ("throughput_scaling", "topk_scaling", "bulk_vs_incremental"):
         print(f"check_bench: unknown bench {bench!r} in {baseline_path}")
         sys.exit(2)
     run = extract_run(log_path, bench)
-    for knob in ("objects", "queries", "queries_per_k", "n1"):
+    for knob in ("objects", "queries", "queries_per_k", "n1", "pool_frames"):
         if knob in base and base[knob] != run.get(knob):
             fail(
                 f"workload mismatch on {knob}: baseline {base[knob]} vs run "
@@ -129,6 +184,8 @@ def main() -> None:
     print(f"check_bench: {bench} vs {baseline_path}")
     if bench == "throughput_scaling":
         check_throughput(base, run)
+    elif bench == "bulk_vs_incremental":
+        check_bulkload(base, run)
     else:
         check_topk(base, run)
     print("check_bench: PASS")

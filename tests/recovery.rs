@@ -380,14 +380,17 @@ struct MemTarget {
 }
 
 impl ReplayTarget for MemTarget {
-    fn apply_image(&mut self, page: PageId, data: &[u8; PAGE_SIZE]) {
+    fn apply_image(&mut self, page: PageId, data: &[u8; PAGE_SIZE]) -> std::io::Result<()> {
         self.pages.insert(page, *data);
+        Ok(())
     }
-    fn apply_alloc(&mut self, page: PageId) {
+    fn apply_alloc(&mut self, page: PageId) -> std::io::Result<()> {
         self.pages.insert(page, [0u8; PAGE_SIZE]);
+        Ok(())
     }
-    fn apply_release(&mut self, page: PageId) {
+    fn apply_release(&mut self, page: PageId) -> std::io::Result<()> {
         self.pages.remove(&page);
+        Ok(())
     }
 }
 
@@ -415,15 +418,17 @@ fn committed_batches_survive_backend_write_faults() {
             let mut expected: HashMap<PageId, [u8; PAGE_SIZE]> = HashMap::new();
             for batch in 0..2u8 {
                 for i in 0..3u8 {
-                    let id = store.allocate();
+                    let id = store.allocate().unwrap();
                     let mut img = [0u8; PAGE_SIZE];
                     img[..2].copy_from_slice(&[batch + 1, i + 1]);
-                    store.write(id, &img[..]);
+                    store.write(id, &img[..]).unwrap();
                     expected.insert(id, img);
                 }
                 // The apply phase behind this commit is where the fault
-                // trips; the log write itself is unaffected.
-                store.commit(true).unwrap();
+                // trips; the commit may now report the sick backend, but
+                // the log write itself is unaffected — recovery below is
+                // what must not lose data.
+                let _ = store.commit(true);
             }
 
             // "Crash": drop everything, then recover from the log alone.
@@ -431,7 +436,7 @@ fn committed_batches_survive_backend_write_faults() {
             let recovery = Wal::recover(dir.join("wal.log")).unwrap();
             assert_eq!(recovery.batches.len(), 2);
             let mut target = MemTarget::default();
-            replay(&recovery.batches, &mut [&mut target]);
+            replay(&recovery.batches, &mut [&mut target]).unwrap();
             assert_eq!(target.pages.len(), expected.len());
             for (id, img) in &expected {
                 assert_eq!(
@@ -443,4 +448,72 @@ fn committed_batches_survive_backend_write_faults() {
             let _ = std::fs::remove_dir_all(&dir);
         }
     }
+}
+
+/// Crash-point audit for `checkpoint()` under a group-commit window: the
+/// deferred (`durable: false`) commits must be forced durable *before* the
+/// snapshot rename, so the checkpointed state — reopened from snapshot
+/// alone, WAL truncated — contains every committed batch, including the
+/// ones whose fsync was still owed when checkpoint began.
+#[test]
+fn checkpoint_forces_deferred_group_commits_durable() {
+    let base = base_objects();
+    let dir = temp_dir("ckpt-group");
+    fresh_tree(&base).save(&dir).unwrap();
+
+    let mut disk = DiskUTree::<2>::open(&dir, 32).unwrap();
+    disk.set_group_commit(10); // window far larger than the batch count
+    let extra = datagen::lb_dataset(3, 211);
+    for (i, o) in extra.iter().enumerate() {
+        disk.insert(&UncertainObject::new(80_000 + i as u64, o.pdf.clone()));
+        let r = disk.commit().unwrap();
+        assert!(!r.durable, "commit {i} must be deferred by the window");
+    }
+    disk.checkpoint().unwrap();
+    assert_eq!(
+        std::fs::metadata(dir.join("wal.log")).unwrap().len(),
+        8,
+        "checkpoint truncated the log — the snapshot is all there is"
+    );
+    drop(disk);
+
+    // The "crash": reopen from the snapshot alone. Every deferred commit
+    // must be present — checkpoint promised durability for all of them.
+    let reopened = DiskUTree::<2>::open(&dir, 32).unwrap();
+    assert_eq!(reopened.len(), BASE_N + 3);
+    reopened.check_invariants().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash-point audit for drop with deferred commits: a commit that
+/// returned `durable: false` promised the data would reach disk by the
+/// next fsync. Dropping the tree with that fsync still owed must not lose
+/// the batch — the store closes the group-commit window on the way down,
+/// so only an actual crash (not a clean shutdown) loses deferred state.
+#[test]
+fn clean_drop_syncs_deferred_group_commits() {
+    let base = base_objects();
+    let dir = temp_dir("drop-deferred");
+    fresh_tree(&base).save(&dir).unwrap();
+
+    {
+        let mut disk = DiskUTree::<2>::open(&dir, 32).unwrap();
+        disk.set_group_commit(8);
+        let extra = datagen::lb_dataset(2, 223);
+        for (i, o) in extra.iter().enumerate() {
+            disk.insert(&UncertainObject::new(81_000 + i as u64, o.pdf.clone()));
+            let r = disk.commit().unwrap();
+            assert!(!r.durable, "the window must defer this commit");
+        }
+        // No flush, no checkpoint — the tree goes down owing an fsync.
+    }
+
+    let reopened = DiskUTree::<2>::open(&dir, 32).unwrap();
+    assert_eq!(
+        reopened.len(),
+        BASE_N + 2,
+        "deferred commits lost on clean drop — the receipt's promise broke"
+    );
+    reopened.check_invariants().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }
