@@ -1,0 +1,219 @@
+//! Multi-index serving: sustained qps and tail latency of the resident
+//! [`QueryService`] loop over an [`IndexCatalog`] of named, sharded,
+//! disk-backed indexes.
+//!
+//! The workload is heterogeneous by construction — probabilistic range
+//! queries and top-k rankings, interleaved, spread across two named
+//! indexes with different shard counts — because that is what the
+//! single-index `BatchExecutor` experiment cannot show: admission
+//! batching, per-request index dispatch, and scatter-gather across the
+//! shards of whichever index each request names.
+//!
+//! Every sweep's replies are verified against direct scatter-gather
+//! execution before its numbers are reported (a fast wrong answer is not
+//! throughput) — that equality is a hard assertion. Besides the table,
+//! the bin emits one machine-readable JSON line (prefixed
+//! `SERVING_SCALING_JSON:`) recording qps and nearest-rank p50/p99 per
+//! worker count, gated in CI by `scripts/check_bench.py` against
+//! `BENCH_serving.json`.
+//!
+//! Knobs: `UTREE_SCALE`, `UTREE_QUERIES` (requests per kind per index),
+//! `UTREE_N1` (Monte-Carlo samples per refinement).
+
+use bench::{fmt, print_table, HarnessConfig};
+use datagen::workload;
+use utree::{
+    IndexCatalog, ProbIndex, Query, QueryService, Refine, ServiceReply, ServiceReport,
+    ServiceRequest, UCatalog,
+};
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const MAX_BATCH: usize = 16;
+const QS: f64 = 1_200.0;
+const REPS: usize = 3;
+
+struct Sample {
+    workers: usize,
+    qps: f64,
+    p50_nanos: u64,
+    p99_nanos: u64,
+    wall_nanos: u64,
+}
+
+fn expected_replies(catalog: &IndexCatalog<2>, requests: &[ServiceRequest<2>]) -> Vec<Vec<u64>> {
+    requests
+        .iter()
+        .map(|r| match r {
+            ServiceRequest::Range { index, query } => catalog
+                .get(index)
+                .expect("known index")
+                .execute(query)
+                .matches
+                .iter()
+                .map(|m| m.id)
+                .collect(),
+            ServiceRequest::TopK { index, query } => catalog
+                .get(index)
+                .expect("known index")
+                .rank_topk(query)
+                .matches
+                .iter()
+                .map(|m| m.id)
+                .collect(),
+        })
+        .collect()
+}
+
+fn reply_ids(reply: &ServiceReply) -> Vec<u64> {
+    match reply {
+        ServiceReply::Range(out) => out.matches.iter().map(|m| m.id).collect(),
+        ServiceReply::TopK(out) => out.matches.iter().map(|m| m.id).collect(),
+        ServiceReply::Error(e) => panic!("request failed in the sweep: {e}"),
+    }
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let n = cfg.sized(datagen::LB_SIZE);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!(
+        "scale {} | {} objects/index | {} requests/kind/index | n1 {} | {} cores",
+        cfg.scale, n, cfg.queries, cfg.n1, cores
+    );
+
+    // Two named indexes with different shard layouts in one catalog dir.
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("utree-serving-latency-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let lb = datagen::lb_dataset(n, 1);
+    let ca: Vec<_> = datagen::lb_dataset(n, 2)
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| uncertain_pdf::UncertainObject::new(1_000_000 + i as u64, o.pdf))
+        .collect();
+    {
+        let mut cat = IndexCatalog::<2>::create(&dir, 256).expect("create catalog");
+        cat.create_index("lb", UCatalog::uniform(10), Default::default(), 4)
+            .expect("create lb");
+        cat.create_index("ca", UCatalog::uniform(10), Default::default(), 2)
+            .expect("create ca");
+        for o in &lb {
+            cat.get_mut("lb").unwrap().insert(o);
+        }
+        for o in &ca {
+            cat.get_mut("ca").unwrap().insert(o);
+        }
+        cat.flush().expect("flush catalog");
+    }
+    let catalog = IndexCatalog::<2>::open(&dir, 256).expect("reopen catalog");
+
+    // Heterogeneous request stream: ranges and top-k against both
+    // indexes, interleaved. Seeds make every run byte-comparable.
+    let mut requests: Vec<ServiceRequest<2>> = Vec::new();
+    for (index, objs, seed) in [("lb", &lb, 17u64), ("ca", &ca, 19u64)] {
+        let centers: Vec<_> = objs.iter().map(|o| o.mbr().center()).collect();
+        let probes = workload(&centers, QS, 0.0, cfg.queries, seed);
+        for (i, q) in probes.queries.iter().enumerate() {
+            let pq = 0.05 + 0.9 * ((i * 41 % 100) as f64 / 100.0);
+            requests.push(ServiceRequest::Range {
+                index: index.to_string(),
+                query: Query::range(q.region)
+                    .threshold(pq)
+                    .refine(Refine::monte_carlo(cfg.n1, 0x5EED ^ i as u64))
+                    .build()
+                    .expect("valid query"),
+            });
+            requests.push(ServiceRequest::TopK {
+                index: index.to_string(),
+                query: Query::range(q.region)
+                    .top(1 + i % 10)
+                    .refine(Refine::monte_carlo(cfg.n1, 0xCAFE ^ i as u64))
+                    .build()
+                    .expect("valid query"),
+            });
+        }
+    }
+    // Interleave the two indexes' traffic rather than serving them in
+    // blocks (fixed stride, no RNG — the stream is reproducible).
+    let half = requests.len() / 2;
+    let (front, back) = requests.split_at(half);
+    let requests: Vec<ServiceRequest<2>> = front
+        .iter()
+        .zip(back)
+        .flat_map(|(a, b)| [a.clone(), b.clone()])
+        .collect();
+    let expected = expected_replies(&catalog, &requests);
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for &workers in &WORKER_SWEEP {
+        let service = QueryService::new(workers, MAX_BATCH);
+        let mut best: Option<ServiceReport> = None;
+        for _ in 0..REPS {
+            let (replies, report) = service.serve(&catalog, requests.clone());
+            for (reply, want) in replies.iter().zip(&expected) {
+                assert_eq!(
+                    reply_ids(reply),
+                    *want,
+                    "{workers} workers: service reply diverged from direct execution"
+                );
+            }
+            if best
+                .as_ref()
+                .is_none_or(|b| report.wall_nanos < b.wall_nanos)
+            {
+                best = Some(report);
+            }
+        }
+        let best = best.expect("at least one rep");
+        let qps = best.queries_per_sec();
+        assert!(qps.is_finite() && qps > 0.0, "degenerate qps {qps}");
+        samples.push(Sample {
+            workers,
+            qps,
+            p50_nanos: best.p50_nanos().expect("non-empty run"),
+            p99_nanos: best.p99_nanos().expect("non-empty run"),
+            wall_nanos: best.wall_nanos,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.workers.to_string(),
+                fmt(s.qps),
+                fmt(s.p50_nanos as f64 / 1e6),
+                fmt(s.p99_nanos as f64 / 1e6),
+                fmt(s.wall_nanos as f64 / 1e6),
+            ]
+        })
+        .collect();
+    print_table(
+        "query service: sustained qps and tail latency vs workers \
+         (identical answers verified per run)",
+        &["workers", "qps", "p50 ms", "p99 ms", "wall ms"],
+        &rows,
+    );
+
+    let json_results: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                r#"{{"workers":{},"qps":{:.2},"p50_nanos":{},"p99_nanos":{},"wall_nanos":{}}}"#,
+                s.workers, s.qps, s.p50_nanos, s.p99_nanos, s.wall_nanos
+            )
+        })
+        .collect();
+    println!(
+        r#"SERVING_SCALING_JSON: {{"bench":"serving_latency","objects":{},"requests":{},"n1":{},"cores":{},"max_batch":{},"results":[{}]}}"#,
+        n,
+        requests.len(),
+        cfg.n1,
+        cores,
+        MAX_BATCH,
+        json_results.join(",")
+    );
+}

@@ -57,6 +57,7 @@
 
 use crate::api::{ProbIndex, Query, QueryOutcome, RankOutcome, RankQuery};
 use crate::query::{QueryCtx, QueryStats};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -64,6 +65,13 @@ use std::time::Instant;
 /// one reused [`QueryCtx`] per worker) and returns the outputs in input
 /// order. The generic core behind both the range-query and the ranking
 /// batch paths.
+///
+/// A panic inside `f` is caught per item: the worker keeps draining the
+/// cursor (so every item is claimed exactly once and no sibling worker's
+/// finished output is torn down mid-batch), and the *original* panic
+/// payload is re-raised after all workers join. Without the per-item
+/// catch, one bad query would unwind its worker thread and turn the whole
+/// batch into a generic "worker panicked" join failure.
 fn fan_out<Q, T, F>(workers: usize, items: &[Q], f: F) -> Vec<T>
 where
     Q: Sync,
@@ -71,12 +79,15 @@ where
     F: Fn(&Q, &mut QueryCtx) -> T + Sync,
 {
     let cursor = AtomicUsize::new(0);
-    let mut by_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+    type Panic = Box<dyn std::any::Any + Send + 'static>;
+    type WorkerResult<T> = (Vec<(usize, T)>, Option<Panic>);
+    let worker_results: Vec<WorkerResult<T>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
                     let mut ctx = QueryCtx::new();
                     let mut local = Vec::new();
+                    let mut first_panic: Option<Panic> = None;
                     loop {
                         // Relaxed suffices: the fetch_add itself hands
                         // out each index exactly once, and the scope
@@ -85,9 +96,17 @@ where
                         let Some(item) = items.get(i) else {
                             break;
                         };
-                        local.push((i, f(item, &mut ctx)));
+                        match catch_unwind(AssertUnwindSafe(|| f(item, &mut ctx))) {
+                            Ok(out) => local.push((i, out)),
+                            Err(payload) => {
+                                // The context may hold half-built query
+                                // state; start the next item fresh.
+                                ctx = QueryCtx::new();
+                                first_panic.get_or_insert(payload);
+                            }
+                        }
                     }
-                    local
+                    (local, first_panic)
                 })
             })
             .collect();
@@ -96,6 +115,17 @@ where
             .map(|h| h.join().expect("batch worker panicked"))
             .collect()
     });
+    let mut first_panic: Option<Panic> = None;
+    let mut by_worker: Vec<Vec<(usize, T)>> = Vec::with_capacity(worker_results.len());
+    for (local, panic) in worker_results {
+        by_worker.push(local);
+        if let Some(p) = panic {
+            first_panic.get_or_insert(p);
+        }
+    }
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
+    }
     let mut slots: Vec<Option<T>> = Vec::new();
     slots.resize_with(items.len(), || None);
     for (i, outcome) in by_worker.drain(..).flatten() {
@@ -279,12 +309,16 @@ impl BatchOutcome {
         self.outcomes.is_empty()
     }
 
-    /// Aggregate throughput in queries per second.
+    /// Aggregate throughput in queries per second: `NaN` for an empty
+    /// batch (no throughput to speak of — and `0.0` would read as a
+    /// catastrophic regression to a qps floor), with the wall clock
+    /// clamped to ≥ 1 ns so a sub-nanosecond reading cannot divide to
+    /// infinity.
     pub fn queries_per_sec(&self) -> f64 {
-        if self.wall_nanos == 0 {
-            return 0.0;
+        if self.outcomes.is_empty() {
+            return f64::NAN;
         }
-        self.outcomes.len() as f64 * 1e9 / self.wall_nanos as f64
+        self.outcomes.len() as f64 * 1e9 / self.wall_nanos.max(1) as f64
     }
 
     /// True when this batch did exactly the same work as `other` and
@@ -341,12 +375,15 @@ impl RankBatchOutcome {
         self.outcomes.is_empty()
     }
 
-    /// Aggregate throughput in queries per second.
+    /// Aggregate throughput in queries per second — same contract as
+    /// [`BatchOutcome::queries_per_sec`]: `NaN` for an empty batch, wall
+    /// clock clamped to ≥ 1 ns otherwise, so the result is finite exactly
+    /// when the batch ran at least one query.
     pub fn queries_per_sec(&self) -> f64 {
-        if self.wall_nanos == 0 {
-            return 0.0;
+        if self.outcomes.is_empty() {
+            return f64::NAN;
         }
-        self.outcomes.len() as f64 * 1e9 / self.wall_nanos as f64
+        self.outcomes.len() as f64 * 1e9 / self.wall_nanos.max(1) as f64
     }
 
     /// True when both batches produced identical ranked answers and did
@@ -495,5 +532,76 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = BatchExecutor::new(0);
+    }
+
+    #[test]
+    fn fan_out_resurfaces_the_original_panic_and_drains_the_batch() {
+        use std::sync::atomic::AtomicUsize;
+
+        let items: Vec<usize> = (0..64).collect();
+        let attempted = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            fan_out(4, &items, |&i, _ctx| {
+                attempted.fetch_add(1, Ordering::SeqCst);
+                if i == 13 {
+                    panic!("query 13 exploded");
+                }
+                i * 2
+            })
+        }));
+        let payload = result.expect_err("the batch must fail when a query panics");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("query 13 exploded"),
+            "the original panic payload must resurface, not a join error"
+        );
+        assert_eq!(
+            attempted.load(Ordering::SeqCst),
+            items.len(),
+            "workers must keep draining the cursor past a panicking item"
+        );
+    }
+
+    #[test]
+    fn fan_out_reports_the_first_panic_of_several() {
+        let items: Vec<usize> = (0..16).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            fan_out(2, &items, |&i, _ctx| {
+                if i % 3 == 1 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        let payload = result.expect_err("panicking batch must fail");
+        assert_eq!(payload.downcast_ref::<&str>().copied(), Some("boom"));
+    }
+
+    #[test]
+    fn queries_per_sec_is_nan_on_empty_and_finite_otherwise() {
+        let tree = UTree::<2>::builder().uniform_catalog(6).build().unwrap();
+        let empty = BatchExecutor::new(2).run(&tree, &[]);
+        assert!(empty.queries_per_sec().is_nan(), "empty batch must be NaN");
+
+        // A sub-nanosecond wall reading must clamp, not divide to inf.
+        let one = workload(1, 7, Refine::reference(1e-7));
+        let mut batch = BatchExecutor::run_sequential(&tree, &one);
+        batch.wall_nanos = 0;
+        let qps = batch.queries_per_sec();
+        assert!(qps.is_finite(), "clamped qps must be finite, got {qps}");
+        assert_eq!(qps, 1e9);
+
+        let ranked_empty = RankBatchOutcome::assemble(Vec::new(), 1, 0);
+        assert!(ranked_empty.queries_per_sec().is_nan());
+        let ranked = RankBatchOutcome {
+            outcomes: vec![RankOutcome {
+                matches: Vec::new(),
+                stats: QueryStats::default(),
+            }],
+            stats: QueryStats::default(),
+            workers: 1,
+            wall_nanos: 0,
+        };
+        assert!(ranked.queries_per_sec().is_finite());
     }
 }

@@ -31,8 +31,8 @@ use crate::catalog::UCatalog;
 use crate::tree::{InsertStats, UTree};
 use page_store::ShadowPageFile;
 use rstar_base::TreeConfig;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use uncertain_pdf::UncertainObject;
 
 /// A published epoch: a consistent, immutable, shareable U-tree. Queries
@@ -43,12 +43,15 @@ pub type EpochSnapshot<const D: usize> = Arc<UTree<D, ShadowPageFile>>;
 /// A U-tree served via epoch swaps: lock-free consistent snapshots for
 /// readers, batched copy-on-write commits for one writer at a time.
 pub struct EpochIndex<const D: usize> {
-    /// The current epoch, swapped atomically at publish time.
-    published: RwLock<EpochSnapshot<D>>,
+    /// The current epoch number and its tree, swapped together at publish
+    /// time. Stamping the number into the published pair is what lets a
+    /// reader observe `(epoch, snapshot)` atomically — a separate counter
+    /// could be read before or after an in-flight publish and label the
+    /// new tree with the old number (or vice versa).
+    published: RwLock<(u64, EpochSnapshot<D>)>,
     /// The writer's private successor tree (COW fork of the published
     /// one). The mutex serialises writers; readers never touch it.
     writer: Mutex<UTree<D, ShadowPageFile>>,
-    epoch: AtomicU64,
 }
 
 impl<const D: usize> EpochIndex<D> {
@@ -70,15 +73,17 @@ impl<const D: usize> EpochIndex<D> {
     /// Starts serving an existing shadow-paged tree as epoch 0.
     pub fn from_tree(tree: UTree<D, ShadowPageFile>) -> Self {
         Self {
-            published: RwLock::new(Arc::new(tree.clone())),
+            published: RwLock::new((0, Arc::new(tree.clone()))),
             writer: Mutex::new(tree),
-            epoch: AtomicU64::new(0),
         }
     }
 
     /// The current epoch number (bumped by every commit).
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
+        self.published
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .0
     }
 
     /// Grabs the published epoch: a consistent tree that stays exactly as
@@ -86,7 +91,25 @@ impl<const D: usize> EpochIndex<D> {
     /// commits happen meanwhile. Cheap (one `Arc` clone under a read
     /// lock held for nanoseconds).
     pub fn snapshot(&self) -> EpochSnapshot<D> {
-        Arc::clone(&self.published.read().expect("epoch index poisoned"))
+        Arc::clone(
+            &self
+                .published
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .1,
+        )
+    }
+
+    /// Grabs the published epoch *with* its epoch number, read under one
+    /// lock acquisition: the number always labels exactly that tree, even
+    /// while commits race. Pairing separate [`EpochIndex::epoch`] and
+    /// [`EpochIndex::snapshot`] calls cannot make that guarantee.
+    pub fn snapshot_pair(&self) -> (u64, EpochSnapshot<D>) {
+        let guard = self
+            .published
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        (guard.0, Arc::clone(&guard.1))
     }
 
     /// Number of objects in the current epoch.
@@ -105,18 +128,37 @@ impl<const D: usize> EpochIndex<D> {
     /// internal mutex; `&self` keeps the whole surface shareable.
     ///
     /// The batch is all-or-nothing *visibility-wise*: no reader ever
-    /// observes a prefix of `f`'s updates. (A panic inside `f` poisons
-    /// the writer, taking the index out of service rather than publishing
-    /// a half-applied batch.)
+    /// observes a prefix of `f`'s updates. A panic inside `f` aborts the
+    /// batch: the writer is re-forked from the last published epoch (so
+    /// none of the half-applied updates survive), the panic is re-raised
+    /// to the caller, and the index keeps serving — readers and later
+    /// commits are unaffected.
     pub fn commit_with<R>(&self, f: impl FnOnce(&mut UTree<D, ShadowPageFile>) -> R) -> (u64, R) {
-        let mut writer = self.writer.lock().expect("epoch writer poisoned");
-        let result = f(&mut writer);
-        // COW fork: the published clone shares every page with the writer
-        // until the *next* batch rewrites some of them.
-        let next = Arc::new(writer.clone());
-        *self.published.write().expect("epoch index poisoned") = next;
-        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
-        (epoch, result)
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        match catch_unwind(AssertUnwindSafe(|| f(&mut writer))) {
+            Ok(result) => {
+                // COW fork: the published clone shares every page with the
+                // writer until the *next* batch rewrites some of them.
+                let next = Arc::new(writer.clone());
+                let mut published = self
+                    .published
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let epoch = published.0 + 1;
+                *published = (epoch, next);
+                (epoch, result)
+            }
+            Err(payload) => {
+                // `f` left the writer in an unknown half-applied state.
+                // Discard it and re-fork from the last published epoch;
+                // the guard then drops normally (no poisoning) before the
+                // panic resumes on the caller's stack.
+                let fork = (*self.snapshot()).clone();
+                *writer = fork;
+                drop(writer);
+                resume_unwind(payload);
+            }
+        }
     }
 
     /// Commits one batch of insertions, returning the new epoch number and
@@ -235,6 +277,79 @@ mod tests {
         bulk.insert_batch(&[ball(1000, 2000.0, 2000.0, 60.0)]);
         assert_eq!(snap.len(), 300, "published epoch stays frozen");
         assert_eq!(bulk.snapshot().len(), 301);
+    }
+
+    #[test]
+    fn snapshot_pair_never_tears_under_racing_commits() {
+        // Each commit inserts exactly one object starting from empty, so
+        // the invariant `snapshot.len() == epoch` holds for every
+        // published pair. A reader pairing separate epoch()/snapshot()
+        // calls could see them disagree mid-publish; snapshot_pair() may
+        // not, ever.
+        let index = Arc::new(EpochIndex::<2>::new(UCatalog::uniform(6)));
+        let commits = 200u64;
+        std::thread::scope(|scope| {
+            let writer = Arc::clone(&index);
+            scope.spawn(move || {
+                for id in 0..commits {
+                    let x = 100.0 + (id % 97) as f64 * 100.0;
+                    let y = 100.0 + (id % 89) as f64 * 110.0;
+                    writer.insert_batch(&[ball(id, x, y, 20.0)]);
+                }
+            });
+            for _ in 0..2 {
+                let reader = Arc::clone(&index);
+                scope.spawn(move || loop {
+                    let (epoch, snap) = reader.snapshot_pair();
+                    assert_eq!(
+                        snap.len() as u64,
+                        epoch,
+                        "published tree labelled with the wrong epoch number"
+                    );
+                    if epoch == commits {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                });
+            }
+        });
+        assert_eq!(index.epoch(), commits);
+        assert_eq!(index.len() as u64, commits);
+    }
+
+    #[test]
+    fn readers_survive_a_panicking_commit() {
+        let index = EpochIndex::<2>::new(UCatalog::uniform(6));
+        index.insert_batch(&[ball(1, 500.0, 500.0, 50.0)]);
+        assert_eq!(index.epoch(), 1);
+
+        let boom = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            index.commit_with(|tree| {
+                // Half-apply, then die: none of this may ever publish or
+                // linger in the writer fork.
+                tree.insert(&ball(2, 800.0, 800.0, 50.0));
+                panic!("bad batch");
+            })
+        }));
+        let payload = boom.expect_err("the panic must reach the caller");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("bad batch"),
+            "the original panic payload must resurface"
+        );
+
+        // The index is still in service: readers see the last good epoch.
+        assert_eq!(index.epoch(), 1);
+        assert_eq!(index.len(), 1);
+        index.snapshot().check_invariants().unwrap();
+
+        // The writer recovered from the published epoch, so the
+        // half-applied insert is gone and the next commit works.
+        let (epoch, _) = index.insert_batch(&[ball(3, 200.0, 200.0, 30.0)]);
+        assert_eq!(epoch, 2);
+        let snap = index.snapshot();
+        assert_eq!(snap.len(), 2, "half-applied insert must not survive");
+        snap.check_invariants().unwrap();
     }
 
     #[test]

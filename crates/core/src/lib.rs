@@ -60,6 +60,7 @@
 
 pub mod api;
 pub mod catalog;
+pub mod catalog_store;
 pub mod cfb;
 pub mod engine;
 pub mod entry;
@@ -73,6 +74,8 @@ pub mod quadratic;
 pub mod query;
 mod rank;
 pub mod seqscan;
+pub mod service;
+pub mod shard;
 pub mod tree;
 pub mod upcr;
 
@@ -81,6 +84,7 @@ pub use api::{
     QueryError, QueryOutcome, RankBuilder, RankOutcome, RankQuery, RankedMatch, Refine,
 };
 pub use catalog::UCatalog;
+pub use catalog_store::{IndexCatalog, IndexDef};
 pub use cfb::{fit_cfb_pair, Cfb, CfbPair, CfbView};
 pub use engine::{BatchExecutor, BatchOutcome, RankBatchOutcome};
 pub use epoch::{EpochIndex, EpochSnapshot};
@@ -92,6 +96,8 @@ pub use query::{
     refine_candidates, refine_candidates_scored, ProbRangeQuery, QueryCtx, QueryStats, RefineMode,
 };
 pub use seqscan::SeqScan;
+pub use service::{QueryService, ServiceReply, ServiceReport, ServiceRequest};
+pub use shard::{canonicalize, shard_of, ShardedIndex};
 pub use tree::{InsertStats, QueryOptions, UTree};
 pub use upcr::UPcrTree;
 

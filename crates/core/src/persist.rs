@@ -265,14 +265,14 @@ pub(crate) fn reject_live_dir<S: PageStore>(store: &S, dir: &Path) -> io::Result
 
 /// A snapshot file being brought forward by WAL replay: the page file plus
 /// the allocation state the log reconstructs on top of it.
-struct ReplayFile {
+pub(crate) struct ReplayFile {
     file: DiskPageFile,
     n_pages: u64,
     free: Vec<PageId>,
 }
 
 impl ReplayFile {
-    fn new(file: DiskPageFile) -> Self {
+    pub(crate) fn new(file: DiskPageFile) -> Self {
         let n_pages = file.capacity_pages() as u64;
         let free = file.free_list();
         Self {
@@ -312,6 +312,41 @@ impl wal::ReplayTarget for ReplayFile {
     }
 }
 
+/// Validates buffer-pool sizing parameters (shared by single-index open
+/// and the multi-index catalog open).
+pub(crate) fn validate_pool_params(buffer_pages: usize, shards: Option<usize>) -> io::Result<()> {
+    if buffer_pages == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a buffer pool needs at least one frame",
+        ));
+    }
+    if shards.is_some_and(|s| !(1..=buffer_pages).contains(&s)) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "pool shard count must lie in 1..=buffer_pages",
+        ));
+    }
+    Ok(())
+}
+
+/// Wraps a replayed snapshot file in its journaling [`WalStore`] (sharing
+/// `wal` under `tag`) behind a `buffer_pages` LRU pool — the standard
+/// [`DiskStore`] assembly, shared by single-index open and the catalog.
+pub(crate) fn wrap_store(
+    rf: ReplayFile,
+    wal: &Arc<Mutex<Wal>>,
+    tag: u8,
+    buffer_pages: usize,
+    shards: Option<usize>,
+) -> DiskStore {
+    let store = WalStore::attach(rf.file, Arc::clone(wal), tag, rf.n_pages, rf.free);
+    match shards {
+        Some(s) => BufferPool::with_shards(store, buffer_pages, s),
+        None => BufferPool::new(store, buffer_pages),
+    }
+}
+
 /// Everything `open` reconstructs before the tree-specific metrics/codec
 /// are attached: validated (possibly log-recovered) metadata, the shared
 /// catalog, and the two journaled, pool-wrapped page files.
@@ -336,18 +371,7 @@ pub(crate) fn open_parts(
     buffer_pages: usize,
     shards: Option<usize>,
 ) -> io::Result<OpenedParts> {
-    if buffer_pages == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            "a buffer pool needs at least one frame",
-        ));
-    }
-    if shards.is_some_and(|s| !(1..=buffer_pages).contains(&s)) {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            "pool shard count must lie in 1..=buffer_pages",
-        ));
-    }
+    validate_pool_params(buffer_pages, shards)?;
 
     // Crash recovery: scan the log (discarding a torn/uncommitted tail)
     // and replay every committed batch onto the snapshot files. Full page
@@ -369,15 +393,7 @@ pub(crate) fn open_parts(
     let catalog = Arc::new(UCatalog::try_new(meta.catalog.clone()).map_err(invalid_data)?);
 
     let wal = Arc::new(Mutex::new(recovery.wal));
-    let journal = |rf: ReplayFile, tag: u8| {
-        WalStore::attach(rf.file, Arc::clone(&wal), tag, rf.n_pages, rf.free)
-    };
-    let pool = |store: WalStore<DiskPageFile>| match shards {
-        Some(s) => BufferPool::with_shards(store, buffer_pages, s),
-        None => BufferPool::new(store, buffer_pages),
-    };
-
-    let index = pool(journal(index_rf, WAL_TAG_INDEX));
+    let index = wrap_store(index_rf, &wal, WAL_TAG_INDEX, buffer_pages, shards);
     if meta.root as usize >= index.capacity_pages() {
         return Err(invalid_data(format!(
             "{}: root page {} outside the index file",
@@ -385,7 +401,7 @@ pub(crate) fn open_parts(
             meta.root
         )));
     }
-    let heap_store = pool(journal(heap_rf, WAL_TAG_HEAP));
+    let heap_store = wrap_store(heap_rf, &wal, WAL_TAG_HEAP, buffer_pages, shards);
     if let Some(p) = meta.heap_open_page {
         if p as usize >= heap_store.capacity_pages() {
             return Err(invalid_data(format!(

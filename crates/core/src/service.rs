@@ -1,0 +1,447 @@
+//! A resident query service over an [`IndexCatalog`]: admission batching
+//! onto a worker pool with per-worker [`QueryCtx`] reuse, plus sustained
+//! throughput and tail-latency accounting.
+//!
+//! [`QueryService::serve`] is the serving loop of the multi-index engine:
+//! the caller thread **admits** requests onto a shared queue in batches of
+//! at most `max_batch` (one queue lock per batch, not per request), while
+//! `workers` resident threads drain it — each holding one [`QueryCtx`]
+//! across *all* the requests it executes, exactly the reuse pattern
+//! [`crate::engine::BatchExecutor`] established for homogeneous batches.
+//! Requests name their index; lookup failures and query errors become
+//! [`ServiceReply::Error`] for that request alone, never a torn batch.
+//!
+//! Replies come back in submission order. The accompanying
+//! [`ServiceReport`] records per-request latency from *admission* to
+//! completion (so queueing delay counts, as it does for a real client)
+//! and derives sustained qps plus nearest-rank percentiles (p50/p99).
+
+use crate::api::{ProbIndex, Query, QueryOutcome, RankOutcome, RankQuery};
+use crate::catalog_store::IndexCatalog;
+use crate::query::QueryCtx;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One request to the service: which named index to hit, and with what.
+#[derive(Debug, Clone)]
+pub enum ServiceRequest<const D: usize> {
+    /// A probabilistic range query against the named index.
+    Range {
+        /// Catalog name of the target index.
+        index: String,
+        /// The validated query.
+        query: Query<D>,
+    },
+    /// A probabilistic top-k ranking query against the named index.
+    TopK {
+        /// Catalog name of the target index.
+        index: String,
+        /// The validated query.
+        query: RankQuery<D>,
+    },
+}
+
+/// The per-request answer, in submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceReply {
+    /// Range answer.
+    Range(QueryOutcome),
+    /// Ranking answer.
+    TopK(RankOutcome),
+    /// This request failed (unknown index, invalid query, storage error);
+    /// the rest of the batch is unaffected.
+    Error(String),
+}
+
+/// Throughput and latency accounting for one [`QueryService::serve`] run.
+///
+/// Latency is measured per request from admission to completion, so time
+/// spent queued behind other requests counts. Percentiles use the
+/// nearest-rank method on the sorted latencies.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Requests executed (successes and per-request errors alike).
+    pub served: usize,
+    /// Wall-clock duration of the whole run, admission included.
+    pub wall_nanos: u64,
+    /// Per-request latencies, sorted ascending.
+    latencies: Vec<u64>,
+}
+
+impl ServiceReport {
+    /// Sustained queries per second over the run's wall clock. `NAN` when
+    /// nothing was served — an empty run has no meaningful rate.
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.served == 0 {
+            return f64::NAN;
+        }
+        self.served as f64 * 1e9 / self.wall_nanos.max(1) as f64
+    }
+
+    /// Nearest-rank latency percentile, `p` in `(0, 100]`. `None` when
+    /// nothing was served.
+    pub fn percentile_nanos(&self, p: f64) -> Option<u64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        assert!(p > 0.0 && p <= 100.0, "percentile {p} outside (0, 100]");
+        let rank = (p / 100.0 * self.latencies.len() as f64).ceil() as usize;
+        Some(self.latencies[rank.clamp(1, self.latencies.len()) - 1])
+    }
+
+    /// Median request latency.
+    pub fn p50_nanos(&self) -> Option<u64> {
+        self.percentile_nanos(50.0)
+    }
+
+    /// 99th-percentile (tail) request latency.
+    pub fn p99_nanos(&self) -> Option<u64> {
+        self.percentile_nanos(99.0)
+    }
+}
+
+struct Job<const D: usize> {
+    seq: usize,
+    submitted: Instant,
+    request: ServiceRequest<D>,
+}
+
+struct Queue<const D: usize> {
+    jobs: Mutex<(VecDeque<Job<D>>, bool)>,
+    ready: Condvar,
+}
+
+/// A resident worker pool serving heterogeneous query traffic against an
+/// [`IndexCatalog`] — see the module docs for the serving loop.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryService {
+    workers: usize,
+    max_batch: usize,
+}
+
+impl QueryService {
+    /// A service with `workers` resident threads admitting requests in
+    /// batches of at most `max_batch`.
+    ///
+    /// # Panics
+    ///
+    /// If `workers` or `max_batch` is zero.
+    pub fn new(workers: usize, max_batch: usize) -> Self {
+        assert!(workers > 0, "a service needs at least one worker");
+        assert!(max_batch > 0, "admission batches hold at least one request");
+        Self { workers, max_batch }
+    }
+
+    /// Number of resident worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Admission batch cap.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Runs the serving loop over `requests`: admits them in batches,
+    /// executes them on the worker pool against `catalog`, and returns
+    /// the replies **in submission order** plus the run's report.
+    pub fn serve<const D: usize>(
+        &self,
+        catalog: &IndexCatalog<D>,
+        requests: Vec<ServiceRequest<D>>,
+    ) -> (Vec<ServiceReply>, ServiceReport) {
+        let start = Instant::now();
+        let n = requests.len();
+        let queue = Queue {
+            jobs: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        };
+
+        let mut outcomes: Vec<(usize, ServiceReply, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|_| scope.spawn(|| worker_loop(&queue, catalog)))
+                .collect();
+
+            // Admission: one queue lock per batch, not per request.
+            let mut seq = 0;
+            let mut requests = requests.into_iter();
+            loop {
+                let batch: Vec<_> = requests.by_ref().take(self.max_batch).collect();
+                if batch.is_empty() {
+                    break;
+                }
+                let submitted = Instant::now();
+                let mut jobs = queue.jobs.lock().unwrap();
+                for request in batch {
+                    jobs.0.push_back(Job {
+                        seq,
+                        submitted,
+                        request,
+                    });
+                    seq += 1;
+                }
+                drop(jobs);
+                queue.ready.notify_all();
+            }
+            queue.jobs.lock().unwrap().1 = true;
+            queue.ready.notify_all();
+
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("service workers don't panic"))
+                .collect()
+        });
+
+        let mut replies: Vec<Option<ServiceReply>> = (0..n).map(|_| None).collect();
+        let mut latencies = Vec::with_capacity(n);
+        for (seq, reply, nanos) in outcomes.drain(..) {
+            replies[seq] = Some(reply);
+            latencies.push(nanos);
+        }
+        latencies.sort_unstable();
+        let replies = replies
+            .into_iter()
+            .map(|r| r.expect("every admitted request is answered"))
+            .collect();
+        let report = ServiceReport {
+            served: n,
+            wall_nanos: start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            latencies,
+        };
+        (replies, report)
+    }
+}
+
+fn worker_loop<const D: usize>(
+    queue: &Queue<D>,
+    catalog: &IndexCatalog<D>,
+) -> Vec<(usize, ServiceReply, u64)> {
+    let mut ctx = QueryCtx::new();
+    let mut done = Vec::new();
+    loop {
+        let job = {
+            let mut jobs = queue.jobs.lock().unwrap();
+            loop {
+                if let Some(job) = jobs.0.pop_front() {
+                    break Some(job);
+                }
+                if jobs.1 {
+                    break None;
+                }
+                jobs = queue.ready.wait(jobs).unwrap();
+            }
+        };
+        let Some(job) = job else {
+            return done;
+        };
+        let reply = execute(catalog, &job.request, &mut ctx);
+        let nanos = job.submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        done.push((job.seq, reply, nanos));
+    }
+}
+
+fn execute<const D: usize>(
+    catalog: &IndexCatalog<D>,
+    request: &ServiceRequest<D>,
+    ctx: &mut QueryCtx,
+) -> ServiceReply {
+    let lookup = |name: &str| {
+        catalog
+            .get(name)
+            .ok_or_else(|| format!("no index named {name:?} in the catalog"))
+    };
+    match request {
+        ServiceRequest::Range { index, query } => match lookup(index) {
+            Ok(idx) => match idx.try_execute_with(query, ctx) {
+                Ok(outcome) => ServiceReply::Range(outcome),
+                Err(e) => ServiceReply::Error(e.to_string()),
+            },
+            Err(e) => ServiceReply::Error(e),
+        },
+        ServiceRequest::TopK { index, query } => match lookup(index) {
+            Ok(idx) => match idx.try_rank_topk_with(query, ctx) {
+                Ok(outcome) => ServiceReply::TopK(outcome),
+                Err(e) => ServiceReply::Error(e.to_string()),
+            },
+            Err(e) => ServiceReply::Error(e),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Query, Refine};
+    use crate::catalog::UCatalog;
+    use rstar_base::TreeConfig;
+    use uncertain_geom::{Point, Rect};
+    use uncertain_pdf::{ObjectPdf, UncertainObject};
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("utree-service-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn object(id: u64, x: f64, y: f64) -> UncertainObject<2> {
+        UncertainObject::new(
+            id,
+            ObjectPdf::UniformBall {
+                center: Point::new([x, y]),
+                radius: 6.0,
+            },
+        )
+    }
+
+    fn serving_catalog(name: &str) -> IndexCatalog<2> {
+        let dir = temp_dir(name);
+        let mut cat = IndexCatalog::create(&dir, 64).unwrap();
+        cat.create_index("hot", UCatalog::uniform(10), TreeConfig::default(), 3)
+            .unwrap();
+        cat.create_index("cold", UCatalog::uniform(10), TreeConfig::default(), 2)
+            .unwrap();
+        for i in 0..120u64 {
+            let obj = object(i, (i % 25) as f64 * 4.0, (i / 25) as f64 * 18.0);
+            cat.get_mut("hot").unwrap().insert(&obj);
+            cat.get_mut("cold").unwrap().insert(&object(
+                1_000 + i,
+                (i % 20) as f64 * 5.0,
+                (i / 20) as f64 * 15.0,
+            ));
+        }
+        cat.commit().unwrap();
+        cat
+    }
+
+    fn range_req(index: &str, lo: f64, hi: f64, p: f64) -> ServiceRequest<2> {
+        ServiceRequest::Range {
+            index: index.to_string(),
+            query: Query::range(Rect::new([lo, lo], [hi, hi]))
+                .threshold(p)
+                .refine(Refine::reference(1e-8))
+                .build()
+                .unwrap(),
+        }
+    }
+
+    fn topk_req(index: &str, lo: f64, hi: f64, k: usize) -> ServiceRequest<2> {
+        ServiceRequest::TopK {
+            index: index.to_string(),
+            query: Query::range(Rect::new([lo, lo], [hi, hi]))
+                .top(k)
+                .refine(Refine::monte_carlo(2_000, 7))
+                .build()
+                .unwrap(),
+        }
+    }
+
+    #[test]
+    fn replies_match_direct_execution_in_submission_order() {
+        let cat = serving_catalog("direct");
+        let mut requests = Vec::new();
+        for i in 0..40 {
+            let lo = (i % 10) as f64 * 3.0;
+            if i % 3 == 0 {
+                requests.push(topk_req(
+                    if i % 2 == 0 { "hot" } else { "cold" },
+                    lo,
+                    lo + 40.0,
+                    5,
+                ));
+            } else {
+                requests.push(range_req(
+                    if i % 2 == 0 { "hot" } else { "cold" },
+                    lo,
+                    lo + 40.0,
+                    0.3,
+                ));
+            }
+        }
+
+        let service = QueryService::new(4, 8);
+        let (replies, report) = service.serve(&cat, requests.clone());
+        assert_eq!(replies.len(), requests.len());
+        assert_eq!(report.served, requests.len());
+
+        // Wall-clock stats (`*_nanos`) legitimately differ run to run;
+        // everything else must be byte-identical to a direct call.
+        let normalize = |mut reply: ServiceReply| {
+            match &mut reply {
+                ServiceReply::Range(out) => {
+                    out.stats.filter_nanos = 0;
+                    out.stats.refine_nanos = 0;
+                }
+                ServiceReply::TopK(out) => {
+                    out.stats.filter_nanos = 0;
+                    out.stats.refine_nanos = 0;
+                }
+                ServiceReply::Error(_) => {}
+            }
+            reply
+        };
+
+        let mut ctx = QueryCtx::new();
+        for (request, reply) in requests.iter().zip(&replies) {
+            let expected = match request {
+                ServiceRequest::Range { index, query } => ServiceReply::Range(
+                    cat.get(index)
+                        .unwrap()
+                        .try_execute_with(query, &mut ctx)
+                        .unwrap(),
+                ),
+                ServiceRequest::TopK { index, query } => ServiceReply::TopK(
+                    cat.get(index)
+                        .unwrap()
+                        .try_rank_topk_with(query, &mut ctx)
+                        .unwrap(),
+                ),
+            };
+            assert_eq!(normalize(reply.clone()), normalize(expected));
+        }
+    }
+
+    #[test]
+    fn an_unknown_index_fails_alone_not_the_batch() {
+        let cat = serving_catalog("unknown");
+        let requests = vec![
+            range_req("hot", 0.0, 60.0, 0.3),
+            range_req("missing", 0.0, 60.0, 0.3),
+            topk_req("cold", 0.0, 60.0, 3),
+        ];
+        let (replies, report) = QueryService::new(2, 2).serve(&cat, requests);
+        assert!(matches!(replies[0], ServiceReply::Range(_)));
+        let ServiceReply::Error(msg) = &replies[1] else {
+            panic!("expected an error reply, got {:?}", replies[1]);
+        };
+        assert!(msg.contains("missing"), "unhelpful error: {msg}");
+        assert!(matches!(replies[2], ServiceReply::TopK(_)));
+        assert_eq!(report.served, 3);
+    }
+
+    #[test]
+    fn the_report_accounts_for_every_request() {
+        let cat = serving_catalog("report");
+        let requests: Vec<_> = (0..30).map(|_| range_req("hot", 0.0, 50.0, 0.2)).collect();
+        let (_, report) = QueryService::new(3, 7).serve(&cat, requests);
+        assert_eq!(report.served, 30);
+        assert!(report.queries_per_sec().is_finite());
+        assert!(report.queries_per_sec() > 0.0);
+        let p50 = report.p50_nanos().unwrap();
+        let p99 = report.p99_nanos().unwrap();
+        assert!(p50 <= p99, "p50 {p50} above p99 {p99}");
+        assert!(report.percentile_nanos(100.0).unwrap() >= p99);
+    }
+
+    #[test]
+    fn an_empty_run_reports_nan_qps_and_no_percentiles() {
+        let cat = serving_catalog("empty");
+        let (replies, report) = QueryService::new(2, 4).serve(&cat, Vec::new());
+        assert!(replies.is_empty());
+        assert_eq!(report.served, 0);
+        assert!(report.queries_per_sec().is_nan());
+        assert!(report.p50_nanos().is_none());
+        assert!(report.p99_nanos().is_none());
+    }
+}

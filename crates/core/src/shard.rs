@@ -1,0 +1,411 @@
+//! Hash-sharding one logical dataset across several physical trees, with
+//! scatter-gather query execution.
+//!
+//! A [`ShardedIndex`] owns `n` disjoint [`UTree`]s and routes every object
+//! to exactly one of them by a stable hash of its id
+//! ([`shard_of`]). Queries scatter across all shards and gather one
+//! answer:
+//!
+//! * **range** queries union the per-shard matches into a canonical order
+//!   (validated matches by ascending id, then refined matches by
+//!   ascending id — see [`canonicalize`]);
+//! * **top-k** queries merge the per-shard [`RankedMatch`] streams by the
+//!   ranking order (descending probability, ties by ascending id) under a
+//!   shared τ cutoff: once `k` merged matches are held, a shard stream is
+//!   abandoned at the first element that cannot beat the current k-th
+//!   best — the rest of that stream is sorted and can't either.
+//!
+//! Both answers are **byte-identical to a single unsharded tree** over
+//! the same objects, because every per-object decision in the query path
+//! is entry-local: validation/pruning and probability bounds come from
+//! the object's own CFB payload, and ranking refinement draws from a
+//! per-`(seed, id)` stream (see
+//! [`crate::query::RefineMode`]). The one exception is Monte-Carlo
+//! **range** refinement, which consumes one generator across the whole
+//! pass in candidate order — per-object estimates then depend on which
+//! other candidates share the pass, so use [`crate::api::Refine::reference`]
+//! when cross-partitioning reproducibility matters.
+//!
+//! Per-object provenance and probabilities survive re-partitioning, so
+//! shard counts can change offline (rebuild) without changing any answer.
+//! Shape-dependent *cost* counters (`node_reads`, `visited`, `pruned`)
+//! naturally differ from the oracle's; the entry-local counters
+//! (`validated`, `candidates`, `results`, `prob_computations`) sum to
+//! exactly the oracle's values.
+//!
+//! [`ShardedIndex`] implements [`ProbIndex`], so it drops into everything
+//! built on the trait: [`crate::engine::BatchExecutor`] batches,
+//! [`crate::service::QueryService`] serving, and the fluent query
+//! builders.
+
+use crate::api::{
+    Match, ProbIndex, Provenance, Query, QueryError, QueryOutcome, RankOutcome, RankQuery,
+    RankedMatch,
+};
+use crate::catalog::UCatalog;
+use crate::query::{QueryCtx, QueryStats};
+use crate::tree::{InsertStats, UTree};
+use page_store::{PageFile, PageStore};
+use rstar_base::TreeConfig;
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use uncertain_pdf::UncertainObject;
+
+/// The shard an object id routes to: a SplitMix64-style finalizer over the
+/// id, reduced modulo the shard count. Stable across processes, platforms
+/// and reopens — the routing *is* part of the persistent format once a
+/// sharded index is saved.
+pub fn shard_of(id: u64, shard_count: usize) -> usize {
+    debug_assert!(shard_count > 0);
+    let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % shard_count as u64) as usize
+}
+
+/// Rewrites a [`QueryOutcome`]'s matches into the canonical scatter-gather
+/// order — validated matches by ascending id, then refined matches by
+/// ascending id — without touching stats. Apply to a single-tree oracle's
+/// outcome before comparing it byte-for-byte against a sharded answer
+/// (the oracle reports matches in its own traversal order).
+pub fn canonicalize(mut outcome: QueryOutcome) -> QueryOutcome {
+    let (mut validated, mut refined): (Vec<_>, Vec<_>) = outcome
+        .matches
+        .drain(..)
+        .partition(|m| m.provenance == Provenance::Validated);
+    validated.sort_unstable_by_key(|m| m.id);
+    refined.sort_unstable_by_key(|m| m.id);
+    validated.append(&mut refined);
+    outcome.matches = validated;
+    outcome
+}
+
+/// The ranking order: descending probability, ties by ascending id — the
+/// same total order [`ProbIndex::rank_topk`] sorts its answer by.
+fn rank_order(a: &RankedMatch, b: &RankedMatch) -> Ordering {
+    b.p.total_cmp(&a.p).then(a.id.cmp(&b.id))
+}
+
+/// One logical uncertain-object index partitioned across several physical
+/// [`UTree`] shards (see the module docs for the exact answer semantics).
+pub struct ShardedIndex<const D: usize, S: PageStore = PageFile> {
+    shards: Vec<UTree<D, S>>,
+}
+
+impl<const D: usize> ShardedIndex<D, PageFile> {
+    /// An empty in-memory sharded index: `shard_count` U-trees over the
+    /// same catalog and R* tuning.
+    pub fn new(catalog: UCatalog, cfg: TreeConfig, shard_count: usize) -> Self {
+        assert!(shard_count >= 1, "a sharded index needs at least one shard");
+        Self {
+            shards: (0..shard_count)
+                .map(|_| UTree::with_config(catalog.clone(), cfg))
+                .collect(),
+        }
+    }
+}
+
+impl<const D: usize, S: PageStore> ShardedIndex<D, S> {
+    /// Assembles a sharded index from pre-built physical trees (the
+    /// catalog's open path; also how a caller shards over custom stores).
+    /// Shard order is routing-significant: tree `i` serves
+    /// [`shard_of`]`(id, n) == i`.
+    pub fn from_trees(shards: Vec<UTree<D, S>>) -> Self {
+        assert!(
+            !shards.is_empty(),
+            "a sharded index needs at least one shard"
+        );
+        Self { shards }
+    }
+
+    /// Number of physical shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `id` routes to.
+    pub fn shard_for(&self, id: u64) -> usize {
+        shard_of(id, self.shards.len())
+    }
+
+    /// The physical shard trees, in routing order.
+    pub fn shards(&self) -> &[UTree<D, S>] {
+        &self.shards
+    }
+
+    /// Mutable access for the catalog's commit/checkpoint machinery.
+    pub(crate) fn shards_mut(&mut self) -> &mut [UTree<D, S>] {
+        &mut self.shards
+    }
+
+    /// Scatter-gather range execution (see module docs for the canonical
+    /// merge order). The context is reused across shards; the returned
+    /// stats are the sum over shards.
+    fn execute_scatter(
+        &self,
+        query: &Query<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<QueryOutcome, QueryError> {
+        let mut stats = QueryStats::default();
+        let mut validated: Vec<u64> = Vec::new();
+        let mut refined: Vec<(u64, f64)> = Vec::new();
+        for shard in &self.shards {
+            let out = shard.try_execute_with(query, ctx)?;
+            stats += &out.stats;
+            for m in out.matches {
+                match m.provenance {
+                    Provenance::Validated => validated.push(m.id),
+                    Provenance::Refined { p } => refined.push((m.id, p)),
+                }
+            }
+        }
+        validated.sort_unstable();
+        refined.sort_unstable_by_key(|&(id, _)| id);
+        let matches = validated
+            .into_iter()
+            .map(|id| Match {
+                id,
+                provenance: Provenance::Validated,
+            })
+            .chain(refined.into_iter().map(|(id, p)| Match {
+                id,
+                provenance: Provenance::Refined { p },
+            }))
+            .collect();
+        Ok(QueryOutcome { matches, stats })
+    }
+
+    /// Scatter-gather top-k: every shard answers its local top-k, and the
+    /// sorted streams merge under the shared τ cutoff. Correct because an
+    /// object in the global top-k is beaten by fewer than `k` objects
+    /// globally, hence by fewer than `k` within its own shard — so it is
+    /// always present in its shard's local stream.
+    fn rank_scatter(
+        &self,
+        query: &RankQuery<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<RankOutcome, QueryError> {
+        let k = query.k();
+        let mut stats = QueryStats::default();
+        let mut merged: Vec<RankedMatch> = Vec::with_capacity(k);
+        for shard in &self.shards {
+            let out = shard.try_rank_topk_with(query, ctx)?;
+            stats += &out.stats;
+            for m in out.matches {
+                if merged.len() == k {
+                    // τ cutoff: the k-th merged match bounds admission.
+                    // This stream is sorted by the same order, so its
+                    // first non-admissible element ends it.
+                    let tau = merged.last().expect("k >= 1 when full");
+                    if rank_order(&m, tau) != Ordering::Less {
+                        break;
+                    }
+                }
+                let pos = merged.partition_point(|held| rank_order(held, &m) == Ordering::Less);
+                merged.insert(pos, m);
+                merged.truncate(k);
+            }
+        }
+        Ok(RankOutcome {
+            matches: merged,
+            stats,
+        })
+    }
+}
+
+impl<const D: usize, S: PageStore> ProbIndex<D> for ShardedIndex<D, S> {
+    fn insert(&mut self, obj: &UncertainObject<D>) -> InsertStats {
+        let s = self.shard_for(obj.id);
+        self.shards[s].insert(obj)
+    }
+
+    fn delete(&mut self, obj: &UncertainObject<D>) -> bool {
+        let s = self.shard_for(obj.id);
+        self.shards[s].delete(obj)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    fn index_size_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.index_size_bytes()).sum()
+    }
+
+    fn heap_size_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.heap_size_bytes()).sum()
+    }
+
+    fn io_counters(&self) -> u64 {
+        self.shards.iter().map(|s| s.io_counters()).sum()
+    }
+
+    fn reset_io(&self) {
+        for s in &self.shards {
+            s.reset_io();
+        }
+    }
+
+    fn try_execute_with(
+        &self,
+        query: &Query<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<QueryOutcome, QueryError> {
+        self.execute_scatter(query, ctx)
+    }
+
+    fn try_rank_topk_with(
+        &self,
+        query: &RankQuery<D>,
+        ctx: &mut QueryCtx,
+    ) -> Result<RankOutcome, QueryError> {
+        self.rank_scatter(query, ctx)
+    }
+
+    /// Partitions the load by routing hash, then bulk-loads every shard —
+    /// each shard gets the packed STR build when it starts empty.
+    fn bulk_load<It>(&mut self, objs: It) -> InsertStats
+    where
+        It: IntoIterator,
+        It::Item: Borrow<UncertainObject<D>>,
+    {
+        let n = self.shards.len();
+        let mut parts: Vec<Vec<UncertainObject<D>>> = vec![Vec::new(); n];
+        for obj in objs {
+            let obj = obj.borrow();
+            parts[shard_of(obj.id, n)].push(obj.clone());
+        }
+        let mut acc = InsertStats::default();
+        for (shard, part) in self.shards.iter_mut().zip(parts) {
+            acc += &shard.bulk_load(&part);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Refine;
+    use uncertain_geom::{Point, Rect};
+    use uncertain_pdf::ObjectPdf;
+
+    fn ball(id: u64, x: f64, y: f64, r: f64) -> UncertainObject<2> {
+        UncertainObject::new(
+            id,
+            ObjectPdf::UniformBall {
+                center: Point::new([x, y]),
+                radius: r,
+            },
+        )
+    }
+
+    fn dataset(n: u64) -> Vec<UncertainObject<2>> {
+        (0..n)
+            .map(|i| {
+                ball(
+                    i,
+                    200.0 + (i % 83) as f64 * 110.0,
+                    200.0 + ((i * 13) % 71) as f64 * 125.0,
+                    30.0 + (i % 7) as f64 * 25.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        for n in [1usize, 2, 4, 7] {
+            for id in 0..500u64 {
+                let s = shard_of(id, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(id, n), "routing must be deterministic");
+            }
+        }
+        // All shards actually receive load at small counts.
+        for n in [2usize, 4, 7] {
+            let mut seen = vec![false; n];
+            for id in 0..200u64 {
+                seen[shard_of(id, n)] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "degenerate routing for n={n}");
+        }
+    }
+
+    #[test]
+    fn sharded_range_answers_match_the_oracle() {
+        let objs = dataset(400);
+        let mut oracle = UTree::<2>::with_config(UCatalog::uniform(6), TreeConfig::default());
+        oracle.bulk_load(&objs);
+        let query = Query::range(Rect::new([500.0, 500.0], [6500.0, 6500.0]))
+            .threshold(0.3)
+            .refine(Refine::reference(1e-8))
+            .build()
+            .unwrap();
+        let expect = canonicalize(oracle.execute(&query));
+
+        for n in [1usize, 2, 4, 7] {
+            let mut sharded =
+                ShardedIndex::<2>::new(UCatalog::uniform(6), TreeConfig::default(), n);
+            sharded.bulk_load(&objs);
+            assert_eq!(sharded.len(), objs.len());
+            let got = sharded.execute(&query);
+            assert_eq!(got.matches, expect.matches, "n={n} diverged from oracle");
+            // Entry-local counters sum to exactly the oracle's.
+            assert_eq!(got.stats.validated, expect.stats.validated);
+            assert_eq!(got.stats.candidates, expect.stats.candidates);
+            assert_eq!(got.stats.results, expect.stats.results);
+            assert_eq!(got.stats.prob_computations, expect.stats.prob_computations);
+        }
+    }
+
+    #[test]
+    fn sharded_topk_merges_to_the_oracle_answer() {
+        let objs = dataset(400);
+        let mut oracle = UTree::<2>::with_config(UCatalog::uniform(6), TreeConfig::default());
+        oracle.bulk_load(&objs);
+        for (k, seed) in [(1usize, 1u64), (10, 7), (25, 99)] {
+            let query = Query::range(Rect::new([1000.0, 1000.0], [7000.0, 7000.0]))
+                .top(k)
+                .refine(Refine::monte_carlo(4_000, seed))
+                .build()
+                .unwrap();
+            let expect = oracle.rank_topk(&query);
+            for n in [1usize, 2, 4, 7] {
+                let mut sharded =
+                    ShardedIndex::<2>::new(UCatalog::uniform(6), TreeConfig::default(), n);
+                sharded.bulk_load(&objs);
+                let got = sharded.rank_topk(&query);
+                assert_eq!(
+                    got.matches, expect.matches,
+                    "top-{k} n={n} diverged from oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inserts_and_deletes_route_consistently() {
+        let objs = dataset(120);
+        let mut sharded = ShardedIndex::<2>::new(UCatalog::uniform(6), TreeConfig::default(), 4);
+        for o in &objs {
+            sharded.insert(o);
+        }
+        assert_eq!(sharded.len(), 120);
+        let per_shard: Vec<_> = sharded.shards().iter().map(|s| s.len()).collect();
+        assert_eq!(per_shard.iter().sum::<usize>(), 120);
+        assert!(per_shard.iter().all(|&l| l > 0), "all shards should fill");
+        for o in objs.iter().take(40) {
+            assert!(sharded.delete(o), "routed delete must find its object");
+        }
+        assert!(!sharded.delete(&ball(9999, 100.0, 100.0, 10.0)));
+        assert_eq!(sharded.len(), 80);
+    }
+
+    #[test]
+    fn sharded_index_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedIndex<2>>();
+        assert_send_sync::<ShardedIndex<2, crate::DiskStore>>();
+    }
+}

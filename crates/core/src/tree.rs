@@ -211,9 +211,16 @@ impl<const D: usize> UTree<D, persist::DiskStore> {
     ) -> io::Result<Self> {
         let parts =
             persist::open_parts(dir.as_ref(), persist::KIND_UTREE, D, buffer_pages, shards)?;
+        Ok(Self::from_opened_parts(parts))
+    }
+
+    /// Assembles a disk-backed tree from already-recovered parts — the
+    /// tail of `open`, shared with the multi-index catalog (which recovers
+    /// many segments against one log before assembling any tree).
+    pub(crate) fn from_opened_parts(parts: persist::OpenedParts) -> Self {
         let metrics = UMetrics::new(parts.catalog.clone());
         let codec = UCodec::new(parts.catalog.clone());
-        Ok(Self {
+        Self {
             tree: RStarTreeBase::from_raw_parts(
                 parts.index,
                 parts.meta.root,
@@ -225,7 +232,7 @@ impl<const D: usize> UTree<D, persist::DiskStore> {
             ),
             heap: parts.heap,
             catalog: parts.catalog,
-        })
+        }
     }
 
     /// Commits every update since the last commit as **one atomic WAL
@@ -247,15 +254,10 @@ impl<const D: usize> UTree<D, persist::DiskStore> {
 
     fn commit_inner(&mut self, force_sync: bool) -> io::Result<CommitReceipt> {
         let meta = persist::encode_meta(&self.saved_meta());
-        // Pool frames → journaling stores (nothing reaches the backing
-        // files here), then one log batch covering both stores + meta.
-        self.tree.store_mut().write_back()?;
-        self.heap.file_mut().write_back()?;
         let wal = self.tree.store_mut().backend_mut().wal_handle();
         let (receipt, durable) = {
             let mut w = wal.lock().map_err(|_| io::Error::other("wal poisoned"))?;
-            self.tree.store_mut().backend_mut().stage(&mut w);
-            self.heap.file_mut().backend_mut().stage(&mut w);
+            self.stage_commit(&mut w)?;
             w.append_meta(&meta);
             let receipt = w.commit()?;
             if force_sync && !receipt.durable {
@@ -263,18 +265,46 @@ impl<const D: usize> UTree<D, persist::DiskStore> {
             }
             (receipt, w.durable_lsn())
         };
-        // Only durable batches may touch the snapshot files (write-ahead
-        // rule); deferred ones apply when a later sync covers them.
-        let index = self.tree.store_mut().backend_mut();
-        index.note_commit(receipt.lsn);
-        index.apply_through(durable)?;
-        let heap = self.heap.file_mut().backend_mut();
-        heap.note_commit(receipt.lsn);
-        heap.apply_through(durable)?;
+        self.finish_commit(receipt.lsn, durable)?;
         Ok(CommitReceipt {
             lsn: receipt.lsn,
             durable: durable >= receipt.lsn,
         })
+    }
+
+    /// Stages this tree's share of one WAL batch: pool frames →
+    /// journaling stores (nothing reaches the backing files here), then
+    /// both stores' pending records into the log. The caller appends its
+    /// own metadata and the commit marker — the multi-index catalog stages
+    /// *every* tree this way and seals them under a single marker, so an
+    /// all-indexes commit recovers atomically.
+    pub(crate) fn stage_commit(&mut self, wal: &mut page_store::wal::Wal) -> io::Result<()> {
+        self.tree.store_mut().write_back()?;
+        self.heap.file_mut().write_back()?;
+        self.tree.store_mut().backend_mut().stage(wal);
+        self.heap.file_mut().backend_mut().stage(wal);
+        Ok(())
+    }
+
+    /// Completes a commit this tree was staged into: records the batch's
+    /// LSN and applies every batch the log has made durable onto the
+    /// snapshot files (only durable batches may touch them — the
+    /// write-ahead rule; deferred ones apply when a later sync covers
+    /// them).
+    pub(crate) fn finish_commit(&mut self, lsn: u64, durable: u64) -> io::Result<()> {
+        let index = self.tree.store_mut().backend_mut();
+        index.note_commit(lsn);
+        index.apply_through(durable)?;
+        let heap = self.heap.file_mut().backend_mut();
+        heap.note_commit(lsn);
+        heap.apply_through(durable)
+    }
+
+    /// True while a group-commit window still holds batches that were
+    /// committed but not yet fsynced (checkpoint audit).
+    pub(crate) fn has_deferred_commits(&mut self) -> bool {
+        self.tree.store_mut().backend_mut().has_deferred_commits()
+            || self.heap.file_mut().backend_mut().has_deferred_commits()
     }
 
     /// Durably commits, rewrites the full snapshot (`index.pg`, `heap.pg`,
@@ -288,9 +318,7 @@ impl<const D: usize> UTree<D, persist::DiskStore> {
         // overtake them. `flush()` just forced the fsync, so a deferred
         // commit surviving to this point is a protocol bug — refuse to
         // snapshot rather than publish a snapshot ahead of the log.
-        if self.tree.store_mut().backend_mut().has_deferred_commits()
-            || self.heap.file_mut().backend_mut().has_deferred_commits()
-        {
+        if self.has_deferred_commits() {
             return Err(io::Error::other(
                 "checkpoint: deferred group commits survived the forced sync",
             ));
@@ -337,7 +365,7 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
     /// copied verbatim — they are already in on-page codec format — and
     /// the superstructure (catalog, R* tuning, root/height/len) goes into
     /// the metadata file.
-    fn saved_meta(&self) -> persist::SavedMeta {
+    pub(crate) fn saved_meta(&self) -> persist::SavedMeta {
         persist::SavedMeta {
             kind: persist::KIND_UTREE,
             dims: D as u8,

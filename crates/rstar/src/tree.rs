@@ -17,7 +17,7 @@ use std::sync::Arc;
 const CHOOSE_SUBTREE_CANDIDATES: usize = 32;
 
 /// Tuning knobs (R* defaults from Beckmann et al.).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeConfig {
     /// Minimum node fill as a fraction of capacity (R*: 40%).
     pub min_fill: f64,

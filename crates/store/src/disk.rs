@@ -1,12 +1,18 @@
 //! A durable [`PageStore`] backed by a real file.
 //!
-//! Layout: one superblock page at offset 0 (magic, version, page count and
-//! the head of the free list), data page `p` at offset `(1 + p) *
-//! PAGE_SIZE`, and — when the free list outgrows the superblock — spill
-//! pages appended after the data region. [`DiskPageFile::flush`] rewrites
-//! the superblock and spill pages and fsyncs, so a flushed file can be
-//! [`DiskPageFile::open`]ed cold with the exact allocation state it was
-//! saved with.
+//! Layout: one superblock page at offset 0 (magic, version, page count,
+//! an application root pointer and the head of the free list), data page
+//! `p` at offset `(1 + p) * PAGE_SIZE`, and — when the free list outgrows
+//! the superblock — spill pages appended after the data region.
+//! [`DiskPageFile::flush`] rewrites the superblock and spill pages and
+//! fsyncs, so a flushed file can be [`DiskPageFile::open`]ed cold with the
+//! exact allocation state it was saved with.
+//!
+//! The **application root** ([`DiskPageFile::app_root`]) is an optional
+//! page id persisted in the superblock exactly like the free list: it
+//! gives higher layers one durable, crash-ordered anchor into the page
+//! space (e.g. the head of a catalog record chain) without inventing a
+//! second metadata file.
 
 use crate::pagefile::{PageId, PageStore, PAGE_SIZE};
 use crate::IoStats;
@@ -17,9 +23,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const MAGIC: [u8; 4] = *b"UPGF";
-const VERSION: u32 = 1;
-/// Superblock header: magic + version + n_pages + n_free.
-const SB_HEADER: usize = 4 + 4 + 8 + 8;
+const VERSION: u32 = 2;
+/// Superblock header: magic + version + n_pages + app_root + n_free.
+const SB_HEADER: usize = 4 + 4 + 8 + 8 + 8;
+/// `app_root` encoding of "no root".
+const NO_APP_ROOT: u64 = u64::MAX;
 /// Free ids stored inline in the superblock.
 const SB_INLINE: usize = (PAGE_SIZE - SB_HEADER) / 8;
 /// Free ids per spill page.
@@ -35,6 +43,7 @@ pub struct DiskPageFile {
     file: File,
     path: PathBuf,
     n_pages: u64,
+    app_root: Option<PageId>,
     free: Vec<PageId>,
     stats: Arc<IoStats>,
 }
@@ -53,6 +62,7 @@ impl DiskPageFile {
             file,
             path,
             n_pages: 0,
+            app_root: None,
             free: Vec::new(),
             stats: Arc::new(IoStats::new()),
         };
@@ -75,7 +85,12 @@ impl DiskPageFile {
             return Err(corrupt(&path, &format!("unsupported version {version}")));
         }
         let n_pages = u64::from_le_bytes(sb[8..16].try_into().unwrap());
-        let n_free = u64::from_le_bytes(sb[16..24].try_into().unwrap()) as usize;
+        let app_root = match u64::from_le_bytes(sb[16..24].try_into().unwrap()) {
+            NO_APP_ROOT => None,
+            p if p < n_pages => Some(p),
+            p => return Err(corrupt(&path, &format!("app root {p} out of range"))),
+        };
+        let n_free = u64::from_le_bytes(sb[24..32].try_into().unwrap()) as usize;
         if n_free > n_pages as usize {
             return Err(corrupt(&path, "free list longer than the file"));
         }
@@ -103,6 +118,7 @@ impl DiskPageFile {
             file,
             path,
             n_pages,
+            app_root,
             free,
             stats: Arc::new(IoStats::new()),
         })
@@ -111,6 +127,24 @@ impl DiskPageFile {
     /// The file path this store was created/opened with.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The application root page anchored in the superblock, if any.
+    pub fn app_root(&self) -> Option<PageId> {
+        self.app_root
+    }
+
+    /// Anchors (or clears) the application root page. Like the free list,
+    /// the new value lives in memory until the next [`PageStore::flush`]
+    /// persists the superblock.
+    ///
+    /// # Panics
+    /// If `root` names a page outside the file.
+    pub fn set_app_root(&mut self, root: Option<PageId>) {
+        if let Some(p) = root {
+            assert!(p < self.n_pages, "app root {p} outside the file");
+        }
+        self.app_root = root;
     }
 
     fn data_offset(id: PageId) -> u64 {
@@ -202,7 +236,8 @@ impl PageStore for DiskPageFile {
         sb[..4].copy_from_slice(&MAGIC);
         sb[4..8].copy_from_slice(&VERSION.to_le_bytes());
         sb[8..16].copy_from_slice(&self.n_pages.to_le_bytes());
-        sb[16..24].copy_from_slice(&(self.free.len() as u64).to_le_bytes());
+        sb[16..24].copy_from_slice(&self.app_root.unwrap_or(NO_APP_ROOT).to_le_bytes());
+        sb[24..32].copy_from_slice(&(self.free.len() as u64).to_le_bytes());
         for (i, id) in self.free.iter().take(SB_INLINE).enumerate() {
             let off = SB_HEADER + i * 8;
             sb[off..off + 8].copy_from_slice(&id.to_le_bytes());
@@ -303,6 +338,39 @@ mod tests {
         let g = DiskPageFile::open(&path).unwrap();
         assert_eq!(g.free_list(), ids);
         assert_eq!(g.live_pages(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn app_root_survives_reopen_like_the_free_list() {
+        let path = temp_path("approot");
+        let mut f = DiskPageFile::create(&path).unwrap();
+        assert_eq!(f.app_root(), None);
+        let a = f.allocate().unwrap();
+        let b = f.allocate().unwrap();
+        f.write(b, b"catalog head").unwrap();
+        f.set_app_root(Some(b));
+        f.release(a);
+        f.flush().unwrap();
+        drop(f);
+
+        let mut g = DiskPageFile::open(&path).unwrap();
+        assert_eq!(g.app_root(), Some(b));
+        assert_eq!(g.free_list(), vec![a]);
+        assert_eq!(&g.read_page(b).unwrap()[..12], b"catalog head");
+        g.set_app_root(None);
+        g.flush().unwrap();
+        drop(g);
+        assert_eq!(DiskPageFile::open(&path).unwrap().app_root(), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the file")]
+    fn app_root_must_name_an_existing_page() {
+        let path = temp_path("approot-bad");
+        let mut f = DiskPageFile::create(&path).unwrap();
+        f.set_app_root(Some(3));
         let _ = std::fs::remove_file(&path);
     }
 

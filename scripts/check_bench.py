@@ -5,6 +5,7 @@ Usage:
     check_bench.py BENCH_throughput.json bench_output.log
     check_bench.py BENCH_topk.json bench_output.log
     check_bench.py BENCH_bulkload.json bench_output.log
+    check_bench.py BENCH_serving.json bench_output.log
 
 The log is scanned for the machine-readable ``*_SCALING_JSON:`` line the
 bench bins emit; the baseline names which bench it belongs to via its
@@ -28,6 +29,7 @@ Exit status 0 = pass, 1 = regression/integrity failure, 2 = bad invocation.
 """
 
 import json
+import math
 import os
 import re
 import sys
@@ -53,6 +55,16 @@ def extract_run(log_path: str, bench: str) -> dict:
     raise AssertionError  # unreachable
 
 
+def check_qps(value: float, where: str) -> None:
+    # Python's json parser accepts NaN/Infinity literals, and NaN fails
+    # every comparison quietly — reject non-finite rates by name (the
+    # bins report NaN for an empty run; an empty run must never gate).
+    if not math.isfinite(value):
+        fail(f"non-finite qps at {where}: {value}")
+    if value <= 0:
+        fail(f"non-positive qps at {where}: {value}")
+
+
 def check_throughput(base: dict, run: dict) -> None:
     min_ratio = float(os.environ.get("BENCH_MIN_RATIO", "0.4"))
     base_pts = {(r["backend"], r["workers"]): r for r in base["results"]}
@@ -61,7 +73,8 @@ def check_throughput(base: dict, run: dict) -> None:
     if missing:
         fail(f"run is missing sweep points {missing}")
     for key, r in run_pts.items():
-        if not (r["qps"] > 0 and r["wall_nanos"] > 0):
+        check_qps(r["qps"], str(key))
+        if not r["wall_nanos"] > 0:
             fail(f"non-positive figures at {key}: {r}")
     for backend in {b for b, _ in base_pts}:
         base_best = max(r["qps"] for (b, _), r in base_pts.items() if b == backend)
@@ -163,6 +176,55 @@ def check_bulkload(base: dict, run: dict) -> None:
     print(f"  build speedup: {speedup:.2f}x (insert/bulk wall-clock)")
 
 
+def check_serving(base: dict, run: dict) -> None:
+    """The multi-index query-service gate: qps floor plus p99 ceiling.
+
+    qps gets the usual generous wall-clock floor. The p99 tail is also
+    wall-clock, so its ceiling is generous too (``BENCH_MAX_P99_RATIO``,
+    default 3.0x) and compares best-of-sweep to best-of-sweep — a real
+    serving-loop regression (admission convoy, per-request ctx rebuild)
+    multiplies the tail, runner jitter does not.
+    """
+    min_ratio = float(os.environ.get("BENCH_MIN_RATIO", "0.4"))
+    max_p99_ratio = float(os.environ.get("BENCH_MAX_P99_RATIO", "3.0"))
+    base_pts = {r["workers"]: r for r in base["results"]}
+    run_pts = {r["workers"]: r for r in run["results"]}
+    missing = sorted(set(base_pts) - set(run_pts))
+    if missing:
+        fail(f"run is missing worker counts {missing}")
+    for workers, r in sorted(run_pts.items()):
+        check_qps(r["qps"], f"workers={workers}")
+        if not (0 < r["p50_nanos"] <= r["p99_nanos"]):
+            fail(f"degenerate latency percentiles at workers={workers}: {r}")
+        if not r["wall_nanos"] > 0:
+            fail(f"non-positive wall clock at workers={workers}: {r}")
+
+    base_best_qps = max(r["qps"] for r in base_pts.values())
+    run_best_qps = max(r["qps"] for r in run_pts.values())
+    floor = min_ratio * base_best_qps
+    status = "ok" if run_best_qps >= floor else "REGRESSION"
+    print(
+        f"  qps: best {run_best_qps:.1f} vs baseline {base_best_qps:.1f} "
+        f"(floor {floor:.1f}) — {status}"
+    )
+    if run_best_qps < floor:
+        fail(f"serving qps regressed below {min_ratio:.2f}x of the committed baseline")
+
+    base_best_p99 = min(r["p99_nanos"] for r in base_pts.values())
+    run_best_p99 = min(r["p99_nanos"] for r in run_pts.values())
+    ceiling = max_p99_ratio * base_best_p99
+    status = "ok" if run_best_p99 <= ceiling else "REGRESSION"
+    print(
+        f"  p99: best {run_best_p99 / 1e6:.1f} ms vs baseline "
+        f"{base_best_p99 / 1e6:.1f} ms (ceiling {ceiling / 1e6:.1f} ms) — {status}"
+    )
+    if run_best_p99 > ceiling:
+        fail(
+            f"serving p99 tail regressed beyond {max_p99_ratio:.2f}x of the "
+            f"committed baseline"
+        )
+
+
 def main() -> None:
     if len(sys.argv) != 3:
         print(__doc__)
@@ -171,11 +233,16 @@ def main() -> None:
     with open(baseline_path, encoding="utf-8") as fh:
         base = json.load(fh)
     bench = base.get("bench")
-    if bench not in ("throughput_scaling", "topk_scaling", "bulk_vs_incremental"):
+    if bench not in (
+        "throughput_scaling",
+        "topk_scaling",
+        "bulk_vs_incremental",
+        "serving_latency",
+    ):
         print(f"check_bench: unknown bench {bench!r} in {baseline_path}")
         sys.exit(2)
     run = extract_run(log_path, bench)
-    for knob in ("objects", "queries", "queries_per_k", "n1", "pool_frames"):
+    for knob in ("objects", "queries", "queries_per_k", "n1", "pool_frames", "requests", "max_batch"):
         if knob in base and base[knob] != run.get(knob):
             fail(
                 f"workload mismatch on {knob}: baseline {base[knob]} vs run "
@@ -186,6 +253,8 @@ def main() -> None:
         check_throughput(base, run)
     elif bench == "bulk_vs_incremental":
         check_bulkload(base, run)
+    elif bench == "serving_latency":
+        check_serving(base, run)
     else:
         check_topk(base, run)
     print("check_bench: PASS")

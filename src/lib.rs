@@ -85,12 +85,14 @@ pub mod prelude {
     pub use rstar_base::TreeConfig;
     pub use uncertain_geom::{Point, Rect};
     pub use uncertain_pdf::{HistogramPdf, ObjectPdf, Region, UncertainObject};
+    pub use utree::{canonicalize, shard_of};
     pub use utree::{
         BatchExecutor, BatchOutcome, DiskUPcrTree, DiskUTree, EpochIndex, EpochSnapshot,
-        FilterOutcome, IndexBuilder, IndexError, InsertStats, Match, ProbIndex, ProbRangeQuery,
-        Provenance, Query, QueryBuilder, QueryCtx, QueryError, QueryOptions, QueryOutcome,
-        QueryStats, RankBatchOutcome, RankOutcome, RankQuery, RankedMatch, Refine, RefineMode,
-        SeqScan, UCatalog, UPcrTree, UTree,
+        FilterOutcome, IndexBuilder, IndexCatalog, IndexDef, IndexError, InsertStats, Match,
+        ProbIndex, ProbRangeQuery, Provenance, Query, QueryBuilder, QueryCtx, QueryError,
+        QueryOptions, QueryOutcome, QueryService, QueryStats, RankBatchOutcome, RankOutcome,
+        RankQuery, RankedMatch, Refine, RefineMode, SeqScan, ServiceReply, ServiceReport,
+        ServiceRequest, ShardedIndex, UCatalog, UPcrTree, UTree,
     };
 }
 
