@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the Monte-Carlo refinement kernels: the
+//! scalar per-sample oracle (`MonteCarlo::estimate`) against the chunked
+//! SoA kernel path (`MonteCarlo::estimate_with` over a `PreparedPdf` and a
+//! reused `RefineScratch`), per PDF variant.
+//!
+//! The kernel path is the one the query engine runs; the scalar path is
+//! kept as the equivalence oracle. The interesting number is the ratio —
+//! a regression back to per-sample enum dispatch shows up here first (and
+//! in `check_bench.py`'s refine-cost gate on the committed baseline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use uncertain_geom::{Point, Rect};
+use uncertain_pdf::{HistogramPdf, MonteCarlo, ObjectPdf, PreparedPdf, RefineScratch};
+
+const N1: usize = 10_000;
+
+/// The four PDF variants at the paper's Sec 6 object scale: 250-unit
+/// supports in a 10k² space, query rect overlapping roughly half the
+/// support so neither short-circuit fires.
+fn variants() -> Vec<(&'static str, ObjectPdf<2>)> {
+    let center = Point::new([5_000.0, 5_000.0]);
+    vec![
+        (
+            "uniform_ball",
+            ObjectPdf::UniformBall {
+                center,
+                radius: 250.0,
+            },
+        ),
+        (
+            "uniform_box",
+            ObjectPdf::UniformBox {
+                rect: Rect::new([4_750.0, 4_800.0], [5_250.0, 5_150.0]),
+            },
+        ),
+        (
+            "con_gau_ball",
+            ObjectPdf::ConGauBall {
+                center,
+                radius: 250.0,
+                sigma: 125.0,
+            },
+        ),
+        (
+            "histogram",
+            ObjectPdf::Histogram(HistogramPdf::from_fn(
+                Rect::new([4_750.0, 4_750.0], [5_250.0, 5_250.0]),
+                [8, 8],
+                |p| {
+                    let dx = p.coords[0] - 5_000.0;
+                    let dy = p.coords[1] - 5_000.0;
+                    (-(dx * dx + dy * dy) / 50_000.0).exp()
+                },
+            )),
+        ),
+    ]
+}
+
+fn query_rect() -> Rect<2> {
+    Rect::new([4_900.0, 4_850.0], [5_400.0, 5_300.0])
+}
+
+fn bench_scalar(c: &mut Criterion) {
+    let rq = query_rect();
+    let mc = MonteCarlo::new(N1);
+    let mut g = c.benchmark_group("refine_scalar_n10k");
+    for (name, pdf) in variants() {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(9);
+                black_box(mc.estimate(&pdf, &rq, &mut rng))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let rq = query_rect();
+    let mc = MonteCarlo::new(N1);
+    let mut g = c.benchmark_group("refine_kernel_n10k");
+    for (name, pdf) in variants() {
+        // The scratch is reused across iterations exactly as QueryCtx
+        // reuses it across candidates: steady state is allocation-free.
+        let mut scratch = RefineScratch::new();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let prepared = PreparedPdf::new(&pdf);
+                let mut rng = SmallRng::seed_from_u64(9);
+                black_box(mc.estimate_with(&prepared, &rq, &mut rng, &mut scratch))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_prepare(c: &mut Criterion) {
+    // PreparedPdf is rebuilt per candidate (it borrows the pdf), so its
+    // construction must stay negligible next to n1 samples.
+    let mut g = c.benchmark_group("prepare_pdf");
+    for (name, pdf) in variants() {
+        g.bench_function(name, |b| b.iter(|| black_box(PreparedPdf::new(&pdf))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scalar, bench_kernel, bench_prepare);
+criterion_main!(benches);

@@ -32,6 +32,12 @@ struct Sample {
     workers: usize,
     qps: f64,
     wall_nanos: u128,
+    /// CPU-side phase breakdown summed across workers (exceeds wall under
+    /// parallelism; the ratio refine/(filter+refine) and the
+    /// per-refined-sample cost are what the trajectory tracks).
+    filter_nanos: u128,
+    refine_nanos: u128,
+    refined_samples: u64,
 }
 
 /// Best-of-`REPS` throughput at each worker count, with every parallel
@@ -62,6 +68,9 @@ fn sweep<I: ProbIndex<2> + Sync>(
             workers,
             qps: best.queries_per_sec(),
             wall_nanos: best.wall_nanos,
+            filter_nanos: best.stats.filter_nanos,
+            refine_nanos: best.stats.refine_nanos,
+            refined_samples: best.stats.refined_samples,
         });
     }
 }
@@ -119,17 +128,37 @@ fn main() {
     let rows: Vec<Vec<String>> = samples
         .iter()
         .map(|s| {
+            let cpu = (s.filter_nanos + s.refine_nanos) as f64;
+            let refine_pct = if cpu == 0.0 {
+                0.0
+            } else {
+                100.0 * s.refine_nanos as f64 / cpu
+            };
+            let ns_per_sample = if s.refined_samples == 0 {
+                0.0
+            } else {
+                s.refine_nanos as f64 / s.refined_samples as f64
+            };
             vec![
                 s.backend.to_string(),
                 s.workers.to_string(),
                 fmt(s.qps),
                 fmt(s.wall_nanos as f64 / 1e6),
+                format!("{refine_pct:.0}%"),
+                fmt(ns_per_sample),
             ]
         })
         .collect();
     print_table(
         "batch throughput vs workers (identical answers verified per run)",
-        &["backend", "workers", "queries/s", "wall ms"],
+        &[
+            "backend",
+            "workers",
+            "queries/s",
+            "wall ms",
+            "refine%",
+            "ns/sample",
+        ],
         &rows,
     );
 
@@ -137,8 +166,14 @@ fn main() {
         .iter()
         .map(|s| {
             format!(
-                r#"{{"backend":"{}","workers":{},"qps":{:.2},"wall_nanos":{}}}"#,
-                s.backend, s.workers, s.qps, s.wall_nanos
+                r#"{{"backend":"{}","workers":{},"qps":{:.2},"wall_nanos":{},"filter_nanos":{},"refine_nanos":{},"refined_samples":{}}}"#,
+                s.backend,
+                s.workers,
+                s.qps,
+                s.wall_nanos,
+                s.filter_nanos,
+                s.refine_nanos,
+                s.refined_samples
             )
         })
         .collect();

@@ -335,6 +335,48 @@ mod tests {
     }
 
     #[test]
+    fn phase_breakdown_sums_within_wall_clock() {
+        // The attributable-speedup contract behind the bench JSON lines:
+        // on a sequential run the filter + refine phase clocks are
+        // disjoint slices of the same wall interval, so their sum cannot
+        // exceed the batch wall clock, and a Monte-Carlo workload must
+        // charge refined samples.
+        let objs = datagen::lb_dataset(300, 3);
+        let mut tree = UTree::<2>::builder().uniform_catalog(8).build().unwrap();
+        tree.bulk_load(&objs);
+        let centers: Vec<Point<2>> = objs.iter().map(|o| o.mbr().center()).collect();
+        let queries: Vec<Query<2>> = workload(&centers, 800.0, 0.5, 8, 1)
+            .queries
+            .iter()
+            .map(|q| {
+                Query::from_prob_range(
+                    *q,
+                    RefineMode::MonteCarlo {
+                        n1: 2_000,
+                        seed: 0x5EED,
+                    },
+                )
+            })
+            .collect();
+        let out = utree::engine::BatchExecutor::run_sequential(&tree, &queries);
+        let phases = out.stats.filter_nanos + out.stats.refine_nanos;
+        assert!(
+            phases <= out.wall_nanos,
+            "phase sum {phases} ns exceeds batch wall clock {} ns",
+            out.wall_nanos
+        );
+        assert!(
+            out.stats.refined_samples > 0,
+            "a Monte-Carlo workload over data-centred queries must refine"
+        );
+        assert_eq!(
+            out.stats.refined_samples % 2_000,
+            0,
+            "refined samples accrue in whole n1 batches"
+        );
+    }
+
+    #[test]
     fn config_scaling() {
         let cfg = HarnessConfig {
             scale: 0.1,

@@ -134,6 +134,9 @@ pub enum QueryError {
     },
     /// A ranking query was built with `k = 0`.
     ZeroK,
+    /// A Monte-Carlo refinement mode was requested with `n1 = 0` samples
+    /// (Eq. 3 has no defined answer without samples).
+    ZeroSampleCount,
     /// The storage medium failed while the query was executing (a node or
     /// heap pread surfaced an error through the page-store layer).
     ///
@@ -174,6 +177,9 @@ impl fmt::Display for QueryError {
             QueryError::ZeroK => {
                 write!(f, "a top-k ranking query needs k >= 1")
             }
+            QueryError::ZeroSampleCount => {
+                write!(f, "Monte-Carlo refinement needs a sample count n1 >= 1")
+            }
             QueryError::Io { message } => {
                 write!(f, "query storage I/O failed: {message}")
             }
@@ -195,6 +201,16 @@ pub(crate) fn validate_region<const D: usize>(region: &Rect<D>) -> Result<(), Qu
         if region.min[dim] > region.max[dim] {
             return Err(QueryError::EmptyRegion { dim });
         }
+    }
+    Ok(())
+}
+
+/// Both fluent builders reject a zero-sample Monte-Carlo mode up front, so
+/// the refinement step's `MonteCarlo::new` never has to panic on a
+/// builder-validated query.
+pub(crate) fn validate_refine(refine: &RefineMode) -> Result<(), QueryError> {
+    if matches!(refine, RefineMode::MonteCarlo { n1: 0, .. }) {
+        return Err(QueryError::ZeroSampleCount);
     }
     Ok(())
 }
@@ -323,6 +339,7 @@ impl<const D: usize> QueryBuilder<D> {
         // Region + threshold validation is shared with direct
         // `ProbRangeQuery::try_new` construction — one path, one rulebook.
         let q = ProbRangeQuery::try_new(self.region, threshold)?;
+        validate_refine(&self.refine)?;
         Ok(Query {
             region: q.region,
             threshold: q.threshold,
@@ -398,6 +415,7 @@ impl<const D: usize> RankBuilder<D> {
         if self.k == 0 {
             return Err(QueryError::ZeroK);
         }
+        validate_refine(&self.refine)?;
         Ok(RankQuery {
             region: self.region,
             k: self.k,
@@ -1012,6 +1030,37 @@ mod tests {
             .unwrap();
         assert_eq!(q.threshold(), 0.5);
         assert_eq!(q.refine_mode(), Refine::Reference { tol: 1e-8 });
+    }
+
+    #[test]
+    fn builders_reject_zero_sample_monte_carlo() {
+        // Regression: `MonteCarlo::new(0)` used to be an assert! panic hit
+        // mid-refinement; the builders now reject the mode up front with
+        // the typed error every other validation failure uses.
+        let rect = Rect::new([0.0, 0.0], [10.0, 10.0]);
+        assert_eq!(
+            Query::range(rect)
+                .threshold(0.5)
+                .refine(Refine::monte_carlo(0, 7))
+                .build()
+                .unwrap_err(),
+            QueryError::ZeroSampleCount
+        );
+        assert_eq!(
+            Query::range(rect)
+                .top(3)
+                .refine(Refine::monte_carlo(0, 7))
+                .build()
+                .unwrap_err(),
+            QueryError::ZeroSampleCount
+        );
+        // n1 >= 1 passes, and the typed path exists on the estimator too.
+        assert!(Query::range(rect)
+            .threshold(0.5)
+            .refine(Refine::monte_carlo(1, 7))
+            .build()
+            .is_ok());
+        assert!(uncertain_pdf::MonteCarlo::try_new(0).is_err());
     }
 
     #[test]

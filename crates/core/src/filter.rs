@@ -46,9 +46,92 @@ pub trait PcrAccess<const D: usize> {
     fn inner(&self, j: usize) -> Rect<D>;
 }
 
+/// Per-query precomputation for the filter rules and probability bounds.
+///
+/// Which catalog index each rule consults depends only on `(catalog, p_q)`
+/// — never on the entry under test — yet the original per-entry
+/// [`filter_object`] re-ran up to four catalog binary searches for every
+/// leaf entry of a traversal. A `PreparedQuery` performs that selection
+/// (and the rule-1-vs-rule-2 branch decision, with its `PROB_EPS` gate)
+/// once; backends build it before the traversal and the per-entry check
+/// drops to pure rectangle arithmetic.
+///
+/// The decision procedure is **identical** to [`filter_object`] — the
+/// wrapper delegates through here, so the rule-by-rule unit tests hold for
+/// both surfaces.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedQuery<'c, const D: usize> {
+    /// The search region `r_q`.
+    pub rq: Rect<D>,
+    /// The probability threshold `p_q` (0 for bounds-only ranking use).
+    pub pq: f64,
+    /// The catalog values, for the `prob_bounds` sweep.
+    values: &'c [f64],
+    /// Rule-1 catalog index — `Some` exactly when the high-threshold
+    /// branch (`p_q > 1 − p_m − ε`) is taken, in which case rule 2 is not.
+    rule1: Option<usize>,
+    /// Rule-2 catalog index (low-threshold branch only).
+    rule2: Option<usize>,
+    /// `p_q > 0.5`: selects rule 4 over rule 5 for `rule45`.
+    high: bool,
+    /// Rule-4 or rule-5 catalog index, per `high`.
+    rule45: Option<usize>,
+    /// Rule-3 catalog index.
+    rule3: Option<usize>,
+}
+
+impl<'c, const D: usize> PreparedQuery<'c, D> {
+    /// Prepares a threshold query `(r_q, p_q)` against `catalog`.
+    pub fn new(catalog: &'c UCatalog, rq: &Rect<D>, pq: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&pq));
+        let pm = catalog.last();
+        // The rule-1/rule-2 branch gate carries the same PROB_EPS slack as
+        // every catalog lookup: for p_q mathematically equal to 1 − p_m,
+        // the float subtraction can land a few ulps to either side, and
+        // the ulp-below case would otherwise silently demote the query to
+        // rule 2 — much weaker at high thresholds (disjointness from the
+        // smallest PCR instead of containment of it).
+        let (rule1, rule2) = if pq > 1.0 - pm - PROB_EPS {
+            let j = catalog
+                .smallest_geq(1.0 - pq - PROB_EPS)
+                .expect("pq > 1 - pm - eps implies 1 - pq - eps <= pm = catalog.last()");
+            (Some(j), None)
+        } else {
+            (None, catalog.largest_leq(pq + PROB_EPS))
+        };
+        let high = pq > 0.5;
+        let rule45 = if high {
+            catalog.largest_leq(1.0 - pq + PROB_EPS)
+        } else {
+            catalog.smallest_geq(pq - PROB_EPS)
+        };
+        let rule3 = catalog.largest_leq((1.0 - pq) / 2.0 + PROB_EPS);
+        Self {
+            rq: *rq,
+            pq,
+            values: catalog.values(),
+            rule1,
+            rule2,
+            high,
+            rule45,
+            rule3,
+        }
+    }
+
+    /// Prepares a bounds-only query (ranking traversals call
+    /// [`prob_bounds_planned`], which never consults the threshold rules).
+    pub fn ranking(catalog: &'c UCatalog, rq: &Rect<D>) -> Self {
+        Self::new(catalog, rq, 0.0)
+    }
+}
+
 /// Applies the paper's rules in the prescribed order
 /// (Sec 4.1: rules 1→4→3 for `p_q > 0.5`, rules 2→5→3 otherwise, with the
 /// catalog-aware value selection of Observation 2).
+///
+/// Convenience wrapper building a [`PreparedQuery`] per call; traversals
+/// that test many entries against one query should build the plan once and
+/// call [`filter_object_planned`].
 pub fn filter_object<const D: usize, A: PcrAccess<D>>(
     acc: &A,
     mbr: &Rect<D>,
@@ -56,44 +139,41 @@ pub fn filter_object<const D: usize, A: PcrAccess<D>>(
     rq: &Rect<D>,
     pq: f64,
 ) -> FilterOutcome {
-    debug_assert!((0.0..=1.0).contains(&pq));
-    let pm = catalog.last();
+    filter_object_planned(acc, mbr, &PreparedQuery::new(catalog, rq, pq))
+}
+
+/// [`filter_object`] with the per-query catalog selection already done.
+pub fn filter_object_planned<const D: usize, A: PcrAccess<D>>(
+    acc: &A,
+    mbr: &Rect<D>,
+    plan: &PreparedQuery<'_, D>,
+) -> FilterOutcome {
+    let rq = &plan.rq;
 
     // ---- pruning --------------------------------------------------------
-    // The gate carries the same PROB_EPS slack as every catalog lookup:
-    // for p_q mathematically equal to 1 − p_m, the float subtraction can
-    // land a few ulps to either side, and the ulp-below case would
-    // otherwise silently demote the query to rule 2 — much weaker at high
-    // thresholds (disjointness from the smallest PCR instead of
-    // containment of it).
-    if pq > 1.0 - pm - PROB_EPS {
+    if let Some(j) = plan.rule1 {
         // Rule 1: p_j = smallest catalog value >= 1 - p_q. Object fails if
         // r_q does not fully contain (the inner approximation of) pcr(p_j):
         // some face of pcr(p_j) sticks out, so at least p_j >= 1 - p_q mass
         // escapes r_q and P_app < p_q.
-        let j = catalog
-            .smallest_geq(1.0 - pq - PROB_EPS)
-            .expect("pq > 1 - pm - eps implies 1 - pq - eps <= pm = catalog.last()");
         if !rq.contains_rect(&acc.inner(j)) {
             return FilterOutcome::Pruned;
         }
-    } else {
+    } else if let Some(j) = plan.rule2 {
         // Rule 2: p_j = largest catalog value <= p_q. Disjointness from
         // (the outer approximation of) pcr(p_j) puts r_q strictly beyond
         // one face, where at most p_j <= p_q mass lives.
-        if let Some(j) = catalog.largest_leq(pq + PROB_EPS) {
-            if !rq.intersects(&acc.outer(j)) {
-                return FilterOutcome::Pruned;
-            }
+        if !rq.intersects(&acc.outer(j)) {
+            return FilterOutcome::Pruned;
         }
     }
 
     // ---- validation -----------------------------------------------------
-    if pq > 0.5 {
+    if plan.high {
         // Rule 4: p_j = largest catalog value <= 1 - p_q. If r_q covers the
         // part of o.MBR on one side of an outer pcr face, it captures at
         // least 1 - p_j >= p_q mass.
-        if let Some(j) = catalog.largest_leq(1.0 - pq + PROB_EPS) {
+        if let Some(j) = plan.rule45 {
             let outer = acc.outer(j);
             for i in 0..D {
                 if covers_slab(rq, mbr, i, outer.min[i], mbr.max[i])
@@ -103,24 +183,22 @@ pub fn filter_object<const D: usize, A: PcrAccess<D>>(
                 }
             }
         }
-    } else {
+    } else if let Some(j) = plan.rule45 {
         // Rule 5: p_j = smallest catalog value >= p_q. Covering the part of
         // o.MBR *outside* an inner pcr face captures at least p_j >= p_q.
-        if let Some(j) = catalog.smallest_geq(pq - PROB_EPS) {
-            let inner = acc.inner(j);
-            for i in 0..D {
-                if covers_slab(rq, mbr, i, mbr.min[i], inner.min[i])
-                    || covers_slab(rq, mbr, i, inner.max[i], mbr.max[i])
-                {
-                    return FilterOutcome::Validated;
-                }
+        let inner = acc.inner(j);
+        for i in 0..D {
+            if covers_slab(rq, mbr, i, mbr.min[i], inner.min[i])
+                || covers_slab(rq, mbr, i, inner.max[i], mbr.max[i])
+            {
+                return FilterOutcome::Validated;
             }
         }
     }
 
     // Rule 3: p_j = largest catalog value <= (1 - p_q)/2. Covering the slab
     // of o.MBR between both outer faces captures >= 1 - 2·p_j >= p_q.
-    if let Some(j) = catalog.largest_leq((1.0 - pq) / 2.0 + PROB_EPS) {
+    if let Some(j) = plan.rule3 {
         let outer = acc.outer(j);
         for i in 0..D {
             if covers_slab(rq, mbr, i, outer.min[i], outer.max[i]) {
@@ -180,10 +258,22 @@ pub fn prob_bounds<const D: usize, A: PcrAccess<D>>(
     catalog: &UCatalog,
     rq: &Rect<D>,
 ) -> (f64, f64) {
+    prob_bounds_planned(acc, mbr, &PreparedQuery::ranking(catalog, rq))
+}
+
+/// [`prob_bounds`] against a pre-built [`PreparedQuery`] — the form
+/// ranking traversals use, amortising the per-query setup over every
+/// entry whose bounds the frontier requests.
+pub fn prob_bounds_planned<const D: usize, A: PcrAccess<D>>(
+    acc: &A,
+    mbr: &Rect<D>,
+    plan: &PreparedQuery<'_, D>,
+) -> (f64, f64) {
+    let rq = &plan.rq;
     if !rq.intersects(mbr) {
         return (0.0, 0.0);
     }
-    let m = catalog.len();
+    let m = plan.values.len();
 
     // ---- upper bound ----------------------------------------------------
     let mut hi = 1.0f64;
@@ -199,7 +289,7 @@ pub fn prob_bounds<const D: usize, A: PcrAccess<D>>(
         // lives (rule-2 logic, per face).
         let mut beyond = 1.0f64;
         for j in 0..m {
-            let pj = catalog.value(j);
+            let pj = plan.values[j];
             let inner = acc.inner(j);
             if inner.min[i] < rq.min[i] {
                 escape_lo = escape_lo.max(pj);
@@ -236,7 +326,7 @@ pub fn prob_bounds<const D: usize, A: PcrAccess<D>>(
         // inner face captures at least that face's p_j.
         let mut strip = 0.0f64;
         for j in 0..m {
-            let pj = catalog.value(j);
+            let pj = plan.values[j];
             let outer = acc.outer(j);
             if outer.min[i] >= rq.min[i] {
                 cut_lo = Some(cut_lo.map_or(pj, |c: f64| c.min(pj)));

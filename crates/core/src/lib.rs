@@ -88,7 +88,10 @@ pub use catalog_store::{IndexCatalog, IndexDef};
 pub use cfb::{fit_cfb_pair, Cfb, CfbPair, CfbView};
 pub use engine::{BatchExecutor, BatchOutcome, RankBatchOutcome};
 pub use epoch::{EpochIndex, EpochSnapshot};
-pub use filter::{filter_object, prob_bounds, FilterOutcome, PcrAccess};
+pub use filter::{
+    filter_object, filter_object_planned, prob_bounds, prob_bounds_planned, FilterOutcome,
+    PcrAccess, PreparedQuery,
+};
 pub use key::{PcrKey, PcrMetrics, UKey, UMetrics};
 pub use pcr::PcrSet;
 pub use quadratic::{fit_quad_cfb_pair, QuadCfb, QuadCfbPair, QuadCfbView};

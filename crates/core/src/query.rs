@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::ops::AddAssign;
 use uncertain_geom::Rect;
-use uncertain_pdf::{appearance_reference, MonteCarlo};
+use uncertain_pdf::{appearance_reference, MonteCarlo, PreparedPdf, RefineScratch};
 
 /// A probabilistic range query `q = (r_q, p_q)` (paper Sec 3).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,6 +105,11 @@ pub struct QueryStats {
     pub candidates: u64,
     /// Final result count.
     pub results: u64,
+    /// Monte-Carlo samples drawn during refinement (n₁ per estimate that
+    /// did not short-circuit). Together with `refine_nanos` this makes the
+    /// refinement cost attributable as nanoseconds **per sample**, a
+    /// machine-scaled figure the bench gates can compare across runs.
+    pub refined_samples: u64,
     /// Wall-clock nanoseconds in the filter step.
     pub filter_nanos: u128,
     /// Wall-clock nanoseconds in the refinement step.
@@ -153,6 +158,7 @@ impl AddAssign<&QueryStats> for QueryStats {
         self.validated += other.validated;
         self.candidates += other.candidates;
         self.results += other.results;
+        self.refined_samples += other.refined_samples;
         self.filter_nanos += other.filter_nanos;
         self.refine_nanos += other.refine_nanos;
     }
@@ -203,6 +209,12 @@ pub struct QueryCtx {
     pub(crate) ranked: Vec<crate::rank::RankedHit>,
     /// Distinct heap pages touched by one-at-a-time refinement (sorted).
     pub(crate) heap_pages: Vec<PageId>,
+    /// Reusable SoA buffers for the chunked Monte-Carlo kernels
+    /// ([`uncertain_pdf::kernel`]): warm after the first refinement, so a
+    /// refinement pass allocates nothing. Deliberately *not* cleared by
+    /// [`QueryCtx::begin`] — the buffers are the point of reuse, and the
+    /// sample counter is snapshotted per pass.
+    pub(crate) scratch: RefineScratch,
 }
 
 impl QueryCtx {
@@ -267,7 +279,16 @@ pub(crate) fn refine_one<const D: usize, S: PageStore>(
             match mode {
                 RefineMode::MonteCarlo { n1, seed } => {
                     let mut rng = SmallRng::seed_from_u64(rank_refine_seed(seed, id));
-                    MonteCarlo::new(n1).estimate(&obj.pdf, rq, &mut rng)
+                    let prepared = PreparedPdf::new(&obj.pdf);
+                    let s0 = ctx.scratch.samples();
+                    let p = MonteCarlo::new(n1).estimate_with(
+                        &prepared,
+                        rq,
+                        &mut rng,
+                        &mut ctx.scratch,
+                    );
+                    ctx.stats.refined_samples += ctx.scratch.samples() - s0;
+                    p
                 }
                 RefineMode::Reference { tol } => appearance_reference(&obj.pdf, rq, tol),
             }
@@ -298,8 +319,10 @@ fn refine_core<const D: usize, S: PageStore>(
     mode: RefineMode,
     stats: &mut QueryStats,
     rng_slot: &mut Option<SmallRng>,
+    scratch: &mut RefineScratch,
     out: &mut Vec<(u64, f64)>,
 ) -> io::Result<()> {
+    let samples0 = scratch.samples();
     let mut by_page: BTreeMap<PageId, Vec<(u16, u64)>> = BTreeMap::new();
     for (addr, id) in candidates {
         by_page.entry(addr.page).or_default().push((addr.slot, *id));
@@ -325,7 +348,8 @@ fn refine_core<const D: usize, S: PageStore>(
             let p_app = match mode {
                 RefineMode::MonteCarlo { n1, .. } => {
                     let rng = rng_slot.as_mut().expect("rng exists in Monte-Carlo mode");
-                    MonteCarlo::new(n1).estimate(&obj.pdf, rq, rng)
+                    let prepared = PreparedPdf::new(&obj.pdf);
+                    MonteCarlo::new(n1).estimate_with(&prepared, rq, rng, scratch)
                 }
                 RefineMode::Reference { tol } => appearance_reference(&obj.pdf, rq, tol),
             };
@@ -336,6 +360,7 @@ fn refine_core<const D: usize, S: PageStore>(
         }
     }
     stats.results += (out.len() - qualified0) as u64;
+    stats.refined_samples += scratch.samples() - samples0;
     Ok(())
 }
 
@@ -354,9 +379,10 @@ pub(crate) fn refine_ctx<const D: usize, S: PageStore>(
         candidates,
         refined,
         rng,
+        scratch,
         ..
     } = ctx;
-    refine_core(heap, candidates, rq, pq, mode, stats, rng, refined)
+    refine_core(heap, candidates, rq, pq, mode, stats, rng, scratch, refined)
 }
 
 /// The refinement step of Sec 5.2, reporting each qualifying candidate
@@ -375,7 +401,18 @@ pub fn refine_candidates_scored<const D: usize, S: PageStore>(
 ) -> io::Result<Vec<(u64, f64)>> {
     let mut out = Vec::new();
     let mut rng = None;
-    refine_core(heap, candidates, rq, pq, mode, stats, &mut rng, &mut out)?;
+    let mut scratch = RefineScratch::new();
+    refine_core(
+        heap,
+        candidates,
+        rq,
+        pq,
+        mode,
+        stats,
+        &mut rng,
+        &mut scratch,
+        &mut out,
+    )?;
     Ok(out)
 }
 
@@ -513,8 +550,9 @@ mod tests {
             validated: 6,
             candidates: 7,
             results: 8,
-            filter_nanos: 9,
-            refine_nanos: 10,
+            refined_samples: 9,
+            filter_nanos: 10,
+            refine_nanos: 11,
         };
         let mut acc = unit;
         acc += &unit;
@@ -527,8 +565,9 @@ mod tests {
             validated: 12,
             candidates: 14,
             results: 16,
-            filter_nanos: 18,
-            refine_nanos: 20,
+            refined_samples: 18,
+            filter_nanos: 20,
+            refine_nanos: 22,
         };
         assert_eq!(acc, expect);
         assert!(acc.same_counts(&expect));

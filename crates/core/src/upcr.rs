@@ -12,7 +12,7 @@ use crate::api::{
 };
 use crate::catalog::UCatalog;
 use crate::entry::{UPcrCodec, UPcrLeafEntry};
-use crate::filter::{filter_object, FilterOutcome};
+use crate::filter::FilterOutcome;
 use crate::key::{PcrKey, PcrMetrics};
 use crate::object_codec::encode_object;
 use crate::pcr::PcrSet;
@@ -431,6 +431,9 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
             .catalog
             .largest_leq(pq + crate::filter::PROB_EPS)
             .unwrap_or(0);
+        // One catalog-lookup plan for the whole traversal; per-entry
+        // filtering is pure rectangle arithmetic.
+        let plan = crate::filter::PreparedQuery::new(&self.catalog, rq, pq);
 
         let t0 = Instant::now();
         let nodes_read = {
@@ -446,7 +449,7 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
                 |key, _| rq.intersects(&key.rects[j]),
                 |rec| {
                     stats.visited += 1;
-                    match filter_object(&rec.pcrs, &rec.mbr, &self.catalog, rq, pq) {
+                    match crate::filter::filter_object_planned(&rec.pcrs, &rec.mbr, &plan) {
                         FilterOutcome::Pruned => stats.pruned += 1,
                         FilterOutcome::Validated => {
                             stats.validated += 1;
@@ -481,6 +484,7 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
     ) -> Result<RankOutcome, QueryError> {
         let rq = *query.region();
         let m = self.catalog.len();
+        let plan = crate::filter::PreparedQuery::ranking(&self.catalog, &rq);
         Ok(crate::rank::rank_best_first(
             &self.tree,
             &self.heap,
@@ -495,9 +499,7 @@ impl<const D: usize, S: PageStore> UPcrTree<D, S> {
                 }
                 bound
             },
-            |rec: &UPcrLeafEntry<D>| {
-                crate::filter::prob_bounds(&rec.pcrs, &rec.mbr, &self.catalog, &rq)
-            },
+            |rec: &UPcrLeafEntry<D>| crate::filter::prob_bounds_planned(&rec.pcrs, &rec.mbr, &plan),
         )?)
     }
 

@@ -20,6 +20,19 @@ pub struct MonteCarlo {
     pub n1: usize,
 }
 
+/// A Monte-Carlo estimator was requested with `n1 == 0`: Eq. 3 divides by
+/// the sampled weight mass, so zero samples has no defined answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroSampleCount;
+
+impl std::fmt::Display for ZeroSampleCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Monte-Carlo sample count n1 must be at least 1")
+    }
+}
+
+impl std::error::Error for ZeroSampleCount {}
+
 impl Default for MonteCarlo {
     fn default() -> Self {
         Self { n1: 1_000_000 }
@@ -28,9 +41,21 @@ impl Default for MonteCarlo {
 
 impl MonteCarlo {
     /// Creates an estimator with the given sample count.
+    ///
+    /// # Panics
+    /// Panics on `n1 == 0`; use [`MonteCarlo::try_new`] for the typed-error
+    /// path.
     pub fn new(n1: usize) -> Self {
-        assert!(n1 > 0);
-        Self { n1 }
+        Self::try_new(n1).expect("Monte-Carlo sample count n1 must be at least 1")
+    }
+
+    /// Creates an estimator with the given sample count, rejecting
+    /// `n1 == 0` as a typed error instead of panicking.
+    pub fn try_new(n1: usize) -> Result<Self, ZeroSampleCount> {
+        if n1 == 0 {
+            return Err(ZeroSampleCount);
+        }
+        Ok(Self { n1 })
     }
 
     /// Estimates `P_app(o, q)` per Eq. 3:
@@ -298,6 +323,13 @@ mod tests {
             fine < coarse * 0.5,
             "error did not shrink: coarse {coarse}, fine {fine}"
         );
+    }
+
+    #[test]
+    fn try_new_rejects_zero_samples() {
+        assert_eq!(MonteCarlo::try_new(0).map(|mc| mc.n1), Err(ZeroSampleCount));
+        assert_eq!(MonteCarlo::try_new(1).map(|mc| mc.n1), Ok(1));
+        assert!(!ZeroSampleCount.to_string().is_empty());
     }
 
     #[test]

@@ -16,14 +16,16 @@
 
 pub mod appearance;
 pub mod histogram;
+pub mod kernel;
 pub mod marginal;
 pub mod math;
 pub mod model;
 pub mod object;
 pub mod region;
 
-pub use appearance::{appearance_probability, appearance_reference, MonteCarlo};
+pub use appearance::{appearance_probability, appearance_reference, MonteCarlo, ZeroSampleCount};
 pub use histogram::HistogramPdf;
+pub use kernel::{PreparedPdf, RefineScratch, CHUNK};
 pub use marginal::NumericMarginal;
 pub use model::ObjectPdf;
 pub use object::UncertainObject;

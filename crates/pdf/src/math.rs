@@ -160,12 +160,63 @@ pub fn chi2_cdf(dof: usize, x: f64) -> f64 {
     gammp(dof as f64 / 2.0, x / 2.0)
 }
 
+/// Memoizing front-end to [`chi2_cdf`], bit-identical to the plain call.
+///
+/// The Con-Gau normalisation λ = `chi2_cdf(D, (r/σ)²)` is a function of
+/// two values that are constant per object, yet the scalar density path
+/// historically re-evaluated the incomplete-gamma series on every one of
+/// the n₁ Monte-Carlo samples. A dataset has very few distinct `(r/σ)`
+/// ratios (the paper fixes σ = r/2), so a tiny move-to-front cache turns
+/// almost every lookup into a slice scan. Thread-local, so no locking on
+/// the query path.
+pub fn chi2_cdf_cached(dof: usize, x: f64) -> f64 {
+    use std::cell::RefCell;
+    const CAP: usize = 32;
+    thread_local! {
+        static CACHE: RefCell<Vec<((usize, u64), f64)>> = const { RefCell::new(Vec::new()) };
+    }
+    let key = (dof, x.to_bits());
+    CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+            let hit = cache.remove(pos);
+            let v = hit.1;
+            cache.insert(0, hit);
+            return v;
+        }
+        let v = chi2_cdf(dof, x);
+        cache.insert(0, (key, v));
+        cache.truncate(CAP);
+        v
+    })
+}
+
 /// Volume of the unit ball in `d` dimensions (`v₀=1, v₁=2, v_d = v_{d-2}·2π/d`).
+///
+/// Low dimensions (the only ones an index instantiates) come from a
+/// once-computed table filled by the same recursion, so the hot density
+/// path pays a load instead of a call chain; the values are identical
+/// bit-for-bit to the direct recursion.
 pub fn unit_ball_volume(d: usize) -> f64 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[f64; 9]> = OnceLock::new();
+    if d <= 8 {
+        return TABLE.get_or_init(|| {
+            let mut t = [0.0; 9];
+            for (i, v) in t.iter_mut().enumerate() {
+                *v = unit_ball_volume_uncached(i);
+            }
+            t
+        })[d];
+    }
+    unit_ball_volume_uncached(d)
+}
+
+fn unit_ball_volume_uncached(d: usize) -> f64 {
     match d {
         0 => 1.0,
         1 => 2.0,
-        _ => unit_ball_volume(d - 2) * 2.0 * std::f64::consts::PI / d as f64,
+        _ => unit_ball_volume_uncached(d - 2) * 2.0 * std::f64::consts::PI / d as f64,
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::histogram::HistogramPdf;
 use crate::marginal::{NumericMarginal, DEFAULT_GRID};
-use crate::math::{chi2_cdf, unit_ball_volume};
+use crate::math::{chi2_cdf_cached, unit_ball_volume};
 use crate::region::Region;
 use rand::Rng;
 use uncertain_geom::{Point, Rect};
@@ -189,9 +189,16 @@ impl<const D: usize> ObjectPdf<D> {
     /// Normalisation constant λ of the Constrained-Gaussian (Eq. 16):
     /// the mass the untruncated Gaussian places inside the ball.
     /// Returns 1 for the other models.
+    ///
+    /// Memoized ([`chi2_cdf_cached`]) — λ depends only on `(D, r/σ)`, so
+    /// the per-sample calls from scalar [`ObjectPdf::density`] and the
+    /// `appearance_reference` quadrature hit the cache after the first
+    /// evaluation.
     pub fn lambda(&self) -> f64 {
         match self {
-            ObjectPdf::ConGauBall { radius, sigma, .. } => chi2_cdf(D, (radius / sigma).powi(2)),
+            ObjectPdf::ConGauBall { radius, sigma, .. } => {
+                chi2_cdf_cached(D, (radius / sigma).powi(2))
+            }
             _ => 1.0,
         }
     }

@@ -1,0 +1,170 @@
+//! The kernel-vs-scalar oracle contract: [`MonteCarlo::estimate_with`]
+//! (chunked SoA kernels over a [`PreparedPdf`]) must return **byte-identical**
+//! probabilities to the scalar [`MonteCarlo::estimate`] under the same seed —
+//! across every pdf variant, dimensionality, seed, and chunk-boundary sample
+//! count. Any drift here means the kernel changed the RNG consumption order
+//! or the floating-point expression shapes, which would silently change query
+//! answers everywhere.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use uncertain_geom::{Point, Rect};
+use uncertain_pdf::{HistogramPdf, MonteCarlo, ObjectPdf, PreparedPdf, RefineScratch, CHUNK};
+
+/// n₁ values straddling every chunk boundary the driver can hit.
+const SAMPLE_COUNTS: [usize; 5] = [1, CHUNK - 1, CHUNK, CHUNK + 1, 10_000];
+const SEEDS: [u64; 3] = [0, 0xC0FFEE, 0x5EED_5EED_5EED_5EED];
+
+fn assert_equivalent<const D: usize>(pdf: &ObjectPdf<D>, rq: &Rect<D>, label: &str) {
+    let prepared = PreparedPdf::new(pdf);
+    let mut scratch = RefineScratch::new();
+    for n1 in SAMPLE_COUNTS {
+        let mc = MonteCarlo::new(n1);
+        for seed in SEEDS {
+            let scalar = mc.estimate(pdf, rq, &mut SmallRng::seed_from_u64(seed));
+            let kernel = mc.estimate_with(
+                &prepared,
+                rq,
+                &mut SmallRng::seed_from_u64(seed),
+                &mut scratch,
+            );
+            assert_eq!(
+                scalar.to_bits(),
+                kernel.to_bits(),
+                "{label}: kernel {kernel} != scalar {scalar} at n1={n1} seed={seed:#x}"
+            );
+        }
+    }
+}
+
+/// Query rects exercising every estimator path for a support centered at
+/// `c` with half-extent `r`: partial overlap, sliver, disjoint, containing,
+/// and a degenerate (zero-thickness) slab.
+fn query_rects<const D: usize>(c: f64, r: f64) -> Vec<Rect<D>> {
+    let full = |lo: f64, hi: f64| Rect::new([lo; D], [hi; D]);
+    let mut rects = vec![
+        full(c - 0.4 * r, c + 0.9 * r),
+        full(c + 0.7 * r, c + 2.0 * r),
+        full(c + 3.0 * r, c + 4.0 * r),
+        full(c - 2.0 * r, c + 2.0 * r),
+        full(c + 0.1 * r, c + 0.1 * r),
+    ];
+    // An asymmetric rect (different bounds per dim) to catch any dim-major
+    // indexing mistake in the SoA layout.
+    let mut min = [0.0; D];
+    let mut max = [0.0; D];
+    for d in 0..D {
+        min[d] = c - r * (0.2 + 0.3 * d as f64);
+        max[d] = c + r * (0.8 - 0.2 * d as f64);
+    }
+    rects.push(Rect::new(min, max));
+    rects
+}
+
+fn ball<const D: usize>(c: f64, r: f64) -> ObjectPdf<D> {
+    ObjectPdf::UniformBall {
+        center: Point::new([c; D]),
+        radius: r,
+    }
+}
+
+fn congau<const D: usize>(c: f64, r: f64) -> ObjectPdf<D> {
+    ObjectPdf::ConGauBall {
+        center: Point::new([c; D]),
+        radius: r,
+        sigma: r / 2.0,
+    }
+}
+
+fn boxed<const D: usize>(c: f64, r: f64) -> ObjectPdf<D> {
+    let mut min = [0.0; D];
+    let mut max = [0.0; D];
+    for d in 0..D {
+        min[d] = c - r * (1.0 + 0.1 * d as f64);
+        max[d] = c + r * (1.0 - 0.1 * d as f64);
+    }
+    ObjectPdf::UniformBox {
+        rect: Rect::new(min, max),
+    }
+}
+
+fn histogram<const D: usize>(c: f64, r: f64) -> ObjectPdf<D> {
+    let rect = Rect::new([c - r; D], [c + r; D]);
+    ObjectPdf::Histogram(HistogramPdf::from_fn(rect, [4; D], |p| {
+        1.0 + p.coords.iter().sum::<f64>().abs()
+    }))
+}
+
+fn check_variants<const D: usize>() {
+    let (c, r) = (100.0, 25.0);
+    for rq in query_rects::<D>(c, r) {
+        assert_equivalent(&ball::<D>(c, r), &rq, "uniform-ball");
+        assert_equivalent(&congau::<D>(c, r), &rq, "congau-ball");
+        assert_equivalent(&boxed::<D>(c, r), &rq, "uniform-box");
+        assert_equivalent(&histogram::<D>(c, r), &rq, "histogram");
+    }
+}
+
+#[test]
+fn kernel_matches_scalar_1d() {
+    check_variants::<1>();
+}
+
+#[test]
+fn kernel_matches_scalar_2d() {
+    check_variants::<2>();
+}
+
+#[test]
+fn kernel_matches_scalar_3d() {
+    check_variants::<3>();
+}
+
+/// A box with a degenerate dimension draws no RNG for that dimension in the
+/// scalar sampler; the kernel must consume the stream identically.
+#[test]
+fn kernel_matches_scalar_on_degenerate_box_dim() {
+    let pdf: ObjectPdf<2> = ObjectPdf::UniformBox {
+        rect: Rect::new([10.0, 5.0], [20.0, 5.0]),
+    };
+    for rq in [
+        Rect::new([12.0, 4.0], [18.0, 6.0]),
+        Rect::new([12.0, 5.0], [18.0, 5.0]),
+        Rect::new([0.0, 0.0], [14.0, 5.0]),
+    ] {
+        assert_equivalent(&pdf, &rq, "degenerate-box");
+    }
+}
+
+/// Scratch reuse across heterogeneous candidates (different variants and
+/// query rects back-to-back, as a real refinement pass does) must not leak
+/// state between estimates.
+#[test]
+fn scratch_reuse_is_stateless_across_candidates() {
+    let mc = MonteCarlo::new(CHUNK + 7);
+    let pdfs: Vec<ObjectPdf<2>> = vec![
+        ball::<2>(0.0, 1.0),
+        congau::<2>(3.0, 2.0),
+        boxed::<2>(-5.0, 1.5),
+        histogram::<2>(10.0, 4.0),
+    ];
+    let rq = Rect::new([-6.0, -6.0], [11.0, 2.0]);
+    let mut scratch = RefineScratch::new();
+    for round in 0..3 {
+        for pdf in &pdfs {
+            let scalar = mc.estimate(pdf, &rq, &mut SmallRng::seed_from_u64(round));
+            let prepared = PreparedPdf::new(pdf);
+            let kernel = mc.estimate_with(
+                &prepared,
+                &rq,
+                &mut SmallRng::seed_from_u64(round),
+                &mut scratch,
+            );
+            assert_eq!(scalar.to_bits(), kernel.to_bits(), "round {round}");
+        }
+    }
+    // The ball is contained by rq and the histogram is disjoint from it —
+    // both short-circuit without sampling — so only the congau and box
+    // candidates charge the counter.
+    assert_eq!(scratch.samples(), 3 * 2 * (CHUNK as u64 + 7));
+}

@@ -90,6 +90,62 @@ def check_throughput(base: dict, run: dict) -> None:
                 f"{backend} throughput regressed below {min_ratio:.2f}x of "
                 f"the committed baseline"
             )
+    check_refine_phase(base_pts, run_pts)
+
+
+def check_refine_phase(base_pts: dict, run_pts: dict) -> None:
+    """The refine-phase gate behind the chunked-kernel win.
+
+    Two checks per backend, both anchored at the single-worker point
+    (timing sums are CPU-side, so any worker count would do — workers=1
+    is the deterministic anchor):
+
+    * **Refined-sample count** (tight, machine-independent): how many
+      Monte-Carlo samples the filter failed to avoid. Same ceiling as the
+      top-k probe counters (``BENCH_MAX_COUNT_RATIO``, default 1.25x) —
+      a count regression means the filter got weaker.
+    * **Refine nanoseconds per refined sample** (generous, wall-clock): a
+      return to per-sample enum dispatch / per-sample normalization
+      multiplies this unit cost several-fold, while runner throttling
+      tracks the same generous band as the qps floor
+      (``BENCH_MAX_REFINE_NS_RATIO``, default 2.5x).
+    """
+    max_count_ratio = float(os.environ.get("BENCH_MAX_COUNT_RATIO", "1.25"))
+    max_ns_ratio = float(os.environ.get("BENCH_MAX_REFINE_NS_RATIO", "2.5"))
+    for backend in sorted({b for b, _ in base_pts}):
+        b1, r1 = base_pts.get((backend, 1)), run_pts.get((backend, 1))
+        if b1 is None or r1 is None or "refined_samples" not in b1:
+            print(f"  {backend}: no refine-phase baseline — gate skipped")
+            continue
+        if "refined_samples" not in r1:
+            fail(f"{backend} run JSON lost the refine-phase fields")
+        if r1["refined_samples"] <= 0 or r1["refine_nanos"] <= 0:
+            fail(f"{backend} reports no refinement work: {r1}")
+        count_ceiling = max_count_ratio * b1["refined_samples"]
+        status = "ok" if r1["refined_samples"] <= count_ceiling else "REGRESSION"
+        print(
+            f"  {backend}: {r1['refined_samples']} refined samples vs baseline "
+            f"{b1['refined_samples']} (ceiling {count_ceiling:.0f}) — {status}"
+        )
+        if r1["refined_samples"] > count_ceiling:
+            fail(
+                f"{backend} refined-sample count regressed beyond "
+                f"{max_count_ratio:.2f}x of the committed baseline (weaker filter)"
+            )
+        base_ns = b1["refine_nanos"] / b1["refined_samples"]
+        run_ns = r1["refine_nanos"] / r1["refined_samples"]
+        ns_ceiling = max_ns_ratio * base_ns
+        status = "ok" if run_ns <= ns_ceiling else "REGRESSION"
+        print(
+            f"  {backend}: {run_ns:.1f} refine ns/sample vs baseline "
+            f"{base_ns:.1f} (ceiling {ns_ceiling:.1f}) — {status}"
+        )
+        if run_ns > ns_ceiling:
+            fail(
+                f"{backend} refine cost per sample regressed beyond "
+                f"{max_ns_ratio:.2f}x of the committed baseline "
+                f"(per-sample dispatch crept back into the kernel path?)"
+            )
 
 
 def check_topk(base: dict, run: dict) -> None:
