@@ -83,7 +83,7 @@ fn main() {
             build,
             build_secs: secs,
             index_bytes: tree.index_size_bytes(),
-            node_pages: tree.tree_stats().total_nodes() as u64,
+            node_pages: tree.tree_stats().expect("stats walk").total_nodes() as u64,
             phys_node_reads,
             phys_heap_reads,
         });

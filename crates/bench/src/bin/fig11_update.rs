@@ -42,7 +42,7 @@ fn measure<const D: usize>(objs: &[uncertain_pdf::UncertainObject<D>], io_ms: f6
             assert!(tree.delete(o), "object {} must be deletable", o.id);
         }
     });
-    let del_io = tree.tree_stats(); // tree is empty; stats for sanity only
+    let del_io = tree.tree_stats().expect("stats walk"); // tree is empty; stats for sanity only
     let _ = del_io;
     let delete_io = tree_io_after_reset(&tree);
     UpdateCost {

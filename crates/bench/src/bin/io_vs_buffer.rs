@@ -37,7 +37,7 @@ fn main() {
     tree.save(&dir).expect("save index");
     println!(
         "saved {} nodes / {} heap pages to {}",
-        tree.tree_stats().total_nodes(),
+        tree.tree_stats().expect("stats walk").total_nodes(),
         tree.heap().file().live_pages(),
         dir.display()
     );

@@ -702,6 +702,7 @@ pub trait ProbIndex<const D: usize> {
     /// [`ProbIndex::try_execute_with`] for the fallible surface).
     fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
         self.try_execute_with(query, ctx)
+            // xlint: allow(panic-freedom) -- documented infallible convenience wrapper; the try_ variant carries the fallible contract
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -743,6 +744,7 @@ pub trait ProbIndex<const D: usize> {
     /// ranking queries without reallocation).
     fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
         self.try_rank_topk_with(query, ctx)
+            // xlint: allow(panic-freedom) -- documented infallible convenience wrapper; the try_ variant carries the fallible contract
             .unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -38,6 +38,7 @@ impl UCatalog {
     /// [`Self::try_new`], panicking on invalid values (kept for
     /// infallible call sites with literal catalogs).
     pub fn new(values: Vec<f64>) -> Self {
+        // xlint: allow(panic-freedom) -- documented infallible convenience wrapper; the try_ variant carries the fallible contract
         Self::try_new(values).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -52,6 +53,7 @@ impl UCatalog {
 
     /// [`Self::try_uniform`], panicking when `m < 2`.
     pub fn uniform(m: usize) -> Self {
+        // xlint: allow(panic-freedom) -- documented infallible convenience wrapper; the try_ variant carries the fallible contract
         Self::try_uniform(m).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -87,7 +89,11 @@ impl UCatalog {
 
     /// Largest value `p_m`.
     pub fn last(&self) -> f64 {
-        *self.values.last().unwrap()
+        *self
+            .values
+            .last()
+            // xlint: allow(panic-freedom) -- invariant: catalog construction rejects empty value lists
+            .expect("catalog construction rejects empty value lists")
     }
 
     /// Index of the median value `p_{⌈m/2⌉}` used by the split algorithm

@@ -36,7 +36,9 @@ use crate::shard::ShardedIndex;
 use crate::tree::UTree;
 use crate::DiskStore;
 use page_store::wal::{self, CommitReceipt, Wal};
-use page_store::{ByteReader, ByteWriter, DiskPageFile, ObjectHeap, PageId, PageStore, PAGE_SIZE};
+use page_store::{
+    byte_array, ByteReader, ByteWriter, DiskPageFile, ObjectHeap, PageId, PageStore, PAGE_SIZE,
+};
 use rstar_base::TreeConfig;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -230,7 +232,9 @@ impl<const D: usize> IndexCatalog<D> {
             let mut shards = Vec::with_capacity(def.shard_count);
             for (shard, sm) in shard_metas.iter().enumerate() {
                 let tag = def.base_tag as u32 + 2 * shard as u32;
+                // xlint: allow(panic-freedom) -- invariant: one replay file per tag
                 let index_rf = files.next().expect("one replay file per tag");
+                // xlint: allow(panic-freedom) -- invariant: one replay file per tag
                 let heap_rf = files.next().expect("one replay file per tag");
                 let index =
                     persist::wrap_store(index_rf, &wal, tag as u8, buffer_pages, pool_shards);
@@ -431,6 +435,7 @@ impl<const D: usize> IndexCatalog<D> {
     pub fn set_group_commit(&mut self, every: u64) {
         self.wal
             .lock()
+            // xlint: allow(panic-freedom) -- invariant: wal poisoned — a poisoned lock means a panicked writer, and re-raising is the only sound response
             .expect("wal poisoned")
             .set_group_commit(every);
     }
@@ -513,7 +518,7 @@ fn chain_pages(file: &DiskPageFile, dir: &Path) -> io::Result<Vec<PageId>> {
         }
         pages.push(id);
         let page = file.peek_page(id)?;
-        cur = match u64::from_le_bytes(page[..8].try_into().unwrap()) {
+        cur = match u64::from_le_bytes(byte_array(&page[..8])) {
             NO_NEXT => None,
             next => Some(next),
         };
@@ -526,7 +531,7 @@ fn read_chain(file: &DiskPageFile, dir: &Path) -> io::Result<Vec<u8>> {
     let mut blob = Vec::new();
     for id in chain_pages(file, dir)? {
         let page = file.peek_page(id)?;
-        let len = u32::from_le_bytes(page[8..12].try_into().unwrap()) as usize;
+        let len = u32::from_le_bytes(byte_array(&page[8..12])) as usize;
         if len > CHAIN_CHUNK {
             return Err(persist::invalid_data(format!(
                 "{}: catalog chain page {id} overflows",

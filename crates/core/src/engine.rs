@@ -89,9 +89,9 @@ where
                     let mut local = Vec::new();
                     let mut first_panic: Option<Panic> = None;
                     loop {
-                        // Relaxed suffices: the fetch_add itself hands
-                        // out each index exactly once, and the scope
-                        // join publishes the results.
+                        // ordering: Relaxed suffices — the fetch_add
+                        // itself hands out each index exactly once, and
+                        // the scope join publishes the results.
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else {
                             break;
@@ -112,6 +112,7 @@ where
             .collect();
         handles
             .into_iter()
+            // xlint: allow(panic-freedom) -- invariant: batch worker panicked
             .map(|h| h.join().expect("batch worker panicked"))
             .collect()
     });
@@ -134,6 +135,7 @@ where
     }
     slots
         .into_iter()
+        // xlint: allow(panic-freedom) -- invariant: every item claimed exactly once
         .map(|s| s.expect("every item claimed exactly once"))
         .collect()
 }

@@ -94,6 +94,7 @@ impl<'c, const D: usize> PreparedQuery<'c, D> {
         let (rule1, rule2) = if pq > 1.0 - pm - PROB_EPS {
             let j = catalog
                 .smallest_geq(1.0 - pq - PROB_EPS)
+                // xlint: allow(panic-freedom) -- invariant: pq > 1 - pm - eps implies 1 - pq - eps <= pm = catalog.last()
                 .expect("pq > 1 - pm - eps implies 1 - pq - eps <= pm = catalog.last()");
             (Some(j), None)
         } else {

@@ -93,6 +93,7 @@ pub fn decode_object<const D: usize>(bytes: &[u8]) -> UncertainObject<D> {
             // bit-exact.
             ObjectPdf::Histogram(HistogramPdf::from_mass(rect, bins, mass))
         }
+        // xlint: allow(panic-freedom) -- invariant: unknown pdf tag {other} in heap record
         other => panic!("unknown pdf tag {other} in heap record"),
     };
     UncertainObject::new(id, pdf)

@@ -39,6 +39,7 @@ impl<const D: usize> ProbRangeQuery<D> {
 
     /// [`Self::try_new`], panicking on an out-of-range threshold.
     pub fn new(region: Rect<D>, threshold: f64) -> Self {
+        // xlint: allow(panic-freedom) -- documented infallible convenience wrapper; the try_ variant carries the fallible contract
         Self::try_new(region, threshold).unwrap_or_else(|e| panic!("{e}"))
     }
 }
@@ -347,6 +348,7 @@ fn refine_core<const D: usize, S: PageStore>(
             debug_assert_eq!(obj.id, id, "heap record id mismatch");
             let p_app = match mode {
                 RefineMode::MonteCarlo { n1, .. } => {
+                    // xlint: allow(panic-freedom) -- invariant: rng exists in Monte-Carlo mode
                     let rng = rng_slot.as_mut().expect("rng exists in Monte-Carlo mode");
                     let prepared = PreparedPdf::new(&obj.pdf);
                     MonteCarlo::new(n1).estimate_with(&prepared, rq, rng, scratch)

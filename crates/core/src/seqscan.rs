@@ -114,6 +114,7 @@ impl<const D: usize> SeqScan<D> {
         let addr = self
             .heap
             .insert(&encode_object(obj))
+            // xlint: allow(panic-freedom) -- invariant: in-memory heap cannot fail
             .expect("in-memory heap cannot fail");
         let entry = ULeafEntry::new(cfbs, mbr, addr, obj.id, &self.catalog);
         let reads0 = self.file.stats().reads();
@@ -148,6 +149,7 @@ impl<const D: usize> SeqScan<D> {
         let removed = all.remove(pos);
         self.heap
             .remove(removed.addr)
+            // xlint: allow(panic-freedom) -- invariant: in-memory heap cannot fail
             .expect("in-memory heap cannot fail");
         self.rebuild_from(all);
         true
@@ -163,11 +165,13 @@ impl<const D: usize> SeqScan<D> {
         self.open = Vec::new();
         for chunk in entries.chunks(cap) {
             if chunk.len() == cap {
+                // xlint: allow(io-fallibility, panic-freedom) -- invariant: in-memory file cannot fail
                 let page = self.file.allocate().expect("in-memory file cannot fail");
                 let mut bytes = Vec::with_capacity(page_store::PAGE_SIZE);
                 self.codec.encode_leaf(chunk, &mut bytes);
                 self.file
                     .write(page, &bytes)
+                    // xlint: allow(io-fallibility, panic-freedom) -- invariant: in-memory file cannot fail
                     .expect("in-memory file cannot fail");
                 self.pages.push(page);
             } else {
@@ -177,11 +181,13 @@ impl<const D: usize> SeqScan<D> {
     }
 
     fn flush_page(&mut self) {
+        // xlint: allow(io-fallibility, panic-freedom) -- invariant: in-memory file cannot fail
         let page = self.file.allocate().expect("in-memory file cannot fail");
         let mut bytes = Vec::with_capacity(page_store::PAGE_SIZE);
         self.codec.encode_leaf(&self.open, &mut bytes);
         self.file
             .write(page, &bytes)
+            // xlint: allow(io-fallibility, panic-freedom) -- invariant: in-memory file cannot fail
             .expect("in-memory file cannot fail");
         self.pages.push(page);
         self.open.clear();
@@ -199,6 +205,7 @@ impl<const D: usize> SeqScan<D> {
     /// scan file itself is in-memory; only the heap can fail).
     pub fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
         self.try_execute_with(query, ctx)
+            // xlint: allow(panic-freedom) -- documented infallible convenience wrapper; the try_ variant carries the fallible contract
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -346,6 +353,7 @@ impl<const D: usize> SeqScan<D> {
     /// [`SeqScan::try_rank_topk_with`], panicking on storage failure.
     pub fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
         self.try_rank_topk_with(query, ctx)
+            // xlint: allow(panic-freedom) -- documented infallible convenience wrapper; the try_ variant carries the fallible contract
             .unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -172,7 +172,8 @@ impl QueryService {
                     break;
                 }
                 let submitted = Instant::now();
-                let mut jobs = queue.jobs.lock().unwrap();
+                // xlint: allow(panic-freedom) -- invariant: job queue mutex poisoned — a poisoned lock means a panicked writer, and re-raising is the only sound response
+                let mut jobs = queue.jobs.lock().expect("job queue mutex poisoned");
                 for request in batch {
                     jobs.0.push_back(Job {
                         seq,
@@ -184,11 +185,13 @@ impl QueryService {
                 drop(jobs);
                 queue.ready.notify_all();
             }
-            queue.jobs.lock().unwrap().1 = true;
+            // xlint: allow(panic-freedom) -- invariant: job queue mutex poisoned — a poisoned lock means a panicked writer, and re-raising is the only sound response
+            queue.jobs.lock().expect("job queue mutex poisoned").1 = true;
             queue.ready.notify_all();
 
             handles
                 .into_iter()
+                // xlint: allow(panic-freedom) -- invariant: service workers don't panic
                 .flat_map(|h| h.join().expect("service workers don't panic"))
                 .collect()
         });
@@ -202,6 +205,7 @@ impl QueryService {
         latencies.sort_unstable();
         let replies = replies
             .into_iter()
+            // xlint: allow(panic-freedom) -- invariant: every admitted request is answered
             .map(|r| r.expect("every admitted request is answered"))
             .collect();
         let report = ServiceReport {
@@ -221,7 +225,8 @@ fn worker_loop<const D: usize>(
     let mut done = Vec::new();
     loop {
         let job = {
-            let mut jobs = queue.jobs.lock().unwrap();
+            // xlint: allow(panic-freedom) -- invariant: job queue mutex poisoned — a poisoned lock means a panicked writer, and re-raising is the only sound response
+            let mut jobs = queue.jobs.lock().expect("job queue mutex poisoned");
             loop {
                 if let Some(job) = jobs.0.pop_front() {
                     break Some(job);
@@ -229,7 +234,8 @@ fn worker_loop<const D: usize>(
                 if jobs.1 {
                     break None;
                 }
-                jobs = queue.ready.wait(jobs).unwrap();
+                // xlint: allow(panic-freedom) -- invariant: job queue condvar poisoned — a poisoned lock means a panicked writer, and re-raising is the only sound response
+                jobs = queue.ready.wait(jobs).expect("job queue condvar poisoned");
             }
         };
         let Some(job) = job else {

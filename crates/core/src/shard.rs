@@ -196,6 +196,7 @@ impl<const D: usize, S: PageStore> ShardedIndex<D, S> {
                     // τ cutoff: the k-th merged match bounds admission.
                     // This stream is sorted by the same order, so its
                     // first non-admissible element ends it.
+                    // xlint: allow(panic-freedom) -- invariant: k >= 1 when full
                     let tau = merged.last().expect("k >= 1 when full");
                     if rank_order(&m, tau) != Ordering::Less {
                         break;

@@ -154,6 +154,7 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
         let codec = UCodec::new(catalog.clone());
         Self {
             tree: RStarTreeBase::with_store(node_store, metrics, codec, cfg)
+                // xlint: allow(panic-freedom) -- invariant: node store failed while formatting an empty tree
                 .expect("node store failed while formatting an empty tree"),
             heap: ObjectHeap::with_store(heap_store),
             catalog,
@@ -348,12 +349,14 @@ impl<const D: usize> UTree<D, persist::DiskStore> {
     /// whole batches, never tear one.
     pub fn set_group_commit(&mut self, every: u64) {
         let wal = self.tree.store_mut().backend_mut().wal_handle();
+        // xlint: allow(panic-freedom) -- invariant: wal poisoned — a poisoned lock means a panicked writer, and re-raising is the only sound response
         wal.lock().expect("wal poisoned").set_group_commit(every);
     }
 
     /// Number of log fsyncs since open (group-commit diagnostics).
     pub fn wal_sync_count(&mut self) -> u64 {
         let wal = self.tree.store_mut().backend_mut().wal_handle();
+        // xlint: allow(panic-freedom) -- invariant: wal poisoned — a poisoned lock means a panicked writer, and re-raising is the only sound response
         let guard = wal.lock().expect("wal poisoned");
         guard.sync_count()
     }
@@ -378,6 +381,8 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
         }
     }
 
+    /// Snapshots the index (tree pages, heap, catalog, metadata) into
+    /// `dir` so [`UTree::open`] can rebuild it cold.
     pub fn save<P: AsRef<Path>>(&self, dir: P) -> io::Result<()> {
         // A disk-backed tree must not snapshot over its own live directory
         // (the snapshot would disagree with the WAL next to it); that's
@@ -416,8 +421,10 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
         self.heap.size_bytes()
     }
 
-    /// Structure statistics of the index.
-    pub fn tree_stats(&self) -> TreeStats {
+    /// Structure statistics of the index. Fallible: walking the node
+    /// pages goes through the store, whose errors surface typed instead
+    /// of panicking.
+    pub fn tree_stats(&self) -> io::Result<TreeStats> {
         self.tree.stats()
     }
 
@@ -455,12 +462,14 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
         let addr = self
             .heap
             .insert(&encode_object(obj))
+            // xlint: allow(panic-freedom) -- invariant: heap store failed during insert
             .expect("heap store failed during insert");
         let entry = ULeafEntry::new(cfbs, mbr, addr, obj.id, &self.catalog);
         let reads0 = self.tree.io_stats().reads();
         let writes0 = self.tree.io_stats().writes();
         self.tree
             .insert(entry)
+            // xlint: allow(panic-freedom) -- invariant: index store failed during insert
             .expect("index store failed during insert");
         InsertStats {
             pcr_nanos,
@@ -482,11 +491,13 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
         match self
             .tree
             .delete(&probe, obj.id)
+            // xlint: allow(panic-freedom) -- invariant: index store failed during delete
             .expect("index store failed during delete")
         {
             Some(entry) => {
                 self.heap
                     .remove(entry.addr)
+                    // xlint: allow(panic-freedom) -- invariant: heap store failed during delete
                     .expect("heap store failed during delete");
                 true
             }
@@ -554,12 +565,14 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
                 let addr = self
                     .heap
                     .insert(&bytes)
+                    // xlint: allow(panic-freedom) -- invariant: heap store failed during bulk load
                     .expect("heap store failed during bulk load");
                 ULeafEntry::new(cfbs, mbr, addr, id, &self.catalog)
             })
             .collect();
         self.tree
             .bulk_rebuild_ordered(records)
+            // xlint: allow(panic-freedom) -- invariant: index store failed during bulk load
             .expect("index store failed during bulk load");
         InsertStats {
             pcr_nanos,
@@ -580,6 +593,7 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
     /// [`UTree::try_execute_with`], panicking on storage failure.
     pub fn execute_with(&self, query: &Query<D>, ctx: &mut QueryCtx) -> QueryOutcome {
         self.try_execute_with(query, ctx)
+            // xlint: allow(panic-freedom) -- documented infallible convenience wrapper; the try_ variant carries the fallible contract
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -723,6 +737,7 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
     /// [`UTree::try_rank_topk_with`], panicking on storage failure.
     pub fn rank_topk_with(&self, query: &RankQuery<D>, ctx: &mut QueryCtx) -> RankOutcome {
         self.try_rank_topk_with(query, ctx)
+            // xlint: allow(panic-freedom) -- documented infallible convenience wrapper; the try_ variant carries the fallible contract
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -735,6 +750,7 @@ impl<const D: usize, S: PageStore> UTree<D, S> {
     pub fn for_each_entry<F: FnMut(&ULeafEntry<D>)>(&self, f: F) {
         self.tree
             .for_each_record(f)
+            // xlint: allow(panic-freedom) -- invariant: index store failed during scan
             .expect("index store failed during scan");
     }
 

@@ -17,6 +17,9 @@
 //! follows that of the data* (centers drawn from the dataset), 100 per
 //! workload.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod points;
 mod workload;
 

@@ -8,6 +8,9 @@
 //! Everything is generic over the compile-time dimensionality `D`; the paper
 //! evaluates `D = 2` (LB, CA) and `D = 3` (Aircraft).
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod point;
 mod rect;
 

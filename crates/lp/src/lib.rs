@@ -13,6 +13,9 @@
 //! A·x ≤ b` solver and is property-tested against a geometric vertex
 //! enumerator.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod tableau;
 
 pub use tableau::solve_standard;

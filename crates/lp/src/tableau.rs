@@ -186,6 +186,7 @@ fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
         *v /= piv;
     }
     let (before, rest) = t.split_at_mut(row);
+    // xlint: allow(panic-freedom) -- invariant: row index in range
     let (pivot_row, after) = rest.split_first_mut().expect("row index in range");
     for r in before.iter_mut().chain(after.iter_mut()) {
         let factor = r[col];
@@ -213,6 +214,7 @@ fn pivot_with_obj(
         *v /= piv;
     }
     let (before, rest) = t.split_at_mut(row);
+    // xlint: allow(panic-freedom) -- invariant: row index in range
     let (pivot_row, after) = rest.split_first_mut().expect("row index in range");
     for r in before.iter_mut().chain(after.iter_mut()) {
         let factor = r[col];

@@ -46,6 +46,7 @@ impl MonteCarlo {
     /// Panics on `n1 == 0`; use [`MonteCarlo::try_new`] for the typed-error
     /// path.
     pub fn new(n1: usize) -> Self {
+        // xlint: allow(panic-freedom) -- invariant: Monte-Carlo sample count n1 must be at least 1
         Self::try_new(n1).expect("Monte-Carlo sample count n1 must be at least 1")
     }
 

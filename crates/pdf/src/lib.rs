@@ -14,6 +14,10 @@
 //! * [`appearance`] — the Monte-Carlo estimator of Eq. 3 plus analytic /
 //!   quadrature references used for validation and the refinement step.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod appearance;
 pub mod histogram;
 pub mod kernel;

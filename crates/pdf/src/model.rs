@@ -19,15 +19,26 @@ use uncertain_geom::{Point, Rect};
 #[derive(Debug, Clone, PartialEq)]
 pub enum ObjectPdf<const D: usize> {
     /// Equal density over a ball (paper Eq. 1 scenario).
-    UniformBall { center: Point<D>, radius: f64 },
+    UniformBall {
+        /// Ball center.
+        center: Point<D>,
+        /// Ball radius.
+        radius: f64,
+    },
     /// Equal density over a box.
-    UniformBox { rect: Rect<D> },
+    UniformBox {
+        /// The support box.
+        rect: Rect<D>,
+    },
     /// Isotropic Gaussian with mean `center` and std-dev `sigma`, truncated
     /// to the ball of `radius` and renormalised (paper Eq. 16). The paper
     /// uses `sigma = radius / 2`.
     ConGauBall {
+        /// Gaussian mean and ball center.
         center: Point<D>,
+        /// Truncation radius.
         radius: f64,
+        /// Standard deviation before truncation.
         sigma: f64,
     },
     /// Arbitrary grid pdf.
@@ -41,11 +52,26 @@ pub enum ObjectPdf<const D: usize> {
 #[derive(Debug, Clone)]
 pub enum MarginalCdf {
     /// Linear CDF on `[lo, hi]` (uniform box).
-    UniformInterval { lo: f64, hi: f64 },
+    UniformInterval {
+        /// Lower support bound.
+        lo: f64,
+        /// Upper support bound.
+        hi: f64,
+    },
     /// Marginal of the uniform distribution over a 2-D disk.
-    UniformDisk { center: f64, radius: f64 },
+    UniformDisk {
+        /// Disk center projected on this axis.
+        center: f64,
+        /// Disk radius.
+        radius: f64,
+    },
     /// Marginal of the uniform distribution over a 3-D ball.
-    UniformSphere { center: f64, radius: f64 },
+    UniformSphere {
+        /// Ball center projected on this axis.
+        center: f64,
+        /// Ball radius.
+        radius: f64,
+    },
     /// Tabulated fallback (Con-Gau, uniform balls for D >= 4, histograms).
     Numeric(NumericMarginal),
 }
@@ -111,6 +137,7 @@ fn unit_ball_cdf<const BALL_D: usize>(u: f64) -> f64 {
                 / std::f64::consts::PI
         }
         3 => 0.75 * (u - u * u * u / 3.0 + 2.0 / 3.0),
+        // xlint: allow(panic-freedom) -- invariant: only disk and sphere have table-backed quantiles
         _ => unreachable!("only disk and sphere have table-backed quantiles"),
     }
 }
@@ -121,6 +148,7 @@ fn unit_ball_density<const BALL_D: usize>(u: f64) -> f64 {
     match BALL_D {
         2 => 2.0 * w2.sqrt() / std::f64::consts::PI,
         3 => 0.75 * w2,
+        // xlint: allow(panic-freedom) -- tag validated at decode time; other values are unconstructible
         _ => unreachable!(),
     }
 }
@@ -135,6 +163,7 @@ fn unit_ball_quantile<const BALL_D: usize>(p: f64) -> f64 {
     let table = match BALL_D {
         2 => DISK.get_or_init(|| build_unit_table::<2>(N)),
         3 => SPHERE.get_or_init(|| build_unit_table::<3>(N)),
+        // xlint: allow(panic-freedom) -- tag validated at decode time; other values are unconstructible
         _ => unreachable!(),
     };
     if p <= 0.0 {

@@ -14,9 +14,17 @@ use uncertain_geom::{Point, Rect};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Region<const D: usize> {
     /// A d-dimensional ball.
-    Ball { center: Point<D>, radius: f64 },
+    Ball {
+        /// Ball center.
+        center: Point<D>,
+        /// Ball radius.
+        radius: f64,
+    },
     /// An axis-aligned box.
-    Box { rect: Rect<D> },
+    Box {
+        /// The box itself.
+        rect: Rect<D>,
+    },
 }
 
 impl<const D: usize> Region<D> {

@@ -20,6 +20,9 @@
 //! The concrete rectangle R*-tree ([`RectRStarTree`]) doubles as the
 //! conventional "precise data" baseline and as the substrate's test rig.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod bulk;
 mod codec;
 mod metrics;

@@ -41,6 +41,7 @@ pub trait KeyMetrics<const D: usize> {
         Self::Key: 'a,
     {
         let mut it = keys.into_iter();
+        // xlint: allow(panic-freedom) -- invariant: union_all of empty sequence
         let first = it.next().expect("union_all of empty sequence");
         let mut acc = first.clone();
         for k in it {

@@ -4,7 +4,8 @@
 use crate::codec::{InnerEntry, NodeCodec};
 use crate::metrics::{rect_covers_eps, KeyMetrics, LeafRecord};
 use crate::tree::{RStarTreeBase, TreeConfig};
-use page_store::{ByteReader, ByteWriter, PAGE_SIZE};
+use page_store::{ByteReader, ByteWriter, PageStore, PAGE_SIZE};
+use std::io;
 use uncertain_geom::Rect;
 
 /// Plain-rectangle metrics: the R*-tree penalty metrics verbatim.
@@ -163,9 +164,16 @@ impl<const D: usize> NodeCodec<Rect<D>, RectLeaf<D>> for RectCodec<D> {
     }
 }
 
-/// The baseline disk-based R*-tree over rectangles.
-pub struct RectRStarTree<const D: usize> {
-    tree: RStarTreeBase<D, RectMetrics<D>, RectLeaf<D>, RectCodec<D>>,
+/// The baseline disk-based R*-tree over rectangles, generic over the
+/// backing [`PageStore`] (defaults to the infallible in-memory
+/// [`page_store::PageFile`]).
+///
+/// Every operation exists in two forms: a `try_*` method that surfaces
+/// store failures as `io::Result` (the PR-6 fallible-store contract —
+/// exercised under `FaultStore` in the tests), and, for the in-memory
+/// default store only, an infallible convenience wrapper.
+pub struct RectRStarTree<const D: usize, S: PageStore = page_store::PageFile> {
+    tree: RStarTreeBase<D, RectMetrics<D>, RectLeaf<D>, RectCodec<D>, S>,
 }
 
 impl<const D: usize> Default for RectRStarTree<D> {
@@ -174,66 +182,59 @@ impl<const D: usize> Default for RectRStarTree<D> {
     }
 }
 
-impl<const D: usize> RectRStarTree<D> {
-    /// An empty tree with R* defaults.
-    pub fn new() -> Self {
-        Self {
-            tree: RStarTreeBase::new(RectMetrics, RectCodec, TreeConfig::default()),
-        }
+impl<const D: usize, S: PageStore> RectRStarTree<D, S> {
+    /// An empty tree with R* defaults on the given store.
+    pub fn try_new_on(store: S) -> io::Result<Self> {
+        Ok(Self {
+            tree: RStarTreeBase::with_store(store, RectMetrics, RectCodec, TreeConfig::default())?,
+        })
     }
 
-    /// Builds a tree from a flat record set by STR packing
-    /// ([`crate::str_order_by`] + bottom-up level construction) instead of
-    /// repeated insertion.
-    pub fn bulk_load(mut data: Vec<RectLeaf<D>>) -> Self {
+    /// Builds a tree on `store` from a flat record set by STR packing
+    /// ([`crate::str_order_by`] + bottom-up level construction) instead
+    /// of repeated insertion.
+    pub fn try_bulk_load_on(store: S, mut data: Vec<RectLeaf<D>>) -> io::Result<Self> {
         let codec = RectCodec::<D>;
         let cap = NodeCodec::<Rect<D>, RectLeaf<D>>::leaf_capacity(&codec);
         crate::str_order_by(&mut data, cap, &|e: &RectLeaf<D>| e.rect.center().coords);
-        Self {
+        Ok(Self {
             tree: RStarTreeBase::bulk_build_ordered(
-                page_store::PageFile::new(),
+                store,
                 data,
                 RectMetrics,
                 codec,
                 TreeConfig::default(),
-            )
-            .expect("in-memory page store cannot fail"),
-        }
+            )?,
+        })
     }
 
-    /// Inserts a rectangle with an identifier.
-    pub fn insert(&mut self, rect: Rect<D>, id: u64) {
-        self.tree
-            .insert(RectLeaf { rect, id })
-            .expect("in-memory page store cannot fail");
+    /// Inserts a rectangle with an identifier; a failing store surfaces
+    /// its `io::Error` and leaves the already-stored pages untouched.
+    pub fn try_insert(&mut self, rect: Rect<D>, id: u64) -> io::Result<()> {
+        self.tree.insert(RectLeaf { rect, id })
     }
 
-    /// Deletes by (rect, id); returns `true` when found.
-    pub fn delete(&mut self, rect: Rect<D>, id: u64) -> bool {
-        self.tree
-            .delete(&rect, id)
-            .expect("in-memory page store cannot fail")
-            .is_some()
+    /// Deletes by (rect, id); `Ok(true)` when found.
+    pub fn try_delete(&mut self, rect: Rect<D>, id: u64) -> io::Result<bool> {
+        Ok(self.tree.delete(&rect, id)?.is_some())
     }
 
     /// Conventional range query: ids of rectangles intersecting `query`.
-    pub fn range(&self, query: &Rect<D>) -> Vec<u64> {
+    pub fn try_range(&self, query: &Rect<D>) -> io::Result<Vec<u64>> {
         let mut out = Vec::new();
-        self.tree
-            .visit(
-                |key, _| key.intersects(query),
-                |rec| {
-                    if rec.rect.intersects(query) {
-                        out.push(rec.id);
-                    }
-                },
-            )
-            .expect("in-memory page store cannot fail");
-        out
+        self.tree.visit(
+            |key, _| key.intersects(query),
+            |rec| {
+                if rec.rect.intersects(query) {
+                    out.push(rec.id);
+                }
+            },
+        )?;
+        Ok(out)
     }
 
     /// Access to the generic machinery (stats, invariants, I/O counters).
-    pub fn inner(&self) -> &RStarTreeBase<D, RectMetrics<D>, RectLeaf<D>, RectCodec<D>> {
+    pub fn inner(&self) -> &RStarTreeBase<D, RectMetrics<D>, RectLeaf<D>, RectCodec<D>, S> {
         &self.tree
     }
 
@@ -245,6 +246,44 @@ impl<const D: usize> RectRStarTree<D> {
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.tree.is_empty()
+    }
+}
+
+impl<const D: usize> RectRStarTree<D> {
+    /// An empty tree with R* defaults.
+    pub fn new() -> Self {
+        Self {
+            tree: RStarTreeBase::new(RectMetrics, RectCodec, TreeConfig::default()),
+        }
+    }
+
+    /// Builds a tree from a flat record set by STR packing; see
+    /// [`Self::try_bulk_load_on`].
+    pub fn bulk_load(data: Vec<RectLeaf<D>>) -> Self {
+        Self::try_bulk_load_on(page_store::PageFile::new(), data)
+            // xlint: allow(panic-freedom, io-fallibility) -- the default store is in-memory and cannot fail
+            .expect("in-memory page store cannot fail")
+    }
+
+    /// Inserts a rectangle with an identifier.
+    pub fn insert(&mut self, rect: Rect<D>, id: u64) {
+        self.try_insert(rect, id)
+            // xlint: allow(panic-freedom, io-fallibility) -- the default store is in-memory and cannot fail
+            .expect("in-memory page store cannot fail");
+    }
+
+    /// Deletes by (rect, id); returns `true` when found.
+    pub fn delete(&mut self, rect: Rect<D>, id: u64) -> bool {
+        self.try_delete(rect, id)
+            // xlint: allow(panic-freedom, io-fallibility) -- the default store is in-memory and cannot fail
+            .expect("in-memory page store cannot fail")
+    }
+
+    /// Conventional range query: ids of rectangles intersecting `query`.
+    pub fn range(&self, query: &Rect<D>) -> Vec<u64> {
+        self.try_range(query)
+            // xlint: allow(panic-freedom, io-fallibility) -- the default store is in-memory and cannot fail
+            .expect("in-memory page store cannot fail")
     }
 }
 
@@ -455,14 +494,14 @@ mod tests {
         // theoretical minimum plus the per-level remainder node.
         let cap = RectCodec::<2>::capacity();
         let min_leaves = 5000usize.div_ceil(cap);
-        let stats = bulk.inner().stats();
+        let stats = bulk.inner().stats().unwrap();
         assert!(
             stats.nodes_per_level[0] <= min_leaves + 1,
             "bulk leaves not packed: {} vs {min_leaves}",
             stats.nodes_per_level[0]
         );
         assert!(
-            stats.total_nodes() < incremental.inner().stats().total_nodes(),
+            stats.total_nodes() < incremental.inner().stats().unwrap().total_nodes(),
             "bulk tree must be denser than the insert-built tree"
         );
 

@@ -28,15 +28,15 @@ pub fn rstar_split<const D: usize>(rects: &[Rect<D>], min_fill: usize) -> (Vec<u
     for axis in 0..D {
         let mut by_lower: Vec<usize> = (0..n).collect();
         by_lower.sort_by(|&a, &b| {
-            (rects[a].min[axis], rects[a].max[axis])
-                .partial_cmp(&(rects[b].min[axis], rects[b].max[axis]))
-                .unwrap()
+            rects[a].min[axis]
+                .total_cmp(&rects[b].min[axis])
+                .then(rects[a].max[axis].total_cmp(&rects[b].max[axis]))
         });
         let mut by_upper: Vec<usize> = (0..n).collect();
         by_upper.sort_by(|&a, &b| {
-            (rects[a].max[axis], rects[a].min[axis])
-                .partial_cmp(&(rects[b].max[axis], rects[b].min[axis]))
-                .unwrap()
+            rects[a].max[axis]
+                .total_cmp(&rects[b].max[axis])
+                .then(rects[a].min[axis].total_cmp(&rects[b].min[axis]))
         });
         let mut margin_sum = 0.0;
         for order in [&by_lower, &by_upper] {
@@ -52,6 +52,7 @@ pub fn rstar_split<const D: usize>(rects: &[Rect<D>], min_fill: usize) -> (Vec<u
         }
     }
     let _ = best_axis; // axis choice is realised through the retained orders
+                       // xlint: allow(panic-freedom) -- invariant: D >= 1
     let orders = best_axis_orders.expect("D >= 1");
 
     // Pick the distribution with minimal overlap (ties: minimal area sum).
@@ -72,6 +73,7 @@ pub fn rstar_split<const D: usize>(rects: &[Rect<D>], min_fill: usize) -> (Vec<u
             }
         }
     }
+    // xlint: allow(panic-freedom) -- invariant: at least one distribution exists
     let (_, _, g1, g2) = best.expect("at least one distribution exists");
     (g1, g2)
 }

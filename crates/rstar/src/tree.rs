@@ -134,6 +134,7 @@ where
         S: Default,
     {
         Self::with_store(S::default(), metrics, codec, cfg)
+            // xlint: allow(panic-freedom) -- invariant: in-memory page store cannot fail
             .expect("in-memory page store cannot fail")
     }
 
@@ -207,6 +208,7 @@ where
             let page = self.file.allocate()?;
             self.store_node(page, 0, &node)?;
             level_entries.push(InnerEntry {
+                // xlint: allow(panic-freedom) -- invariant: packed chunk is non-empty
                 key: self.node_key(&node).expect("packed chunk is non-empty"),
                 child: page,
             });
@@ -227,6 +229,7 @@ where
                 let page = self.file.allocate()?;
                 self.store_node(page, level, &node)?;
                 next.push(InnerEntry {
+                    // xlint: allow(panic-freedom) -- invariant: packed chunk is non-empty
                     key: self.node_key(&node).expect("packed chunk is non-empty"),
                     child: page,
                 });
@@ -471,6 +474,7 @@ where
         if level > target_level {
             let ekey = self.entry_key(&entry);
             let Node::Inner(ref mut entries) = node else {
+                // xlint: allow(panic-freedom) -- invariant: non-leaf level must hold an inner node
                 unreachable!("non-leaf level must hold an inner node")
             };
             let idx = self.choose_subtree(entries, &ekey, level == 1);
@@ -490,6 +494,7 @@ where
         match (&mut node, entry) {
             (Node::Leaf(es), Entry::Leaf(r)) => es.push(r),
             (Node::Inner(es), Entry::Inner(ie)) => es.push(ie),
+            // xlint: allow(panic-freedom) -- invariant: entry kind must match node kind at its level
             _ => unreachable!("entry kind must match node kind at its level"),
         }
         self.finish_overflow(page, level, node, reinserted, pending)
@@ -508,6 +513,7 @@ where
         if Self::node_len(&node) <= cap {
             self.store_node(page, level, &node)?;
             return Ok(InsertResult {
+                // xlint: allow(panic-freedom) -- invariant: non-empty after insert
                 key: self.node_key(&node).expect("non-empty after insert"),
                 split: None,
             });
@@ -527,6 +533,7 @@ where
             return Ok(InsertResult {
                 key: self
                     .node_key(&node)
+                    // xlint: allow(panic-freedom) -- invariant: reinsertion leaves entries behind
                     .expect("reinsertion leaves entries behind"),
                 split: None,
             });
@@ -538,8 +545,10 @@ where
         let sib_page = self.file.allocate()?;
         self.store_node(sib_page, level, &b)?;
         Ok(InsertResult {
+            // xlint: allow(panic-freedom) -- invariant: split group A non-empty
             key: self.node_key(&a).expect("split group A non-empty"),
             split: Some(InnerEntry {
+                // xlint: allow(panic-freedom) -- invariant: split group B non-empty
                 key: self.node_key(&b).expect("split group B non-empty"),
                 child: sib_page,
             }),
@@ -554,6 +563,7 @@ where
         cap: usize,
     ) -> Vec<Entry<M::Key, L>> {
         let p = ((cap as f64 * self.cfg.reinsert_frac) as usize).max(1);
+        // xlint: allow(panic-freedom) -- invariant: overflowing node is non-empty
         let bound = self.node_key(node).expect("overflowing node is non-empty");
         match node {
             Node::Leaf(es) => {
@@ -561,7 +571,7 @@ where
                 order.sort_by(|&i, &j| {
                     let di = self.metrics.centroid_distance(&es[i].key(), &bound);
                     let dj = self.metrics.centroid_distance(&es[j].key(), &bound);
-                    dj.partial_cmp(&di).unwrap()
+                    dj.total_cmp(&di)
                 });
                 let victims: Vec<usize> = order[..p].to_vec();
                 extract(es, &victims).into_iter().map(Entry::Leaf).collect()
@@ -571,7 +581,7 @@ where
                 order.sort_by(|&i, &j| {
                     let di = self.metrics.centroid_distance(&es[i].key, &bound);
                     let dj = self.metrics.centroid_distance(&es[j].key, &bound);
-                    dj.partial_cmp(&di).unwrap()
+                    dj.total_cmp(&di)
                 });
                 let victims: Vec<usize> = order[..p].to_vec();
                 extract(es, &victims)
@@ -638,7 +648,12 @@ where
         }
         // Leaf parents: overlap criterion over the best few candidates.
         let mut order: Vec<usize> = (0..entries.len()).collect();
-        order.sort_by(|&a, &b| scored[a].partial_cmp(&scored[b]).unwrap());
+        order.sort_by(|&a, &b| {
+            scored[a]
+                .0
+                .total_cmp(&scored[b].0)
+                .then(scored[a].1.total_cmp(&scored[b].1))
+        });
         order.truncate(CHOOSE_SUBTREE_CANDIDATES);
         let profiles: Vec<M::OverlapProfile> = entries
             .iter()
@@ -754,6 +769,7 @@ where
                         DeleteOutcome::Kept(None) => {
                             // Only an empty root leaf reports no key, and the
                             // root has no parent — unreachable here.
+                            // xlint: allow(panic-freedom) -- invariant: non-root child kept with empty key
                             unreachable!("non-root child kept with empty key")
                         }
                         DeleteOutcome::Dropped => {
@@ -903,7 +919,11 @@ where
     }
 
     /// Structure statistics without touching the I/O counters.
-    pub fn stats(&self) -> TreeStats {
+    ///
+    /// Fallible: the walk peeks every node page through the store, so a
+    /// failing backend surfaces as the underlying `io::Error` instead of
+    /// a panic (PR-6 fallible-store contract).
+    pub fn stats(&self) -> io::Result<TreeStats> {
         let mut stats = TreeStats {
             nodes_per_level: vec![0; self.height],
             entries_per_level: vec![0; self.height],
@@ -911,9 +931,7 @@ where
         let mut stack = vec![(self.root, self.height - 1)];
         let mut bytes = [0u8; PAGE_SIZE];
         while let Some((page, level)) = stack.pop() {
-            self.file
-                .peek_into(page, &mut bytes)
-                .expect("stats: node page unreadable");
+            self.file.peek_into(page, &mut bytes)?;
             let lvl = bytes[0] as usize;
             debug_assert_eq!(lvl, level);
             stats.nodes_per_level[level] += 1;
@@ -927,7 +945,7 @@ where
                 }
             }
         }
-        stats
+        Ok(stats)
     }
 
     /// Checks the R-tree bounding invariant everywhere (test helper):
@@ -1006,6 +1024,7 @@ fn pack_sizes(n: usize, cap: usize, min: usize) -> Vec<usize> {
         sizes.push(rem);
     } else {
         let total = cap + rem;
+        // xlint: allow(panic-freedom) -- invariant: full > 0
         *sizes.last_mut().expect("full > 0") = total / 2;
         sizes.push(total - total / 2);
     }
@@ -1030,6 +1049,7 @@ fn partition<T>(v: Vec<T>, g1: &[usize], g2: &[usize]) -> (Vec<T>, Vec<T>) {
     let mut slots: Vec<Option<T>> = v.into_iter().map(Some).collect();
     let take = |slots: &mut Vec<Option<T>>, idxs: &[usize]| {
         idxs.iter()
+            // xlint: allow(panic-freedom) -- invariant: index used twice in split
             .map(|&i| slots[i].take().expect("index used twice in split"))
             .collect::<Vec<T>>()
     };

@@ -1,0 +1,121 @@
+//! Regression tests for the fallible-store (`try_*`) paths: every I/O
+//! call site converted away from `unwrap()` must surface an injected
+//! [`FaultStore`] error as `Err` instead of panicking.
+
+use page_store::{FaultMode, FaultStore, PageFile};
+use rstar_base::{RectLeaf, RectRStarTree};
+use uncertain_geom::Rect;
+
+type FaultTree = RectRStarTree<2, FaultStore<PageFile>>;
+
+fn leaf(i: u64) -> RectLeaf<2> {
+    let x = (i % 100) as f64 * 10.0;
+    let y = (i / 100) as f64 * 10.0;
+    RectLeaf {
+        rect: Rect::new([x, y], [x + 5.0, y + 5.0]),
+        id: i,
+    }
+}
+
+/// A tree on a disarmed FaultStore behaves exactly like one on PageFile.
+#[test]
+fn disarmed_fault_store_is_a_clean_passthrough() {
+    let store = FaultStore::new(PageFile::new(), 0, FaultMode::Fail);
+    let mut tree = FaultTree::try_new_on(store).expect("disarmed store");
+    for i in 0..500 {
+        let l = leaf(i);
+        tree.try_insert(l.rect, l.id).expect("disarmed insert");
+    }
+    assert_eq!(tree.len(), 500);
+    let hits = tree
+        .try_range(&Rect::new([0.0, 0.0], [49.0, 49.0]))
+        .expect("disarmed range");
+    assert!(!hits.is_empty());
+    tree.inner().check_invariants().unwrap();
+}
+
+/// A write fault mid-insert surfaces as `Err` from `try_insert`, not a
+/// panic — the exact regression the xlint io-fallibility conversions fix.
+#[test]
+fn write_fault_surfaces_from_try_insert() {
+    let store = FaultStore::new(PageFile::new(), 40, FaultMode::Fail);
+    let mut tree = FaultTree::try_new_on(store).expect("store healthy at build");
+    let mut saw_err = false;
+    for i in 0..5_000 {
+        let l = leaf(i);
+        if tree.try_insert(l.rect, l.id).is_err() {
+            saw_err = true;
+            break;
+        }
+    }
+    assert!(saw_err, "the injected write fault must reach the caller");
+    assert!(tree.inner().store().tripped());
+}
+
+/// A write fault during STR bulk construction surfaces from
+/// `try_bulk_load_on` (the split.rs/bulk path).
+#[test]
+fn write_fault_surfaces_from_bulk_load() {
+    let store = FaultStore::new(PageFile::new(), 5, FaultMode::Fail);
+    let data: Vec<RectLeaf<2>> = (0..10_000).map(leaf).collect();
+    let err = FaultTree::try_bulk_load_on(store, data);
+    assert!(err.is_err(), "bulk build over a dying store must fail");
+}
+
+/// A torn (short) write also surfaces as an error rather than silently
+/// persisting a corrupt page.
+#[test]
+fn short_write_surfaces_from_try_insert() {
+    let store = FaultStore::new(PageFile::new(), 25, FaultMode::ShortWrite(64));
+    let mut tree = FaultTree::try_new_on(store).expect("store healthy at build");
+    let mut saw_err = false;
+    for i in 0..5_000 {
+        let l = leaf(i);
+        if tree.try_insert(l.rect, l.id).is_err() {
+            saw_err = true;
+            break;
+        }
+    }
+    assert!(saw_err, "the torn write must reach the caller");
+}
+
+/// `stats()` walks pages via the uncounted peek path; a read fault there
+/// must come back as `Err` (this used to be an `unwrap()` inside the
+/// walk).
+#[test]
+fn read_fault_surfaces_from_stats_walk() {
+    let store = FaultStore::new(PageFile::new(), 0, FaultMode::Fail);
+    let mut tree = FaultTree::try_new_on(store).expect("disarmed store");
+    for i in 0..2_000 {
+        let l = leaf(i);
+        tree.try_insert(l.rect, l.id).expect("disarmed insert");
+    }
+    // Healthy store: the walk succeeds.
+    let stats = tree.inner().stats().expect("healthy stats walk");
+    assert!(stats.total_nodes() > 1, "tree must have split");
+
+    // Arm the read path: the walk must propagate the error.
+    tree.inner().store().arm_read_fault(1);
+    assert!(
+        tree.inner().stats().is_err(),
+        "stats() must surface the injected read fault"
+    );
+    assert!(tree.inner().store().read_tripped());
+}
+
+/// A read fault during query descent surfaces from `try_range`.
+#[test]
+fn read_fault_surfaces_from_try_range() {
+    let store = FaultStore::new(PageFile::new(), 0, FaultMode::Fail);
+    let mut tree = FaultTree::try_new_on(store).expect("disarmed store");
+    for i in 0..2_000 {
+        let l = leaf(i);
+        tree.try_insert(l.rect, l.id).expect("disarmed insert");
+    }
+    tree.inner().store().arm_read_fault(1);
+    assert!(
+        tree.try_range(&Rect::new([0.0, 0.0], [990.0, 200.0]))
+            .is_err(),
+        "try_range must surface the injected read fault"
+    );
+}

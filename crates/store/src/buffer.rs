@@ -80,7 +80,9 @@ impl Shard {
                 .iter()
                 .min_by_key(|(_, f)| f.last_used)
                 .map(|(&id, _)| id)
+                // xlint: allow(panic-freedom) -- invariant: non-empty shard at capacity
                 .expect("non-empty shard at capacity");
+            // xlint: allow(panic-freedom) -- invariant: victim resident
             let frame = self.frames.remove(&victim).expect("victim resident");
             if frame.dirty {
                 if let Err(e) = write_lock(backend).write(victim, &frame.data[..]) {
@@ -94,14 +96,17 @@ impl Shard {
 }
 
 fn lock<'a, S>(m: &'a Mutex<S>) -> MutexGuard<'a, S> {
+    // xlint: allow(panic-freedom) -- invariant: buffer pool poisoned — a poisoned lock means a panicked writer, and re-raising is the only sound response
     m.lock().expect("buffer pool poisoned")
 }
 
 fn read_lock<'a, S>(l: &'a RwLock<S>) -> RwLockReadGuard<'a, S> {
+    // xlint: allow(panic-freedom) -- invariant: buffer pool backend poisoned — a poisoned lock means a panicked writer, and re-raising is the only sound response
     l.read().expect("buffer pool backend poisoned")
 }
 
 fn write_lock<'a, S>(l: &'a RwLock<S>) -> RwLockWriteGuard<'a, S> {
+    // xlint: allow(panic-freedom) -- invariant: buffer pool backend poisoned — a poisoned lock means a panicked writer, and re-raising is the only sound response
     l.write().expect("buffer pool backend poisoned")
 }
 
@@ -192,6 +197,7 @@ impl<S: PageStore> BufferPool<S> {
     pub fn backend_mut(&mut self) -> &mut S {
         self.backend
             .get_mut()
+            // xlint: allow(panic-freedom) -- invariant: buffer pool backend poisoned — a poisoned lock means a panicked writer, and re-raising is the only sound response
             .expect("buffer pool backend poisoned")
     }
 
@@ -231,9 +237,9 @@ impl<S: PageStore> BufferPool<S> {
     }
 
     fn next_tick(&self) -> u64 {
-        // Relaxed: ticks only order evictions; an occasional stale
-        // comparison merely evicts a near-LRU frame instead of the exact
-        // LRU one, which sharding already permits.
+        // ordering: Relaxed — ticks only order evictions; an occasional
+        // stale comparison merely evicts a near-LRU frame instead of the
+        // exact LRU one, which sharding already permits.
         self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
@@ -357,6 +363,7 @@ impl<S: PageStore> PageStore for BufferPool<S> {
                 },
             );
         }
+        // xlint: allow(panic-freedom) -- invariant: frame just ensured
         let frame = shard.frames.get_mut(&id).expect("frame just ensured");
         frame.data[..data.len()].copy_from_slice(data);
         frame.data[data.len()..].fill(0);

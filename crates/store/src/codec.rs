@@ -3,6 +3,20 @@
 //! Floats are narrowed to `f32` on disk (see the crate docs); integers are
 //! fixed-width little-endian.
 
+/// Copies the first `N` bytes of `s` into a fixed-size array.
+///
+/// The panic-free replacement for `s[..N].try_into().unwrap()` on decode
+/// paths: a short slice zero-pads the tail instead of panicking, which is
+/// the right posture for bytes that came off a disk page — the fixed-width
+/// decoders own the bounds checks and a truncated record decodes to zeros
+/// rather than aborting the process.
+pub fn byte_array<const N: usize>(s: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    let n = N.min(s.len());
+    out[..n].copy_from_slice(&s[..n]);
+    out
+}
+
 /// Largest `f32`-representable value `<= v` (as `f64`).
 ///
 /// Conservative bounds must round *outward* before being narrowed to the
@@ -122,12 +136,12 @@ impl<'a> ByteReader<'a> {
 
     /// Reads an on-disk `f32` widened back to `f64`.
     pub fn get_f32(&mut self) -> f64 {
-        f32::from_le_bytes(self.take(4).try_into().unwrap()) as f64
+        f32::from_le_bytes(byte_array(self.take(4))) as f64
     }
 
     /// Reads an `f64`.
     pub fn get_f64(&mut self) -> f64 {
-        f64::from_le_bytes(self.take(8).try_into().unwrap())
+        f64::from_le_bytes(byte_array(self.take(8)))
     }
 
     /// Reads a `u8`.
@@ -137,17 +151,17 @@ impl<'a> ByteReader<'a> {
 
     /// Reads a `u16`.
     pub fn get_u16(&mut self) -> u16 {
-        u16::from_le_bytes(self.take(2).try_into().unwrap())
+        u16::from_le_bytes(byte_array(self.take(2)))
     }
 
     /// Reads a `u32`.
     pub fn get_u32(&mut self) -> u32 {
-        u32::from_le_bytes(self.take(4).try_into().unwrap())
+        u32::from_le_bytes(byte_array(self.take(4)))
     }
 
     /// Reads a `u64`.
     pub fn get_u64(&mut self) -> u64 {
-        u64::from_le_bytes(self.take(8).try_into().unwrap())
+        u64::from_le_bytes(byte_array(self.take(8)))
     }
 }
 

@@ -14,6 +14,7 @@
 //! space (e.g. the head of a catalog record chain) without inventing a
 //! second metadata file.
 
+use crate::codec::byte_array;
 use crate::pagefile::{PageId, PageStore, PAGE_SIZE};
 use crate::IoStats;
 use std::fs::{File, OpenOptions};
@@ -80,24 +81,24 @@ impl DiskPageFile {
         if sb[..4] != MAGIC {
             return Err(corrupt(&path, "bad superblock magic"));
         }
-        let version = u32::from_le_bytes(sb[4..8].try_into().unwrap());
+        let version = u32::from_le_bytes(byte_array(&sb[4..8]));
         if version != VERSION {
             return Err(corrupt(&path, &format!("unsupported version {version}")));
         }
-        let n_pages = u64::from_le_bytes(sb[8..16].try_into().unwrap());
-        let app_root = match u64::from_le_bytes(sb[16..24].try_into().unwrap()) {
+        let n_pages = u64::from_le_bytes(byte_array(&sb[8..16]));
+        let app_root = match u64::from_le_bytes(byte_array(&sb[16..24])) {
             NO_APP_ROOT => None,
             p if p < n_pages => Some(p),
             p => return Err(corrupt(&path, &format!("app root {p} out of range"))),
         };
-        let n_free = u64::from_le_bytes(sb[24..32].try_into().unwrap()) as usize;
+        let n_free = u64::from_le_bytes(byte_array(&sb[24..32])) as usize;
         if n_free > n_pages as usize {
             return Err(corrupt(&path, "free list longer than the file"));
         }
         let mut free = Vec::with_capacity(n_free);
         for i in 0..n_free.min(SB_INLINE) {
             let off = SB_HEADER + i * 8;
-            free.push(u64::from_le_bytes(sb[off..off + 8].try_into().unwrap()));
+            free.push(u64::from_le_bytes(byte_array(&sb[off..off + 8])));
         }
         let mut remaining = n_free.saturating_sub(SB_INLINE);
         let mut spill_idx = 0u64;
@@ -106,7 +107,7 @@ impl DiskPageFile {
             file.read_exact_at(&mut page, (1 + n_pages + spill_idx) * PAGE_SIZE as u64)?;
             for i in 0..remaining.min(SPILL_PER_PAGE) {
                 let off = i * 8;
-                free.push(u64::from_le_bytes(page[off..off + 8].try_into().unwrap()));
+                free.push(u64::from_le_bytes(byte_array(&page[off..off + 8])));
             }
             remaining = remaining.saturating_sub(SPILL_PER_PAGE);
             spill_idx += 1;

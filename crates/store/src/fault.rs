@@ -40,22 +40,32 @@ pub struct FaultCounters {
 impl FaultCounters {
     /// Counted reads observed (peeks excluded, matching the I/O model).
     pub fn reads(&self) -> u64 {
+        // ordering: Relaxed — independent test-observability counter,
+        // read after the exercised store has quiesced.
         self.reads.load(Ordering::Relaxed)
     }
     /// Writes observed, including the tripping one and black-holed ones.
     pub fn writes(&self) -> u64 {
+        // ordering: Relaxed — independent test-observability counter,
+        // read after the exercised store has quiesced.
         self.writes.load(Ordering::Relaxed)
     }
     /// Allocations observed.
     pub fn allocs(&self) -> u64 {
+        // ordering: Relaxed — independent test-observability counter,
+        // read after the exercised store has quiesced.
         self.allocs.load(Ordering::Relaxed)
     }
     /// Releases observed.
     pub fn releases(&self) -> u64 {
+        // ordering: Relaxed — independent test-observability counter,
+        // read after the exercised store has quiesced.
         self.releases.load(Ordering::Relaxed)
     }
     /// Flush attempts observed.
     pub fn flushes(&self) -> u64 {
+        // ordering: Relaxed — independent test-observability counter,
+        // read after the exercised store has quiesced.
         self.flushes.load(Ordering::Relaxed)
     }
 }
@@ -71,6 +81,11 @@ pub struct FaultStore<S: PageStore> {
     inner: S,
     /// Trip on this write ordinal (1-based); `0` disarms.
     trip_on_write: u64,
+    /// Trip on this read/peek ordinal (1-based, counted together); `0`
+    /// disarms. Interior-mutable because the read path takes `&self`
+    /// and tests arm it on a store already owned by a tree.
+    trip_on_read: AtomicU64,
+    read_ops: AtomicU64,
     mode: FaultMode,
     counters: Arc<FaultCounters>,
     tripped: bool,
@@ -83,10 +98,49 @@ impl<S: PageStore> FaultStore<S> {
         Self {
             inner,
             trip_on_write: nth_write,
+            trip_on_read: AtomicU64::new(0),
+            read_ops: AtomicU64::new(0),
             mode,
             counters: Arc::new(FaultCounters::default()),
             tripped: false,
         }
+    }
+
+    /// Arms (or, with `0`, disarms) the read path: the `nth`-th read or
+    /// peek (1-based, counted across both) after this call and everything
+    /// following it fail with the injection error, without touching the
+    /// backend. Takes `&self` so tests can arm a store already owned by
+    /// an index. Write faults are unaffected; combine with a disarmed
+    /// `new(_, 0, _)` wrapper to test pure read-failure handling.
+    pub fn arm_read_fault(&self, nth: u64) {
+        // ordering: Relaxed suffices — test-only trigger config with no
+        // other memory it must order.
+        self.trip_on_read.store(nth, Ordering::Relaxed);
+        self.read_ops.store(0, Ordering::Relaxed);
+    }
+
+    /// Whether the read fault has fired.
+    pub fn read_tripped(&self) -> bool {
+        // ordering: Relaxed suffices — a monotone test-only ordinal with
+        // no other memory it must order.
+        let trip = self.trip_on_read.load(Ordering::Relaxed);
+        trip != 0 && self.read_ops.load(Ordering::Relaxed) >= trip
+    }
+
+    /// Bumps the read-fault ordinal; `Err` once the trigger is reached.
+    fn check_read_fault(&self) -> io::Result<()> {
+        // ordering: Relaxed suffices — a monotone test-only ordinal with
+        // no other memory it must order.
+        let trip = self.trip_on_read.load(Ordering::Relaxed);
+        if trip == 0 {
+            return Ok(());
+        }
+        // ordering: Relaxed suffices — same single-purpose ordinal.
+        let n = self.read_ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= trip {
+            return Err(Self::injected_error());
+        }
+        Ok(())
     }
 
     /// The shared operation counters.
@@ -116,25 +170,35 @@ impl<S: PageStore> FaultStore<S> {
 
 impl<S: PageStore> PageStore for FaultStore<S> {
     fn allocate(&mut self) -> io::Result<PageId> {
+        // ordering: Relaxed — independent test-observability counter,
+        // read after the exercised store has quiesced.
         self.counters.allocs.fetch_add(1, Ordering::Relaxed);
         self.inner.allocate()
     }
 
     fn release(&mut self, id: PageId) {
+        // ordering: Relaxed — independent test-observability counter,
+        // read after the exercised store has quiesced.
         self.counters.releases.fetch_add(1, Ordering::Relaxed);
         self.inner.release(id);
     }
 
     fn read_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
+        // ordering: Relaxed — independent test-observability counter,
+        // read after the exercised store has quiesced.
         self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.check_read_fault()?;
         self.inner.read_into(id, out)
     }
 
     fn peek_into(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
+        self.check_read_fault()?;
         self.inner.peek_into(id, out)
     }
 
     fn write(&mut self, id: PageId, data: &[u8]) -> io::Result<()> {
+        // ordering: Relaxed — the write ordinal is only consulted by
+        // this same single-writer `&mut self` path.
         let n = self.counters.writes.fetch_add(1, Ordering::Relaxed) + 1;
         if self.tripped {
             return Err(Self::injected_error()); // device is gone
@@ -170,6 +234,8 @@ impl<S: PageStore> PageStore for FaultStore<S> {
     }
 
     fn flush(&mut self) -> io::Result<()> {
+        // ordering: Relaxed — independent test-observability counter,
+        // read after the exercised store has quiesced.
         self.counters.flushes.fetch_add(1, Ordering::Relaxed);
         if self.tripped {
             return Err(Self::injected_error());
@@ -218,6 +284,24 @@ mod tests {
         let page = s.read_page(a).unwrap();
         assert_eq!(&page[..4], b"REPL");
         assert_eq!(page[4], 0, "the torn tail reads as zeros");
+    }
+
+    #[test]
+    fn read_fault_trips_reads_and_peeks_but_not_writes() {
+        let mut s = FaultStore::new(PageFile::new(), 0, FaultMode::Fail);
+        let a = s.allocate().unwrap();
+        s.write(a, b"data").unwrap();
+        assert_eq!(&s.read_page(a).unwrap()[..4], b"data");
+        s.arm_read_fault(2);
+        assert_eq!(&s.read_page(a).unwrap()[..4], b"data"); // ordinal 1: still fine
+        assert!(s.read_page(a).is_err()); // ordinal 2: trips
+        assert!(s.read_tripped());
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(s.peek_into(a, &mut buf).is_err()); // peeks share the trigger
+        s.write(a, b"still writable").unwrap(); // the write path is independent
+        s.arm_read_fault(0); // disarm: reads recover
+        assert_eq!(&s.read_page(a).unwrap()[..5], b"still");
+        assert!(!s.read_tripped());
     }
 
     #[test]

@@ -99,6 +99,7 @@ impl<S: PageStore> ObjectHeap<S> {
         self.open_page = Some(page);
         Ok(self
             .try_append(page, record)?
+            // xlint: allow(panic-freedom) -- invariant: fresh page must accept the record
             .expect("fresh page must accept the record"))
     }
 

@@ -51,18 +51,24 @@ impl IoStats {
     /// Records one page read.
     #[inline]
     pub fn record_read(&self) {
+        // ordering: Relaxed — independent monotone counter; see the
+        // "Memory ordering" section of the type docs.
         self.reads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one page write.
     #[inline]
     pub fn record_write(&self) {
+        // ordering: Relaxed — independent monotone counter; see the
+        // "Memory ordering" section of the type docs.
         self.writes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one buffer-pool hit (a counted read served from memory).
     #[inline]
     pub fn record_cache_hit(&self) {
+        // ordering: Relaxed — independent monotone counter; see the
+        // "Memory ordering" section of the type docs.
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -70,26 +76,36 @@ impl IoStats {
     /// page from the backend).
     #[inline]
     pub fn record_cache_miss(&self) {
+        // ordering: Relaxed — independent monotone counter; see the
+        // "Memory ordering" section of the type docs.
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of page reads so far.
     pub fn reads(&self) -> u64 {
+        // ordering: Relaxed — independent monotone counter; see the
+        // "Memory ordering" section of the type docs.
         self.reads.load(Ordering::Relaxed)
     }
 
     /// Number of page writes so far.
     pub fn writes(&self) -> u64 {
+        // ordering: Relaxed — independent monotone counter; see the
+        // "Memory ordering" section of the type docs.
         self.writes.load(Ordering::Relaxed)
     }
 
     /// Number of buffer-pool hits so far (zero on non-caching stores).
     pub fn cache_hits(&self) -> u64 {
+        // ordering: Relaxed — independent monotone counter; see the
+        // "Memory ordering" section of the type docs.
         self.cache_hits.load(Ordering::Relaxed)
     }
 
     /// Number of buffer-pool misses so far (zero on non-caching stores).
     pub fn cache_misses(&self) -> u64 {
+        // ordering: Relaxed — independent monotone counter; see the
+        // "Memory ordering" section of the type docs.
         self.cache_misses.load(Ordering::Relaxed)
     }
 
@@ -103,6 +119,8 @@ impl IoStats {
     /// Zeroes all counters. Must not race with recording (see the type
     /// docs): quiesce, reset, then measure.
     pub fn reset(&self) {
+        // ordering: Relaxed — reset runs only while recording is
+        // quiescent (type-docs contract), so no edges are needed.
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);

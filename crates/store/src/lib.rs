@@ -45,6 +45,10 @@
 //!   entry-size arithmetic (Table 1) and is standard practice for
 //!   coordinate data.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod codec;
 pub mod wal;
 
@@ -57,7 +61,7 @@ mod pagefile;
 mod shadow;
 
 pub use buffer::BufferPool;
-pub use codec::{f32_round_down, f32_round_up, ByteReader, ByteWriter};
+pub use codec::{byte_array, f32_round_down, f32_round_up, ByteReader, ByteWriter};
 pub use disk::DiskPageFile;
 pub use fault::{FaultCounters, FaultMode, FaultStore};
 pub use heap::{ObjectHeap, RecordAddr};

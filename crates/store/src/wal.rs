@@ -31,6 +31,7 @@
 //! commit, snapshot the stores via the existing page-image dump, then
 //! [`Wal::truncate`] the log.
 
+use crate::codec::byte_array;
 use crate::pagefile::{PageId, PageStore, PAGE_SIZE};
 use crate::IoStats;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -109,14 +110,27 @@ fn fsync_parent(path: &Path) -> io::Result<()> {
 pub enum WalRecord {
     /// Full after-image of one page of store `store`.
     PageImage {
+        /// Tag of the store the page belongs to (see [`WalStore::attach`]).
         store: u8,
+        /// The page the image replaces on replay.
         page: PageId,
+        /// The full page contents.
         data: Box<[u8; PAGE_SIZE]>,
     },
     /// Page `page` of store `store` was allocated (zeroed).
-    Alloc { store: u8, page: PageId },
+    Alloc {
+        /// Tag of the store the page belongs to.
+        store: u8,
+        /// The allocated page.
+        page: PageId,
+    },
     /// Page `page` of store `store` was released to the free list.
-    Release { store: u8, page: PageId },
+    Release {
+        /// Tag of the store the page belongs to.
+        store: u8,
+        /// The released page.
+        page: PageId,
+    },
     /// Opaque tree-level metadata; the last committed one wins.
     Meta(Vec<u8>),
     /// Batch boundary: everything since the previous marker is atomic.
@@ -456,8 +470,8 @@ fn record_kind(rec: &WalRecord) -> u8 {
 /// malformed body) reads as end-of-log.
 fn decode_frame(bytes: &[u8], off: usize) -> Option<(WalRecord, u64, usize)> {
     let prefix = bytes.get(off..off + FRAME_PREFIX)?;
-    let len = u32::from_le_bytes(prefix[..4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(prefix[4..8].try_into().unwrap());
+    let len = u32::from_le_bytes(byte_array(&prefix[..4])) as usize;
+    let crc = u32::from_le_bytes(byte_array(&prefix[4..8]));
     if !(PAYLOAD_PREFIX..=MAX_PAYLOAD).contains(&len) {
         return None;
     }
@@ -465,7 +479,7 @@ fn decode_frame(bytes: &[u8], off: usize) -> Option<(WalRecord, u64, usize)> {
     if crc32(payload) != crc {
         return None;
     }
-    let lsn = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let lsn = u64::from_le_bytes(byte_array(&payload[..8]));
     let kind = payload[8];
     let body = &payload[PAYLOAD_PREFIX..];
     let record = match kind {
@@ -477,7 +491,7 @@ fn decode_frame(bytes: &[u8], off: usize) -> Option<(WalRecord, u64, usize)> {
             data.copy_from_slice(&body[9..]);
             WalRecord::PageImage {
                 store: body[0],
-                page: u64::from_le_bytes(body[1..9].try_into().unwrap()),
+                page: u64::from_le_bytes(byte_array(&body[1..9])),
                 data,
             }
         }
@@ -486,7 +500,7 @@ fn decode_frame(bytes: &[u8], off: usize) -> Option<(WalRecord, u64, usize)> {
                 return None;
             }
             let store = body[0];
-            let page = u64::from_le_bytes(body[1..9].try_into().unwrap());
+            let page = u64::from_le_bytes(byte_array(&body[1..9]));
             if kind == KIND_ALLOC {
                 WalRecord::Alloc { store, page }
             } else {
@@ -598,6 +612,9 @@ enum PendingOp {
 /// A page image bound for the backend once its commit is durable.
 type StagedImage = (PageId, Arc<[u8; PAGE_SIZE]>);
 
+/// A write-ahead-logged [`PageStore`]: every mutation is staged in the
+/// shared [`Wal`] first and reaches the wrapped backend only after its
+/// commit marker is durable (see the module docs for the protocol).
 pub struct WalStore<S: PageStore> {
     inner: S,
     wal: Arc<Mutex<Wal>>,
@@ -692,6 +709,7 @@ impl<S: PageStore> WalStore<S> {
                     let data = self
                         .shadow
                         .get(&id)
+                        // xlint: allow(panic-freedom) -- invariant: wal store: dirty page must be shadowed
                         .expect("wal store: dirty page must be shadowed")
                         .clone();
                     wal.append_image(self.tag, id, &data);
@@ -723,6 +741,7 @@ impl<S: PageStore> WalStore<S> {
             if lsn > durable_lsn {
                 break;
             }
+            // xlint: allow(panic-freedom) -- invariant: front just probed
             let (lsn, images) = self.unapplied.pop_front().expect("front just probed");
             for (i, (id, data)) in images.iter().enumerate() {
                 if let Err(e) = self.inner.write(*id, &data[..]) {

@@ -1,0 +1,367 @@
+//! The ratchet baseline: the committed, frozen set of *waived* findings.
+//!
+//! The contract, enforced in CI:
+//!
+//! * **Active** (unwaived) findings are always violations — the baseline
+//!   cannot absorb them.
+//! * Waived findings are compared per `(lint, file)` against the
+//!   baseline counts. More waivers than the baseline records means the
+//!   waiver set grew — a violation until `LINT_BASELINE.json` is
+//!   regenerated *deliberately* (and reviewed). Fewer means the baseline
+//!   can shrink; the checker points it out but stays green.
+//!
+//! The file format is a tiny, fully-sorted JSON document; this module
+//! also carries the minimal JSON reader for it (the crate is
+//! dependency-free by design — no serde in the build environment).
+
+use crate::report::{json_str, Report};
+use std::collections::BTreeMap;
+
+/// Parsed `LINT_BASELINE.json`: waived-finding counts per (lint, file).
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(lint name, file) → frozen waiver count`.
+    pub waived: BTreeMap<(String, String), u64>,
+}
+
+/// Outcome of a ratchet check.
+#[derive(Debug)]
+pub struct RatchetOutcome {
+    /// Violations: active findings and waiver-set growth. Non-empty ⇒ CI fails.
+    pub violations: Vec<String>,
+    /// Entries where the live tree has fewer waivers than the baseline.
+    pub shrinkable: Vec<String>,
+}
+
+impl Baseline {
+    /// Collects the waived counts of `report` into baseline form.
+    pub fn from_report(report: &Report) -> Self {
+        let mut waived: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for f in report.waived() {
+            *waived
+                .entry((f.lint.name().to_string(), f.file.clone()))
+                .or_insert(0) += 1;
+        }
+        Self { waived }
+    }
+
+    /// Serializes to the committed JSON format (sorted, stable).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"waived\": [\n");
+        let n = self.waived.len();
+        for (i, ((lint, file), count)) in self.waived.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"lint\": {}, \"file\": {}, \"count\": {}}}{}\n",
+                json_str(lint),
+                json_str(file),
+                count,
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses the committed JSON format.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_object().ok_or("baseline root must be an object")?;
+        let entries = obj
+            .get("waived")
+            .and_then(Json::as_array)
+            .ok_or("baseline must have a \"waived\" array")?;
+        let mut waived = BTreeMap::new();
+        for e in entries {
+            let eo = e.as_object().ok_or("waived entries must be objects")?;
+            let lint = eo
+                .get("lint")
+                .and_then(Json::as_str)
+                .ok_or("entry missing \"lint\"")?;
+            let file = eo
+                .get("file")
+                .and_then(Json::as_str)
+                .ok_or("entry missing \"file\"")?;
+            let count = eo
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or("entry missing \"count\"")?;
+            waived.insert((lint.to_string(), file.to_string()), count);
+        }
+        Ok(Self { waived })
+    }
+
+    /// The ratchet: compares a live report against this baseline.
+    pub fn check(&self, report: &Report) -> RatchetOutcome {
+        let mut violations = Vec::new();
+        for f in report.active() {
+            violations.push(format!(
+                "{}:{}: [{}] {}",
+                f.file,
+                f.line,
+                f.lint.name(),
+                f.snippet
+            ));
+        }
+        let live = Baseline::from_report(report);
+        let mut shrinkable = Vec::new();
+        for (key, &count) in &live.waived {
+            let frozen = self.waived.get(key).copied().unwrap_or(0);
+            if count > frozen {
+                violations.push(format!(
+                    "{}: waiver set grew for [{}]: {count} waived, baseline froze {frozen} — \
+                     fix the new site or regenerate LINT_BASELINE.json deliberately",
+                    key.1, key.0
+                ));
+            } else if count < frozen {
+                shrinkable.push(format!(
+                    "{}: [{}] {frozen} → {count} — baseline can shrink",
+                    key.1, key.0
+                ));
+            }
+        }
+        for (key, &frozen) in &self.waived {
+            if !live.waived.contains_key(key) {
+                shrinkable.push(format!(
+                    "{}: [{}] {frozen} → 0 — baseline can shrink",
+                    key.1, key.0
+                ));
+            }
+        }
+        RatchetOutcome {
+            violations,
+            shrinkable,
+        }
+    }
+}
+
+/// The minimal JSON value model the baseline reader needs.
+#[derive(Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Numbers (unsigned integers only — all the format uses).
+    Num(u64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => {
+            expect_lit(b, pos, "true")?;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') => {
+            expect_lit(b, pos, "false")?;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') => {
+            expect_lit(b, pos, "null")?;
+            Ok(Json::Null)
+        }
+        Some(c) if c.is_ascii_digit() => {
+            let start = *pos;
+            while *pos < b.len() && b[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}")),
+    }
+}
+
+fn expect_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| "bad utf-8 in string".to_string());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        let ch = char::from_u32(hex).ok_or("bad \\u codepoint")?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".to_string()),
+                }
+                *pos += 1;
+            }
+            _ => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_round_trips() {
+        let mut b = Baseline::default();
+        b.waived
+            .insert(("panic-freedom".into(), "crates/core/src/a.rs".into()), 3);
+        b.waived
+            .insert(("lock-order".into(), "crates/store/src/b.rs".into()), 1);
+        let text = b.to_json();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = Json::parse(r#"{"a": [1, "x\"y", {"b": true}], "c": null}"#).unwrap();
+        let o = v.as_object().unwrap();
+        let arr = o.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[1].as_str(), Some("x\"y"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("{\"a\": }").is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! A minimal line lexer: splits Rust source into a *code* channel and a
+//! *comment* channel per line, with string/char literal contents masked
+//! out of the code channel.
+//!
+//! The analyzer never parses Rust properly (no `syn` — the build
+//! environment is offline); every lint works on these two channels, so a
+//! `".unwrap()"` inside a string literal or a `panic!` inside a comment
+//! can never produce a finding. The lexer understands line comments
+//! (`//`, `///`, `//!`), nested block comments, plain/byte strings with
+//! escapes, raw strings with any `#` count, char/byte literals, and
+//! keeps lifetimes (`'a`) in the code channel.
+
+/// One source line split into channels. Masked literal contents are
+/// replaced by spaces so byte offsets keep lining up with the original.
+#[derive(Debug, Clone, Default)]
+pub struct LineView {
+    /// Code with string/char contents blanked and comments removed.
+    pub code: String,
+    /// Concatenated comment text of the line, comment markers included.
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_hashes: Option<u32> },
+    Char,
+}
+
+/// Lexes a whole file into per-line channel views.
+pub fn lex(source: &str) -> Vec<LineView> {
+    let mut out = Vec::new();
+    let mut state = State::Normal;
+    for line in source.split('\n') {
+        let (view, next) = lex_line(line, state);
+        state = match next {
+            // Line comments never cross lines.
+            State::LineComment => State::Normal,
+            s => s,
+        };
+        out.push(view);
+    }
+    out
+}
+
+fn lex_line(line: &str, mut state: State) -> (LineView, State) {
+    let bytes = line.as_bytes();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match state {
+            State::LineComment => {
+                comment.push_str(&line[i..]);
+                i = bytes.len();
+            }
+            State::BlockComment(depth) => {
+                if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    state = State::BlockComment(depth + 1);
+                    comment.push_str("/*");
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    comment.push_str("*/");
+                    i += 2;
+                    state = if depth == 1 {
+                        code.push(' ');
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else {
+                    comment.push(line[i..].chars().next().map_or(' ', |c| c));
+                    i += utf8_len(bytes[i]);
+                }
+            }
+            State::Str { raw_hashes } => match raw_hashes {
+                None => {
+                    if bytes[i] == b'\\' {
+                        code.push_str("  ");
+                        i += 2.min(bytes.len() - i);
+                    } else if bytes[i] == b'"' {
+                        code.push('"');
+                        i += 1;
+                        state = State::Normal;
+                    } else {
+                        code.push(' ');
+                        i += utf8_len(bytes[i]);
+                    }
+                }
+                Some(h) => {
+                    if bytes[i] == b'"' && closes_raw(&bytes[i + 1..], h) {
+                        code.push('"');
+                        for _ in 0..h {
+                            code.push('#');
+                        }
+                        i += 1 + h as usize;
+                        state = State::Normal;
+                    } else {
+                        code.push(' ');
+                        i += utf8_len(bytes[i]);
+                    }
+                }
+            },
+            State::Char => {
+                if bytes[i] == b'\\' {
+                    code.push_str("  ");
+                    i += 2.min(bytes.len() - i);
+                } else if bytes[i] == b'\'' {
+                    code.push('\'');
+                    i += 1;
+                    state = State::Normal;
+                } else {
+                    code.push(' ');
+                    i += utf8_len(bytes[i]);
+                }
+            }
+            State::Normal => {
+                let c = bytes[i];
+                if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    state = State::LineComment;
+                } else if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    state = State::BlockComment(1);
+                    comment.push_str("/*");
+                    i += 2;
+                } else if c == b'"' {
+                    code.push('"');
+                    i += 1;
+                    state = State::Str { raw_hashes: None };
+                } else if let Some((h, opener_len)) = raw_string_open(bytes, i) {
+                    for _ in 0..opener_len {
+                        code.push(' ');
+                    }
+                    code.push('"');
+                    i += opener_len + 1; // prefix + opening quote
+                    state = State::Str {
+                        raw_hashes: Some(h),
+                    };
+                } else if c == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                    code.push_str("b\"");
+                    i += 2;
+                    state = State::Str { raw_hashes: None };
+                } else if c == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                    code.push_str("b'");
+                    i += 2;
+                    state = State::Char;
+                } else if c == b'\'' {
+                    // Char literal vs lifetime: a literal closes with a
+                    // quote one (possibly escaped) character later.
+                    if is_char_literal(bytes, i) {
+                        code.push('\'');
+                        i += 1;
+                        state = State::Char;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(line[i..].chars().next().map_or(' ', |ch| ch));
+                    i += utf8_len(c);
+                }
+            }
+        }
+    }
+    (LineView { code, comment }, state)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b & 0b1110_0000 == 0b1100_0000 => 2,
+        b if b & 0b1111_0000 == 0b1110_0000 => 3,
+        b if b & 0b1111_1000 == 0b1111_0000 => 4,
+        _ => 1,
+    }
+}
+
+/// `r"` / `r#"` / `br#"` opener at `i`? Returns `(hash_count,
+/// prefix_len)` where the prefix is everything before the opening quote.
+fn raw_string_open(bytes: &[u8], i: usize) -> Option<(u32, usize)> {
+    let start = if bytes[i] == b'b' { i + 1 } else { i };
+    if bytes.get(start) != Some(&b'r') {
+        return None;
+    }
+    // Reject identifiers ending in r/br ("for r" vs "var(" etc.): the
+    // char before must not be alphanumeric or '_'.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return None;
+    }
+    let mut h = 0u32;
+    let mut j = start + 1;
+    while bytes.get(j) == Some(&b'#') {
+        h += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((h, j - i))
+    } else {
+        None
+    }
+}
+
+fn closes_raw(rest: &[u8], hashes: u32) -> bool {
+    let h = hashes as usize;
+    rest.len() >= h && rest[..h].iter().all(|&b| b == b'#')
+}
+
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    // 'x' or '\n' or '\u{..}' — find a closing quote within a short
+    // window; lifetimes ('a, 'static) have no closing quote nearby
+    // followed by non-identifier context.
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_are_masked() {
+        let c = code_of(r#"let x = foo(".unwrap()");"#);
+        assert!(!c[0].contains(".unwrap()"));
+        assert!(c[0].contains("let x = foo("));
+    }
+
+    #[test]
+    fn comments_go_to_the_comment_channel() {
+        let v = lex("a(); // xlint: allow(panic-freedom) -- fine");
+        assert_eq!(v[0].code.trim(), "a();");
+        assert!(v[0].comment.contains("xlint: allow(panic-freedom)"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let v = lex("a /* c /* d */ still */ b\nx /* open\nclose */ y");
+        assert!(v[0].code.contains('a') && v[0].code.contains('b'));
+        assert!(!v[0].code.contains("still"));
+        assert!(v[1].code.contains('x') && !v[1].code.contains("open"));
+        assert!(v[2].code.contains('y') && !v[2].code.contains("close"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let c = code_of("let s = r#\"panic!(\"inner\")\"#; t()");
+        assert!(!c[0].contains("panic!"));
+        assert!(c[0].contains("t()"));
+        let c = code_of(r#"let s = "a\"b.unwrap()"; u()"#);
+        assert!(!c[0].contains(".unwrap()"));
+        assert!(c[0].contains("u()"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let c = code_of("fn f<'a>(x: &'a str, c: char) { if c == '}' { } }");
+        assert!(c[0].contains("<'a>"));
+        assert!(!c[0].contains("'}'"));
+        // The masked brace must not skew depth counting.
+        let opens = c[0].matches('{').count();
+        let closes = c[0].matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn multiline_strings_mask_across_lines() {
+        let c = code_of("let s = \"line one\ntodo!() two\";\nafter()");
+        assert!(!c[1].contains("todo!"));
+        assert!(c[2].contains("after()"));
+    }
+}

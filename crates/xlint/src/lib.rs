@@ -1,0 +1,37 @@
+//! `xlint` — the repo's offline, dependency-free static analysis suite.
+//!
+//! Enforces the invariants this codebase otherwise keeps by convention:
+//!
+//! | lint | invariant |
+//! |---|---|
+//! | `panic-freedom` | no `unwrap`/`expect`/`panic!`-family in non-test library code |
+//! | `io-fallibility` | no `unwrap`/`expect` on fallible `PageStore`/`Wal` I/O |
+//! | `lock-order` | never take a pool shard latch while a backend guard is live |
+//! | `atomics-justification` | every atomic `Ordering::…` carries a `// ordering:` comment |
+//! | `doc-coverage` | public items in the API crates carry rustdoc |
+//!
+//! A justified exception is *waived* in place with a comment that must be
+//! the entire comment text: `// xlint: allow(<lint>[, <lint>]) -- <reason>`.
+//! Waived findings still appear in the report and are frozen by the
+//! committed [`baseline`] (`LINT_BASELINE.json`): the waiver set can
+//! shrink but never silently grow, and unwaived findings always fail.
+//!
+//! The analyzer is token/line-level on a two-channel lexed view (code vs
+//! comments, string literals masked) — deliberately no `syn`, no serde,
+//! no registry dependency. See `docs/ANALYSIS.md` for the lint
+//! catalogue, waiver grammar and ratchet workflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lex;
+pub mod lints;
+pub mod report;
+pub mod scan;
+pub mod workspace;
+
+pub use baseline::{Baseline, RatchetOutcome};
+pub use lints::{Finding, Lint, LintSet};
+pub use report::Report;
+pub use workspace::{analyze, find_workspace_root, ScanConfig};

@@ -1,0 +1,172 @@
+//! The `xlint` command-line entry point.
+//!
+//! ```text
+//! cargo run -p xlint                              # human-readable report
+//! cargo run -p xlint -- --format json             # machine-readable report
+//! cargo run -p xlint -- --baseline LINT_BASELINE.json        # CI ratchet gate
+//! cargo run -p xlint -- --write-baseline LINT_BASELINE.json  # (re)freeze waivers
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xlint::{analyze, find_workspace_root, Baseline, ScanConfig};
+
+struct Args {
+    root: Option<PathBuf>,
+    format_json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        format_json: false,
+        baseline: None,
+        write_baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => args.root = Some(PathBuf::from(next(&mut it, "--root")?)),
+            "--format" => {
+                let v = next(&mut it, "--format")?;
+                match v.as_str() {
+                    "json" => args.format_json = true,
+                    "text" => args.format_json = false,
+                    other => return Err(format!("unknown format `{other}` (json|text)")),
+                }
+            }
+            "--baseline" => args.baseline = Some(PathBuf::from(next(&mut it, "--baseline")?)),
+            "--write-baseline" => {
+                args.write_baseline = Some(PathBuf::from(next(&mut it, "--write-baseline")?));
+            }
+            "--help" | "-h" => {
+                return Err("usage: xlint [--root DIR] [--format json|text] \
+                     [--baseline FILE] [--write-baseline FILE]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn next(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("xlint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match analyze(&root, &ScanConfig::workspace()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xlint: analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = args.write_baseline {
+        let baseline = Baseline::from_report(&report);
+        if let Err(e) = std::fs::write(&path, baseline.to_json()) {
+            eprintln!("xlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        let active = report.active().count();
+        println!(
+            "xlint: froze {} waived finding(s) into {}",
+            report.waived().count(),
+            path.display()
+        );
+        if active > 0 {
+            eprintln!("xlint: {active} ACTIVE finding(s) remain — a baseline never absorbs them:");
+            for f in report.active() {
+                eprintln!("  {}:{}: [{}] {}", f.file, f.line, f.lint.name(), f.snippet);
+            }
+            return ExitCode::from(1);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.format_json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            let mark = if f.waived { "waived" } else { "ACTIVE" };
+            println!(
+                "{}:{}: [{}] ({mark}) {}",
+                f.file,
+                f.line,
+                f.lint.name(),
+                f.snippet
+            );
+        }
+        println!(
+            "xlint: {} file(s), {} active, {} waived",
+            report.files_scanned,
+            report.active().count(),
+            report.waived().count()
+        );
+    }
+
+    if let Some(path) = args.baseline {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xlint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("xlint: bad baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let outcome = baseline.check(&report);
+        for note in &outcome.shrinkable {
+            eprintln!("xlint: note: {note}");
+        }
+        if !outcome.violations.is_empty() {
+            eprintln!(
+                "xlint: ratchet FAILED — {} violation(s):",
+                outcome.violations.len()
+            );
+            for v in &outcome.violations {
+                eprintln!("  {v}");
+            }
+            return ExitCode::from(1);
+        }
+        eprintln!("xlint: ratchet clean against {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    if report.active().count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

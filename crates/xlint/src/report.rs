@@ -1,0 +1,123 @@
+//! Waiver application, deterministic ordering and report serialization.
+
+use crate::lints::{Finding, Lint};
+use crate::scan::SourceFile;
+
+/// A finished analysis run.
+#[derive(Debug)]
+pub struct Report {
+    /// Every finding, waived ones included, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that are violations (not waived).
+    pub fn active(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// Findings suppressed by a waiver.
+    pub fn waived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waived)
+    }
+
+    /// Serializes the report as stable, sorted JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!(
+                "\"lint\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \"waived\": {}",
+                json_str(f.lint.name()),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.snippet),
+                f.waived
+            ));
+            if f.waived {
+                s.push_str(&format!(", \"reason\": {}", json_str(&f.reason)));
+            }
+            s.push('}');
+            if i + 1 < self.findings.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"summary\": {{\"active\": {}, \"waived\": {}, \"files_scanned\": {}}}\n}}\n",
+            self.active().count(),
+            self.waived().count(),
+            self.files_scanned
+        ));
+        s
+    }
+}
+
+/// JSON string literal with escaping.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Applies `file`'s waivers to `findings` (which must all belong to
+/// `file`), marks used waivers, and appends waiver-hygiene findings for
+/// malformed or unused waivers.
+pub fn apply_waivers(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let mut used = vec![false; file.waivers.len()];
+    for f in findings.iter_mut() {
+        for (wi, w) in file.waivers.iter().enumerate() {
+            if w.target_line == f.line
+                && w.well_formed
+                && !w.reason.is_empty()
+                && w.lints.iter().any(|l| l == f.lint.name())
+            {
+                f.waived = true;
+                f.reason = w.reason.clone();
+                used[wi] = true;
+            }
+        }
+    }
+    for (wi, w) in file.waivers.iter().enumerate() {
+        if !w.well_formed || w.reason.is_empty() {
+            findings.push(Finding {
+                lint: Lint::MalformedWaiver,
+                file: file.path.clone(),
+                line: w.comment_line,
+                snippet: "waiver must be `xlint: allow(<lint>) -- <reason>`".to_string(),
+                waived: false,
+                reason: String::new(),
+            });
+        } else if !used[wi] {
+            findings.push(Finding {
+                lint: Lint::UnusedWaiver,
+                file: file.path.clone(),
+                line: w.comment_line,
+                snippet: format!("waiver for {} suppressed nothing", w.lints.join(", ")),
+                waived: false,
+                reason: String::new(),
+            });
+        }
+    }
+}
+
+/// Sorts findings into the canonical (file, line, lint) order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint.name()).cmp(&(&b.file, b.line, b.lint.name())));
+}

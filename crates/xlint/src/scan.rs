@@ -1,0 +1,224 @@
+//! File model shared by every lint: lexed lines plus brace depth,
+//! test-region marking and parsed waivers.
+
+use crate::lex::{lex, LineView};
+
+/// A parsed waiver comment: `// xlint: allow(lint-a, lint-b) -- reason`.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based line the waiver comment sits on.
+    pub comment_line: usize,
+    /// 1-based line the waiver applies to (same line, or the next line
+    /// holding code when the comment stands alone).
+    pub target_line: usize,
+    /// Lint names inside `allow(...)`.
+    pub lints: Vec<String>,
+    /// The text after ` -- ` (empty means malformed).
+    pub reason: String,
+    /// Whether `allow(...)` parsed at all.
+    pub well_formed: bool,
+}
+
+/// One analyzed line.
+#[derive(Debug)]
+pub struct Line {
+    /// Code channel (literals masked, comments stripped).
+    pub code: String,
+    /// Comment channel.
+    pub comment: String,
+    /// Brace depth at the start of the line.
+    pub depth_before: usize,
+    /// Inside a `#[cfg(test)]` module/function or `#[test]` function.
+    pub in_test: bool,
+}
+
+/// A lexed and annotated source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Lines, 0-indexed (line numbers in findings are 1-based).
+    pub lines: Vec<Line>,
+    /// Waivers found in the file.
+    pub waivers: Vec<Waiver>,
+}
+
+impl SourceFile {
+    /// Lexes and annotates `source`.
+    pub fn parse(path: &str, source: &str) -> Self {
+        let views = lex(source);
+        let lines = annotate(&views);
+        let waivers = collect_waivers(&lines);
+        Self {
+            path: path.to_string(),
+            lines,
+            waivers,
+        }
+    }
+
+    /// 1-based iteration helper.
+    pub fn numbered(&self) -> impl Iterator<Item = (usize, &Line)> {
+        self.lines.iter().enumerate().map(|(i, l)| (i + 1, l))
+    }
+}
+
+fn annotate(views: &[LineView]) -> Vec<Line> {
+    let mut out = Vec::with_capacity(views.len());
+    let mut depth = 0usize;
+    // Depth below which we are back out of the innermost test region.
+    let mut test_stack: Vec<usize> = Vec::new();
+    // A test attribute was seen and its item's opening brace is pending.
+    let mut pending_test = false;
+    for view in views {
+        let code = view.code.as_str();
+        let trimmed = code.trim();
+        let depth_before = depth;
+
+        if trimmed.contains("#[cfg(test)]")
+            || trimmed.contains("#[test]")
+            || trimmed.contains("#[cfg(all(test")
+            || trimmed.contains("#[bench]")
+        {
+            pending_test = true;
+        }
+
+        let opens = code.matches('{').count();
+        let closes = code.matches('}').count();
+
+        if pending_test && opens > 0 {
+            test_stack.push(depth_before);
+            pending_test = false;
+        } else if pending_test && trimmed.ends_with(';') && !trimmed.contains("#[") {
+            // `#[cfg(test)] use …;` — attribute consumed without a body.
+            pending_test = false;
+        }
+
+        let in_test = !test_stack.is_empty();
+        depth = (depth + opens).saturating_sub(closes);
+        while let Some(&d) = test_stack.last() {
+            if depth <= d {
+                test_stack.pop();
+            } else {
+                break;
+            }
+        }
+
+        out.push(Line {
+            code: view.code.clone(),
+            comment: view.comment.clone(),
+            depth_before,
+            in_test,
+        });
+    }
+    out
+}
+
+fn collect_waivers(lines: &[Line]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        // The directive must be the whole comment: `// xlint: allow(…) --
+        // reason`. Comments merely *mentioning* the syntax (docs) never
+        // match because stripping `/`, `!` and whitespace must land
+        // exactly on the marker.
+        let stripped = line
+            .comment
+            .trim_start_matches(['/', '!', ' ', '\t'])
+            .trim_end();
+        let Some(rest) = stripped.strip_prefix("xlint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (lints, reason, well_formed) = parse_allow(rest);
+        let comment_line = idx + 1;
+        let target_line = if line.code.trim().is_empty() {
+            // Standalone comment: applies to the next code-bearing line.
+            lines
+                .iter()
+                .enumerate()
+                .skip(idx + 1)
+                .take(5)
+                .find(|(_, l)| !l.code.trim().is_empty())
+                .map_or(comment_line, |(j, _)| j + 1)
+        } else {
+            comment_line
+        };
+        out.push(Waiver {
+            comment_line,
+            target_line,
+            lints,
+            reason,
+            well_formed,
+        });
+    }
+    out
+}
+
+/// Parses `allow(a, b) -- reason`. Returns `(lints, reason, well_formed)`.
+fn parse_allow(rest: &str) -> (Vec<String>, String, bool) {
+    let Some(open) = rest.strip_prefix("allow(") else {
+        return (Vec::new(), String::new(), false);
+    };
+    let Some(close) = open.find(')') else {
+        return (Vec::new(), String::new(), false);
+    };
+    let lints: Vec<String> = open[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let after = &open[close + 1..];
+    let reason = after
+        .split_once("--")
+        .map(|(_, r)| r.trim().to_string())
+        .unwrap_or_default();
+    (lints.clone(), reason, !lints.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src =
+            "fn lib() { x(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y(); }\n}\nfn lib2() {}\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test, "inside cfg(test) mod");
+        assert!(!f.lines[5].in_test, "after the test mod closes");
+    }
+
+    #[test]
+    fn test_fn_attribute_marks_only_the_fn() {
+        let src = "#[test]\nfn t() {\n    boom();\n}\nfn lib() {}\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+
+    #[test]
+    fn cfg_test_use_does_not_open_a_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { z(); }\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn waiver_on_same_line_and_standalone() {
+        let src = "a.unwrap(); // xlint: allow(panic-freedom) -- invariant\n// xlint: allow(lock-order) -- checked manually\nlock(self.shard(id));\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert_eq!(f.waivers.len(), 2);
+        assert_eq!(f.waivers[0].target_line, 1);
+        assert_eq!(f.waivers[0].lints, vec!["panic-freedom"]);
+        assert_eq!(f.waivers[0].reason, "invariant");
+        assert_eq!(f.waivers[1].target_line, 3);
+    }
+
+    #[test]
+    fn malformed_waiver_is_flagged() {
+        let src = "b.unwrap(); // xlint: allow(panic-freedom)\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert!(f.waivers[0].well_formed);
+        assert!(f.waivers[0].reason.is_empty(), "missing -- reason");
+    }
+}

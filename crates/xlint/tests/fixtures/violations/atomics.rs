@@ -1,0 +1,26 @@
+//! Fixture: atomic Ordering uses with and without justification.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn unjustified(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn justified(c: &AtomicU64) -> u64 {
+    // ordering: Relaxed — standalone counter, no cross-thread edges needed.
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn justified_same_line(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Acquire) // ordering: Acquire pairs with the Release store below
+}
+
+pub fn contiguous_block_shares_one_comment(c: &AtomicU64) {
+    // ordering: Relaxed — both stores reset independent counters.
+    c.store(0, Ordering::Relaxed);
+    c.store(0, Ordering::Relaxed);
+}
+
+pub fn second_unjustified(c: &AtomicU64) {
+    c.store(7, Ordering::SeqCst);
+}

@@ -1,0 +1,31 @@
+//! Fixture: public items with and without rustdoc.
+
+pub struct Undocumented;
+
+/// Documented: no finding.
+pub struct Documented;
+
+pub fn undocumented_fn() {}
+
+/// Documented: no finding.
+pub fn documented_fn() {}
+
+/// Documented container.
+pub struct Widget {
+    size: u64,
+}
+
+impl Widget {
+    pub fn undocumented_method(&self) -> u64 {
+        self.size
+    }
+
+    /// Documented: no finding.
+    pub fn documented_method(&self) -> u64 {
+        self.size
+    }
+
+    fn private_method(&self) {}
+}
+
+pub(crate) fn crate_visible_is_exempt() {}

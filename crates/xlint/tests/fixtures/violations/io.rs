@@ -1,0 +1,21 @@
+//! Fixture: unwrap/expect on fallible PageStore/Wal-style I/O calls.
+
+pub fn same_line(store: &mut S, page: u64, buf: &mut [u8; 4096]) {
+    store.read_into(page, buf).unwrap();
+}
+
+pub fn chained_multiline(store: &mut S, page: u64, bytes: &[u8]) {
+    store
+        .write(page, bytes)
+        .expect("short write");
+}
+
+pub fn allocation(store: &mut S) -> u64 {
+    store.allocate().unwrap()
+}
+
+pub fn rwlock_write_is_not_io(l: &std::sync::RwLock<u32>) -> u32 {
+    // `.write()` with no arguments is the RwLock guard, not PageStore I/O;
+    // only panic-freedom fires here.
+    *l.write().unwrap()
+}

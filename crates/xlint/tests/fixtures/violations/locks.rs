@@ -1,0 +1,29 @@
+//! Fixture: shard latch taken while a backend guard is live (the
+//! buffer-pool deadlock direction), plus the legal order.
+
+pub fn wrong_order(&self) {
+    let backend = self.backend.write_lock();
+    let shard = lock(&self.shards[0].latch); // shard latch under a live backend guard
+    drop(shard);
+    drop(backend);
+}
+
+pub fn wrong_order_via_read(&self) {
+    let guard = read_lock(&self.backend);
+    let s = self.shard_for(7).lock();
+    let _ = (guard, s);
+}
+
+pub fn legal_order(&self) {
+    // Shard first, backend second is the documented invariant.
+    let shard = lock(&self.shards[0].latch);
+    let backend = self.backend.write_lock();
+    drop(backend);
+    drop(shard);
+}
+
+pub fn backend_guard_dropped_first(&self) {
+    let backend = read_lock(&self.backend);
+    drop(backend);
+    let _shard = lock(&self.shards[1].latch); // fine: guard already dead
+}

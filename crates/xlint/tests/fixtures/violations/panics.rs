@@ -1,0 +1,40 @@
+//! Fixture: panic-freedom violations in library code, none in test code.
+
+pub fn one() -> u32 {
+    let v: Option<u32> = Some(1);
+    v.unwrap()
+}
+
+pub fn two() -> u32 {
+    let v: Option<u32> = Some(2);
+    v.expect("always some")
+}
+
+pub fn three() {
+    panic!("boom");
+}
+
+pub fn four(x: u8) -> u8 {
+    match x {
+        0 => 0,
+        _ => unreachable!(),
+    }
+}
+
+pub fn five() {
+    todo!("later")
+}
+
+pub fn strings_do_not_count() -> &'static str {
+    // Tokens inside string literals are masked by the lexer:
+    "call .unwrap() and panic!(now)"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture: waiver syntax — well-formed, malformed, multi-lint, unused.
+
+pub fn waived_standalone() -> u32 {
+    let v: Option<u32> = Some(1);
+    // xlint: allow(panic-freedom) -- fixture: value constructed above
+    v.unwrap()
+}
+
+pub fn waived_trailing(v: Option<u32>) -> u32 {
+    v.expect("fixture") // xlint: allow(panic-freedom) -- fixture: caller contract
+}
+
+pub fn waived_two_lints(store: &mut S, page: u64, buf: &mut [u8; 4096]) {
+    // xlint: allow(panic-freedom, io-fallibility) -- fixture: in-memory store
+    store.read_into(page, buf).unwrap();
+}
+
+pub fn malformed_missing_reason() -> u32 {
+    let v: Option<u32> = Some(1);
+    // xlint: allow(panic-freedom)
+    v.unwrap()
+}
+
+pub fn unused_waiver_spot() -> u32 {
+    // xlint: allow(panic-freedom) -- fixture: nothing to waive here
+    1 + 1
+}
+
+pub fn not_waived() -> u32 {
+    let v: Option<u32> = Some(2);
+    v.unwrap()
+}

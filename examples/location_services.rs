@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "indexed {CLIENTS} clients (uncertainty radius {threshold}); \
          U-tree: {} pages, {} levels",
-        tree.tree_stats().total_nodes(),
-        tree.tree_stats().nodes_per_level.len()
+        tree.tree_stats()?.total_nodes(),
+        tree.tree_stats()?.nodes_per_level.len()
     );
 
     // Downtown = a 1.5km square around a busy cluster center.

@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "indexed {REGIONS} regions; index = {:.1} MB over {} pages",
         tree.index_size_bytes() as f64 / 1e6,
-        tree.tree_stats().total_nodes()
+        tree.tree_stats()?.total_nodes()
     );
 
     // The paper's query, verbatim.
